@@ -1,0 +1,156 @@
+// Command skbench regenerates every table and figure of the
+// SecureKeeper evaluation (§6). Each subcommand reproduces one
+// experiment and prints the data series the paper plots:
+//
+//	skbench fig2        memory usage of a replica set over time
+//	skbench fig3        EPC paging impact on random reads/writes
+//	skbench fig4        in-enclave key-value store vs native
+//	skbench fig6a       sync 70:30 throughput vs client threads
+//	skbench fig6b       async 70:30 throughput vs client threads
+//	skbench fig7        GET throughput vs payload
+//	skbench fig8        SET throughput vs payload
+//	skbench fig9a       CREATE throughput (sync, regular+sequential)
+//	skbench fig9b       CREATE throughput (async, regular+sequential)
+//	skbench fig10       LS throughput vs payload
+//	skbench fig11       YCSB-style mixed workload
+//	skbench fig12a      fault tolerance: leader failure
+//	skbench fig12b      fault tolerance: follower failure
+//	skbench table1      overhead summary (all ops, sync+async)
+//	skbench table2      message-length encryption overhead
+//	skbench table3      SLOC of the code base (calls the sksloc logic)
+//	skbench all         everything above
+//
+// The -scale flag selects quick (default, seconds) or paper (minutes)
+// experiment dimensions. Absolute numbers depend on the host; the
+// paper-shaped relations between the three variants are the result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"securekeeper/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "skbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("skbench", flag.ContinueOnError)
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or paper")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: skbench [-scale quick|paper] <fig2|fig3|fig4|fig6a|fig6b|fig7|fig8|fig9a|fig9b|fig10|fig11|fig12a|fig12b|table1|table2|table3|all>")
+	}
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "quick":
+		scale = bench.QuickScale()
+	case "paper":
+		scale = bench.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	targets := fs.Args()
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = []string{"fig2", "fig3", "fig4", "fig6a", "fig6b", "fig7", "fig8",
+			"fig9a", "fig9b", "fig10", "fig11", "fig12a", "fig12b",
+			"table1", "table2", "table3"}
+	}
+	for _, target := range targets {
+		if err := runOne(target, scale); err != nil {
+			return fmt.Errorf("%s: %w", target, err)
+		}
+	}
+	return nil
+}
+
+func runOne(target string, scale bench.Scale) error {
+	start := time.Now()
+	defer func() {
+		fmt.Printf("   [%s completed in %v]\n\n", target, time.Since(start).Round(time.Millisecond))
+	}()
+
+	switch target {
+	case "fig2":
+		fig, err := bench.Fig2(bench.MemoryConfig{})
+		return render(fig, err)
+	case "fig3":
+		fig, err := bench.Fig3(bench.PagingConfig{})
+		return render(fig, err)
+	case "fig4":
+		fig, err := bench.Fig4(bench.KVSConfig{})
+		return render(fig, err)
+	case "fig6a":
+		fig, err := bench.Fig6a(scale)
+		return render(fig, err)
+	case "fig6b":
+		fig, err := bench.Fig6b(scale)
+		return render(fig, err)
+	case "fig7":
+		fig, err := bench.Fig7(scale)
+		return render(fig, err)
+	case "fig8":
+		fig, err := bench.Fig8(scale)
+		return render(fig, err)
+	case "fig9a":
+		fig, err := bench.Fig9(scale, false)
+		return render(fig, err)
+	case "fig9b":
+		fig, err := bench.Fig9(scale, true)
+		return render(fig, err)
+	case "fig10":
+		fig, err := bench.Fig10(scale)
+		return render(fig, err)
+	case "fig11":
+		fig, err := bench.Fig11(bench.YCSBConfig{
+			Clients:      scale.YCSBClients,
+			PayloadSweep: scale.PayloadSweep,
+			Replicas:     scale.Replicas,
+		})
+		return render(fig, err)
+	case "fig12a":
+		fig, err := bench.Fig12(bench.FaultConfig{KillLeader: true, Replicas: scale.Replicas})
+		return render(fig, err)
+	case "fig12b":
+		fig, err := bench.Fig12(bench.FaultConfig{KillLeader: false, Replicas: scale.Replicas})
+		return render(fig, err)
+	case "table1":
+		t, err := bench.Table1(bench.Table1Config{Scale: scale})
+		return renderTable(t, err)
+	case "table2":
+		t, err := bench.Table2("", 1024)
+		return renderTable(t, err)
+	case "table3":
+		t, err := bench.Table3(".")
+		return renderTable(t, err)
+	default:
+		return fmt.Errorf("unknown target")
+	}
+}
+
+func render(fig *bench.Figure, err error) error {
+	if err != nil {
+		return err
+	}
+	fig.Render(os.Stdout)
+	return nil
+}
+
+func renderTable(t *bench.Table, err error) error {
+	if err != nil {
+		return err
+	}
+	t.Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"securekeeper/internal/bench"
+)
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no target must error")
+	}
+	if err := run([]string{"-scale", "bogus", "fig7"}); err == nil {
+		t.Fatal("bad scale must error")
+	}
+	if err := run([]string{"no-such-target"}); err == nil {
+		t.Fatal("unknown target must error")
+	}
+}
+
+func TestRunOneCheapTargets(t *testing.T) {
+	// The static tables run instantly and validate the wiring.
+	scale := bench.QuickScale()
+	for _, target := range []string{"table2", "table3"} {
+		if err := runOne(target, scale); err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+	}
+}
+
+func TestAllExpandsTargets(t *testing.T) {
+	// "all" must cover every figure and table of the paper's evaluation.
+	wanted := []string{"fig2", "fig3", "fig4", "fig6a", "fig6b", "fig7", "fig8",
+		"fig9a", "fig9b", "fig10", "fig11", "fig12a", "fig12b",
+		"table1", "table2", "table3"}
+	// Cross-check against the usage string so the two stay in sync.
+	err := run([]string{})
+	if err == nil {
+		t.Fatal("expected usage error")
+	}
+	for _, target := range wanted {
+		if !strings.Contains(err.Error(), target) {
+			t.Errorf("usage does not mention %s", target)
+		}
+	}
+}

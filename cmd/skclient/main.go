@@ -1,0 +1,153 @@
+// Command skclient is an interactive CLI client for a skserver replica:
+//
+//	skclient -addr 127.0.0.1:2181 -variant securekeeper create /a hello
+//	skclient get /a
+//	skclient ls /
+//	skclient set /a world
+//	skclient delete /a
+//	skclient watch /a            (blocks until a watch event fires)
+//
+// For tls/securekeeper variants the client runs the secure-channel
+// handshake. The demo accepts any server identity; a production client
+// pins the enclave's public key received out of band (§4.1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/transport"
+	"securekeeper/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "skclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:2181", "replica address")
+	variant := flag.String("variant", "securekeeper", "vanilla, tls or securekeeper (must match the server)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		return fmt.Errorf("usage: skclient [-addr host:port] [-variant v] <create|get|set|delete|ls|stat|sync|watch> [path] [data]")
+	}
+
+	tcp, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", *addr, err)
+	}
+	defer tcp.Close()
+
+	var conn transport.Conn = transport.NewFramedConn(tcp)
+	if *variant != "vanilla" {
+		id, err := transport.NewIdentity()
+		if err != nil {
+			return err
+		}
+		conn, err = transport.Handshake(conn, id, true, transport.VerifyAny())
+		if err != nil {
+			return fmt.Errorf("secure handshake: %w", err)
+		}
+	}
+
+	events := make(chan wire.WatcherEvent, 16)
+	cl, err := client.Connect(conn, client.Options{
+		OnEvent: func(ev wire.WatcherEvent) { events <- ev },
+	})
+	if err != nil {
+		return fmt.Errorf("connect: %w", err)
+	}
+	defer cl.Close()
+
+	return execute(cl, events, args)
+}
+
+func execute(cl *client.Client, events chan wire.WatcherEvent, args []string) error {
+	cmd := args[0]
+	path := "/"
+	if len(args) > 1 {
+		path = args[1]
+	}
+	switch cmd {
+	case "create":
+		var data []byte
+		if len(args) > 2 {
+			data = []byte(args[2])
+		}
+		created, err := cl.Create(path, data, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println("created", created)
+	case "createseq":
+		var data []byte
+		if len(args) > 2 {
+			data = []byte(args[2])
+		}
+		created, err := cl.Create(path, data, wire.FlagSequential)
+		if err != nil {
+			return err
+		}
+		fmt.Println("created", created)
+	case "get":
+		data, stat, err := cl.Get(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (version %d, %d bytes)\n", data, stat.Version, stat.DataLength)
+	case "set":
+		if len(args) < 3 {
+			return fmt.Errorf("set needs <path> <data>")
+		}
+		stat, err := cl.Set(path, []byte(args[2]), -1)
+		if err != nil {
+			return err
+		}
+		fmt.Println("ok, version", stat.Version)
+	case "delete":
+		if err := cl.Delete(path, -1); err != nil {
+			return err
+		}
+		fmt.Println("deleted", path)
+	case "ls":
+		kids, err := cl.Children(path)
+		if err != nil {
+			return err
+		}
+		for _, k := range kids {
+			fmt.Println(k)
+		}
+	case "stat":
+		stat, err := cl.Exists(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("version=%d cversion=%d children=%d bytes=%d ephemeralOwner=%s\n",
+			stat.Version, stat.Cversion, stat.NumChildren, stat.DataLength,
+			strconv.FormatInt(stat.EphemeralOwner, 16))
+	case "sync":
+		if err := cl.Sync(path); err != nil {
+			return err
+		}
+		fmt.Println("synced", path)
+	case "watch":
+		if _, _, err := cl.GetW(path); err != nil {
+			return err
+		}
+		fmt.Println("watching", path, "...")
+		ev := <-events
+		fmt.Printf("event: %v on %s\n", ev.Type, ev.Path)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+// Command skserver runs a SecureKeeper (or baseline) ensemble and
+// serves clients over TCP. All replicas run in this process connected
+// by the in-process broadcast network; each replica listens on its own
+// TCP port for clients.
+//
+//	skserver -variant securekeeper -replicas 3 -listen 127.0.0.1:2181
+//
+// Replica i listens on port+i. Connect with skclient.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"securekeeper/internal/core"
+	"securekeeper/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "skserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	variant := flag.String("variant", "securekeeper", "vanilla, tls or securekeeper")
+	replicas := flag.Int("replicas", 3, "ensemble size")
+	listen := flag.String("listen", "127.0.0.1:2181", "base address; replica i listens on port+i")
+	flag.Parse()
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		return err
+	}
+	cluster, err := core.NewCluster(core.Config{Variant: v, Replicas: *replicas})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	leader, err := cluster.WaitForLeader(10 * time.Second)
+	if err != nil {
+		return err
+	}
+
+	host, portStr, err := net.SplitHostPort(*listen)
+	if err != nil {
+		return fmt.Errorf("parse -listen: %w", err)
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		return fmt.Errorf("parse port: %w", err)
+	}
+
+	listeners := make([]net.Listener, 0, *replicas)
+	defer func() {
+		for _, ln := range listeners {
+			_ = ln.Close()
+		}
+	}()
+	for i := 0; i < *replicas; i++ {
+		addr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("listen %s: %w", addr, err)
+		}
+		listeners = append(listeners, ln)
+		fmt.Printf("replica %d (%s) listening on %s\n", i, roleName(cluster, i, leader), addr)
+		go acceptLoop(cluster, i, ln)
+	}
+
+	fmt.Printf("%s ensemble up, leader is replica %d — Ctrl-C to stop\n", v, leader)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}
+
+func roleName(c *core.Cluster, i, leader int) string {
+	if i == leader {
+		return "leader"
+	}
+	return "follower"
+}
+
+// acceptLoop serves TCP clients against replica i. For TCP serving, the
+// interception stack is assembled here instead of Cluster.Connect: the
+// framed conn is handshaked (TLS/SecureKeeper) and, for SecureKeeper,
+// wrapped with a per-connection entry enclave via ConnectTCP.
+func acceptLoop(cluster *core.Cluster, i int, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			framed := transport.NewFramedConn(conn)
+			if err := cluster.ServeExternal(i, framed); err != nil {
+				fmt.Fprintf(os.Stderr, "session on replica %d ended: %v\n", i, err)
+			}
+		}()
+	}
+}
+
+func parseVariant(s string) (core.Variant, error) {
+	switch s {
+	case "vanilla":
+		return core.Vanilla, nil
+	case "tls":
+		return core.TLS, nil
+	case "securekeeper":
+		return core.SecureKeeper, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q (want vanilla, tls or securekeeper)", s)
+	}
+}

@@ -1,0 +1,26 @@
+// Command sksloc regenerates Table 3: the size of this repository's
+// code base, split into the trusted (in-enclave) and untrusted
+// components, mirroring the paper's §6.4 accounting.
+//
+//	sksloc [repo-root]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"securekeeper/internal/bench"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	table, err := bench.Table3(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sksloc:", err)
+		os.Exit(1)
+	}
+	table.Render(os.Stdout)
+}

@@ -1,0 +1,135 @@
+// Leaderelection: the ZooKeeper leader-election recipe on SecureKeeper:
+// contenders create ephemeral sequential nodes; the lowest sequence is
+// the leader; everyone else watches for changes. The example also kills
+// the elected leader's session to show failover.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/core"
+	"securekeeper/internal/wire"
+)
+
+const electionRoot = "/election/service-a"
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type contender struct {
+	name string
+	cl   *client.Client
+	node string
+}
+
+func run() error {
+	cluster, err := core.NewCluster(core.Config{
+		Variant:         core.SecureKeeper,
+		Replicas:        3,
+		TickInterval:    10 * time.Millisecond,
+		ElectionTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	if _, err := cluster.WaitForLeader(5 * time.Second); err != nil {
+		return err
+	}
+
+	setup, err := cluster.Connect(0, client.Options{})
+	if err != nil {
+		return err
+	}
+	for _, p := range []string{"/election", electionRoot} {
+		if _, err := setup.Create(p, nil, 0); err != nil {
+			return fmt.Errorf("create %s: %w", p, err)
+		}
+	}
+	_ = setup.Close()
+
+	// Three service instances volunteer.
+	contenders := make([]*contender, 0, 3)
+	for i := 0; i < 3; i++ {
+		cl, err := cluster.Connect(i%cluster.Size(), client.Options{})
+		if err != nil {
+			return err
+		}
+		node, err := cl.Create(electionRoot+"/member-", nil, wire.FlagSequential|wire.FlagEphemeral)
+		if err != nil {
+			return err
+		}
+		c := &contender{name: fmt.Sprintf("instance-%d", i), cl: cl, node: node}
+		contenders = append(contenders, c)
+		fmt.Printf("%s volunteered as %s\n", c.name, node)
+	}
+	defer func() {
+		for _, c := range contenders {
+			if c.cl != nil {
+				_ = c.cl.Close()
+			}
+		}
+	}()
+
+	leader, err := electedLeader(contenders)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("elected leader: %s (%s)\n", leader.name, leader.node)
+
+	// The leader's session dies; its ephemeral node disappears and the
+	// next contender takes over.
+	fmt.Printf("killing %s's session...\n", leader.name)
+	_ = leader.cl.Close()
+	leader.cl = nil
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		next, err := electedLeader(contenders)
+		if err == nil && next != leader {
+			fmt.Printf("failover complete: new leader is %s (%s)\n", next.name, next.node)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("failover did not happen")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// electedLeader resolves which contender currently holds the lowest
+// sequence node.
+func electedLeader(contenders []*contender) (*contender, error) {
+	var probe *client.Client
+	for _, c := range contenders {
+		if c.cl != nil {
+			probe = c.cl
+			break
+		}
+	}
+	if probe == nil {
+		return nil, fmt.Errorf("no live contenders")
+	}
+	kids, err := probe.Children(electionRoot)
+	if err != nil {
+		return nil, err
+	}
+	if len(kids) == 0 {
+		return nil, fmt.Errorf("no members")
+	}
+	sort.Strings(kids)
+	lowest := electionRoot + "/" + kids[0]
+	for _, c := range contenders {
+		if c.node == lowest {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("leader node %s not owned by a live contender yet", lowest)
+}

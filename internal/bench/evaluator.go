@@ -1,0 +1,514 @@
+// Package bench implements the evaluation harness (§6.1): closed-loop
+// synchronous and windowed asynchronous client load generators, the
+// 70:30 GET/SET mixed workload of the original ZooKeeper paper, per-
+// operation payload sweeps, a YCSB-style workload, per-second
+// throughput buckets with fault injection, memory timelines, and the
+// EPC-paging microbenchmarks — everything needed to regenerate the
+// paper's figures 2-12 and tables 1-3.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/core"
+	"securekeeper/internal/wire"
+)
+
+// OpMode selects the operation pattern of a run.
+type OpMode int
+
+// Operation patterns.
+const (
+	ModeMixed     OpMode = iota + 1 // 70:30 GET/SET (the standard workload)
+	ModeGet                         // GET only
+	ModeSet                         // SET only
+	ModeCreate                      // CREATE regular nodes
+	ModeCreateSeq                   // CREATE sequential nodes
+	ModeDelete                      // DELETE (uncounted re-creates interleaved)
+	ModeLs                          // getChildren
+)
+
+// String returns the table-row label for the mode.
+func (m OpMode) String() string {
+	switch m {
+	case ModeMixed:
+		return "MIXED"
+	case ModeGet:
+		return "GET"
+	case ModeSet:
+		return "SET"
+	case ModeCreate:
+		return "CREATE"
+	case ModeCreateSeq:
+		return "CREATESEQ"
+	case ModeDelete:
+		return "DELETE"
+	case ModeLs:
+		return "LS"
+	default:
+		return fmt.Sprintf("MODE(%d)", int(m))
+	}
+}
+
+// RunConfig parameterizes one throughput measurement.
+type RunConfig struct {
+	// Clients is the number of concurrent client connections
+	// ("client threads" in the paper's terminology).
+	Clients int
+	// Async selects windowed pipelining; Window is the per-client
+	// number of simultaneous in-flight requests (the paper uses 200
+	// pending requests across 5 threads for async runs).
+	Async  bool
+	Window int
+	// Duration is the measured interval; Warmup precedes it.
+	Duration time.Duration
+	Warmup   time.Duration
+	// Payload is the SET/CREATE payload size in bytes.
+	Payload int
+	// GetFraction is the GET share of ModeMixed (0.7 in the paper).
+	GetFraction float64
+	// Mode selects the operation pattern.
+	Mode OpMode
+	// Children pre-populates that many children under the LS target.
+	Children int
+	// Seed makes the workload deterministic.
+	Seed int64
+}
+
+func (cfg *RunConfig) withDefaults() RunConfig {
+	out := *cfg
+	if out.Clients <= 0 {
+		out.Clients = 4
+	}
+	if out.Window <= 0 {
+		out.Window = 40
+	}
+	if out.Duration <= 0 {
+		out.Duration = 500 * time.Millisecond
+	}
+	if out.Warmup < 0 {
+		out.Warmup = 0
+	}
+	if out.GetFraction == 0 {
+		out.GetFraction = 0.7
+	}
+	if out.Mode == 0 {
+		out.Mode = ModeMixed
+	}
+	if out.Payload < 0 {
+		out.Payload = 0
+	}
+	if out.Seed == 0 {
+		out.Seed = 42
+	}
+	return out
+}
+
+// Result summarizes one measurement.
+type Result struct {
+	Ops        int64
+	Errors     int64
+	Elapsed    time.Duration
+	Throughput float64 // requests per second
+	Latency    LatencySummary
+}
+
+// LatencySummary reports request-latency percentiles over a bounded
+// reservoir sample of the measured operations.
+type LatencySummary struct {
+	Samples int
+	P50     time.Duration
+	P95     time.Duration
+	P99     time.Duration
+	Max     time.Duration
+}
+
+// latencyReservoirSize bounds the per-run latency sample.
+const latencyReservoirSize = 4096
+
+// latencySampler collects a uniform reservoir sample of latencies.
+type latencySampler struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	seen    int
+	samples []time.Duration
+}
+
+func newLatencySampler(seed int64) *latencySampler {
+	return &latencySampler{
+		rng:     rand.New(rand.NewSource(seed)),
+		samples: make([]time.Duration, 0, latencyReservoirSize),
+	}
+}
+
+func (ls *latencySampler) observe(d time.Duration) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.seen++
+	if len(ls.samples) < latencyReservoirSize {
+		ls.samples = append(ls.samples, d)
+		return
+	}
+	if idx := ls.rng.Intn(ls.seen); idx < latencyReservoirSize {
+		ls.samples[idx] = d
+	}
+}
+
+func (ls *latencySampler) summary() LatencySummary {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if len(ls.samples) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]time.Duration(nil), ls.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pick := func(q float64) time.Duration {
+		idx := int(q * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return LatencySummary{
+		Samples: len(sorted),
+		P50:     pick(0.50),
+		P95:     pick(0.95),
+		P99:     pick(0.99),
+		Max:     sorted[len(sorted)-1],
+	}
+}
+
+// Evaluator drives load against a cluster.
+type Evaluator struct {
+	cluster *core.Cluster
+	// runTag distinguishes consecutive runs on one cluster so CREATE
+	// and DELETE workloads never collide with nodes left by earlier
+	// runs (names are deterministic within a run).
+	runTag atomic.Int64
+}
+
+// NewEvaluator wraps a running cluster.
+func NewEvaluator(c *core.Cluster) *Evaluator {
+	return &Evaluator{cluster: c}
+}
+
+// connectSpread opens n clients distributed round-robin over all
+// replicas (the paper explicitly spreads clients equally, §6.1).
+func (ev *Evaluator) connectSpread(n int) ([]*client.Client, error) {
+	clients := make([]*client.Client, 0, n)
+	for i := 0; i < n; i++ {
+		cl, err := ev.cluster.Connect(i%ev.cluster.Size(), client.Options{})
+		if err != nil {
+			for _, c := range clients {
+				_ = c.Close()
+			}
+			return nil, fmt.Errorf("bench: connect client %d: %w", i, err)
+		}
+		clients = append(clients, cl)
+	}
+	return clients, nil
+}
+
+// Run executes one throughput measurement.
+func (ev *Evaluator) Run(cfg RunConfig) (Result, error) {
+	c := cfg.withDefaults()
+	clients, err := ev.connectSpread(c.Clients)
+	if err != nil {
+		return Result{}, err
+	}
+	defer func() {
+		for _, cl := range clients {
+			_ = cl.Close()
+		}
+	}()
+
+	if err := ev.setup(clients[0], c); err != nil {
+		return Result{}, err
+	}
+
+	var (
+		ops      atomic.Int64
+		errs     atomic.Int64
+		counting atomic.Bool
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	tag := ev.runTag.Add(1)
+	sampler := newLatencySampler(c.Seed)
+	for idx, cl := range clients {
+		wg.Add(1)
+		go func(idx int, cl *client.Client) {
+			defer wg.Done()
+			w := newWorker(cl, idx, c, &ops, &errs, &counting, stop)
+			w.tag = tag
+			w.lat = sampler
+			if c.Async {
+				w.runAsync()
+			} else {
+				w.runSync()
+			}
+		}(idx, cl)
+	}
+
+	if c.Warmup > 0 {
+		time.Sleep(c.Warmup)
+	}
+	counting.Store(true)
+	start := time.Now()
+	time.Sleep(c.Duration)
+	counting.Store(false)
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	total := ops.Load()
+	return Result{
+		Ops:        total,
+		Errors:     errs.Load(),
+		Elapsed:    elapsed,
+		Throughput: float64(total) / elapsed.Seconds(),
+		Latency:    sampler.summary(),
+	}, nil
+}
+
+// setup pre-populates the tree for the selected mode: the standard
+// benchmark root, one target znode per client, and LS children.
+// Transient connection-loss errors (a re-election racing the setup) are
+// retried.
+func (ev *Evaluator) setup(cl *client.Client, c RunConfig) error {
+	if err := createRetry(cl, "/bench", nil, 0); err != nil {
+		return fmt.Errorf("bench: create root: %w", err)
+	}
+	payload := makePayload(c.Payload, 0)
+	switch c.Mode {
+	case ModeMixed, ModeGet, ModeSet:
+		for i := 0; i < c.Clients; i++ {
+			p := clientNode(i)
+			if err := createRetry(cl, p, payload, 0); err != nil {
+				return fmt.Errorf("bench: create %s: %w", p, err)
+			}
+		}
+	case ModeLs:
+		if err := createRetry(cl, "/bench/ls", nil, 0); err != nil {
+			return fmt.Errorf("bench: create ls root: %w", err)
+		}
+		n := c.Children
+		if n <= 0 {
+			n = 8
+		}
+		for i := 0; i < n; i++ {
+			p := fmt.Sprintf("/bench/ls/child-%04d", i)
+			if err := createRetry(cl, p, payload, 0); err != nil {
+				return fmt.Errorf("bench: create %s: %w", p, err)
+			}
+		}
+	case ModeCreate, ModeCreateSeq, ModeDelete:
+		// Nodes are created during the run itself.
+	}
+	return nil
+}
+
+// createRetry creates a node, tolerating pre-existing nodes and
+// retrying transient connection-loss errors from elections in progress.
+func createRetry(cl *client.Client, path string, data []byte, flags wire.CreateFlags) error {
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		_, err := cl.Create(path, data, flags)
+		if err == nil || isNodeExists(err) {
+			return nil
+		}
+		var pe *wire.ProtocolError
+		if asProtoErr(err, &pe) && pe.Code == wire.ErrConnectionLoss {
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		return err
+	}
+	return lastErr
+}
+
+func clientNode(i int) string { return fmt.Sprintf("/bench/c%04d", i) }
+
+func isNodeExists(err error) bool {
+	var pe *wire.ProtocolError
+	return asProtoErr(err, &pe) && pe.Code == wire.ErrNodeExists
+}
+
+func asProtoErr(err error, target **wire.ProtocolError) bool {
+	for err != nil {
+		if pe, ok := err.(*wire.ProtocolError); ok {
+			*target = pe
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// makePayload builds a deterministic payload of the given size.
+func makePayload(size, salt int) []byte {
+	if size <= 0 {
+		return nil
+	}
+	p := make([]byte, size)
+	for i := range p {
+		p[i] = byte((i*31 + salt*17 + 7) & 0xff)
+	}
+	return p
+}
+
+// worker issues one client's operations.
+type worker struct {
+	cl       *client.Client
+	idx      int
+	cfg      RunConfig
+	rng      *rand.Rand
+	ops      *atomic.Int64
+	errs     *atomic.Int64
+	counting *atomic.Bool
+	stop     chan struct{}
+	seq      int64
+	tag      int64
+	path     string
+	payload  []byte
+	lat      *latencySampler
+	// errStreak throttles the worker while the cluster is unhealthy
+	// (e.g. an election in progress): without backoff an error storm
+	// starves the protocol goroutines and the election never settles —
+	// real ZooKeeper clients back off on CONNECTIONLOSS the same way.
+	errStreak atomic.Int64
+}
+
+func newWorker(cl *client.Client, idx int, cfg RunConfig, ops, errs *atomic.Int64, counting *atomic.Bool, stop chan struct{}) *worker {
+	return &worker{
+		cl:       cl,
+		idx:      idx,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed + int64(idx)*7919)),
+		ops:      ops,
+		errs:     errs,
+		counting: counting,
+		stop:     stop,
+		path:     clientNode(idx),
+		payload:  makePayload(cfg.Payload, idx),
+	}
+}
+
+func (w *worker) stopped() bool {
+	select {
+	case <-w.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (w *worker) record(err error) {
+	if err != nil {
+		w.errStreak.Add(1)
+	} else {
+		w.errStreak.Store(0)
+	}
+	if !w.counting.Load() {
+		return
+	}
+	if err != nil {
+		w.errs.Add(1)
+		return
+	}
+	w.ops.Add(1)
+}
+
+// throttle pauses the issue loop while errors are streaking.
+func (w *worker) throttle() {
+	if w.errStreak.Load() >= 8 {
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// issue starts one operation of the configured mode and returns its
+// future. DELETE mode interleaves an uncounted create.
+func (w *worker) issue() (*client.Future, bool) {
+	switch w.cfg.Mode {
+	case ModeMixed:
+		if w.rng.Float64() < w.cfg.GetFraction {
+			return w.cl.GetAsync(w.path, false), true
+		}
+		return w.cl.SetAsync(w.path, w.payload, -1), true
+	case ModeGet:
+		return w.cl.GetAsync(w.path, false), true
+	case ModeSet:
+		return w.cl.SetAsync(w.path, w.payload, -1), true
+	case ModeCreate:
+		w.seq++
+		p := fmt.Sprintf("%s-r%03d-n%08d", w.path, w.tag, w.seq)
+		return w.cl.CreateAsync(p, w.payload, 0), true
+	case ModeCreateSeq:
+		return w.cl.CreateAsync(w.path+"-s", w.payload, wire.FlagSequential), true
+	case ModeLs:
+		return w.cl.ChildrenAsync("/bench/ls", false), true
+	case ModeDelete:
+		// Create the victim first (uncounted), then delete (counted).
+		w.seq++
+		p := fmt.Sprintf("%s-r%03d-d%08d", w.path, w.tag, w.seq)
+		if res := w.cl.CreateAsync(p, nil, 0).Wait(); res.Err != nil {
+			w.record(res.Err)
+			return nil, false
+		}
+		return w.cl.DeleteAsync(p, -1), true
+	default:
+		return nil, false
+	}
+}
+
+// runSync issues one operation at a time, sampling latencies.
+func (w *worker) runSync() {
+	for !w.stopped() {
+		w.throttle()
+		start := time.Now()
+		f, ok := w.issue()
+		if !ok {
+			continue
+		}
+		res := f.Wait()
+		if res.Err == nil && w.counting.Load() && w.lat != nil {
+			w.lat.observe(time.Since(start))
+		}
+		w.record(res.Err)
+	}
+}
+
+// runAsync keeps Window operations in flight.
+func (w *worker) runAsync() {
+	type slot struct{ f *client.Future }
+	inflight := make(chan slot, w.cfg.Window)
+	done := make(chan struct{})
+
+	go func() {
+		defer close(done)
+		for s := range inflight {
+			res := s.f.Wait()
+			w.record(res.Err)
+		}
+	}()
+
+	for !w.stopped() {
+		w.throttle()
+		f, ok := w.issue()
+		if !ok {
+			continue
+		}
+		inflight <- slot{f: f}
+	}
+	close(inflight)
+	<-done
+}

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"securekeeper/internal/core"
+)
+
+// Scale selects the experiment dimensions. Quick scale keeps the whole
+// suite runnable in CI; paper scale approaches the original parameters
+// (the paper's absolute client counts assume a 4-machine GbE testbed).
+type Scale struct {
+	Duration     time.Duration
+	Warmup       time.Duration
+	PayloadSweep []int
+	SmallSweep   []int // LS payload sweep (paper: 0-100 B)
+	SyncClients  int
+	AsyncClients int
+	AsyncWindow  int
+	ClientSweep  []int // Fig 6a x-axis
+	ThreadSweep  []int // Fig 6b x-axis
+	LsChildren   int
+	YCSBClients  int
+	Replicas     int
+}
+
+// QuickScale finishes the full suite in tens of seconds.
+func QuickScale() Scale {
+	return Scale{
+		Duration:     300 * time.Millisecond,
+		Warmup:       100 * time.Millisecond,
+		PayloadSweep: []int{0, 256, 1024, 4096},
+		SmallSweep:   []int{0, 50, 100},
+		SyncClients:  8,
+		AsyncClients: 2,
+		AsyncWindow:  64,
+		ClientSweep:  []int{1, 4, 8, 16},
+		ThreadSweep:  []int{1, 2, 4},
+		LsChildren:   8,
+		YCSBClients:  8,
+		Replicas:     3,
+	}
+}
+
+// PaperScale mirrors the paper's sweep points (runs for minutes).
+func PaperScale() Scale {
+	return Scale{
+		Duration:     2 * time.Second,
+		Warmup:       500 * time.Millisecond,
+		PayloadSweep: []int{0, 256, 512, 1024, 2048, 4096},
+		SmallSweep:   []int{0, 10, 20, 50, 100},
+		SyncClients:  64,
+		AsyncClients: 5,
+		AsyncWindow:  200,
+		ClientSweep:  []int{1, 8, 32, 64, 128},
+		ThreadSweep:  []int{2, 4, 8, 16},
+		LsChildren:   16,
+		YCSBClients:  35,
+		Replicas:     3,
+	}
+}
+
+// Variants lists the three systems under comparison in paper order.
+func Variants() []core.Variant {
+	return []core.Variant{core.Vanilla, core.TLS, core.SecureKeeper}
+}
+
+// newCluster boots a cluster tuned for in-process benchmarking: on a
+// loaded single machine the peer goroutines can be starved for tens of
+// milliseconds by the load generators, so failure detection is set
+// deliberately lazy to avoid spurious re-elections mid-measurement.
+func newCluster(v core.Variant, replicas int) (*core.Cluster, error) {
+	return core.NewCluster(core.Config{
+		Variant:         v,
+		Replicas:        replicas,
+		TickInterval:    25 * time.Millisecond,
+		ElectionTimeout: 500 * time.Millisecond,
+	})
+}
+
+// sweepOverVariants runs fn once per variant on a fresh cluster and
+// collects the returned series.
+func sweepOverVariants(scale Scale, fn func(ev *Evaluator, v core.Variant) ([]Series, error)) ([]Series, error) {
+	var all []Series
+	for _, v := range Variants() {
+		cluster, err := newCluster(v, scale.Replicas)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cluster %v: %w", v, err)
+		}
+		series, err := fn(NewEvaluator(cluster), v)
+		cluster.Close()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %v: %w", v, err)
+		}
+		all = append(all, series...)
+	}
+	return all, nil
+}
+
+// payloadSweep measures throughput across payload sizes for one mode.
+func payloadSweep(ev *Evaluator, name string, scale Scale, payloads []int, mode OpMode, async bool) (Series, error) {
+	s := Series{Name: name}
+	clients, window := scale.SyncClients, 0
+	if async {
+		clients, window = scale.AsyncClients, scale.AsyncWindow
+	}
+	for _, payload := range payloads {
+		res, err := ev.Run(RunConfig{
+			Clients:  clients,
+			Async:    async,
+			Window:   window,
+			Duration: scale.Duration,
+			Warmup:   scale.Warmup,
+			Payload:  payload,
+			Mode:     mode,
+			Children: scale.LsChildren,
+		})
+		if err != nil {
+			return Series{}, err
+		}
+		s.X = append(s.X, float64(payload))
+		s.Y = append(s.Y, res.Throughput)
+	}
+	return s, nil
+}
+
+// Fig6a reproduces "Throughput of 70:30 mixed GET and SET requests,
+// synchronous, vs number of client threads" (1024 B payload).
+func Fig6a(scale Scale) (*Figure, error) {
+	series, err := sweepOverVariants(scale, func(ev *Evaluator, v core.Variant) ([]Series, error) {
+		s := Series{Name: v.String()}
+		for _, n := range scale.ClientSweep {
+			res, err := ev.Run(RunConfig{
+				Clients:  n,
+				Duration: scale.Duration,
+				Warmup:   scale.Warmup,
+				Payload:  1024,
+				Mode:     ModeMixed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, res.Throughput)
+		}
+		return []Series{s}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "fig6a", Title: "70:30 GET/SET throughput, synchronous requests",
+		XLabel: "client_threads", YLabel: "requests/s", Series: series,
+	}, nil
+}
+
+// Fig6b reproduces the asynchronous variant of Fig 6.
+func Fig6b(scale Scale) (*Figure, error) {
+	series, err := sweepOverVariants(scale, func(ev *Evaluator, v core.Variant) ([]Series, error) {
+		s := Series{Name: v.String()}
+		for _, n := range scale.ThreadSweep {
+			res, err := ev.Run(RunConfig{
+				Clients:  n,
+				Async:    true,
+				Window:   scale.AsyncWindow,
+				Duration: scale.Duration,
+				Warmup:   scale.Warmup,
+				Payload:  1024,
+				Mode:     ModeMixed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, res.Throughput)
+		}
+		return []Series{s}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "fig6b", Title: "70:30 GET/SET throughput, asynchronous requests",
+		XLabel: "client_threads", YLabel: "requests/s", Series: series,
+	}, nil
+}
+
+// figPayload builds the shared structure of Figs 7, 8 and 10: per
+// variant, a sync and an async series over a payload sweep.
+func figPayload(id, title string, scale Scale, payloads []int, mode OpMode) (*Figure, error) {
+	series, err := sweepOverVariants(scale, func(ev *Evaluator, v core.Variant) ([]Series, error) {
+		sSync, err := payloadSweep(ev, v.String()+" sync", scale, payloads, mode, false)
+		if err != nil {
+			return nil, err
+		}
+		sAsync, err := payloadSweep(ev, v.String()+" async", scale, payloads, mode, true)
+		if err != nil {
+			return nil, err
+		}
+		return []Series{sSync, sAsync}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: id, Title: title,
+		XLabel: "payload_bytes", YLabel: "requests/s", Series: series,
+	}, nil
+}
+
+// Fig7 reproduces "Throughput of sync. and async. GET requests".
+func Fig7(scale Scale) (*Figure, error) {
+	return figPayload("fig7", "GET throughput vs payload", scale, scale.PayloadSweep, ModeGet)
+}
+
+// Fig8 reproduces "Throughput of sync. and async. SET requests".
+func Fig8(scale Scale) (*Figure, error) {
+	return figPayload("fig8", "SET throughput vs payload", scale, scale.PayloadSweep, ModeSet)
+}
+
+// Fig9 reproduces "Throughput of CREATE requests" (9a sync, 9b async):
+// Vanilla and TLS create regular nodes; SecureKeeper is measured for
+// both regular and sequential nodes (the counter-enclave path).
+func Fig9(scale Scale, async bool) (*Figure, error) {
+	id, title := "fig9a", "CREATE throughput, synchronous requests"
+	if async {
+		id, title = "fig9b", "CREATE throughput, asynchronous requests"
+	}
+	series, err := sweepOverVariants(scale, func(ev *Evaluator, v core.Variant) ([]Series, error) {
+		name := v.String()
+		if v == core.SecureKeeper {
+			name += " (reg.)"
+		}
+		reg, err := payloadSweep(ev, name, scale, scale.PayloadSweep, ModeCreate, async)
+		if err != nil {
+			return nil, err
+		}
+		out := []Series{reg}
+		if v == core.SecureKeeper {
+			seq, err := payloadSweep(ev, v.String()+" (seq.)", scale, scale.PayloadSweep, ModeCreateSeq, async)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, seq)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: id, Title: title,
+		XLabel: "payload_bytes", YLabel: "requests/s", Series: series,
+	}, nil
+}
+
+// Fig10 reproduces "Throughput of sync. and async. LS requests" over
+// small payloads (listing decrypts every child path, §6.2).
+func Fig10(scale Scale) (*Figure, error) {
+	return figPayload("fig10", "LS (getChildren) throughput vs payload", scale, scale.SmallSweep, ModeLs)
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/core"
+	"securekeeper/internal/sgx"
+)
+
+// MemoryConfig parameterizes the Fig 2 experiment: sample the memory
+// footprint of each replica over time while a 70:30 async workload
+// runs, demonstrating that a coordination service exceeds the EPC
+// limit even on a small data set (§3.3).
+type MemoryConfig struct {
+	Clients   int
+	Payload   int
+	SampleDur time.Duration
+	Samples   int
+	StartAt   int // workload begins at this sample index
+	Replicas  int
+}
+
+func (c *MemoryConfig) withDefaults() MemoryConfig {
+	out := *c
+	if out.Clients <= 0 {
+		out.Clients = 4
+	}
+	if out.Payload <= 0 {
+		out.Payload = 1024
+	}
+	if out.SampleDur <= 0 {
+		out.SampleDur = 100 * time.Millisecond
+	}
+	if out.Samples <= 0 {
+		out.Samples = 20
+	}
+	if out.StartAt <= 0 {
+		out.StartAt = out.Samples / 4
+	}
+	if out.Replicas <= 0 {
+		out.Replicas = 3
+	}
+	return out
+}
+
+// Fig2 reproduces "Memory usage of ZooKeeper over time". The Java
+// process footprint is not reproducible from Go, so the series report
+// each replica's measured share of the Go heap plus its tree size; the
+// shape — flat while idle, climbing past the EPC limit once the
+// workload starts — is the property the paper's argument needs. The
+// rendered figure includes a reference row for the EPC limit.
+func Fig2(cfg MemoryConfig) (*Figure, error) {
+	c := cfg.withDefaults()
+	cluster, err := newCluster(core.Vanilla, c.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	leaderIdx, err := cluster.WaitForLeader(5 * time.Second)
+	if err != nil {
+		return nil, err
+	}
+
+	series := make([]Series, c.Replicas)
+	for i := range series {
+		name := fmt.Sprintf("Follower %d (MB)", i)
+		if i == leaderIdx {
+			name = "Leader (MB)"
+		}
+		series[i] = Series{Name: name}
+	}
+
+	var (
+		wg   sync.WaitGroup
+		stop = make(chan struct{})
+	)
+	startWorkload := func() error {
+		ev := NewEvaluator(cluster)
+		clients, err := ev.connectSpread(c.Clients)
+		if err != nil {
+			return err
+		}
+		for idx, cl := range clients {
+			wg.Add(1)
+			go func(idx int, cl *client.Client) {
+				defer wg.Done()
+				defer cl.Close()
+				payload := makePayload(c.Payload, idx)
+				path := clientNode(idx)
+				if _, err := cl.Create("/bench", nil, 0); err != nil && !isNodeExists(err) {
+					return
+				}
+				if _, err := cl.Create(path, payload, 0); err != nil && !isNodeExists(err) {
+					return
+				}
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// 70:30 GET/SET; every SET grows history slightly.
+					var f *client.Future
+					if i%10 < 7 {
+						f = cl.GetAsync(path, false)
+					} else {
+						f = cl.SetAsync(path, payload, -1)
+					}
+					_ = f.Wait()
+					i++
+				}
+			}(idx, cl)
+		}
+		return nil
+	}
+
+	var ms runtime.MemStats
+	started := false
+	for s := 0; s < c.Samples; s++ {
+		if !started && s >= c.StartAt {
+			if err := startWorkload(); err != nil {
+				close(stop)
+				wg.Wait()
+				return nil, err
+			}
+			started = true
+		}
+		runtime.ReadMemStats(&ms)
+		heapShare := float64(ms.HeapAlloc) / float64(c.Replicas) / (1 << 20)
+		for i := range series {
+			treeMB := float64(cluster.Replica(i).Tree().ApproxBytes()) / (1 << 20)
+			series[i].X = append(series[i].X, float64(s)*c.SampleDur.Seconds())
+			series[i].Y = append(series[i].Y, heapShare+treeMB)
+		}
+		time.Sleep(c.SampleDur)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Reference line: the usable EPC limit the paper's argument is
+	// anchored on.
+	epc := Series{Name: "EPC usable (MB)"}
+	for s := 0; s < c.Samples; s++ {
+		epc.X = append(epc.X, float64(s)*c.SampleDur.Seconds())
+		epc.Y = append(epc.Y, float64(sgx.EPCUsableBytes)/(1<<20))
+	}
+
+	return &Figure{
+		ID: "fig2", Title: "Replica memory usage over time (workload starts mid-run)",
+		XLabel: "time_s", YLabel: "MB",
+		Series: append(series, epc),
+	}, nil
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"securekeeper/internal/kvstore"
+	"securekeeper/internal/sgx"
+)
+
+// PagingConfig parameterizes the Fig 3 microbenchmark: random single-
+// byte reads and writes over an in-enclave buffer of increasing size,
+// reported as thousand page accesses per (virtual) second.
+type PagingConfig struct {
+	SizesMB  []int
+	Accesses int
+	Seed     int64
+}
+
+func (c *PagingConfig) withDefaults() PagingConfig {
+	out := *c
+	if len(out.SizesMB) == 0 {
+		out.SizesMB = []int{1, 2, 4, 8, 16, 32, 64, 92, 128, 192, 256}
+	}
+	if out.Accesses <= 0 {
+		out.Accesses = 200000
+	}
+	if out.Seed == 0 {
+		out.Seed = 42
+	}
+	return out
+}
+
+// Fig3 reproduces "Performance impact of enclave memory size on random
+// reads and writes": two cliffs, one at the L3 boundary (8 MB), one at
+// the usable-EPC boundary (~92 MB), with paged EPC >1000× slower than
+// L3.
+func Fig3(cfg PagingConfig) (*Figure, error) {
+	c := cfg.withDefaults()
+	read := Series{Name: "random read (k acc/s)"}
+	write := Series{Name: "random write (k acc/s)"}
+	for _, mb := range c.SizesMB {
+		r, err := measurePaging(int64(mb)<<20, c.Accesses, false, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		w, err := measurePaging(int64(mb)<<20, c.Accesses, true, c.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		read.X = append(read.X, float64(mb))
+		read.Y = append(read.Y, r/1000)
+		write.X = append(write.X, float64(mb))
+		write.Y = append(write.Y, w/1000)
+	}
+	return &Figure{
+		ID: "fig3", Title: "Random page accesses vs enclave memory size",
+		XLabel: "enclave_MB", YLabel: "thousand page accesses/s",
+		Series: []Series{read, write},
+	}, nil
+}
+
+// measurePaging touches random pages of an enclave buffer and returns
+// accesses per virtual second.
+func measurePaging(bufBytes int64, accesses int, write bool, seed int64) (float64, error) {
+	rt := sgx.NewRuntime(sgx.EPCUsableBytes, sgx.DefaultCostModel(), false)
+	e, err := rt.Create(sgx.Spec{
+		CodeIdentity: "securekeeper/paging-bench/v1",
+		CodeBytes:    4 << 10,
+		HeapBytes:    bufBytes,
+		Threads:      1,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("bench: paging enclave: %w", err)
+	}
+	defer rt.Destroy(e)
+
+	pages := bufBytes / sgx.PageSize
+	rng := rand.New(rand.NewSource(seed))
+	// Warm-up: touch every page once so the measurement reflects the
+	// steady state (resident set capped by the EPC), not cold misses.
+	for p := int64(0); p < pages; p++ {
+		e.TouchRandomPage(bufBytes, p, write)
+	}
+	meter := rt.Meter()
+	start := meter.VirtualNs()
+	for i := 0; i < accesses; i++ {
+		e.TouchRandomPage(bufBytes, rng.Int63n(pages), write)
+	}
+	elapsed := meter.VirtualNs() - start
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	return float64(accesses) / (elapsed / 1e9), nil
+}
+
+// KVSConfig parameterizes the Fig 4 experiment: throughput of a
+// key-value store inside an enclave vs native, as the enclave memory
+// range grows past the EPC.
+type KVSConfig struct {
+	SizesMB       []int
+	Requests      int
+	WriteFraction float64
+	Seed          int64
+}
+
+func (c *KVSConfig) withDefaults() KVSConfig {
+	out := *c
+	if len(out.SizesMB) == 0 {
+		out.SizesMB = []int{1, 4, 16, 102, 512, 3072}
+	}
+	if out.Requests <= 0 {
+		out.Requests = 100000
+	}
+	if out.WriteFraction == 0 {
+		out.WriteFraction = 0.3
+	}
+	if out.Seed == 0 {
+		out.Seed = 42
+	}
+	return out
+}
+
+// Fig4 reproduces "Performance of a key-value store in an enclave for a
+// randomized request pattern": native and SGX throughput converge below
+// the EPC limit and diverge sharply beyond it; the third series is the
+// paper's normalized difference.
+func Fig4(cfg KVSConfig) (*Figure, error) {
+	c := cfg.withDefaults()
+	native := Series{Name: "native (req/s)"}
+	enclaved := Series{Name: "SGX (req/s)"}
+	normed := Series{Name: "normed diff"}
+	for _, mb := range c.SizesMB {
+		bufBytes := int64(mb) << 20
+		n, err := measureKVS(bufBytes, c, false)
+		if err != nil {
+			return nil, err
+		}
+		s, err := measureKVS(bufBytes, c, true)
+		if err != nil {
+			return nil, err
+		}
+		x := float64(mb)
+		native.X, native.Y = append(native.X, x), append(native.Y, n)
+		enclaved.X, enclaved.Y = append(enclaved.X, x), append(enclaved.Y, s)
+		diff := 0.0
+		if s > 0 {
+			diff = n / s
+		}
+		normed.X, normed.Y = append(normed.X, x), append(normed.Y, diff)
+	}
+	return &Figure{
+		ID: "fig4", Title: "In-enclave key-value store throughput vs enclave size",
+		XLabel: "enclave_MB", YLabel: "requests/s (and native/SGX ratio)",
+		Series: []Series{native, enclaved, normed},
+	}, nil
+}
+
+func measureKVS(bufBytes int64, c KVSConfig, inEnclave bool) (float64, error) {
+	rt := sgx.NewRuntime(sgx.EPCUsableBytes, sgx.DefaultCostModel(), false)
+	var (
+		store *kvstore.Store
+		err   error
+	)
+	if inEnclave {
+		store, err = kvstore.NewEnclaveStore(rt, bufBytes)
+	} else {
+		store, err = kvstore.NewNativeStore(rt, bufBytes)
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer store.Close()
+	return store.MeasureThroughput(c.Requests, c.WriteFraction, c.Seed), nil
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one line of a figure: paired X/Y samples.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a reproduced plot rendered as aligned columns.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Table is a reproduced table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the figure as a column-aligned data table: one row per
+// X value, one column per series — the same rows a plotting script
+// would consume.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+
+	// Collect the union of X values in first-seen order.
+	var xs []float64
+	seen := make(map[float64]int)
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if _, ok := seen[x]; !ok {
+				seen[x] = len(xs)
+				xs = append(xs, x)
+			}
+		}
+	}
+
+	rows := make([][]string, len(xs))
+	for i, x := range xs {
+		row := make([]string, len(f.Series)+1)
+		row[0] = trimFloat(x)
+		for j := range f.Series {
+			row[j+1] = "-"
+		}
+		rows[i] = row
+	}
+	for j, s := range f.Series {
+		for k, x := range s.X {
+			if i, ok := seen[x]; ok && k < len(s.Y) {
+				rows[i][j+1] = trimFloat(s.Y[k])
+			}
+		}
+	}
+	writeAligned(w, header, rows)
+	fmt.Fprintf(w, "   (y: %s)\n\n", f.YLabel)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	writeAligned(w, t.Header, t.Rows)
+	fmt.Fprintln(w)
+}
+
+func writeAligned(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Percent renders a ratio as the paper's "NN.NN %" convention.
+func Percent(v float64) string { return fmt.Sprintf("%.2f %%", v*100) }

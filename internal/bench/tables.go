@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"fmt"
+	"securekeeper/internal/core"
+	"securekeeper/internal/skcrypto"
+	"securekeeper/internal/wire"
+)
+
+// Table1Config parameterizes the overhead-summary table.
+type Table1Config struct {
+	Scale    Scale
+	Payloads []int // payload points averaged per cell (paper: all sizes)
+}
+
+// table1Modes are the operation rows in paper order.
+var table1Modes = []OpMode{ModeGet, ModeSet, ModeLs, ModeCreate, ModeCreateSeq, ModeDelete}
+
+// Table1 reproduces "SecureKeeper overhead comparison": per operation
+// and request style, the throughput overhead of TLS-ZK and SecureKeeper
+// relative to Vanilla, and the delta between them — with read, write
+// and global averages.
+func Table1(cfg Table1Config) (*Table, error) {
+	scale := cfg.Scale
+	payloads := cfg.Payloads
+	if len(payloads) == 0 {
+		payloads = []int{1024}
+	}
+
+	// measured[async][mode][variant] = mean throughput over payloads.
+	type key struct {
+		async bool
+		mode  OpMode
+		v     core.Variant
+	}
+	measured := make(map[key]float64)
+
+	for _, v := range Variants() {
+		cluster, err := newCluster(v, scale.Replicas)
+		if err != nil {
+			return nil, fmt.Errorf("bench: table1 cluster %v: %w", v, err)
+		}
+		ev := NewEvaluator(cluster)
+		for _, async := range []bool{false, true} {
+			for _, mode := range table1Modes {
+				var sum float64
+				for _, payload := range payloads {
+					clients, window := scale.SyncClients, 0
+					if async {
+						clients, window = scale.AsyncClients, scale.AsyncWindow
+					}
+					res, err := ev.Run(RunConfig{
+						Clients:  clients,
+						Async:    async,
+						Window:   window,
+						Duration: scale.Duration,
+						Warmup:   scale.Warmup,
+						Payload:  payload,
+						Mode:     mode,
+						Children: scale.LsChildren,
+					})
+					if err != nil {
+						cluster.Close()
+						return nil, fmt.Errorf("bench: table1 %v %v: %w", v, mode, err)
+					}
+					sum += res.Throughput
+				}
+				measured[key{async, mode, v}] = sum / float64(len(payloads))
+			}
+		}
+		cluster.Close()
+	}
+
+	overhead := func(async bool, mode OpMode, v core.Variant) float64 {
+		base := measured[key{async, mode, core.Vanilla}]
+		if base <= 0 {
+			return 0
+		}
+		return (base - measured[key{async, mode, v}]) / base
+	}
+
+	t := &Table{
+		ID: "table1", Title: "SecureKeeper overhead comparison (vs Vanilla)",
+		Header: []string{"style", "operation", "TLS-ZK", "SecureKeeper", "delta"},
+	}
+
+	var sumsTLS, sumsSK []float64 // rows, for the averages
+	addRow := func(style string, label string, tls, sk float64) {
+		t.Rows = append(t.Rows, []string{style, label, Percent(tls), Percent(sk), Percent(sk - tls)})
+	}
+
+	readRows, writeRows := [][2]float64{}, [][2]float64{}
+	for _, async := range []bool{false, true} {
+		style := "sync"
+		if async {
+			style = "async"
+		}
+		var styleTLS, styleSK float64
+		for _, mode := range table1Modes {
+			tls := overhead(async, mode, core.TLS)
+			sk := overhead(async, mode, core.SecureKeeper)
+			addRow(style, mode.String(), tls, sk)
+			styleTLS += tls
+			styleSK += sk
+			sumsTLS = append(sumsTLS, tls)
+			sumsSK = append(sumsSK, sk)
+			if mode == ModeGet || mode == ModeLs {
+				readRows = append(readRows, [2]float64{tls, sk})
+			} else {
+				writeRows = append(writeRows, [2]float64{tls, sk})
+			}
+		}
+		n := float64(len(table1Modes))
+		addRow(style, "Average", styleTLS/n, styleSK/n)
+	}
+
+	avg := func(rows [][2]float64, i int) float64 {
+		if len(rows) == 0 {
+			return 0
+		}
+		var s float64
+		for _, r := range rows {
+			s += r[i]
+		}
+		return s / float64(len(rows))
+	}
+	addRow("all", "Read average", avg(readRows, 0), avg(readRows, 1))
+	addRow("all", "Write average", avg(writeRows, 0), avg(writeRows, 1))
+	var gTLS, gSK float64
+	for i := range sumsTLS {
+		gTLS += sumsTLS[i]
+		gSK += sumsSK[i]
+	}
+	n := float64(len(sumsTLS))
+	addRow("all", "Global average", gTLS/n, gSK/n)
+	return t, nil
+}
+
+// Table2 reproduces "Comparison of encryption overhead": how message
+// lengths change between the client side and the store side of the
+// entry enclave, quantified for a sample path and payload.
+func Table2(samplePath string, payloadLen int) (*Table, error) {
+	if samplePath == "" {
+		samplePath = "/app/config/database"
+	}
+	if payloadLen <= 0 {
+		payloadLen = 1024
+	}
+	key := make([]byte, skcrypto.KeySize)
+	codec, err := skcrypto.NewCodec(key)
+	if err != nil {
+		return nil, err
+	}
+	encPath, err := codec.EncryptPath(samplePath)
+	if err != nil {
+		return nil, err
+	}
+	encPayload, err := codec.EncryptPayload(samplePath, make([]byte, payloadLen), false)
+	if err != nil {
+		return nil, err
+	}
+
+	pathDelta := len(encPath) - len(samplePath)
+	payloadDelta := len(encPayload) - payloadLen
+
+	t := &Table{
+		ID: "table2", Title: "Encryption overhead on message lengths",
+		Header: []string{"field", "request", "response", "bytes (sample)"},
+	}
+	t.Rows = [][]string{
+		{"Transport", "-HMAC -IV (removed on entry)", "+HMAC +IV (added on exit)", "28"},
+		{"Path", "+per-chunk IV+HMAC+Base64", "-same (LS responses only)",
+			fmt.Sprintf("+%d on %q (depth %d)", pathDelta, samplePath, pathDepth(samplePath))},
+		{"Payload", "+IV +hash +flag +HMAC", "-IV -hash -flag -HMAC",
+			fmt.Sprintf("+%d on %d B payload", payloadDelta, payloadLen)},
+	}
+	return t, nil
+}
+
+func pathDepth(p string) int {
+	depth := 0
+	for i := 0; i < len(p); i++ {
+		if p[i] == '/' {
+			depth++
+		}
+	}
+	return depth
+}
+
+// OverheadSummary computes the paper's headline number — the global
+// average SecureKeeper-vs-TLS delta (11.2 % in the paper) — from a
+// quick measurement. Exposed for EXPERIMENTS.md and tests.
+func OverheadSummary(scale Scale) (skVsTLS float64, err error) {
+	type meas struct{ vanilla, tls, sk float64 }
+	results := make(map[OpMode]*meas)
+	for _, mode := range table1Modes {
+		results[mode] = &meas{}
+	}
+	for _, v := range Variants() {
+		cluster, cerr := newCluster(v, scale.Replicas)
+		if cerr != nil {
+			return 0, cerr
+		}
+		ev := NewEvaluator(cluster)
+		for _, mode := range table1Modes {
+			res, rerr := ev.Run(RunConfig{
+				Clients:  scale.SyncClients,
+				Duration: scale.Duration,
+				Warmup:   scale.Warmup,
+				Payload:  1024,
+				Mode:     mode,
+				Children: scale.LsChildren,
+			})
+			if rerr != nil {
+				cluster.Close()
+				return 0, rerr
+			}
+			m := results[mode]
+			switch v {
+			case core.Vanilla:
+				m.vanilla = res.Throughput
+			case core.TLS:
+				m.tls = res.Throughput
+			case core.SecureKeeper:
+				m.sk = res.Throughput
+			}
+		}
+		cluster.Close()
+	}
+	var total float64
+	var n int
+	for _, m := range results {
+		if m.vanilla <= 0 {
+			continue
+		}
+		tlsOv := (m.vanilla - m.tls) / m.vanilla
+		skOv := (m.vanilla - m.sk) / m.vanilla
+		total += skOv - tlsOv
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("bench: no overhead samples")
+	}
+	return total / float64(n), nil
+}
+
+// RowFor returns the wire op measured by a mode (for documentation).
+func (m OpMode) RowFor() wire.OpCode {
+	switch m {
+	case ModeGet:
+		return wire.OpGetData
+	case ModeSet:
+		return wire.OpSetData
+	case ModeLs:
+		return wire.OpGetChildren
+	case ModeCreate, ModeCreateSeq:
+		return wire.OpCreate
+	case ModeDelete:
+		return wire.OpDelete
+	default:
+		return wire.OpNotify
+	}
+}

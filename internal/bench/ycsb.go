@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/core"
+)
+
+// YCSBConfig parameterizes the Fig 11 experiment: a YCSB-style mixed
+// workload of synchronous reads and writes over a fixed record set,
+// with a zipfian request distribution (YCSB's default), 50:50 mix, and
+// a fixed operation count per payload size — the paper runs 500 k
+// operations with 35 threads and no warmup phase.
+type YCSBConfig struct {
+	Clients       int
+	Records       int
+	OperationsPer int // per payload point
+	ReadFraction  float64
+	PayloadSweep  []int
+	Replicas      int
+	Seed          int64
+}
+
+func (c *YCSBConfig) withDefaults() YCSBConfig {
+	out := *c
+	if out.Clients <= 0 {
+		out.Clients = 8
+	}
+	if out.Records <= 0 {
+		out.Records = 64
+	}
+	if out.OperationsPer <= 0 {
+		out.OperationsPer = 2000
+	}
+	if out.ReadFraction == 0 {
+		out.ReadFraction = 0.5
+	}
+	if len(out.PayloadSweep) == 0 {
+		out.PayloadSweep = []int{0, 256, 1024, 4096}
+	}
+	if out.Replicas <= 0 {
+		out.Replicas = 3
+	}
+	if out.Seed == 0 {
+		out.Seed = 42
+	}
+	return out
+}
+
+// Fig11 reproduces "Throughput of synchronous GET and SET operations,
+// performed using the YCSB benchmark suite".
+func Fig11(cfg YCSBConfig) (*Figure, error) {
+	c := cfg.withDefaults()
+	fig := &Figure{
+		ID: "fig11", Title: "YCSB-style 50:50 synchronous GET/SET throughput",
+		XLabel: "payload_bytes", YLabel: "requests/s",
+	}
+	for _, v := range Variants() {
+		cluster, err := newCluster(v, c.Replicas)
+		if err != nil {
+			return nil, fmt.Errorf("bench: ycsb cluster %v: %w", v, err)
+		}
+		s := Series{Name: v.String()}
+		for _, payload := range c.PayloadSweep {
+			rate, err := runYCSBPoint(cluster, c, payload)
+			if err != nil {
+				cluster.Close()
+				return nil, fmt.Errorf("bench: ycsb %v payload %d: %w", v, payload, err)
+			}
+			s.X = append(s.X, float64(payload))
+			s.Y = append(s.Y, rate)
+		}
+		cluster.Close()
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+func runYCSBPoint(cluster *core.Cluster, c YCSBConfig, payload int) (float64, error) {
+	ev := NewEvaluator(cluster)
+	clients, err := ev.connectSpread(c.Clients)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		for _, cl := range clients {
+			_ = cl.Close()
+		}
+	}()
+
+	// Load phase: records live under /ycsb.
+	loader := clients[0]
+	if _, err := loader.Create("/ycsb", nil, 0); err != nil && !isNodeExists(err) {
+		return 0, err
+	}
+	data := makePayload(payload, 0)
+	for i := 0; i < c.Records; i++ {
+		p := ycsbKey(i)
+		if _, err := loader.Create(p, data, 0); err != nil && !isNodeExists(err) {
+			return 0, err
+		}
+	}
+
+	// Run phase: fixed operation count, no warmup (the paper notes the
+	// lower YCSB baseline comes from exactly this).
+	perClient := c.OperationsPer / c.Clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	var (
+		wg    sync.WaitGroup
+		errs  atomic.Int64
+		total atomic.Int64
+	)
+	start := time.Now()
+	for idx, cl := range clients {
+		wg.Add(1)
+		go func(idx int, cl *client.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(c.Seed + int64(idx)*104729))
+			zipf := rand.NewZipf(rng, 1.1, 1.0, uint64(c.Records-1))
+			buf := makePayload(payload, idx)
+			for i := 0; i < perClient; i++ {
+				key := ycsbKey(int(zipf.Uint64()))
+				var err error
+				if rng.Float64() < c.ReadFraction {
+					_, _, err = cl.Get(key)
+				} else {
+					_, err = cl.Set(key, buf, -1)
+				}
+				if err != nil {
+					errs.Add(1)
+				} else {
+					total.Add(1)
+				}
+			}
+		}(idx, cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(total.Load()) / elapsed.Seconds(), nil
+}
+
+func ycsbKey(i int) string { return fmt.Sprintf("/ycsb/user%06d", i) }

@@ -1,0 +1,346 @@
+// Package client implements the coordination-service client library:
+// session establishment, synchronous and asynchronous (pipelined)
+// operations, watch notification callbacks, and response demultiplexing.
+// The client is oblivious to SecureKeeper: encryption happens in the
+// transport layer (secure channel) and on the replica side (entry
+// enclave), so the paper's claim of an (almost) unchanged client holds
+// here too.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"securekeeper/internal/transport"
+	"securekeeper/internal/wire"
+)
+
+// Client errors.
+var (
+	ErrClosed     = errors.New("client: closed")
+	ErrShortReply = errors.New("client: malformed reply")
+)
+
+// EventHandler receives watch notifications.
+type EventHandler func(ev wire.WatcherEvent)
+
+// Options configure a client session.
+type Options struct {
+	// SessionTimeoutMillis is requested from the server.
+	SessionTimeoutMillis int32
+	// OnEvent handles watch notifications (optional).
+	OnEvent EventHandler
+}
+
+// Result is the outcome of an asynchronous call.
+type Result struct {
+	Op   wire.OpCode
+	Zxid int64
+	Err  error
+
+	// Populated per operation type.
+	Data     []byte
+	Stat     wire.Stat
+	Path     string
+	Children []string
+}
+
+// Future resolves to a Result when the response arrives.
+type Future struct {
+	ch chan Result
+}
+
+// Wait blocks for the result.
+func (f *Future) Wait() Result { return <-f.ch }
+
+// Done exposes the completion channel for select loops.
+func (f *Future) Done() <-chan Result { return f.ch }
+
+type call struct {
+	op     wire.OpCode
+	future *Future
+}
+
+// Client is one session with a replica.
+type Client struct {
+	conn      transport.Conn
+	sessionID int64
+	onEvent   EventHandler
+
+	xid     atomic.Int32
+	mu      sync.Mutex
+	pending map[int32]call
+	closed  bool
+	readErr error
+
+	recvDone chan struct{}
+}
+
+// Connect establishes a session over an already-connected transport.
+func Connect(conn transport.Conn, opts Options) (*Client, error) {
+	if opts.SessionTimeoutMillis <= 0 {
+		opts.SessionTimeoutMillis = 10000
+	}
+	req := wire.ConnectRequest{TimeoutMillis: opts.SessionTimeoutMillis}
+	if err := conn.SendFrame(wire.Marshal(&req)); err != nil {
+		return nil, fmt.Errorf("client: send connect: %w", err)
+	}
+	frame, err := conn.RecvFrame()
+	if err != nil {
+		return nil, fmt.Errorf("client: recv connect: %w", err)
+	}
+	var resp wire.ConnectResponse
+	if err := wire.Unmarshal(frame, &resp); err != nil {
+		return nil, fmt.Errorf("client: parse connect: %w", err)
+	}
+	c := &Client{
+		conn:      conn,
+		sessionID: resp.SessionID,
+		onEvent:   opts.OnEvent,
+		pending:   make(map[int32]call),
+		recvDone:  make(chan struct{}),
+	}
+	go c.recvLoop()
+	return c, nil
+}
+
+// SessionID returns the server-assigned session identifier.
+func (c *Client) SessionID() int64 { return c.sessionID }
+
+// Close terminates the session and the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	hdr := wire.RequestHeader{Xid: c.xid.Add(1), Op: wire.OpCloseSession}
+	_ = c.conn.SendFrame(wire.MarshalPair(&hdr, nil))
+	err := c.conn.Close()
+	<-c.recvDone
+	return err
+}
+
+func (c *Client) recvLoop() {
+	defer close(c.recvDone)
+	for {
+		frame, err := c.conn.RecvFrame()
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		var hdr wire.ReplyHeader
+		d := wire.NewDecoder(frame)
+		if err := hdr.Deserialize(d); err != nil {
+			c.failAll(fmt.Errorf("%w: %v", ErrShortReply, err))
+			return
+		}
+		if hdr.Xid == wire.WatcherEventXid {
+			var ev wire.WatcherEvent
+			if err := ev.Deserialize(d); err == nil && c.onEvent != nil {
+				c.onEvent(ev)
+			}
+			continue
+		}
+		if hdr.Xid == wire.PingXid {
+			continue
+		}
+		c.mu.Lock()
+		ca, ok := c.pending[hdr.Xid]
+		if ok {
+			delete(c.pending, hdr.Xid)
+		}
+		c.mu.Unlock()
+		if !ok {
+			continue
+		}
+		ca.future.ch <- decodeResult(ca.op, hdr, frame[d.Offset():])
+	}
+}
+
+func (c *Client) failAll(err error) {
+	if errors.Is(err, io.EOF) || errors.Is(err, transport.ErrClosed) {
+		err = ErrClosed
+	}
+	c.mu.Lock()
+	c.readErr = err
+	pending := c.pending
+	c.pending = make(map[int32]call)
+	c.mu.Unlock()
+	for _, ca := range pending {
+		ca.future.ch <- Result{Op: ca.op, Err: err}
+	}
+}
+
+func decodeResult(op wire.OpCode, hdr wire.ReplyHeader, body []byte) Result {
+	res := Result{Op: op, Zxid: hdr.Zxid}
+	if hdr.Err != wire.ErrOK {
+		res.Err = hdr.Err.Error()
+		return res
+	}
+	record := wire.ResponseBody(op)
+	if record == nil {
+		return res
+	}
+	if err := wire.Unmarshal(body, record); err != nil {
+		res.Err = fmt.Errorf("%w: %v", ErrShortReply, err)
+		return res
+	}
+	switch resp := record.(type) {
+	case *wire.CreateResponse:
+		res.Path = resp.Path
+	case *wire.GetDataResponse:
+		res.Data = resp.Data
+		res.Stat = resp.Stat
+	case *wire.SetDataResponse:
+		res.Stat = resp.Stat
+	case *wire.ExistsResponse:
+		res.Stat = resp.Stat
+	case *wire.GetChildrenResponse:
+		res.Children = resp.Children
+	case *wire.SyncResponse:
+		res.Path = resp.Path
+	}
+	return res
+}
+
+// submit sends a request and registers its future.
+func (c *Client) submit(op wire.OpCode, body wire.Record) *Future {
+	future := &Future{ch: make(chan Result, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		future.ch <- Result{Op: op, Err: ErrClosed}
+		return future
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		future.ch <- Result{Op: op, Err: err}
+		return future
+	}
+	xid := c.xid.Add(1)
+	c.pending[xid] = call{op: op, future: future}
+	c.mu.Unlock()
+
+	hdr := wire.RequestHeader{Xid: xid, Op: op}
+	if err := c.conn.SendFrame(wire.MarshalPair(&hdr, body)); err != nil {
+		// Resolve the future only if it is still ours: failAll (the
+		// recvLoop dying concurrently with this failed send) may have
+		// already resolved it, and a second send into the 1-buffered
+		// channel would block forever.
+		c.mu.Lock()
+		_, stillOurs := c.pending[xid]
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		if stillOurs {
+			future.ch <- Result{Op: op, Err: err}
+		}
+	}
+	return future
+}
+
+// --- asynchronous API ---
+
+// CreateAsync creates a znode without waiting.
+func (c *Client) CreateAsync(path string, data []byte, flags wire.CreateFlags) *Future {
+	return c.submit(wire.OpCreate, &wire.CreateRequest{Path: path, Data: data, Flags: flags})
+}
+
+// DeleteAsync deletes a znode without waiting.
+func (c *Client) DeleteAsync(path string, version int32) *Future {
+	return c.submit(wire.OpDelete, &wire.DeleteRequest{Path: path, Version: version})
+}
+
+// GetAsync reads a znode without waiting.
+func (c *Client) GetAsync(path string, watch bool) *Future {
+	return c.submit(wire.OpGetData, &wire.GetDataRequest{Path: path, Watch: watch})
+}
+
+// SetAsync writes a znode without waiting.
+func (c *Client) SetAsync(path string, data []byte, version int32) *Future {
+	return c.submit(wire.OpSetData, &wire.SetDataRequest{Path: path, Data: data, Version: version})
+}
+
+// ExistsAsync checks a znode without waiting.
+func (c *Client) ExistsAsync(path string, watch bool) *Future {
+	return c.submit(wire.OpExists, &wire.ExistsRequest{Path: path, Watch: watch})
+}
+
+// ChildrenAsync lists children without waiting.
+func (c *Client) ChildrenAsync(path string, watch bool) *Future {
+	return c.submit(wire.OpGetChildren, &wire.GetChildrenRequest{Path: path, Watch: watch})
+}
+
+// SyncAsync flushes the leader channel without waiting.
+func (c *Client) SyncAsync(path string) *Future {
+	return c.submit(wire.OpSync, &wire.SyncRequest{Path: path})
+}
+
+// --- synchronous API ---
+
+// Create creates a znode and returns its actual path (with the sequence
+// suffix for sequential nodes).
+func (c *Client) Create(path string, data []byte, flags wire.CreateFlags) (string, error) {
+	res := c.CreateAsync(path, data, flags).Wait()
+	return res.Path, res.Err
+}
+
+// Delete removes a znode; version -1 matches any version.
+func (c *Client) Delete(path string, version int32) error {
+	return c.DeleteAsync(path, version).Wait().Err
+}
+
+// Get reads a znode's payload and Stat.
+func (c *Client) Get(path string) ([]byte, wire.Stat, error) {
+	res := c.GetAsync(path, false).Wait()
+	return res.Data, res.Stat, res.Err
+}
+
+// GetW reads a znode and leaves a data watch.
+func (c *Client) GetW(path string) ([]byte, wire.Stat, error) {
+	res := c.GetAsync(path, true).Wait()
+	return res.Data, res.Stat, res.Err
+}
+
+// Set replaces a znode's payload; version -1 matches any version.
+func (c *Client) Set(path string, data []byte, version int32) (wire.Stat, error) {
+	res := c.SetAsync(path, data, version).Wait()
+	return res.Stat, res.Err
+}
+
+// Exists returns the znode's Stat or a NoNode error.
+func (c *Client) Exists(path string) (wire.Stat, error) {
+	res := c.ExistsAsync(path, false).Wait()
+	return res.Stat, res.Err
+}
+
+// ExistsW checks existence and leaves a watch (data watch if the node
+// exists, creation watch otherwise).
+func (c *Client) ExistsW(path string) (wire.Stat, error) {
+	res := c.ExistsAsync(path, true).Wait()
+	return res.Stat, res.Err
+}
+
+// Children lists a znode's children, sorted.
+func (c *Client) Children(path string) ([]string, error) {
+	res := c.ChildrenAsync(path, false).Wait()
+	return res.Children, res.Err
+}
+
+// ChildrenW lists children and leaves a child watch.
+func (c *Client) ChildrenW(path string) ([]string, error) {
+	res := c.ChildrenAsync(path, true).Wait()
+	return res.Children, res.Err
+}
+
+// Sync flushes the leader-replica channel for a path.
+func (c *Client) Sync(path string) error {
+	return c.SyncAsync(path).Wait().Err
+}

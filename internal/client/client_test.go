@@ -1,0 +1,232 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"securekeeper/internal/transport"
+	"securekeeper/internal/wire"
+)
+
+// fakeServer answers the session protocol over a ChanConn: a connect
+// handshake, then scripted per-op responses.
+type fakeServer struct {
+	t    *testing.T
+	conn transport.Conn
+	wg   sync.WaitGroup
+}
+
+func newFakePair(t *testing.T) (*Client, *fakeServer) {
+	t.Helper()
+	a, b := transport.NewChanPipe()
+	srv := &fakeServer{t: t, conn: b}
+	srv.wg.Add(1)
+	go func() {
+		defer srv.wg.Done()
+		srv.serve()
+	}()
+	cl, err := Connect(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cl.Close()
+		srv.wg.Wait()
+	})
+	return cl, srv
+}
+
+// serve implements a trivial echo-ish server: GET returns the path as
+// data; SET returns a Stat with version 7; errors for path "/missing".
+func (f *fakeServer) serve() {
+	frame, err := f.conn.RecvFrame()
+	if err != nil {
+		return
+	}
+	var connReq wire.ConnectRequest
+	if err := wire.Unmarshal(frame, &connReq); err != nil {
+		f.t.Errorf("connect parse: %v", err)
+		return
+	}
+	resp := wire.ConnectResponse{SessionID: 99, TimeoutMillis: connReq.TimeoutMillis}
+	if err := f.conn.SendFrame(wire.Marshal(&resp)); err != nil {
+		return
+	}
+	for {
+		frame, err := f.conn.RecvFrame()
+		if err != nil {
+			return
+		}
+		d := wire.NewDecoder(frame)
+		var hdr wire.RequestHeader
+		if err := hdr.Deserialize(d); err != nil {
+			return
+		}
+		switch hdr.Op {
+		case wire.OpGetData:
+			var req wire.GetDataRequest
+			_ = req.Deserialize(d)
+			if req.Path == "/missing" {
+				rh := wire.ReplyHeader{Xid: hdr.Xid, Err: wire.ErrNoNode}
+				_ = f.conn.SendFrame(wire.MarshalPair(&rh, nil))
+				continue
+			}
+			rh := wire.ReplyHeader{Xid: hdr.Xid, Zxid: 5}
+			body := wire.GetDataResponse{Data: []byte(req.Path), Stat: wire.Stat{Version: 3}}
+			_ = f.conn.SendFrame(wire.MarshalPair(&rh, &body))
+		case wire.OpSetData:
+			rh := wire.ReplyHeader{Xid: hdr.Xid, Zxid: 6}
+			body := wire.SetDataResponse{Stat: wire.Stat{Version: 7}}
+			_ = f.conn.SendFrame(wire.MarshalPair(&rh, &body))
+		case wire.OpCreate:
+			var req wire.CreateRequest
+			_ = req.Deserialize(d)
+			rh := wire.ReplyHeader{Xid: hdr.Xid, Zxid: 7}
+			body := wire.CreateResponse{Path: req.Path + "0000000001"}
+			_ = f.conn.SendFrame(wire.MarshalPair(&rh, &body))
+		case wire.OpCloseSession:
+			return
+		default:
+			rh := wire.ReplyHeader{Xid: hdr.Xid, Err: wire.ErrUnimplemented}
+			_ = f.conn.SendFrame(wire.MarshalPair(&rh, nil))
+		}
+	}
+}
+
+// sendEvent pushes a watch notification to the client out of band.
+func (f *fakeServer) sendEvent(ev wire.WatcherEvent) {
+	rh := wire.ReplyHeader{Xid: wire.WatcherEventXid}
+	_ = f.conn.SendFrame(wire.MarshalPair(&rh, &ev))
+}
+
+func TestClientSyncOps(t *testing.T) {
+	cl, _ := newFakePair(t)
+	if cl.SessionID() != 99 {
+		t.Fatalf("session = %d", cl.SessionID())
+	}
+	data, stat, err := cl.Get("/some/path")
+	if err != nil || !bytes.Equal(data, []byte("/some/path")) || stat.Version != 3 {
+		t.Fatalf("get = %q, %+v, %v", data, stat, err)
+	}
+	stat, err = cl.Set("/x", []byte("v"), -1)
+	if err != nil || stat.Version != 7 {
+		t.Fatalf("set = %+v, %v", stat, err)
+	}
+	path, err := cl.Create("/c-", nil, wire.FlagSequential)
+	if err != nil || path != "/c-0000000001" {
+		t.Fatalf("create = %q, %v", path, err)
+	}
+}
+
+func TestClientErrorMapping(t *testing.T) {
+	cl, _ := newFakePair(t)
+	_, _, err := cl.Get("/missing")
+	var pe *wire.ProtocolError
+	if !errors.As(err, &pe) || pe.Code != wire.ErrNoNode {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientAsyncPipelining(t *testing.T) {
+	cl, _ := newFakePair(t)
+	futures := make([]*Future, 20)
+	for i := range futures {
+		futures[i] = cl.GetAsync("/p", false)
+	}
+	for i, f := range futures {
+		res := f.Wait()
+		if res.Err != nil {
+			t.Fatalf("future %d: %v", i, res.Err)
+		}
+	}
+}
+
+func TestClientWatchCallback(t *testing.T) {
+	a, b := transport.NewChanPipe()
+	srv := &fakeServer{t: t, conn: b}
+	srv.wg.Add(1)
+	go func() { defer srv.wg.Done(); srv.serve() }()
+
+	events := make(chan wire.WatcherEvent, 1)
+	cl, err := Connect(a, Options{OnEvent: func(ev wire.WatcherEvent) { events <- ev }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cl.Close()
+		srv.wg.Wait()
+	}()
+
+	srv.sendEvent(wire.WatcherEvent{Type: wire.EventNodeCreated, Path: "/born"})
+	select {
+	case ev := <-events:
+		if ev.Type != wire.EventNodeCreated || ev.Path != "/born" {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event not delivered")
+	}
+}
+
+func TestClientClosedRejectsCalls(t *testing.T) {
+	cl, _ := newFakePair(t)
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Get("/x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	// Closing twice is fine.
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientServerDisconnectFailsPending(t *testing.T) {
+	a, b := transport.NewChanPipe()
+	srv := &fakeServer{t: t, conn: b}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Handshake then drop the connection with a request in flight.
+		frame, _ := srv.conn.RecvFrame()
+		var connReq wire.ConnectRequest
+		_ = wire.Unmarshal(frame, &connReq)
+		_ = srv.conn.SendFrame(wire.Marshal(&wire.ConnectResponse{SessionID: 1}))
+		_, _ = srv.conn.RecvFrame() // swallow the request
+		_ = srv.conn.Close()
+	}()
+	cl, err := Connect(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cl.GetAsync("/never", false).Wait()
+	if res.Err == nil {
+		t.Fatal("pending call must fail on disconnect")
+	}
+	<-done
+	_ = cl.Close()
+}
+
+func TestFutureDoneChannel(t *testing.T) {
+	cl, _ := newFakePair(t)
+	f := cl.GetAsync("/p", false)
+	select {
+	case res := <-f.Done():
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("future never resolved")
+	}
+}
+
+func TestUnimplementedOpSurfaces(t *testing.T) {
+	cl, _ := newFakePair(t)
+	if err := cl.Sync("/x"); err == nil {
+		t.Fatal("fake server answers UNIMPLEMENTED for sync")
+	}
+}

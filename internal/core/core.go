@@ -1,0 +1,475 @@
+// Package core assembles the complete SecureKeeper system and the two
+// baselines the paper evaluates against:
+//
+//   - Vanilla: plaintext client connections, plaintext storage — the
+//     unmodified coordination service.
+//   - TLS: secure-channel client connections terminated in untrusted
+//     server code, plaintext storage — "TLS-ZK".
+//   - SecureKeeper: secure-channel client connections terminated inside
+//     a per-client entry enclave, storage encryption of paths and
+//     payloads, and a counter enclave on the leader for sequential
+//     nodes (§4).
+//
+// A Cluster runs an ensemble of replicas connected by the in-process
+// broadcast network, accepts client connections over in-process pipes
+// or TCP, and wires up the SGX runtime, attestation and key management
+// per variant.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/enclave"
+	"securekeeper/internal/server"
+	"securekeeper/internal/sgx"
+	"securekeeper/internal/skcrypto"
+	"securekeeper/internal/transport"
+	"securekeeper/internal/wire"
+	"securekeeper/internal/zab"
+)
+
+// Variant selects the system under test.
+type Variant int
+
+// Cluster variants, matching the evaluation's three configurations.
+const (
+	Vanilla Variant = iota + 1
+	TLS
+	SecureKeeper
+)
+
+// String returns the graph-label name of the variant.
+func (v Variant) String() string {
+	switch v {
+	case Vanilla:
+		return "Vanilla-ZK"
+	case TLS:
+		return "TLS-ZK"
+	case SecureKeeper:
+		return "SecureKeeper"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Variant selects Vanilla, TLS or SecureKeeper.
+	Variant Variant
+	// Replicas is the ensemble size (default 3).
+	Replicas int
+	// TickInterval and ElectionTimeout tune the broadcast protocol.
+	TickInterval    time.Duration
+	ElectionTimeout time.Duration
+	// ApplySGXLatency makes the simulated enclave-crossing and paging
+	// costs real wall-clock time (end-to-end benchmarks); when false
+	// they are only accounted in the runtime's meter.
+	ApplySGXLatency bool
+	// SGXCost overrides the default cost model (ablation studies).
+	SGXCost *sgx.CostModel
+}
+
+// Cluster errors.
+var (
+	ErrNoLeader       = errors.New("core: no leader elected")
+	ErrReplicaStopped = errors.New("core: replica is stopped")
+)
+
+// replicaHost bundles one replica with its machine-local SGX state.
+type replicaHost struct {
+	replica  *server.Replica
+	identity *transport.Identity
+	runtime  *sgx.Runtime // nil except SecureKeeper
+	counter  *enclave.Counter
+	sealed   *enclave.SealedKeyStore
+	stopped  bool
+	// entryProvisioned records whether the initial remote attestation
+	// for the entry-enclave measurement has happened on this replica;
+	// later enclaves unseal instead (§4.5).
+	entryProvisioned bool
+}
+
+// Cluster is a running ensemble.
+type Cluster struct {
+	cfg       Config
+	net       *zab.Network
+	keyServer *enclave.KeyServer
+
+	mu    sync.Mutex
+	hosts []*replicaHost
+	wg    sync.WaitGroup
+}
+
+// NewCluster starts an ensemble and waits for leader election.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Variant == 0 {
+		cfg.Variant = Vanilla
+	}
+	c := &Cluster{cfg: cfg, net: zab.NewNetwork()}
+
+	peers := make([]zab.PeerID, cfg.Replicas)
+	for i := range peers {
+		peers[i] = zab.PeerID(i + 1)
+	}
+
+	// SecureKeeper: one storage key shared by all enclaves, released
+	// only after attestation.
+	if cfg.Variant == SecureKeeper {
+		ks, err := enclave.NewKeyServer(
+			sgx.MeasureCode(enclave.EntryCodeIdentity),
+			sgx.MeasureCode(enclave.CounterCodeIdentity),
+		)
+		if err != nil {
+			return nil, err
+		}
+		c.keyServer = ks
+	}
+
+	for i := 0; i < cfg.Replicas; i++ {
+		host, err := c.newHost(peers, zab.PeerID(i+1))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.hosts = append(c.hosts, host)
+	}
+
+	// Wait for the ensemble to elect a leader.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.LeaderIndex() >= 0 {
+			return c, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	return nil, ErrNoLeader
+}
+
+func (c *Cluster) newHost(peers []zab.PeerID, id zab.PeerID) (*replicaHost, error) {
+	host := &replicaHost{}
+	identity, err := transport.NewIdentity()
+	if err != nil {
+		return nil, err
+	}
+	host.identity = identity
+
+	seqAppend := server.PlainSequenceAppender
+	if c.cfg.Variant == SecureKeeper {
+		cost := sgx.DefaultCostModel()
+		if c.cfg.SGXCost != nil {
+			cost = *c.cfg.SGXCost
+		}
+		host.runtime = sgx.NewRuntime(sgx.EPCUsableBytes, cost, c.cfg.ApplySGXLatency)
+		host.sealed = enclave.NewSealedKeyStore()
+		c.keyServer.TrustPlatform(host.runtime.QuoteVerificationKey())
+
+		counter, err := enclave.NewCounter(host.runtime)
+		if err != nil {
+			return nil, err
+		}
+		if err := enclave.ProvisionCounter(counter, c.keyServer, host.sealed); err != nil {
+			return nil, err
+		}
+		host.counter = counter
+		seqAppend = counter.AppendSequence
+	}
+
+	host.replica = server.NewReplica(server.Config{
+		ID:              id,
+		Peers:           peers,
+		Transport:       c.net.Endpoint(id),
+		SeqAppend:       seqAppend,
+		TickInterval:    c.cfg.TickInterval,
+		ElectionTimeout: c.cfg.ElectionTimeout,
+	})
+	return host, nil
+}
+
+// Variant returns the cluster's configuration variant.
+func (c *Cluster) Variant() Variant { return c.cfg.Variant }
+
+// Size returns the ensemble size.
+func (c *Cluster) Size() int { return len(c.hosts) }
+
+// Replica returns the i-th replica (tests and experiments).
+func (c *Cluster) Replica(i int) *server.Replica { return c.hosts[i].replica }
+
+// Runtime returns the i-th replica's SGX runtime (nil for baselines).
+func (c *Cluster) Runtime(i int) *sgx.Runtime { return c.hosts[i].runtime }
+
+// LeaderIndex returns the index of the current leader, or -1.
+func (c *Cluster) LeaderIndex() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, host := range c.hosts {
+		if !host.stopped && host.replica.IsLeader() {
+			return i
+		}
+	}
+	return -1
+}
+
+// WaitForLeader blocks until a leader exists or the timeout expires.
+func (c *Cluster) WaitForLeader(timeout time.Duration) (int, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if i := c.LeaderIndex(); i >= 0 {
+			return i, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return -1, ErrNoLeader
+}
+
+// StopReplica simulates a crash of replica i: its network endpoint goes
+// down and its sessions drop (Fig 12 fault injection).
+func (c *Cluster) StopReplica(i int) {
+	c.mu.Lock()
+	host := c.hosts[i]
+	if host.stopped {
+		c.mu.Unlock()
+		return
+	}
+	host.stopped = true
+	c.mu.Unlock()
+
+	c.net.SetDown(zab.PeerID(i+1), true)
+	host.replica.Close()
+}
+
+// Stopped reports whether replica i has been stopped.
+func (c *Cluster) Stopped(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hosts[i].stopped
+}
+
+// Close stops all replicas and the peer network.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	hosts := append([]*replicaHost(nil), c.hosts...)
+	c.mu.Unlock()
+	for i, host := range hosts {
+		if host == nil {
+			continue
+		}
+		c.mu.Lock()
+		stopped := host.stopped
+		host.stopped = true
+		c.mu.Unlock()
+		if !stopped {
+			c.net.SetDown(zab.PeerID(i+1), true)
+			host.replica.Close()
+		}
+		if host.counter != nil {
+			host.counter.Close()
+		}
+	}
+	c.net.Close()
+	c.wg.Wait()
+}
+
+// Connect opens a client session to replica i, wiring the transport and
+// enclave stack dictated by the variant.
+func (c *Cluster) Connect(i int, opts client.Options) (*client.Client, error) {
+	c.mu.Lock()
+	host := c.hosts[i]
+	stopped := host.stopped
+	c.mu.Unlock()
+	if stopped {
+		return nil, ErrReplicaStopped
+	}
+
+	clientEnd, serverEnd := transport.NewChanPipe()
+
+	switch c.cfg.Variant {
+	case Vanilla:
+		c.serve(host, serverEnd, server.NopInterceptor{})
+		return client.Connect(clientEnd, opts)
+
+	case TLS:
+		c.serveTLS(host, serverEnd, nil)
+		return c.connectSecure(clientEnd, host, opts)
+
+	case SecureKeeper:
+		entry, err := c.newEntryEnclave(host)
+		if err != nil {
+			return nil, err
+		}
+		c.serveTLS(host, serverEnd, entry)
+		return c.connectSecure(clientEnd, host, opts)
+
+	default:
+		return nil, fmt.Errorf("core: unknown variant %d", c.cfg.Variant)
+	}
+}
+
+// newEntryEnclave instantiates and provisions a per-client entry
+// enclave on the replica's SGX runtime: the first one on a replica is
+// remote-attested by the key server; subsequent ones unseal the key
+// blob the first left behind (§4.5).
+func (c *Cluster) newEntryEnclave(host *replicaHost) (*enclave.Entry, error) {
+	entry, err := enclave.NewEntry(host.runtime)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	provisioned := host.entryProvisioned
+	c.mu.Unlock()
+	if provisioned {
+		if err := enclave.UnsealEntry(entry, host.sealed); err == nil {
+			return entry, nil
+		}
+		// Sealed blob missing or damaged: fall back to attestation.
+	}
+	if err := enclave.ProvisionEntry(entry, c.keyServer, host.sealed); err != nil {
+		entry.Close()
+		return nil, err
+	}
+	c.mu.Lock()
+	host.entryProvisioned = true
+	c.mu.Unlock()
+	return entry, nil
+}
+
+// serve runs a plaintext server-side session.
+func (c *Cluster) serve(host *replicaHost, conn transport.Conn, icept server.Interceptor) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		_ = host.replica.ServeConn(conn, icept)
+	}()
+}
+
+// serveTLS handshakes the secure channel server-side (with the entry
+// enclave's identity when present) and serves the session.
+func (c *Cluster) serveTLS(host *replicaHost, conn transport.Conn, entry *enclave.Entry) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		if entry != nil {
+			defer entry.Close()
+		}
+		sc, err := transport.Handshake(conn, host.identity, false, transport.VerifyAny())
+		if err != nil {
+			_ = conn.Close()
+			return
+		}
+		var icept server.Interceptor = server.NopInterceptor{}
+		if entry != nil {
+			icept = &entryInterceptor{entry: entry}
+		}
+		_ = host.replica.ServeConn(sc, icept)
+	}()
+}
+
+// connectSecure handshakes the client side of the secure channel,
+// pinning the replica's public key (received out of band, §4.1).
+func (c *Cluster) connectSecure(conn transport.Conn, host *replicaHost, opts client.Options) (*client.Client, error) {
+	id, err := transport.NewIdentity()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := transport.Handshake(conn, id, true, transport.VerifyExact(host.identity.Public))
+	if err != nil {
+		return nil, err
+	}
+	return client.Connect(sc, opts)
+}
+
+// ServeExternal serves an externally accepted (e.g. TCP) connection
+// against replica i using the variant's full stack: plaintext for
+// Vanilla, secure channel for TLS, secure channel terminated at a fresh
+// entry enclave for SecureKeeper. Blocks until the session ends.
+func (c *Cluster) ServeExternal(i int, conn transport.Conn) error {
+	c.mu.Lock()
+	host := c.hosts[i]
+	stopped := host.stopped
+	c.mu.Unlock()
+	if stopped {
+		return ErrReplicaStopped
+	}
+	switch c.cfg.Variant {
+	case Vanilla:
+		return host.replica.ServeConn(conn, server.NopInterceptor{})
+	case TLS:
+		sc, err := transport.Handshake(conn, host.identity, false, transport.VerifyAny())
+		if err != nil {
+			return err
+		}
+		return host.replica.ServeConn(sc, server.NopInterceptor{})
+	case SecureKeeper:
+		entry, err := c.newEntryEnclave(host)
+		if err != nil {
+			return err
+		}
+		defer entry.Close()
+		sc, err := transport.Handshake(conn, host.identity, false, transport.VerifyAny())
+		if err != nil {
+			return err
+		}
+		return host.replica.ServeConn(sc, &entryInterceptor{entry: entry})
+	default:
+		return fmt.Errorf("core: unknown variant %d", c.cfg.Variant)
+	}
+}
+
+// ReplicaPublicKey returns replica i's channel identity public key, the
+// value a client pins out of band (§4.1).
+func (c *Cluster) ReplicaPublicKey(i int) []byte {
+	return append([]byte(nil), c.hosts[i].identity.Public...)
+}
+
+// entryInterceptor adapts the entry enclave to the server's
+// interception points.
+type entryInterceptor struct {
+	entry *enclave.Entry
+}
+
+var _ server.Interceptor = (*entryInterceptor)(nil)
+
+// OnRequest implements server.Interceptor.
+func (ei *entryInterceptor) OnRequest(msg []byte) ([]byte, error) {
+	return ei.entry.ProcessRequest(msg)
+}
+
+// OnResponse implements server.Interceptor.
+func (ei *entryInterceptor) OnResponse(msg []byte) ([]byte, error) {
+	return ei.entry.ProcessResponse(msg)
+}
+
+// StorageCodec returns a codec holding the cluster's storage key the
+// way a freshly attested enclave would obtain it, letting tests inspect
+// what the untrusted tree actually stores. Returns nil for baselines.
+func (c *Cluster) StorageCodec() *skcrypto.Codec {
+	if c.cfg.Variant != SecureKeeper {
+		return nil
+	}
+	host := c.hosts[0]
+	entry, err := enclave.NewEntry(host.runtime)
+	if err != nil {
+		return nil
+	}
+	defer entry.Close()
+	quote := entry.Enclave().GenerateQuote(nil)
+	key, err := c.keyServer.Release(quote)
+	if err != nil {
+		return nil
+	}
+	codec, err := skcrypto.NewCodec(key)
+	if err != nil {
+		return nil
+	}
+	return codec
+}
+
+// OpName maps an op code to the row label used in the paper's tables.
+func OpName(op wire.OpCode) string { return op.String() }

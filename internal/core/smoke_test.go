@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"securekeeper/internal/client"
+)
+
+func newTestCluster(t *testing.T, v Variant) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{
+		Variant:         v,
+		Replicas:        3,
+		TickInterval:    5 * time.Millisecond,
+		ElectionTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster(%v): %v", v, err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestSmokeAllVariants(t *testing.T) {
+	for _, v := range []Variant{Vanilla, TLS, SecureKeeper} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			c := newTestCluster(t, v)
+			cl, err := c.Connect(0, client.Options{})
+			if err != nil {
+				t.Fatalf("Connect: %v", err)
+			}
+			defer cl.Close()
+
+			path, err := cl.Create("/app", []byte("hello"), 0)
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			if path != "/app" {
+				t.Fatalf("Create path = %q, want /app", path)
+			}
+			data, stat, err := cl.Get("/app")
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if !bytes.Equal(data, []byte("hello")) {
+				t.Fatalf("Get data = %q, want hello", data)
+			}
+			if stat.DataLength != 5 {
+				t.Fatalf("Get stat.DataLength = %d, want 5", stat.DataLength)
+			}
+			if _, err := cl.Set("/app", []byte("world"), -1); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+			data, _, err = cl.Get("/app")
+			if err != nil || !bytes.Equal(data, []byte("world")) {
+				t.Fatalf("Get after Set = %q, %v", data, err)
+			}
+			// Children + sequential node through the counter enclave.
+			seqPath, err := cl.Create("/app/item-", []byte("x"), 2 /* sequential */)
+			if err != nil {
+				t.Fatalf("Create sequential: %v", err)
+			}
+			if len(seqPath) != len("/app/item-")+10 {
+				t.Fatalf("sequential path %q lacks 10-digit suffix", seqPath)
+			}
+			kids, err := cl.Children("/app")
+			if err != nil || len(kids) != 1 {
+				t.Fatalf("Children = %v, %v; want 1 child", kids, err)
+			}
+			seqData, _, err := cl.Get(seqPath)
+			if err != nil || !bytes.Equal(seqData, []byte("x")) {
+				t.Fatalf("Get sequential = %q, %v", seqData, err)
+			}
+			if err := cl.Delete(seqPath, -1); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if err := cl.Delete("/app", -1); err != nil {
+				t.Fatalf("Delete /app: %v", err)
+			}
+		})
+	}
+}
+
+func TestSmokeFollowerClient(t *testing.T) {
+	c := newTestCluster(t, SecureKeeper)
+	leader, err := c.WaitForLeader(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower := (leader + 1) % c.Size()
+	cl, err := c.Connect(follower, client.Options{})
+	if err != nil {
+		t.Fatalf("Connect follower: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Create("/f", []byte("via-follower"), 0); err != nil {
+		t.Fatalf("Create via follower: %v", err)
+	}
+	data, _, err := cl.Get("/f")
+	if err != nil || string(data) != "via-follower" {
+		t.Fatalf("Get via follower = %q, %v", data, err)
+	}
+}

@@ -1,0 +1,130 @@
+package enclave
+
+import (
+	"fmt"
+	"sync"
+
+	"securekeeper/internal/sgx"
+	"securekeeper/internal/skcrypto"
+	"securekeeper/internal/wire"
+)
+
+// Counter is the counter enclave (§4.4). It exists on every replica —
+// any follower may become leader — but only processes requests on the
+// current leader, during the creation of sequential nodes: it decrypts
+// the entry-enclave-encrypted path name, appends the plaintext sequence
+// number ZooKeeper determined, and re-encrypts the altered path.
+//
+// The sequence number is untrusted input from the ZooKeeper base code;
+// the enclave validates it is a number but cannot validate its value,
+// which is the naming-attack surface the paper documents in §7.1.
+type Counter struct {
+	enclave *sgx.Enclave
+	runtime *sgx.Runtime
+
+	mu    sync.Mutex
+	codec *skcrypto.Codec
+}
+
+// NewCounter instantiates a counter enclave on the runtime.
+func NewCounter(rt *sgx.Runtime) (*Counter, error) {
+	c := &Counter{runtime: rt}
+	spec := sgx.Spec{
+		CodeIdentity: CounterCodeIdentity,
+		CodeBytes:    counterCodeBytes,
+		HeapBytes:    counterHeapBytes,
+		Threads:      1,
+		Ecalls: map[string]sgx.EcallFunc{
+			EcallSequence: c.ecSequence,
+		},
+	}
+	e, err := rt.Create(spec)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: create counter: %w", err)
+	}
+	c.enclave = e
+	return c, nil
+}
+
+// Enclave returns the underlying SGX enclave.
+func (c *Counter) Enclave() *sgx.Enclave { return c.enclave }
+
+// Close destroys the enclave.
+func (c *Counter) Close() { c.runtime.Destroy(c.enclave) }
+
+// installKey sets the storage codec (provisioning flow).
+func (c *Counter) installKey(key []byte) error {
+	codec, err := skcrypto.NewCodec(key)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.codec = codec
+	return nil
+}
+
+// Provisioned reports whether the storage key has been installed.
+func (c *Counter) Provisioned() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.codec != nil
+}
+
+// AppendSequence runs the counter enclave's single ecall: given the
+// storage-encrypted path of a sequential create and the sequence number
+// assigned by the (untrusted) leader, it returns the encrypted path
+// with the number merged into the final element.
+func (c *Counter) AppendSequence(encPath string, seq int32) (string, error) {
+	e := wire.NewEncoder(len(encPath) + 8)
+	e.WriteString(encPath)
+	e.WriteInt32(seq)
+	msg := e.Bytes()
+	buf := make([]byte, len(msg)+GrowthHeadroom(len(msg)))
+	copy(buf, msg)
+	n, err := c.enclave.Ecall(EcallSequence, buf, len(msg))
+	if err != nil {
+		return "", err
+	}
+	d := wire.NewDecoder(buf[:n])
+	out, err := d.ReadString()
+	if err != nil {
+		return "", fmt.Errorf("enclave: sequence reply: %w", err)
+	}
+	return out, nil
+}
+
+// ecSequence is the counter enclave's trusted code.
+func (c *Counter) ecSequence(buf []byte, msgLen int) (int, error) {
+	c.mu.Lock()
+	codec := c.codec
+	c.mu.Unlock()
+	if codec == nil {
+		return 0, ErrKeyNotProvisioned
+	}
+	d := wire.NewDecoder(buf[:msgLen])
+	encPath, err := d.ReadString()
+	if err != nil {
+		return 0, fmt.Errorf("enclave: sequence input: %w", err)
+	}
+	seq, err := d.ReadInt32()
+	if err != nil {
+		return 0, fmt.Errorf("enclave: sequence input: %w", err)
+	}
+	if seq < 0 {
+		// The value is attacker-controlled; a negative number would
+		// break the fixed-width format convention.
+		return 0, fmt.Errorf("enclave: negative sequence %d: %w", seq, wire.ErrBadArguments.Error())
+	}
+	newPath, err := codec.AppendSequenceToPath(encPath, seq)
+	if err != nil {
+		return 0, err
+	}
+	e := wire.NewEncoder(len(newPath) + 4)
+	e.WriteString(newPath)
+	out := e.Bytes()
+	if len(out) > len(buf) {
+		return 0, sgx.ErrBufferOverflow
+	}
+	return copy(buf, out), nil
+}

@@ -1,0 +1,469 @@
+// Package enclave implements SecureKeeper's two trusted components
+// (§4): the per-client entry enclave, which terminates the client's
+// secure channel and translates between plaintext client messages and
+// storage-encrypted replica messages, and the counter enclave on the
+// leader, which performs the one piece of genuine data processing —
+// merging the plaintext sequence number into the encrypted path name of
+// sequential nodes.
+//
+// Both run as trusted code inside the simulated SGX runtime: their
+// message transformations execute via ecalls with the copy-in/copy-out
+// buffer contract of the paper's EDL interface (Listing 1), and the
+// storage key reaches them only through remote attestation followed by
+// sealing (§4.5), implemented in provision.go.
+package enclave
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"securekeeper/internal/sgx"
+	"securekeeper/internal/skcrypto"
+	"securekeeper/internal/wire"
+)
+
+// Enclave code identities. The measurement of an enclave derives from
+// its code identity; the key server releases the storage key only to
+// these measurements.
+const (
+	EntryCodeIdentity   = "securekeeper/entry-enclave/v1"
+	CounterCodeIdentity = "securekeeper/counter-enclave/v1"
+)
+
+// Enclave sizing (§6.5): the entry enclave's shared object is 436 KB
+// and its total footprint ~580 KB; the counter enclave is 325 KB / 397 KB.
+const (
+	entryCodeBytes   = 436 << 10
+	entryHeapBytes   = 96 << 10
+	counterCodeBytes = 325 << 10
+	counterHeapBytes = 24 << 10
+)
+
+// Ecall names, mirroring Listing 1.
+const (
+	EcallRequest  = "ec_request"
+	EcallResponse = "ec_response"
+	EcallSequence = "ec_sequence"
+)
+
+// Processing errors.
+var (
+	ErrNoPending         = errors.New("enclave: response without pending request")
+	ErrKeyNotProvisioned = errors.New("enclave: storage key not provisioned")
+)
+
+// pendingOp records one in-flight request in the entry enclave's FIFO
+// queue (§4.2): responses carry no operation type, but the per-client
+// FIFO ordering guarantees responses arrive in request order, so a
+// queue of (xid, op, plaintext path) suffices to interpret them.
+type pendingOp struct {
+	xid        int32
+	op         wire.OpCode
+	plainPath  string
+	sequential bool
+}
+
+// Entry is the per-client entry enclave. Its exported methods are the
+// untrusted wrapper; the trusted logic runs inside ecalls.
+type Entry struct {
+	enclave *sgx.Enclave
+	runtime *sgx.Runtime
+
+	// Trusted state (lives inside the ELRANGE conceptually): the
+	// storage codec and the FIFO request-type queue.
+	mu    sync.Mutex
+	codec *skcrypto.Codec
+	queue []pendingOp
+}
+
+// NewEntry instantiates an entry enclave on the runtime. The storage
+// key must be provisioned afterwards (Provision or UnsealFrom) before
+// messages can be processed.
+func NewEntry(rt *sgx.Runtime) (*Entry, error) {
+	en := &Entry{runtime: rt}
+	spec := sgx.Spec{
+		CodeIdentity: EntryCodeIdentity,
+		CodeBytes:    entryCodeBytes,
+		HeapBytes:    entryHeapBytes,
+		Threads:      1,
+		Ecalls: map[string]sgx.EcallFunc{
+			EcallRequest:  en.ecRequest,
+			EcallResponse: en.ecResponse,
+		},
+	}
+	e, err := rt.Create(spec)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: create entry: %w", err)
+	}
+	en.enclave = e
+	return en, nil
+}
+
+// Enclave returns the underlying SGX enclave (for attestation and
+// accounting).
+func (en *Entry) Enclave() *sgx.Enclave { return en.enclave }
+
+// Close destroys the enclave.
+func (en *Entry) Close() { en.runtime.Destroy(en.enclave) }
+
+// installKey sets the storage codec; called by the provisioning flow.
+func (en *Entry) installKey(key []byte) error {
+	codec, err := skcrypto.NewCodec(key)
+	if err != nil {
+		return err
+	}
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.codec = codec
+	return nil
+}
+
+// Provisioned reports whether the storage key has been installed.
+func (en *Entry) Provisioned() bool {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.codec != nil
+}
+
+// GrowthHeadroom returns the extra buffer capacity the untrusted caller
+// must pre-allocate before an ecall so the enclave can grow the message
+// in place (§5.1): room for per-chunk path expansion, the payload
+// binding hash and tag, and Base64 inflation.
+func GrowthHeadroom(msgLen int) int {
+	return msgLen/2 + 512
+}
+
+// ProcessRequest runs a client request (transport-plaintext bytes)
+// through the entry enclave, returning the storage-encrypted message to
+// inject into the replica pipeline.
+func (en *Entry) ProcessRequest(msg []byte) ([]byte, error) {
+	return en.call(EcallRequest, msg)
+}
+
+// ProcessResponse runs a replica response through the entry enclave,
+// returning the client-plaintext message (still to be transport-
+// encrypted by the secure channel).
+func (en *Entry) ProcessResponse(msg []byte) ([]byte, error) {
+	return en.call(EcallResponse, msg)
+}
+
+func (en *Entry) call(name string, msg []byte) ([]byte, error) {
+	buf := make([]byte, len(msg)+GrowthHeadroom(len(msg)))
+	copy(buf, msg)
+	n, err := en.enclave.Ecall(name, buf, len(msg))
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// --- trusted code (runs inside the enclave) ---
+
+// ecRequest is the trusted request-path transformation: deserialize the
+// plaintext request, encrypt the sensitive fields (path and payload)
+// towards the ZooKeeper data store, remember (xid, op) in the FIFO
+// queue, and serialize the rewritten message.
+func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
+	en.mu.Lock()
+	codec := en.codec
+	en.mu.Unlock()
+	if codec == nil {
+		return 0, ErrKeyNotProvisioned
+	}
+
+	var hdr wire.RequestHeader
+	d := wire.NewDecoder(buf[:msgLen])
+	if err := hdr.Deserialize(d); err != nil {
+		return 0, fmt.Errorf("enclave: request header: %w", err)
+	}
+
+	pend := pendingOp{xid: hdr.Xid, op: hdr.Op}
+	var body wire.Record
+
+	switch hdr.Op {
+	case wire.OpCreate:
+		req := &wire.CreateRequest{}
+		if err := req.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: create body: %w", err)
+		}
+		sequential := req.Flags&wire.FlagSequential != 0
+		encPath, err := codec.EncryptPath(req.Path)
+		if err != nil {
+			return 0, err
+		}
+		encData, err := codec.EncryptPayload(req.Path, req.Data, sequential)
+		if err != nil {
+			return 0, err
+		}
+		pend.plainPath, pend.sequential = req.Path, sequential
+		body = &wire.CreateRequest{Path: encPath, Data: encData, Flags: req.Flags}
+
+	case wire.OpSetData:
+		req := &wire.SetDataRequest{}
+		if err := req.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: set body: %w", err)
+		}
+		encPath, err := codec.EncryptPath(req.Path)
+		if err != nil {
+			return 0, err
+		}
+		// A SET rebinds the payload to the full plaintext path the
+		// client addressed (including any sequence suffix).
+		encData, err := codec.EncryptPayload(req.Path, req.Data, false)
+		if err != nil {
+			return 0, err
+		}
+		pend.plainPath = req.Path
+		body = &wire.SetDataRequest{Path: encPath, Data: encData, Version: req.Version}
+
+	case wire.OpGetData:
+		req := &wire.GetDataRequest{}
+		if err := req.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: get body: %w", err)
+		}
+		encPath, err := codec.EncryptPath(req.Path)
+		if err != nil {
+			return 0, err
+		}
+		pend.plainPath = req.Path
+		body = &wire.GetDataRequest{Path: encPath, Watch: req.Watch}
+
+	case wire.OpDelete:
+		req := &wire.DeleteRequest{}
+		if err := req.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: delete body: %w", err)
+		}
+		encPath, err := codec.EncryptPath(req.Path)
+		if err != nil {
+			return 0, err
+		}
+		pend.plainPath = req.Path
+		body = &wire.DeleteRequest{Path: encPath, Version: req.Version}
+
+	case wire.OpExists:
+		req := &wire.ExistsRequest{}
+		if err := req.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: exists body: %w", err)
+		}
+		encPath, err := codec.EncryptPath(req.Path)
+		if err != nil {
+			return 0, err
+		}
+		pend.plainPath = req.Path
+		body = &wire.ExistsRequest{Path: encPath, Watch: req.Watch}
+
+	case wire.OpGetChildren:
+		req := &wire.GetChildrenRequest{}
+		if err := req.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: ls body: %w", err)
+		}
+		encPath, err := codec.EncryptPath(req.Path)
+		if err != nil {
+			return 0, err
+		}
+		pend.plainPath = req.Path
+		body = &wire.GetChildrenRequest{Path: encPath, Watch: req.Watch}
+
+	case wire.OpSync:
+		req := &wire.SyncRequest{}
+		if err := req.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: sync body: %w", err)
+		}
+		encPath, err := codec.EncryptPath(req.Path)
+		if err != nil {
+			return 0, err
+		}
+		pend.plainPath = req.Path
+		body = &wire.SyncRequest{Path: encPath}
+
+	case wire.OpPing, wire.OpCloseSession:
+		// No sensitive fields; forward verbatim and skip the queue
+		// (pings use the reserved xid and never reach ecResponse's
+		// FIFO matching).
+		if hdr.Op == wire.OpCloseSession {
+			en.mu.Lock()
+			en.queue = append(en.queue, pend)
+			en.mu.Unlock()
+		}
+		return msgLen, nil
+
+	default:
+		return 0, fmt.Errorf("enclave: unsupported op %s: %w", hdr.Op, wire.ErrUnimplemented.Error())
+	}
+
+	en.mu.Lock()
+	en.queue = append(en.queue, pend)
+	en.mu.Unlock()
+
+	out := wire.MarshalPair(&hdr, body)
+	if len(out) > len(buf) {
+		return 0, sgx.ErrBufferOverflow
+	}
+	return copy(buf, out), nil
+}
+
+// ecResponse is the trusted response-path transformation: deserialize
+// the replica's reply, decrypt sensitive fields, verify payload↔path
+// binding, and serialize the plaintext message for the client.
+func (en *Entry) ecResponse(buf []byte, msgLen int) (int, error) {
+	en.mu.Lock()
+	codec := en.codec
+	en.mu.Unlock()
+	if codec == nil {
+		return 0, ErrKeyNotProvisioned
+	}
+
+	var hdr wire.ReplyHeader
+	d := wire.NewDecoder(buf[:msgLen])
+	if err := hdr.Deserialize(d); err != nil {
+		return 0, fmt.Errorf("enclave: reply header: %w", err)
+	}
+
+	// Watch notifications bypass the FIFO queue: they carry the
+	// reserved xid and an encrypted path that must be decrypted.
+	if hdr.Xid == wire.WatcherEventXid {
+		var ev wire.WatcherEvent
+		if err := ev.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: watch event: %w", err)
+		}
+		plain, err := codec.DecryptPath(ev.Path)
+		if err != nil {
+			return 0, err
+		}
+		ev.Path = plain
+		out := wire.MarshalPair(&hdr, &ev)
+		if len(out) > len(buf) {
+			return 0, sgx.ErrBufferOverflow
+		}
+		return copy(buf, out), nil
+	}
+	if hdr.Xid == wire.PingXid {
+		return msgLen, nil
+	}
+
+	en.mu.Lock()
+	if len(en.queue) == 0 {
+		en.mu.Unlock()
+		return 0, ErrNoPending
+	}
+	pend := en.queue[0]
+	en.queue = en.queue[1:]
+	en.mu.Unlock()
+
+	if pend.xid != hdr.Xid {
+		return 0, fmt.Errorf("enclave: FIFO violation: response xid %d, expected %d: %w",
+			hdr.Xid, pend.xid, wire.ErrRuntimeInconsistency.Error())
+	}
+	if hdr.Err != wire.ErrOK {
+		return msgLen, nil // error replies carry no body
+	}
+
+	var body wire.Record
+	switch pend.op {
+	case wire.OpGetData:
+		resp := &wire.GetDataResponse{}
+		if err := resp.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: get response: %w", err)
+		}
+		plain, err := codec.DecryptPayload(pend.plainPath, resp.Data)
+		if err != nil {
+			// Binding or HMAC failure: report integrity violation to
+			// the client instead of tampered data (§7.1).
+			return en.integrityReply(buf, hdr)
+		}
+		resp.Data = plain
+		// Surface the plaintext length, not the ciphertext length the
+		// untrusted store tracks (§5.2).
+		resp.Stat.DataLength = int32(len(plain))
+		body = resp
+
+	case wire.OpCreate:
+		resp := &wire.CreateResponse{}
+		if err := resp.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: create response: %w", err)
+		}
+		plain, err := codec.DecryptPath(resp.Path)
+		if err != nil {
+			return en.integrityReply(buf, hdr)
+		}
+		resp.Path = plain
+		body = resp
+
+	case wire.OpGetChildren:
+		resp := &wire.GetChildrenResponse{}
+		if err := resp.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: ls response: %w", err)
+		}
+		out := make([]string, len(resp.Children))
+		for i, child := range resp.Children {
+			plain, err := codec.DecryptChunk(child)
+			if err != nil {
+				return en.integrityReply(buf, hdr)
+			}
+			out[i] = plain
+		}
+		resp.Children = out
+		body = resp
+
+	case wire.OpSetData:
+		resp := &wire.SetDataResponse{}
+		if err := resp.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: set response: %w", err)
+		}
+		resp.Stat.DataLength -= int32(skcrypto.PayloadOverhead)
+		body = resp
+
+	case wire.OpExists:
+		resp := &wire.ExistsResponse{}
+		if err := resp.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: exists response: %w", err)
+		}
+		if resp.Stat.DataLength >= int32(skcrypto.PayloadOverhead) {
+			resp.Stat.DataLength -= int32(skcrypto.PayloadOverhead)
+		}
+		body = resp
+
+	case wire.OpSync:
+		resp := &wire.SyncResponse{}
+		if err := resp.Deserialize(d); err != nil {
+			return 0, fmt.Errorf("enclave: sync response: %w", err)
+		}
+		plain, err := codec.DecryptPath(resp.Path)
+		if err != nil {
+			return en.integrityReply(buf, hdr)
+		}
+		resp.Path = plain
+		body = resp
+
+	default:
+		// DELETE and CLOSE responses carry no body.
+		return msgLen, nil
+	}
+
+	out := wire.MarshalPair(&hdr, body)
+	if len(out) > len(buf) {
+		return 0, sgx.ErrBufferOverflow
+	}
+	return copy(buf, out), nil
+}
+
+// integrityReply rewrites the response into an integrity-violation
+// error so the client learns the store was tampered with, without ever
+// seeing the tampered data.
+func (en *Entry) integrityReply(buf []byte, hdr wire.ReplyHeader) (int, error) {
+	hdr.Err = wire.ErrIntegrity
+	out := wire.MarshalPair(&hdr, nil)
+	if len(out) > len(buf) {
+		return 0, sgx.ErrBufferOverflow
+	}
+	return copy(buf, out), nil
+}
+
+// PendingDepth reports the FIFO queue length (observability; §6.5 notes
+// it holds up to the async window of in-flight requests).
+func (en *Entry) PendingDepth() int {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return len(en.queue)
+}

@@ -1,0 +1,171 @@
+package enclave
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+
+	"securekeeper/internal/sgx"
+	"securekeeper/internal/skcrypto"
+)
+
+// Provisioning errors.
+var (
+	ErrAttestationRejected = errors.New("enclave: attestation rejected, key withheld")
+	ErrNoSealedKey         = errors.New("enclave: no sealed key available on this replica")
+)
+
+// KeyServer plays the SecureKeeper administrator of §4.5: it holds the
+// storage encryption key and releases it only to enclaves that pass
+// remote attestation against the expected measurements.
+type KeyServer struct {
+	storageKey   []byte
+	platformKeys []ed25519.PublicKey
+	trusted      map[sgx.Measurement]struct{}
+}
+
+// NewKeyServer creates an administrator with a fresh random storage key
+// trusting the given enclave measurements.
+func NewKeyServer(trusted ...sgx.Measurement) (*KeyServer, error) {
+	key := make([]byte, skcrypto.KeySize)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("enclave: storage key: %w", err)
+	}
+	return NewKeyServerWithKey(key, trusted...)
+}
+
+// NewKeyServerWithKey creates an administrator with a caller-chosen key
+// (tests and multi-replica deployments share one).
+func NewKeyServerWithKey(key []byte, trusted ...sgx.Measurement) (*KeyServer, error) {
+	if len(key) != skcrypto.KeySize {
+		return nil, skcrypto.ErrBadKeySize
+	}
+	ks := &KeyServer{
+		storageKey: append([]byte(nil), key...),
+		trusted:    make(map[sgx.Measurement]struct{}, len(trusted)),
+	}
+	for _, m := range trusted {
+		ks.trusted[m] = struct{}{}
+	}
+	return ks, nil
+}
+
+// TrustPlatform registers a platform's quote-verification key (one per
+// replica machine).
+func (ks *KeyServer) TrustPlatform(key ed25519.PublicKey) {
+	ks.platformKeys = append(ks.platformKeys, key)
+}
+
+// Release verifies the quote and, on success, returns the storage key.
+// In the real system the key is wrapped for a key-exchange key carried
+// in the quote's report data; the simulation returns it directly since
+// both ends live in one process.
+func (ks *KeyServer) Release(q *sgx.Quote) ([]byte, error) {
+	if q == nil {
+		return nil, ErrAttestationRejected
+	}
+	if _, ok := ks.trusted[q.Measurement]; !ok {
+		return nil, fmt.Errorf("%w: untrusted measurement", ErrAttestationRejected)
+	}
+	var lastErr error
+	for _, pk := range ks.platformKeys {
+		if err := sgx.VerifyQuote(pk, q, q.Measurement); err == nil {
+			return append([]byte(nil), ks.storageKey...), nil
+		} else {
+			lastErr = err
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no trusted platforms registered")
+	}
+	return nil, fmt.Errorf("%w: %v", ErrAttestationRejected, lastErr)
+}
+
+// SealedKeyStore is a replica's persistent store of sealed key blobs:
+// after one enclave on a replica is attested and provisioned, it seals
+// the key so sibling enclaves (same measurement, same CPU) can unseal
+// it without another remote attestation round (§4.5).
+type SealedKeyStore struct {
+	mu    sync.Mutex
+	blobs map[sgx.Measurement][]byte
+}
+
+// NewSealedKeyStore returns an empty store.
+func NewSealedKeyStore() *SealedKeyStore {
+	return &SealedKeyStore{blobs: make(map[sgx.Measurement][]byte)}
+}
+
+// Put stores a sealed blob for a measurement.
+func (s *SealedKeyStore) Put(m sgx.Measurement, blob []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[m] = append([]byte(nil), blob...)
+}
+
+// Get retrieves the sealed blob for a measurement.
+func (s *SealedKeyStore) Get(m sgx.Measurement) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, ok := s.blobs[m]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), blob...), true
+}
+
+// ProvisionEntry attests the entry enclave against the key server,
+// installs the released key, and seals it into the store for siblings.
+func ProvisionEntry(en *Entry, ks *KeyServer, store *SealedKeyStore) error {
+	quote := en.enclave.GenerateQuote(nil)
+	key, err := ks.Release(quote)
+	if err != nil {
+		return err
+	}
+	if err := en.installKey(key); err != nil {
+		return err
+	}
+	if store != nil {
+		blob, err := en.enclave.Seal(key)
+		if err != nil {
+			return fmt.Errorf("enclave: seal storage key: %w", err)
+		}
+		store.Put(en.enclave.Measurement(), blob)
+	}
+	return nil
+}
+
+// UnsealEntry provisions an entry enclave from a sealed blob left by a
+// previously attested sibling, skipping remote attestation.
+func UnsealEntry(en *Entry, store *SealedKeyStore) error {
+	blob, ok := store.Get(en.enclave.Measurement())
+	if !ok {
+		return ErrNoSealedKey
+	}
+	key, err := en.enclave.Unseal(blob)
+	if err != nil {
+		return fmt.Errorf("enclave: unseal storage key: %w", err)
+	}
+	return en.installKey(key)
+}
+
+// ProvisionCounter attests and provisions the counter enclave.
+func ProvisionCounter(c *Counter, ks *KeyServer, store *SealedKeyStore) error {
+	quote := c.enclave.GenerateQuote(nil)
+	key, err := ks.Release(quote)
+	if err != nil {
+		return err
+	}
+	if err := c.installKey(key); err != nil {
+		return err
+	}
+	if store != nil {
+		blob, err := c.enclave.Seal(key)
+		if err != nil {
+			return fmt.Errorf("enclave: seal storage key: %w", err)
+		}
+		store.Put(c.enclave.Measurement(), blob)
+	}
+	return nil
+}

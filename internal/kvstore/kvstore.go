@@ -1,0 +1,125 @@
+// Package kvstore implements the in-enclave key-value store the paper
+// uses to motivate tailored enclaves (§3.3, Fig 4): a fixed-capacity
+// store whose working set lives entirely inside enclave memory, so its
+// throughput collapses once the enclave size exceeds the usable EPC and
+// paging begins. The same store can run "native" (no enclave) to
+// produce the comparison series.
+package kvstore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"securekeeper/internal/sgx"
+)
+
+// RequestBaseNs is the fixed virtual cost of serving one request
+// (network stack, parsing, hashing) independent of memory effects. The
+// paper's native KVS plateaus around 200 k requests/s, i.e. ~5 µs per
+// request.
+const RequestBaseNs = 5000.0
+
+// TouchesPerRequest models how many distinct enclave pages one KVS
+// request dereferences: hash-index walk, allocator metadata, the value
+// bytes themselves, and stack. This multiplier is what turns the
+// per-access paging penalty of Fig 3 into the request-level collapse of
+// Fig 4 once the working set exceeds the EPC.
+const TouchesPerRequest = 64
+
+// Store is a fixed-capacity KVS whose value memory is modeled as one
+// contiguous buffer of BufBytes.
+type Store struct {
+	enclave  *sgx.Enclave // nil when running natively
+	runtime  *sgx.Runtime
+	bufBytes int64
+	pages    int64
+}
+
+// NewEnclaveStore creates a store inside an enclave of the given size.
+func NewEnclaveStore(rt *sgx.Runtime, bufBytes int64) (*Store, error) {
+	if bufBytes < sgx.PageSize {
+		return nil, fmt.Errorf("kvstore: buffer %d smaller than one page", bufBytes)
+	}
+	e, err := rt.Create(sgx.Spec{
+		CodeIdentity: "securekeeper/kvs-enclave/v1",
+		CodeBytes:    64 << 10,
+		HeapBytes:    bufBytes,
+		Threads:      1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: create enclave: %w", err)
+	}
+	return &Store{
+		enclave:  e,
+		runtime:  rt,
+		bufBytes: bufBytes,
+		pages:    bufBytes / sgx.PageSize,
+	}, nil
+}
+
+// NewNativeStore creates a store without enclave protection.
+func NewNativeStore(rt *sgx.Runtime, bufBytes int64) (*Store, error) {
+	if bufBytes < sgx.PageSize {
+		return nil, fmt.Errorf("kvstore: buffer %d smaller than one page", bufBytes)
+	}
+	return &Store{
+		runtime:  rt,
+		bufBytes: bufBytes,
+		pages:    bufBytes / sgx.PageSize,
+	}, nil
+}
+
+// Close releases the enclave, if any.
+func (s *Store) Close() {
+	if s.enclave != nil {
+		s.runtime.Destroy(s.enclave)
+	}
+}
+
+// Access serves one randomized request against the store, charging the
+// appropriate virtual memory cost for every page the request touches.
+func (s *Store) Access(rng *rand.Rand, write bool) {
+	s.runtime.Meter().Charge(RequestBaseNs)
+	cost := s.runtime.Cost()
+	for i := 0; i < TouchesPerRequest; i++ {
+		page := rng.Int63n(s.pages)
+		if s.enclave != nil {
+			s.enclave.TouchRandomPage(s.bufBytes, page, write)
+			continue
+		}
+		// Native: only the cache hierarchy matters.
+		if s.bufBytes <= sgx.L3CacheBytes {
+			s.runtime.Meter().Charge(cost.L3AccessNs)
+		} else {
+			s.runtime.Meter().Charge(cost.DRAMAccessNs)
+		}
+	}
+}
+
+// Warm touches every page once, filling the EPC to its steady state
+// before measurement.
+func (s *Store) Warm() {
+	if s.enclave == nil {
+		return
+	}
+	for p := int64(0); p < s.pages; p++ {
+		s.enclave.TouchRandomPage(s.bufBytes, p, false)
+	}
+}
+
+// MeasureThroughput serves n randomized requests (writeFraction of them
+// writes) and returns requests per virtual second.
+func (s *Store) MeasureThroughput(n int, writeFraction float64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	s.Warm()
+	meter := s.runtime.Meter()
+	start := meter.VirtualNs()
+	for i := 0; i < n; i++ {
+		s.Access(rng, rng.Float64() < writeFraction)
+	}
+	elapsed := meter.VirtualNs() - start
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / (elapsed / 1e9)
+}

@@ -1,0 +1,71 @@
+package kvstore
+
+import (
+	"testing"
+
+	"securekeeper/internal/sgx"
+)
+
+func TestStoreRejectsTinyBuffer(t *testing.T) {
+	rt := sgx.NewRuntime(sgx.EPCUsableBytes, sgx.DefaultCostModel(), false)
+	if _, err := NewEnclaveStore(rt, 100); err == nil {
+		t.Fatal("sub-page buffer must be rejected")
+	}
+	if _, err := NewNativeStore(rt, 100); err == nil {
+		t.Fatal("sub-page buffer must be rejected")
+	}
+}
+
+func TestNativeVsEnclaveParityBelowEPC(t *testing.T) {
+	rt := sgx.NewRuntime(sgx.EPCUsableBytes, sgx.DefaultCostModel(), false)
+	native, err := NewNativeStore(rt, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := native.MeasureThroughput(2000, 0.3, 1)
+
+	rt2 := sgx.NewRuntime(sgx.EPCUsableBytes, sgx.DefaultCostModel(), false)
+	enclaved, err := NewEnclaveStore(rt2, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclaved.Close()
+	e := enclaved.MeasureThroughput(2000, 0.3, 1)
+
+	if ratio := n / e; ratio > 1.1 {
+		t.Fatalf("below EPC, native/SGX = %.2f, want ~1", ratio)
+	}
+}
+
+func TestEnclaveCollapseBeyondEPC(t *testing.T) {
+	rt := sgx.NewRuntime(sgx.EPCUsableBytes, sgx.DefaultCostModel(), false)
+	small, err := NewEnclaveStore(rt, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := small.MeasureThroughput(2000, 0.3, 1)
+	small.Close()
+
+	rt2 := sgx.NewRuntime(sgx.EPCUsableBytes, sgx.DefaultCostModel(), false)
+	big, err := NewEnclaveStore(rt2, 512<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer big.Close()
+	slow := big.MeasureThroughput(2000, 0.3, 1)
+
+	if fast/slow < 3 {
+		t.Fatalf("EPC paging collapse missing: %.0f vs %.0f req/s", fast, slow)
+	}
+}
+
+func TestThroughputPositive(t *testing.T) {
+	rt := sgx.NewRuntime(sgx.EPCUsableBytes, sgx.DefaultCostModel(), false)
+	s, err := NewNativeStore(rt, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp := s.MeasureThroughput(100, 0.5, 7); tp <= 0 {
+		t.Fatalf("throughput = %f", tp)
+	}
+}

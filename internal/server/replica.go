@@ -1,0 +1,707 @@
+// Package server implements a replica of the coordination service: it
+// combines the znode database (ztree), the atomic broadcast protocol
+// (zab), session management with per-session FIFO ordering, and the
+// request-processor pipeline. Reads are served locally by the replica a
+// client is connected to; writes are forwarded to the leader, validated
+// and converted into transactions there, agreed via zab, and completed
+// on the replica owning the originating session — exactly the
+// ZooKeeper data path the paper intercepts.
+//
+// SecureKeeper hooks into this package at two points: per-connection
+// message Interceptors (the entry enclaves) and the SequenceAppender
+// (the counter enclave) used while creating sequential nodes.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"securekeeper/internal/storage"
+	"securekeeper/internal/transport"
+	"securekeeper/internal/wire"
+	"securekeeper/internal/zab"
+	"securekeeper/internal/ztree"
+)
+
+// Interceptor transforms messages at the connection boundary. The
+// SecureKeeper entry enclave implements it; baselines use Nop.
+type Interceptor interface {
+	// OnRequest rewrites an inbound client message before it enters
+	// the processing pipeline.
+	OnRequest(msg []byte) ([]byte, error)
+	// OnResponse rewrites an outbound message before transport
+	// encryption.
+	OnResponse(msg []byte) ([]byte, error)
+}
+
+// NopInterceptor passes messages through unchanged (Vanilla and TLS
+// baselines).
+type NopInterceptor struct{}
+
+var _ Interceptor = NopInterceptor{}
+
+// OnRequest implements Interceptor.
+func (NopInterceptor) OnRequest(msg []byte) ([]byte, error) { return msg, nil }
+
+// OnResponse implements Interceptor.
+func (NopInterceptor) OnResponse(msg []byte) ([]byte, error) { return msg, nil }
+
+// SequenceAppender merges a sequence number into a (possibly encrypted)
+// path during sequential-node creation. The default appends the
+// ZooKeeper "%010d" suffix to the plaintext path; SecureKeeper installs
+// the counter enclave here.
+type SequenceAppender func(path string, seq int32) (string, error)
+
+// PlainSequenceAppender is the vanilla behaviour.
+func PlainSequenceAppender(path string, seq int32) (string, error) {
+	return path + fmt.Sprintf("%010d", seq), nil
+}
+
+// Config parameterizes a replica.
+type Config struct {
+	// ID identifies the replica; Peers lists the ensemble.
+	ID    zab.PeerID
+	Peers []zab.PeerID
+	// Transport connects the replica to its peers.
+	Transport zab.Transport
+	// SeqAppend customizes sequential-node naming (counter enclave).
+	SeqAppend SequenceAppender
+	// TickInterval and ElectionTimeout tune the broadcast protocol.
+	TickInterval    time.Duration
+	ElectionTimeout time.Duration
+	// SessionTimeout bounds client session liveness (informational).
+	SessionTimeout time.Duration
+	// DataDir, when set, makes the replica durable: committed
+	// transactions are logged and the tree snapshotted there, and a
+	// restart recovers from it. Empty means in-memory only.
+	DataDir string
+	// SnapshotEvery tunes how many commits separate snapshots.
+	SnapshotEvery int
+}
+
+// Replica is one coordination-service server.
+type Replica struct {
+	cfg       Config
+	tree      *ztree.Tree
+	peer      *zab.Peer
+	persister *storage.Persister // nil when DataDir is unset
+
+	mu       sync.Mutex
+	sessions map[int64]*session
+	pending  map[pendingKey]*pendingWrite
+	nextSess int64
+	closed   bool
+
+	// seqMu guards seqHint: the leader's view of the next sequence
+	// number per parent, covering transactions that are proposed but
+	// not yet applied (ZooKeeper's outstanding-changes tracking).
+	// Without it, two concurrent sequential creates under one parent
+	// would both read the applied cversion and collide.
+	seqMu   sync.Mutex
+	seqHint map[string]int32
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	forwarded chan forwardedReq
+
+	// Counters for the evaluation harness.
+	readOps  atomic.Int64
+	writeOps atomic.Int64
+}
+
+type pendingKey struct {
+	session int64
+	xid     int32
+}
+
+type pendingWrite struct {
+	entry *inflightReq
+	sess  *session
+}
+
+// forwardedReq is a follower's write awaiting prep on the leader.
+type forwardedReq struct {
+	op     wire.OpCode
+	body   []byte
+	origin zab.Origin
+}
+
+// NewReplica constructs and starts a replica.
+func NewReplica(cfg Config) *Replica {
+	if cfg.SeqAppend == nil {
+		cfg.SeqAppend = PlainSequenceAppender
+	}
+	if cfg.SessionTimeout <= 0 {
+		cfg.SessionTimeout = 10 * time.Second
+	}
+	r := &Replica{
+		cfg:      cfg,
+		tree:     ztree.New(),
+		sessions: make(map[int64]*session),
+		pending:  make(map[pendingKey]*pendingWrite),
+		seqHint:  make(map[string]int32),
+		stop:     make(chan struct{}),
+		// Forwarded writes must be proposed in arrival order to keep
+		// each client session's writes ordered; a single worker drains
+		// the queue (buffered: the zab loop must never block).
+		forwarded: make(chan forwardedReq, 4096),
+	}
+	var recoveredZxid int64
+	if cfg.DataDir != "" {
+		p, zxid, err := storage.Recover(storage.PersisterConfig{
+			Dir:           cfg.DataDir,
+			Tree:          r.tree,
+			SnapshotEvery: cfg.SnapshotEvery,
+		})
+		if err != nil {
+			// A replica that cannot read its durable state must not
+			// serve with silent data loss; start empty is the only
+			// alternative and is equally silent, so surface loudly.
+			panic(fmt.Sprintf("server: recover %s: %v", cfg.DataDir, err))
+		}
+		r.persister = p
+		recoveredZxid = zxid
+	}
+	r.peer = zab.NewPeer(zab.Config{
+		ID:              cfg.ID,
+		Peers:           cfg.Peers,
+		Transport:       cfg.Transport,
+		Deliver:         r.deliver,
+		Snapshot:        r.tree.Snapshot,
+		Restore:         r.restoreFromSync,
+		OnApp:           r.onForwarded,
+		OnRoleChange:    r.onRoleChange,
+		TickInterval:    cfg.TickInterval,
+		ElectionTimeout: cfg.ElectionTimeout,
+		LastZxid:        recoveredZxid,
+	})
+	r.peer.Start()
+	r.wg.Add(1)
+	go r.forwardWorker()
+	return r
+}
+
+// forwardWorker preps and proposes forwarded writes strictly in arrival
+// order (per-session FIFO depends on it).
+func (r *Replica) forwardWorker() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case req := <-r.forwarded:
+			if r.peer.Role() != zab.RoleLeading {
+				continue // origin's client is failed on the next role change
+			}
+			// Submit errors resolve via role-change failure on the
+			// origin replica; nothing to do here.
+			_ = r.peer.Submit(r.prepTxn(req.op, req.body, req.origin.Session), req.origin)
+		}
+	}
+}
+
+// ID returns the replica's ensemble identity.
+func (r *Replica) ID() zab.PeerID { return r.cfg.ID }
+
+// Tree exposes the replica's database (tests and experiments).
+func (r *Replica) Tree() *ztree.Tree { return r.tree }
+
+// Peer exposes the broadcast protocol instance.
+func (r *Replica) Peer() *zab.Peer { return r.peer }
+
+// IsLeader reports whether this replica currently leads the ensemble.
+func (r *Replica) IsLeader() bool { return r.peer.Role() == zab.RoleLeading }
+
+// Ops returns the cumulative read and write counts served.
+func (r *Replica) Ops() (reads, writes int64) {
+	return r.readOps.Load(), r.writeOps.Load()
+}
+
+// WaitForRole blocks until the replica assumes a non-looking role or
+// the timeout expires.
+func (r *Replica) WaitForRole(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if role := r.peer.Role(); role == zab.RoleLeading || role == zab.RoleFollowing {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("server: replica %d still %s after %v", r.cfg.ID, r.peer.Role(), timeout)
+}
+
+// Close shuts the replica down: sessions are closed and the broadcast
+// peer stopped.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	sessions := make([]*session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		sessions = append(sessions, s)
+	}
+	r.mu.Unlock()
+
+	close(r.stop)
+	for _, s := range sessions {
+		s.shutdown()
+	}
+	r.peer.Stop()
+	r.wg.Wait()
+	if r.persister != nil {
+		_ = r.persister.Close()
+	}
+}
+
+// ServeConn runs the session protocol over an accepted connection:
+// reads the ConnectRequest, establishes the session, then processes
+// requests until the connection drops. It blocks; callers run it in a
+// goroutine per connection.
+func (r *Replica) ServeConn(conn transport.Conn, icept Interceptor) error {
+	// The replica owns the connection: every exit path must close it,
+	// or a client mid-handshake would block forever on a pipe nobody
+	// reads (e.g. connecting exactly as the replica shuts down).
+	defer func() { _ = conn.Close() }()
+	if icept == nil {
+		icept = NopInterceptor{}
+	}
+	// Session handshake happens before interception: the connect
+	// record carries no application data (§4.2 interception covers the
+	// request/response pipeline only).
+	first, err := conn.RecvFrame()
+	if err != nil {
+		return fmt.Errorf("server: read connect: %w", err)
+	}
+	var connReq wire.ConnectRequest
+	if err := wire.Unmarshal(first, &connReq); err != nil {
+		return fmt.Errorf("server: parse connect: %w", err)
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return errors.New("server: replica closed")
+	}
+	r.nextSess++
+	sessionID := int64(r.cfg.ID)<<48 | r.nextSess
+	s := newSession(r, sessionID, conn, icept)
+	r.sessions[sessionID] = s
+	r.mu.Unlock()
+
+	resp := wire.ConnectResponse{
+		TimeoutMillis: int32(r.cfg.SessionTimeout / time.Millisecond),
+		SessionID:     sessionID,
+		Passwd:        connReq.Passwd,
+	}
+	if err := conn.SendFrame(wire.Marshal(&resp)); err != nil {
+		r.dropSession(s)
+		return fmt.Errorf("server: send connect response: %w", err)
+	}
+
+	err = s.run() // blocks until connection ends
+	r.dropSession(s)
+	return err
+}
+
+func (r *Replica) dropSession(s *session) {
+	r.mu.Lock()
+	if _, ok := r.sessions[s.id]; !ok {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.sessions, s.id)
+	// Fail this session's pending writes.
+	for key, pw := range r.pending {
+		if key.session == s.id {
+			pw.entry.fail(wire.ErrConnectionLoss)
+			delete(r.pending, key)
+		}
+	}
+	closed := r.closed
+	r.mu.Unlock()
+
+	s.shutdown()
+	r.tree.Watches().RemoveWatcher(s)
+	if !closed {
+		// Clean up the session's ephemeral nodes through the agreed
+		// log so all replicas converge.
+		_ = r.submitOrForward(wire.OpCloseSession, nil,
+			zab.Origin{Peer: r.cfg.ID, Session: s.id, Xid: -3})
+	}
+}
+
+// --- write pipeline ---
+
+// handleWrite routes a client write: the leader validates it into a
+// transaction and proposes it; a follower forwards the raw request to
+// the leader (sequential-node resolution and version checks must happen
+// against the leader's outstanding state, exactly as ZooKeeper's
+// PrepRequestProcessor runs on the leader). Called from session reader
+// goroutines.
+func (r *Replica) handleWrite(s *session, entry *inflightReq) {
+	r.writeOps.Add(1)
+	r.mu.Lock()
+	r.pending[pendingKey{session: s.id, xid: entry.xid}] = &pendingWrite{entry: entry, sess: s}
+	r.mu.Unlock()
+
+	origin := zab.Origin{Peer: r.cfg.ID, Session: s.id, Xid: entry.xid}
+	if err := r.submitOrForward(entry.op, entry.body, origin); err != nil {
+		r.failPending(origin, wire.ErrConnectionLoss)
+	}
+}
+
+// submitOrForward preps-and-proposes on the leader, or tunnels the raw
+// request to it from a follower.
+func (r *Replica) submitOrForward(op wire.OpCode, body []byte, origin zab.Origin) error {
+	if r.peer.Role() == zab.RoleLeading {
+		return r.peer.Submit(r.prepTxn(op, body, origin.Session), origin)
+	}
+	leader := r.peer.Leader()
+	if leader < 0 {
+		return zab.ErrNotLeader
+	}
+	return r.peer.SendApp(zab.PeerID(leader), encodeForward(op, body, origin))
+}
+
+// prepTxn validates a write into a transaction; validation failures
+// become committed error transactions so the per-session FIFO order
+// still produces a reply.
+func (r *Replica) prepTxn(op wire.OpCode, body []byte, sessionID int64) ztree.Txn {
+	txn, perr := r.prep(op, body, sessionID)
+	if perr != wire.ErrOK {
+		return ztree.Txn{Type: ztree.TxnError, Err: perr, Session: sessionID}
+	}
+	return txn
+}
+
+// onForwarded handles a follower's forwarded request on the leader.
+// Runs on the zab loop goroutine; Submit would deadlock there (it
+// round-trips through the same loop), so requests are queued to the
+// ordered forward worker.
+func (r *Replica) onForwarded(from zab.PeerID, payload []byte) {
+	op, body, origin, err := decodeForward(payload)
+	if err != nil {
+		return
+	}
+	select {
+	case r.forwarded <- forwardedReq{op: op, body: body, origin: origin}:
+	default:
+		// Queue full: shed; the origin's client times out or is failed
+		// on the next role change.
+	}
+}
+
+// prep validates a write and resolves it into a deterministic
+// transaction (the PrepRequestProcessor). Runs on the leader.
+func (r *Replica) prep(op wire.OpCode, body []byte, sessionID int64) (ztree.Txn, wire.ErrCode) {
+	switch op {
+	case wire.OpCreate:
+		var req wire.CreateRequest
+		if err := wire.Unmarshal(body, &req); err != nil {
+			return ztree.Txn{}, wire.ErrMarshallingError
+		}
+		if err := ztree.ValidatePath(req.Path); err != nil {
+			return ztree.Txn{}, wire.ErrBadArguments
+		}
+		path := req.Path
+		if req.Flags&wire.FlagSequential != 0 {
+			parent, _ := ztree.SplitPath(path)
+			newPath, err := r.cfg.SeqAppend(path, r.nextSeq(parent))
+			if err != nil {
+				return ztree.Txn{}, wire.ErrMarshallingError
+			}
+			path = newPath
+		}
+		return ztree.Txn{
+			Type:    ztree.TxnCreate,
+			Path:    path,
+			Data:    req.Data,
+			Flags:   req.Flags,
+			Session: sessionID,
+		}, wire.ErrOK
+
+	case wire.OpSetData:
+		var req wire.SetDataRequest
+		if err := wire.Unmarshal(body, &req); err != nil {
+			return ztree.Txn{}, wire.ErrMarshallingError
+		}
+		return ztree.Txn{
+			Type:    ztree.TxnSetData,
+			Path:    req.Path,
+			Data:    req.Data,
+			Version: req.Version,
+			Session: sessionID,
+		}, wire.ErrOK
+
+	case wire.OpDelete:
+		var req wire.DeleteRequest
+		if err := wire.Unmarshal(body, &req); err != nil {
+			return ztree.Txn{}, wire.ErrMarshallingError
+		}
+		return ztree.Txn{
+			Type:    ztree.TxnDelete,
+			Path:    req.Path,
+			Version: req.Version,
+			Session: sessionID,
+		}, wire.ErrOK
+
+	case wire.OpSync:
+		var req wire.SyncRequest
+		if err := wire.Unmarshal(body, &req); err != nil {
+			return ztree.Txn{}, wire.ErrMarshallingError
+		}
+		return ztree.Txn{Type: ztree.TxnSync, Path: req.Path, Session: sessionID}, wire.ErrOK
+
+	case wire.OpCloseSession:
+		return ztree.Txn{Type: ztree.TxnCloseSession, Session: sessionID}, wire.ErrOK
+
+	default:
+		return ztree.Txn{}, wire.ErrUnimplemented
+	}
+}
+
+// restoreFromSync installs a snapshot received from the leader during
+// recovery sync and, for durable replicas, persists it immediately (the
+// old log no longer matches the tree).
+func (r *Replica) restoreFromSync(snap *ztree.Snapshot) {
+	r.tree.Restore(snap)
+	if r.persister != nil {
+		// The peer updates its commit position before calling Restore.
+		if err := r.persister.Snapshot(r.peer.LastCommitted()); err != nil {
+			panic(fmt.Sprintf("server: persist synced snapshot: %v", err))
+		}
+	}
+}
+
+// deliver applies a committed transaction (zab loop goroutine) and
+// completes the originating client request if it belongs to us.
+func (r *Replica) deliver(c zab.Committed) {
+	res := r.tree.Apply(&c.Txn)
+	if r.persister != nil {
+		if err := r.persister.Record(&c.Txn); err != nil {
+			panic(fmt.Sprintf("server: persist txn: %v", err))
+		}
+	}
+	if c.Origin.Peer != r.cfg.ID {
+		return
+	}
+	r.mu.Lock()
+	key := pendingKey{session: c.Origin.Session, xid: c.Origin.Xid}
+	pw, ok := r.pending[key]
+	if ok {
+		delete(r.pending, key)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	pw.entry.complete(buildWriteResponse(pw.entry.op, c.Origin.Xid, res))
+	pw.sess.kick()
+}
+
+// failPending fails one pending write.
+func (r *Replica) failPending(origin zab.Origin, code wire.ErrCode) {
+	r.mu.Lock()
+	key := pendingKey{session: origin.Session, xid: origin.Xid}
+	pw, ok := r.pending[key]
+	if ok {
+		delete(r.pending, key)
+	}
+	r.mu.Unlock()
+	if ok {
+		pw.entry.fail(code)
+		pw.sess.kick()
+	}
+}
+
+// nextSeq allocates the next sequence number for a parent: the maximum
+// of the applied child version and the leader's outstanding hint, so
+// concurrent sequential creates never collide and numbers stay
+// monotonic across leadership changes.
+func (r *Replica) nextSeq(parent string) int32 {
+	applied, err := r.tree.NextSequence(parent)
+	if err != nil {
+		applied = 0 // apply will fail deterministically with NoNode
+	}
+	r.seqMu.Lock()
+	defer r.seqMu.Unlock()
+	next := r.seqHint[parent]
+	if applied > next {
+		next = applied
+	}
+	r.seqHint[parent] = next + 1
+	return next
+}
+
+// onRoleChange fails all in-flight writes when leadership moves: their
+// fate is unknown (the new leader may or may not have committed them),
+// so clients get ConnectionLoss, matching ZooKeeper semantics.
+func (r *Replica) onRoleChange(role zab.Role, leader zab.PeerID) {
+	if role == zab.RoleLooking {
+		// Drop the sequence hints: a future leadership term re-derives
+		// them from the applied tree.
+		r.seqMu.Lock()
+		r.seqHint = make(map[string]int32)
+		r.seqMu.Unlock()
+		r.mu.Lock()
+		pending := make([]*pendingWrite, 0, len(r.pending))
+		for key := range r.pending {
+			pending = append(pending, r.pending[key])
+			delete(r.pending, key)
+		}
+		r.mu.Unlock()
+		for _, pw := range pending {
+			pw.entry.fail(wire.ErrConnectionLoss)
+			pw.sess.kick()
+		}
+	}
+}
+
+// buildWriteResponse renders the reply message for a completed write.
+func buildWriteResponse(op wire.OpCode, xid int32, res *ztree.TxnResult) []byte {
+	hdr := wire.ReplyHeader{Xid: xid, Zxid: res.Zxid, Err: res.Err}
+	if res.Err != wire.ErrOK {
+		return wire.MarshalPair(&hdr, nil)
+	}
+	switch op {
+	case wire.OpCreate:
+		return wire.MarshalPair(&hdr, &wire.CreateResponse{Path: res.Path})
+	case wire.OpSetData:
+		resp := &wire.SetDataResponse{}
+		if res.Stat != nil {
+			resp.Stat = *res.Stat
+		}
+		return wire.MarshalPair(&hdr, resp)
+	case wire.OpSync:
+		return wire.MarshalPair(&hdr, &wire.SyncResponse{Path: res.Path})
+	default: // DELETE, CLOSE
+		return wire.MarshalPair(&hdr, nil)
+	}
+}
+
+// --- read pipeline ---
+
+// handleRead serves a read against the local tree. Called from the
+// session writer goroutine when the request reaches the head of the
+// session's FIFO queue (reads never overtake earlier writes of the
+// same session).
+func (r *Replica) handleRead(s *session, entry *inflightReq) []byte {
+	r.readOps.Add(1)
+	zxid := r.peer.LastCommitted()
+	switch entry.op {
+	case wire.OpGetData:
+		var req wire.GetDataRequest
+		if err := wire.Unmarshal(entry.body, &req); err != nil {
+			return errorReply(entry.xid, zxid, wire.ErrMarshallingError)
+		}
+		data, stat, err := r.tree.GetData(req.Path)
+		if err != nil {
+			if req.Watch {
+				r.tree.Watches().Add(req.Path, wire.WatchExist, s)
+			}
+			return errorReply(entry.xid, zxid, errCodeOf(err))
+		}
+		if req.Watch {
+			r.tree.Watches().Add(req.Path, wire.WatchData, s)
+		}
+		hdr := wire.ReplyHeader{Xid: entry.xid, Zxid: zxid, Err: wire.ErrOK}
+		return wire.MarshalPair(&hdr, &wire.GetDataResponse{Data: data, Stat: *stat})
+
+	case wire.OpExists:
+		var req wire.ExistsRequest
+		if err := wire.Unmarshal(entry.body, &req); err != nil {
+			return errorReply(entry.xid, zxid, wire.ErrMarshallingError)
+		}
+		stat, err := r.tree.Exists(req.Path)
+		if req.Watch {
+			kind := wire.WatchData
+			if err != nil {
+				kind = wire.WatchExist
+			}
+			r.tree.Watches().Add(req.Path, kind, s)
+		}
+		if err != nil {
+			return errorReply(entry.xid, zxid, errCodeOf(err))
+		}
+		hdr := wire.ReplyHeader{Xid: entry.xid, Zxid: zxid, Err: wire.ErrOK}
+		return wire.MarshalPair(&hdr, &wire.ExistsResponse{Stat: *stat})
+
+	case wire.OpGetChildren:
+		var req wire.GetChildrenRequest
+		if err := wire.Unmarshal(entry.body, &req); err != nil {
+			return errorReply(entry.xid, zxid, wire.ErrMarshallingError)
+		}
+		children, err := r.tree.GetChildren(req.Path)
+		if err != nil {
+			return errorReply(entry.xid, zxid, errCodeOf(err))
+		}
+		if req.Watch {
+			r.tree.Watches().Add(req.Path, wire.WatchChild, s)
+		}
+		hdr := wire.ReplyHeader{Xid: entry.xid, Zxid: zxid, Err: wire.ErrOK}
+		return wire.MarshalPair(&hdr, &wire.GetChildrenResponse{Children: children})
+
+	case wire.OpPing:
+		hdr := wire.ReplyHeader{Xid: wire.PingXid, Zxid: zxid, Err: wire.ErrOK}
+		return wire.MarshalPair(&hdr, nil)
+
+	default:
+		return errorReply(entry.xid, zxid, wire.ErrUnimplemented)
+	}
+}
+
+func errorReply(xid int32, zxid int64, code wire.ErrCode) []byte {
+	hdr := wire.ReplyHeader{Xid: xid, Zxid: zxid, Err: code}
+	return wire.MarshalPair(&hdr, nil)
+}
+
+func errCodeOf(err error) wire.ErrCode {
+	var pe *wire.ProtocolError
+	if errors.As(err, &pe) {
+		return pe.Code
+	}
+	return wire.ErrSystemError
+}
+
+// --- forwarded-request encoding ---
+
+func encodeForward(op wire.OpCode, body []byte, origin zab.Origin) []byte {
+	e := wire.NewEncoder(32 + len(body))
+	e.WriteInt64(int64(origin.Peer))
+	e.WriteInt64(origin.Session)
+	e.WriteInt32(origin.Xid)
+	e.WriteInt32(int32(op))
+	e.WriteBuffer(body)
+	return e.Bytes()
+}
+
+func decodeForward(buf []byte) (wire.OpCode, []byte, zab.Origin, error) {
+	d := wire.NewDecoder(buf)
+	var origin zab.Origin
+	peer, err := d.ReadInt64()
+	if err != nil {
+		return 0, nil, origin, err
+	}
+	origin.Peer = zab.PeerID(peer)
+	if origin.Session, err = d.ReadInt64(); err != nil {
+		return 0, nil, origin, err
+	}
+	if origin.Xid, err = d.ReadInt32(); err != nil {
+		return 0, nil, origin, err
+	}
+	opRaw, err := d.ReadInt32()
+	if err != nil {
+		return 0, nil, origin, err
+	}
+	body, err := d.ReadBuffer()
+	if err != nil {
+		return 0, nil, origin, err
+	}
+	return wire.OpCode(opRaw), body, origin, nil
+}

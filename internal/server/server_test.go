@@ -1,0 +1,395 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/transport"
+	"securekeeper/internal/wire"
+	"securekeeper/internal/zab"
+)
+
+// testCluster boots n replicas over an in-process network.
+type testCluster struct {
+	t        *testing.T
+	net      *zab.Network
+	replicas []*Replica
+	wg       sync.WaitGroup
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{t: t, net: zab.NewNetwork()}
+	ids := make([]zab.PeerID, n)
+	for i := range ids {
+		ids[i] = zab.PeerID(i + 1)
+	}
+	for i := 0; i < n; i++ {
+		tc.replicas = append(tc.replicas, NewReplica(Config{
+			ID:              ids[i],
+			Peers:           ids,
+			Transport:       tc.net.Endpoint(ids[i]),
+			TickInterval:    5 * time.Millisecond,
+			ElectionTimeout: 80 * time.Millisecond,
+		}))
+	}
+	t.Cleanup(func() {
+		for _, r := range tc.replicas {
+			r.Close()
+		}
+		tc.net.Close()
+		tc.wg.Wait()
+	})
+	tc.waitLeader(5 * time.Second)
+	return tc
+}
+
+func (tc *testCluster) waitLeader(timeout time.Duration) *Replica {
+	tc.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, r := range tc.replicas {
+			if r.IsLeader() {
+				return r
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tc.t.Fatal("no leader")
+	return nil
+}
+
+// connect opens a plaintext client to replica i.
+func (tc *testCluster) connect(i int, opts client.Options) *client.Client {
+	tc.t.Helper()
+	a, b := transport.NewChanPipe()
+	tc.wg.Add(1)
+	go func() {
+		defer tc.wg.Done()
+		_ = tc.replicas[i].ServeConn(b, nil)
+	}()
+	cl, err := client.Connect(a, opts)
+	if err != nil {
+		tc.t.Fatalf("connect to replica %d: %v", i, err)
+	}
+	return cl
+}
+
+func TestBasicOpsAgainstLeaderAndFollower(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	leader := tc.waitLeader(time.Second)
+	leaderIdx := int(leader.ID()) - 1
+	followerIdx := (leaderIdx + 1) % 3
+
+	for _, idx := range []int{leaderIdx, followerIdx} {
+		cl := tc.connect(idx, client.Options{})
+		path := fmt.Sprintf("/via-%d", idx)
+		if _, err := cl.Create(path, []byte("v"), 0); err != nil {
+			t.Fatalf("create via %d: %v", idx, err)
+		}
+		data, stat, err := cl.Get(path)
+		if err != nil || !bytes.Equal(data, []byte("v")) {
+			t.Fatalf("get via %d: %q, %v", idx, data, err)
+		}
+		if stat.Version != 0 {
+			t.Fatalf("version = %d", stat.Version)
+		}
+		if err := cl.Delete(path, -1); err != nil {
+			t.Fatal(err)
+		}
+		_ = cl.Close()
+	}
+}
+
+func TestSessionFIFOReadYourWrites(t *testing.T) {
+	// ZooKeeper's session guarantee: a pipelined GET never observes
+	// state older than the session's own preceding SETs (it may observe
+	// newer committed state). The data version encodes the SET count.
+	tc := newTestCluster(t, 3)
+	cl := tc.connect(0, client.Options{})
+	defer cl.Close()
+
+	if _, err := cl.Create("/fifo", []byte("v0"), 0); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 30
+	futures := make([]*client.Future, 0, rounds*2)
+	for i := 0; i < rounds; i++ {
+		val := []byte(fmt.Sprintf("v%d", i+1))
+		futures = append(futures, cl.SetAsync("/fifo", val, -1))
+		futures = append(futures, cl.GetAsync("/fifo", false))
+	}
+	prevVersion := int32(-1)
+	for i := 0; i < rounds; i++ {
+		setRes := futures[2*i].Wait()
+		getRes := futures[2*i+1].Wait()
+		if setRes.Err != nil || getRes.Err != nil {
+			t.Fatalf("round %d: set=%v get=%v", i, setRes.Err, getRes.Err)
+		}
+		// Read-your-writes: at least i+1 SETs visible.
+		if getRes.Stat.Version < int32(i+1) {
+			t.Fatalf("round %d: GET observed version %d, want >= %d (read overtook write)",
+				i, getRes.Stat.Version, i+1)
+		}
+		// Monotonic reads within the session.
+		if getRes.Stat.Version < prevVersion {
+			t.Fatalf("round %d: version went backwards %d -> %d", i, prevVersion, getRes.Stat.Version)
+		}
+		prevVersion = getRes.Stat.Version
+	}
+}
+
+func TestSequentialNodesUniqueUnderContention(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	setup := tc.connect(0, client.Options{})
+	if _, err := setup.Create("/seq", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = setup.Close()
+
+	const workers, each = 6, 10
+	paths := make(chan string, workers*each)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := tc.connect(w%3, client.Options{})
+			defer cl.Close()
+			for i := 0; i < each; i++ {
+				p, err := cl.Create("/seq/n-", nil, wire.FlagSequential)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				paths <- p
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(paths)
+	seen := make(map[string]bool)
+	for p := range paths {
+		if seen[p] {
+			t.Fatalf("duplicate sequential path %q", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != workers*each {
+		t.Fatalf("created %d unique nodes, want %d", len(seen), workers*each)
+	}
+}
+
+func TestWatchDeliveredAcrossReplicas(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	events := make(chan wire.WatcherEvent, 4)
+	watcher := tc.connect(1, client.Options{OnEvent: func(ev wire.WatcherEvent) { events <- ev }})
+	defer watcher.Close()
+	writer := tc.connect(2, client.Options{})
+	defer writer.Close()
+
+	if _, err := writer.Create("/w", []byte("a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Watch may race the commit propagation to replica 1.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, err := watcher.GetW("/w"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node never appeared on follower")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := writer.Set("/w", []byte("b"), -1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Type != wire.EventNodeDataChanged || ev.Path != "/w" {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch event not delivered")
+	}
+}
+
+func TestEphemeralCleanupOnDisconnect(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	owner := tc.connect(0, client.Options{})
+	observer := tc.connect(1, client.Options{})
+	defer observer.Close()
+
+	if _, err := owner.Create("/eph", []byte("x"), wire.FlagEphemeral); err != nil {
+		t.Fatal(err)
+	}
+	// Visible from another replica.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := observer.Exists("/eph"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ephemeral never appeared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_ = owner.Close()
+
+	// After the owner disconnects the node disappears everywhere.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if _, err := observer.Exists("/eph"); err != nil {
+			return // gone
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ephemeral not cleaned up after session close")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestVersionConflictsSurface(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	cl := tc.connect(0, client.Options{})
+	defer cl.Close()
+	if _, err := cl.Create("/v", []byte("a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Set("/v", []byte("b"), 42); err == nil {
+		t.Fatal("bad version SET must fail")
+	}
+	if err := cl.Delete("/v", 42); err == nil {
+		t.Fatal("bad version DELETE must fail")
+	}
+	if _, err := cl.Set("/v", []byte("b"), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorReplies(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	cl := tc.connect(0, client.Options{})
+	defer cl.Close()
+
+	if _, _, err := cl.Get("/missing"); err == nil {
+		t.Fatal("GET missing must fail")
+	}
+	if _, err := cl.Create("/missing/child", nil, 0); err == nil {
+		t.Fatal("CREATE under missing parent must fail")
+	}
+	if _, err := cl.Create("/dup", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Create("/dup", nil, 0); err == nil {
+		t.Fatal("duplicate CREATE must fail")
+	}
+	if _, err := cl.Children("/missing"); err == nil {
+		t.Fatal("LS missing must fail")
+	}
+	if _, err := cl.Create("bad-relative-path", nil, 0); err == nil {
+		t.Fatal("relative path must fail")
+	}
+}
+
+func TestSyncOperation(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	cl := tc.connect(1, client.Options{})
+	defer cl.Close()
+	if err := cl.Sync("/"); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+}
+
+func TestReplicasConvergeUnderLoad(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := tc.connect(w, client.Options{})
+			defer cl.Close()
+			for i := 0; i < 30; i++ {
+				path := fmt.Sprintf("/load-%d-%d", w, i)
+				if _, err := cl.Create(path, []byte("x"), 0); err != nil {
+					t.Errorf("create %s: %v", path, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// All replicas converge to the same tree.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		d0 := tc.replicas[0].Tree().Digest()
+		if tc.replicas[1].Tree().Digest() == d0 && tc.replicas[2].Tree().Digest() == d0 {
+			if tc.replicas[0].Tree().Count() != 91 { // 90 nodes + root
+				t.Fatalf("count = %d", tc.replicas[0].Tree().Count())
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("replicas did not converge: %d/%d/%d nodes",
+		tc.replicas[0].Tree().Count(), tc.replicas[1].Tree().Count(), tc.replicas[2].Tree().Count())
+}
+
+func TestOpsCounters(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	cl := tc.connect(0, client.Options{})
+	defer cl.Close()
+	if _, err := cl.Create("/ops", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Get("/ops"); err != nil {
+		t.Fatal(err)
+	}
+	reads, writes := tc.replicas[0].Ops()
+	if reads < 1 || writes < 1 {
+		t.Fatalf("ops = %d reads, %d writes", reads, writes)
+	}
+}
+
+func TestPlainSequenceAppender(t *testing.T) {
+	p, err := PlainSequenceAppender("/a/b-", 7)
+	if err != nil || p != "/a/b-0000000007" {
+		t.Fatalf("got %q, %v", p, err)
+	}
+}
+
+func TestInterceptorErrorKillsSession(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	a, b := transport.NewChanPipe()
+	rejecting := rejectingInterceptor{}
+	done := make(chan error, 1)
+	go func() { done <- tc.replicas[0].ServeConn(b, rejecting) }()
+	cl, err := client.Connect(a, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.Get("/x"); err == nil {
+		t.Fatal("request through rejecting interceptor must fail")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("session did not terminate")
+	}
+}
+
+type rejectingInterceptor struct{}
+
+func (rejectingInterceptor) OnRequest(msg []byte) ([]byte, error) {
+	return nil, fmt.Errorf("rejected")
+}
+
+func (rejectingInterceptor) OnResponse(msg []byte) ([]byte, error) { return msg, nil }

@@ -1,0 +1,241 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"securekeeper/internal/transport"
+	"securekeeper/internal/wire"
+)
+
+// inflightReq is one request in a session's FIFO queue.
+type inflightReq struct {
+	xid  int32
+	op   wire.OpCode
+	body []byte
+
+	mu   sync.Mutex
+	done bool
+	resp []byte
+}
+
+func (e *inflightReq) complete(resp []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return
+	}
+	e.done = true
+	e.resp = resp
+}
+
+func (e *inflightReq) fail(code wire.ErrCode) {
+	e.complete(errorReply(e.xid, 0, code))
+}
+
+func (e *inflightReq) result() ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.resp, e.done
+}
+
+// watchEventBuffer bounds the out-of-band watch notification queue per
+// session; beyond it, events are dropped (watches are one-shot hints,
+// and an unresponsive client must not stall the commit path).
+const watchEventBuffer = 1024
+
+// session serializes one client connection: a reader goroutine decodes
+// and dispatches requests; the writer goroutine releases responses
+// strictly in request order (ZooKeeper's per-session FIFO guarantee,
+// which the entry enclave's response-matching queue relies on, §4.2).
+// Reads never overtake earlier writes of the same session: a read is
+// executed only when it reaches the head of the queue.
+type session struct {
+	id    int64
+	rep   *Replica
+	conn  transport.Conn
+	icept Interceptor
+
+	mu     sync.Mutex
+	queue  []*inflightReq
+	closed bool
+
+	kickCh  chan struct{}
+	events  chan wire.WatcherEvent
+	stopped chan struct{}
+	writerD chan struct{}
+}
+
+func newSession(r *Replica, id int64, conn transport.Conn, icept Interceptor) *session {
+	return &session{
+		id:      id,
+		rep:     r,
+		conn:    conn,
+		icept:   icept,
+		kickCh:  make(chan struct{}, 1),
+		events:  make(chan wire.WatcherEvent, watchEventBuffer),
+		stopped: make(chan struct{}),
+		writerD: make(chan struct{}),
+	}
+}
+
+// Notify implements ztree.Watcher: enqueue without blocking.
+func (s *session) Notify(ev wire.WatcherEvent) {
+	select {
+	case s.events <- ev:
+		s.kick()
+	default:
+		// Drop: the client's event queue is full.
+	}
+}
+
+// kick wakes the writer goroutine.
+func (s *session) kick() {
+	select {
+	case s.kickCh <- struct{}{}:
+	default:
+	}
+}
+
+// shutdown closes the connection and stops the writer.
+func (s *session) shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopped)
+	_ = s.conn.Close()
+}
+
+// run processes the session until the connection ends. It blocks.
+func (s *session) run() error {
+	go s.writer()
+	err := s.reader()
+	s.shutdown()
+	<-s.writerD
+	return err
+}
+
+func (s *session) reader() error {
+	for {
+		frame, err := s.conn.RecvFrame()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("server: session %d recv: %w", s.id, err)
+		}
+		msg, err := s.icept.OnRequest(frame)
+		if err != nil {
+			// The interceptor (entry enclave) rejected the message:
+			// protocol violation or integrity failure; drop the client.
+			return fmt.Errorf("server: session %d intercept: %w", s.id, err)
+		}
+		var hdr wire.RequestHeader
+		d := wire.NewDecoder(msg)
+		if err := hdr.Deserialize(d); err != nil {
+			return fmt.Errorf("server: session %d header: %w", s.id, err)
+		}
+		body := msg[d.Offset():]
+
+		entry := &inflightReq{xid: hdr.Xid, op: hdr.Op, body: body}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil
+		}
+		s.queue = append(s.queue, entry)
+		s.mu.Unlock()
+
+		// SYNC is agreed like a write: its commit is the flush point.
+		if hdr.Op.IsWrite() || hdr.Op == wire.OpSync {
+			s.rep.handleWrite(s, entry)
+		} else {
+			s.kick() // reads execute when they reach the queue head
+		}
+		if hdr.Op == wire.OpCloseSession {
+			// Stop reading; the writer drains the close response.
+			return nil
+		}
+	}
+}
+
+// writer releases responses in FIFO order and interleaves watch events.
+func (s *session) writer() {
+	defer close(s.writerD)
+	for {
+		// Drain due responses.
+		for {
+			s.mu.Lock()
+			if len(s.queue) == 0 {
+				s.mu.Unlock()
+				break
+			}
+			head := s.queue[0]
+			s.mu.Unlock()
+
+			resp, done := head.result()
+			if !done {
+				if head.op.IsWrite() || head.op == wire.OpSync {
+					break // wait for commit
+				}
+				// Head-of-queue read: execute now against the tree.
+				resp = s.rep.handleRead(s, head)
+				head.complete(resp)
+			}
+			if resp == nil {
+				resp, _ = head.result()
+			}
+			s.mu.Lock()
+			s.queue = s.queue[1:]
+			s.mu.Unlock()
+			if !s.send(resp) {
+				return
+			}
+			if head.op == wire.OpCloseSession {
+				s.shutdown()
+				return
+			}
+		}
+		// Drain watch events.
+		for {
+			select {
+			case ev := <-s.events:
+				hdr := wire.ReplyHeader{Xid: wire.WatcherEventXid, Err: wire.ErrOK}
+				if !s.send(wire.MarshalPair(&hdr, &ev)) {
+					return
+				}
+				continue
+			default:
+			}
+			break
+		}
+		select {
+		case <-s.kickCh:
+		case <-s.stopped:
+			return
+		}
+	}
+}
+
+// send applies the response interceptor and writes the frame. Returns
+// false when the session is finished.
+func (s *session) send(resp []byte) bool {
+	out, err := s.icept.OnResponse(resp)
+	if err != nil {
+		// The entry enclave refused to release the response (e.g.
+		// decryption failed in an unrecoverable way): kill the session
+		// rather than leak anything.
+		s.shutdown()
+		return false
+	}
+	if err := s.conn.SendFrame(out); err != nil {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,72 @@
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Sealing errors.
+var (
+	ErrUnsealFailed = errors.New("sgx: unseal failed (wrong enclave or tampered blob)")
+)
+
+// sealingKey derives the per-measurement sealing key from the CPU fuse
+// key, the MRENCLAVE sealing policy: only an enclave with the same
+// measurement on the same CPU derives the same key. This is the
+// mechanism §4.5 uses so that entry enclaves on a replica can unseal the
+// storage key provisioned to a sibling without a fresh attestation.
+func (r *Runtime) sealingKey(m Measurement) []byte {
+	h := hmac.New(sha256.New, r.cpuKey[:])
+	h.Write([]byte("seal"))
+	h.Write(m[:])
+	return h.Sum(nil)[:16]
+}
+
+// Seal encrypts data so that only enclaves with e's measurement on this
+// runtime's CPU can recover it.
+func (e *Enclave) Seal(data []byte) ([]byte, error) {
+	if e.destroyed.Load() {
+		return nil, ErrEnclaveDestroyed
+	}
+	block, err := aes.NewCipher(e.runtime.sealingKey(e.measurement))
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal gcm: %w", err)
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("sgx: seal nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, data, e.measurement[:]), nil
+}
+
+// Unseal recovers data sealed by an enclave with the same measurement.
+func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
+	if e.destroyed.Load() {
+		return nil, ErrEnclaveDestroyed
+	}
+	block, err := aes.NewCipher(e.runtime.sealingKey(e.measurement))
+	if err != nil {
+		return nil, fmt.Errorf("sgx: unseal cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: unseal gcm: %w", err)
+	}
+	if len(blob) < aead.NonceSize() {
+		return nil, ErrUnsealFailed
+	}
+	plain, err := aead.Open(nil, blob[:aead.NonceSize()], blob[aead.NonceSize():], e.measurement[:])
+	if err != nil {
+		return nil, ErrUnsealFailed
+	}
+	return plain, nil
+}

@@ -1,0 +1,251 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func testRuntime() *Runtime {
+	return NewRuntime(EPCUsableBytes, DefaultCostModel(), false)
+}
+
+func TestEPCHitAndFault(t *testing.T) {
+	epc := NewEPC(4 * PageSize)
+	if kind := epc.Access(1, 0); kind != AccessPageFault {
+		t.Fatalf("first access = %v, want fault", kind)
+	}
+	if kind := epc.Access(1, 0); kind != AccessDRAM {
+		t.Fatalf("second access = %v, want hit", kind)
+	}
+	hits, faults := epc.Stats()
+	if hits != 1 || faults != 1 {
+		t.Fatalf("stats = %d hits, %d faults", hits, faults)
+	}
+}
+
+func TestEPCLRUEviction(t *testing.T) {
+	epc := NewEPC(2 * PageSize) // capacity 2 pages
+	epc.Access(1, 0)            // fault, resident {0}
+	epc.Access(1, 1)            // fault, resident {0,1}
+	epc.Access(1, 0)            // hit, 0 now most recent
+	epc.Access(1, 2)            // fault, evicts 1 (LRU)
+	if kind := epc.Access(1, 0); kind != AccessDRAM {
+		t.Fatalf("page 0 should be resident, got %v", kind)
+	}
+	if kind := epc.Access(1, 1); kind != AccessPageFault {
+		t.Fatalf("page 1 should have been evicted, got %v", kind)
+	}
+}
+
+func TestEPCEvictEnclave(t *testing.T) {
+	epc := NewEPC(8 * PageSize)
+	epc.Access(1, 0)
+	epc.Access(2, 0)
+	epc.Evict(1)
+	if epc.ResidentPages() != 1 {
+		t.Fatalf("resident = %d, want 1", epc.ResidentPages())
+	}
+	if kind := epc.Access(2, 0); kind != AccessDRAM {
+		t.Fatalf("enclave 2's page must survive, got %v", kind)
+	}
+}
+
+func TestEnclaveCreateAndSize(t *testing.T) {
+	rt := testRuntime()
+	e, err := rt.Create(Spec{CodeIdentity: "t", CodeBytes: 100 << 10, HeapBytes: 50 << 10, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(100<<10 + 50<<10 + 2*(64<<10))
+	if e.SizeBytes() != want {
+		t.Fatalf("size = %d, want %d", e.SizeBytes(), want)
+	}
+	if rt.EnclaveCount() != 1 || rt.TotalEnclaveBytes() != want {
+		t.Fatal("runtime accounting wrong")
+	}
+	rt.Destroy(e)
+	if rt.EnclaveCount() != 0 {
+		t.Fatal("destroy must deregister")
+	}
+}
+
+func TestCreateRejectsEmptySpec(t *testing.T) {
+	rt := testRuntime()
+	if _, err := rt.Create(Spec{CodeIdentity: "t", CodeBytes: -100000, StackBytes: 1}); err == nil {
+		t.Fatal("non-positive size must be rejected")
+	}
+}
+
+func TestEcallCopySemantics(t *testing.T) {
+	rt := testRuntime()
+	e, err := rt.Create(Spec{
+		CodeIdentity: "t", CodeBytes: 4096,
+		Ecalls: map[string]EcallFunc{
+			"grow": func(buf []byte, msgLen int) (int, error) {
+				// Append four bytes, as the entry enclave does.
+				copy(buf[msgLen:], "TAIL")
+				return msgLen + 4, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	copy(buf, "abcd")
+	n, err := e.Ecall("grow", buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 || string(buf[:n]) != "abcdTAIL" {
+		t.Fatalf("buf = %q (n=%d)", buf[:n], n)
+	}
+	if e.EcallCount() != 1 {
+		t.Fatalf("ecall count = %d", e.EcallCount())
+	}
+}
+
+func TestEcallBufferOverflow(t *testing.T) {
+	rt := testRuntime()
+	e, _ := rt.Create(Spec{
+		CodeIdentity: "t", CodeBytes: 4096,
+		Ecalls: map[string]EcallFunc{
+			"huge": func(buf []byte, msgLen int) (int, error) { return len(buf) + 1, nil },
+		},
+	})
+	buf := make([]byte, 8)
+	if _, err := e.Ecall("huge", buf, 4); !errors.Is(err, ErrBufferOverflow) {
+		t.Fatalf("err = %v, want ErrBufferOverflow", err)
+	}
+}
+
+func TestEcallErrors(t *testing.T) {
+	rt := testRuntime()
+	e, _ := rt.Create(Spec{CodeIdentity: "t", CodeBytes: 4096, Ecalls: map[string]EcallFunc{}})
+	if _, err := e.Ecall("missing", make([]byte, 4), 4); !errors.Is(err, ErrUnknownEcall) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := e.Ecall("missing", make([]byte, 4), 10); err == nil {
+		t.Fatal("msgLen > len(buf) must fail")
+	}
+	rt.Destroy(e)
+	if _, err := e.Ecall("missing", make([]byte, 4), 4); !errors.Is(err, ErrEnclaveDestroyed) {
+		t.Fatalf("err after destroy = %v", err)
+	}
+}
+
+func TestEcallChargesCrossingCost(t *testing.T) {
+	rt := testRuntime()
+	e, _ := rt.Create(Spec{
+		CodeIdentity: "t", CodeBytes: 4096,
+		Ecalls: map[string]EcallFunc{
+			"noop": func(buf []byte, msgLen int) (int, error) { return msgLen, nil },
+		},
+	})
+	before := rt.Meter().VirtualNs()
+	if _, err := e.Ecall("noop", make([]byte, 16), 16); err != nil {
+		t.Fatal(err)
+	}
+	charged := rt.Meter().VirtualNs() - before
+	if charged < 2*rt.Cost().CrossingNs {
+		t.Fatalf("charged %f ns, want at least two crossings (%f)", charged, 2*rt.Cost().CrossingNs)
+	}
+}
+
+func TestSealUnseal(t *testing.T) {
+	rt := testRuntime()
+	e1, _ := rt.Create(Spec{CodeIdentity: "same", CodeBytes: 4096})
+	e2, _ := rt.Create(Spec{CodeIdentity: "same", CodeBytes: 4096})
+	e3, _ := rt.Create(Spec{CodeIdentity: "different", CodeBytes: 4096})
+
+	secret := []byte("storage-key-material")
+	blob, err := e1.Seal(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same measurement unseals (the §4.5 sibling-enclave flow).
+	got, err := e2.Unseal(blob)
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Fatalf("sibling unseal = %q, %v", got, err)
+	}
+	// Different measurement must not.
+	if _, err := e3.Unseal(blob); !errors.Is(err, ErrUnsealFailed) {
+		t.Fatalf("foreign unseal err = %v", err)
+	}
+	// Different CPU (runtime) must not.
+	rt2 := testRuntime()
+	e4, _ := rt2.Create(Spec{CodeIdentity: "same", CodeBytes: 4096})
+	if _, err := e4.Unseal(blob); !errors.Is(err, ErrUnsealFailed) {
+		t.Fatalf("cross-CPU unseal err = %v", err)
+	}
+	// Tampered blob must not.
+	blob[len(blob)-1] ^= 1
+	if _, err := e2.Unseal(blob); !errors.Is(err, ErrUnsealFailed) {
+		t.Fatalf("tampered unseal err = %v", err)
+	}
+}
+
+func TestAttestation(t *testing.T) {
+	rt := testRuntime()
+	e, _ := rt.Create(Spec{CodeIdentity: "attested", CodeBytes: 4096})
+	q := e.GenerateQuote([]byte("report-data"))
+
+	if err := VerifyQuote(rt.QuoteVerificationKey(), q, MeasureCode("attested")); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+	if err := VerifyQuote(rt.QuoteVerificationKey(), q, MeasureCode("other")); !errors.Is(err, ErrMeasurementRejected) {
+		t.Fatalf("wrong measurement: %v", err)
+	}
+	if err := VerifyQuote(rt.QuoteVerificationKey(), nil, MeasureCode("attested")); !errors.Is(err, ErrAttestationIncomplete) {
+		t.Fatalf("nil quote: %v", err)
+	}
+	// Forged signature.
+	q.Signature[0] ^= 1
+	if err := VerifyQuote(rt.QuoteVerificationKey(), q, MeasureCode("attested")); !errors.Is(err, ErrQuoteInvalid) {
+		t.Fatalf("forged quote: %v", err)
+	}
+	// Different platform's key must not verify.
+	rt2 := testRuntime()
+	q2 := e.GenerateQuote(nil)
+	if err := VerifyQuote(rt2.QuoteVerificationKey(), q2, MeasureCode("attested")); err == nil {
+		t.Fatal("cross-platform quote verified")
+	}
+}
+
+func TestTouchRandomPageCosts(t *testing.T) {
+	rt := testRuntime()
+	e, _ := rt.Create(Spec{CodeIdentity: "t", CodeBytes: 4096, HeapBytes: 256 << 20})
+
+	// Small buffer: L3.
+	if kind := e.TouchRandomPage(4<<20, 0, false); kind != AccessL3 {
+		t.Fatalf("4 MB buffer = %v, want L3", kind)
+	}
+	// Mid buffer: DRAM after first touch.
+	e.TouchRandomPage(64<<20, 7, false)
+	if kind := e.TouchRandomPage(64<<20, 7, false); kind != AccessDRAM {
+		t.Fatalf("64 MB resident page = %v, want DRAM", kind)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter(false)
+	m.Charge(100)
+	m.Charge(50)
+	if m.VirtualNs() != 150 {
+		t.Fatalf("virtual = %f", m.VirtualNs())
+	}
+	m.Reset()
+	if m.VirtualNs() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMeasureCodeDeterministic(t *testing.T) {
+	if MeasureCode("a") != MeasureCode("a") {
+		t.Fatal("measurement must be deterministic")
+	}
+	if MeasureCode("a") == MeasureCode("b") {
+		t.Fatal("distinct identities must have distinct measurements")
+	}
+}

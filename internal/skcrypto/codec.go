@@ -1,0 +1,297 @@
+// Package skcrypto implements SecureKeeper's storage cryptography
+// (§4.3, §5.2): AES-GCM-128 encryption of znode payloads and path
+// names so that the untrusted replica only ever handles ciphertext.
+//
+// Paths are encrypted chunk-by-chunk (split at '/') so the znode
+// hierarchy — and with it the getChildren operation — keeps working on
+// ciphertext. Each chunk's IV is the SHA-256 hash of the plaintext path
+// prefix up to and including the chunk, making encryption deterministic
+// (equal paths encrypt equal, so the untrusted tree can address nodes
+// by ciphertext) while never reusing an IV across distinct paths. The
+// IV and the GCM authentication tag travel with the chunk, Base64url-
+// encoded to stay clear of '/' and other characters illegal in paths.
+//
+// Payloads are bound to their path by appending the SHA-256 hash of the
+// plaintext path (plus a sequential-node marker byte) before
+// encryption; on decryption the entry enclave verifies the binding so
+// an attacker cannot swap the payloads of two znodes (§4.3).
+package skcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// KeySize is the AES-GCM-128 key length used for storage encryption.
+const KeySize = 16
+
+// Layout constants.
+const (
+	ivSize   = 12 // GCM nonce
+	tagSize  = 16 // GCM authentication tag (the paper's "HMAC")
+	hashSize = sha256.Size
+	// seqFlag sizes the sequential-node marker appended to payloads.
+	seqFlagSize = 1
+	// PayloadOverhead is the ciphertext expansion of a payload:
+	// IV + binding hash + flag byte + GCM tag.
+	PayloadOverhead = ivSize + hashSize + seqFlagSize + tagSize
+	// SeqDigits is the width of the sequence suffix ZooKeeper appends
+	// to sequential node names (%010d).
+	SeqDigits = 10
+)
+
+// Codec errors.
+var (
+	ErrBadKeySize    = errors.New("skcrypto: key must be 16 bytes")
+	ErrDecrypt       = errors.New("skcrypto: decryption failed (tampered or wrong key)")
+	ErrBinding       = errors.New("skcrypto: payload is not bound to this path")
+	ErrMalformedPath = errors.New("skcrypto: malformed encrypted path")
+	ErrShortPayload  = errors.New("skcrypto: ciphertext too short")
+)
+
+var b64 = base64.RawURLEncoding
+
+// Codec performs storage encryption with the shared enclave key.
+type Codec struct {
+	aead cipher.AEAD
+}
+
+// NewCodec builds a codec from the 16-byte storage key.
+func NewCodec(key []byte) (*Codec, error) {
+	if len(key) != KeySize {
+		return nil, ErrBadKeySize
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("skcrypto: cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("skcrypto: gcm: %w", err)
+	}
+	return &Codec{aead: aead}, nil
+}
+
+// --- path encryption ---
+
+// chunkIV derives the deterministic IV for a chunk from the plaintext
+// path prefix up to and including the chunk (§4.3: the chunk's own
+// plaintext must participate, otherwise all children of one parent
+// would share an IV).
+func chunkIV(prefix string) []byte {
+	sum := sha256.Sum256([]byte("skpath:" + prefix))
+	return sum[:ivSize]
+}
+
+// encryptChunk encrypts one path element with the IV for prefix.
+func (c *Codec) encryptChunk(prefix, chunk string) string {
+	iv := chunkIV(prefix)
+	ct := c.aead.Seal(nil, iv, []byte(chunk), []byte("path"))
+	out := make([]byte, 0, ivSize+len(ct))
+	out = append(out, iv...)
+	out = append(out, ct...)
+	return b64.EncodeToString(out)
+}
+
+// DecryptChunk decrypts a single encrypted path element (used for the
+// children names returned by LS, where the request gives no prefix IV —
+// which is why the IV is appended to every chunk, §4.3).
+func (c *Codec) DecryptChunk(enc string) (string, error) {
+	raw, err := b64.DecodeString(enc)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrMalformedPath, err)
+	}
+	if len(raw) < ivSize+tagSize {
+		return "", ErrMalformedPath
+	}
+	plain, err := c.aead.Open(nil, raw[:ivSize], raw[ivSize:], []byte("path"))
+	if err != nil {
+		return "", ErrDecrypt
+	}
+	return string(plain), nil
+}
+
+// EncryptPath encrypts every element of an absolute plaintext path,
+// preserving the hierarchy. EncryptPath("/") returns "/".
+func (c *Codec) EncryptPath(plain string) (string, error) {
+	if plain == "" || plain[0] != '/' {
+		return "", fmt.Errorf("%w: %q is not absolute", ErrMalformedPath, plain)
+	}
+	if plain == "/" {
+		return "/", nil
+	}
+	chunks := strings.Split(plain[1:], "/")
+	var sb strings.Builder
+	prefix := ""
+	for _, chunk := range chunks {
+		if chunk == "" {
+			return "", fmt.Errorf("%w: empty element in %q", ErrMalformedPath, plain)
+		}
+		prefix += "/" + chunk
+		sb.WriteByte('/')
+		sb.WriteString(c.encryptChunk(prefix, chunk))
+	}
+	return sb.String(), nil
+}
+
+// DecryptPath reverses EncryptPath.
+func (c *Codec) DecryptPath(enc string) (string, error) {
+	if enc == "" || enc[0] != '/' {
+		return "", fmt.Errorf("%w: %q is not absolute", ErrMalformedPath, enc)
+	}
+	if enc == "/" {
+		return "/", nil
+	}
+	var sb strings.Builder
+	for _, chunk := range strings.Split(enc[1:], "/") {
+		plain, err := c.DecryptChunk(chunk)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteByte('/')
+		sb.WriteString(plain)
+	}
+	return sb.String(), nil
+}
+
+// AppendSequenceToPath implements the counter enclave's data processing
+// (§4.4): decrypt the encrypted path, append the ZooKeeper-formatted
+// sequence number to its final element, and re-encrypt the whole path
+// (the final chunk's new name changes its IV, and only the enclave can
+// compute it).
+func (c *Codec) AppendSequenceToPath(encPath string, seq int32) (string, error) {
+	plain, err := c.DecryptPath(encPath)
+	if err != nil {
+		return "", err
+	}
+	return c.EncryptPath(AppendSequence(plain, seq))
+}
+
+// AppendSequence appends the zero-padded sequence number to a plaintext
+// path, matching ZooKeeper's "%010d" convention.
+func AppendSequence(plain string, seq int32) string {
+	return fmt.Sprintf("%s%010d", plain, seq)
+}
+
+// StripSequence removes a trailing sequence suffix from a plaintext
+// path if present, returning the base path and whether one was found.
+func StripSequence(plain string) (string, bool) {
+	if len(plain) < SeqDigits {
+		return plain, false
+	}
+	suffix := plain[len(plain)-SeqDigits:]
+	for i := 0; i < SeqDigits; i++ {
+		if suffix[i] < '0' || suffix[i] > '9' {
+			return plain, false
+		}
+	}
+	return plain[:len(plain)-SeqDigits], true
+}
+
+// --- payload encryption ---
+
+// pathBindingHash hashes the plaintext path a payload is bound to.
+func pathBindingHash(plainPath string) []byte {
+	sum := sha256.Sum256([]byte("skbind:" + plainPath))
+	return sum[:]
+}
+
+// EncryptPayload encrypts payload bound to plainPath. For sequential
+// nodes the binding hash covers the path *without* the sequence number
+// (the entry enclave encrypts before the counter enclave appends it,
+// §4.4), and the marker byte records that choice for verification.
+func (c *Codec) EncryptPayload(plainPath string, payload []byte, sequential bool) ([]byte, error) {
+	iv := make([]byte, ivSize)
+	if _, err := rand.Read(iv); err != nil {
+		return nil, fmt.Errorf("skcrypto: payload iv: %w", err)
+	}
+	inner := make([]byte, 0, len(payload)+hashSize+seqFlagSize)
+	inner = append(inner, payload...)
+	inner = append(inner, pathBindingHash(plainPath)...)
+	if sequential {
+		inner = append(inner, 1)
+	} else {
+		inner = append(inner, 0)
+	}
+	out := make([]byte, 0, ivSize+len(inner)+tagSize)
+	out = append(out, iv...)
+	return c.aead.Seal(out, iv, inner, []byte("payload")), nil
+}
+
+// DecryptPayload decrypts a stored payload and verifies its binding to
+// actualPath (the plaintext path the client addressed). For payloads
+// whose sequential marker is set, the sequence suffix is stripped from
+// actualPath before comparing binding hashes.
+func (c *Codec) DecryptPayload(actualPath string, ct []byte) ([]byte, error) {
+	if len(ct) < PayloadOverhead {
+		return nil, ErrShortPayload
+	}
+	inner, err := c.aead.Open(nil, ct[:ivSize], ct[ivSize:], []byte("payload"))
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	if len(inner) < hashSize+seqFlagSize {
+		return nil, ErrShortPayload
+	}
+	payload := inner[:len(inner)-hashSize-seqFlagSize]
+	boundHash := inner[len(inner)-hashSize-seqFlagSize : len(inner)-seqFlagSize]
+	sequential := inner[len(inner)-1] == 1
+
+	checkPath := actualPath
+	if sequential {
+		base, ok := StripSequence(actualPath)
+		if !ok {
+			return nil, fmt.Errorf("%w: sequential payload at non-sequential path %q", ErrBinding, actualPath)
+		}
+		checkPath = base
+	}
+	if !hashEqual(pathBindingHash(checkPath), boundHash) {
+		return nil, ErrBinding
+	}
+	return payload, nil
+}
+
+func hashEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var diff byte
+	for i := range a {
+		diff |= a[i] ^ b[i]
+	}
+	return diff == 0
+}
+
+// --- size accounting (Table 2) ---
+
+// EncryptedChunkLen returns the Base64-encoded length of an encrypted
+// path element with the given plaintext length.
+func EncryptedChunkLen(plainLen int) int {
+	return b64.EncodedLen(ivSize + plainLen + tagSize)
+}
+
+// EncryptedPayloadLen returns the stored length of an encrypted payload.
+func EncryptedPayloadLen(plainLen int) int {
+	return plainLen + PayloadOverhead
+}
+
+// PathOverhead returns the total ciphertext expansion of a path: the
+// per-chunk IV+tag+Base64 cost summed over all elements, which grows
+// with the path depth (Table 2: "+relative Overhead ... depends on the
+// depth of the path").
+func PathOverhead(plain string) int {
+	if plain == "/" {
+		return 0
+	}
+	total := 0
+	for _, chunk := range strings.Split(strings.TrimPrefix(plain, "/"), "/") {
+		total += EncryptedChunkLen(len(chunk)) - len(chunk)
+	}
+	return total
+}

@@ -1,0 +1,319 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"securekeeper/internal/ztree"
+)
+
+func sampleTxns(n int) []ztree.Txn {
+	txns := make([]ztree.Txn, 0, n)
+	for i := 0; i < n; i++ {
+		txns = append(txns, ztree.Txn{
+			Zxid: int64(i + 1),
+			Type: ztree.TxnCreate,
+			Path: "/n" + string(rune('a'+i%26)) + string(rune('0'+i%10)),
+			Data: []byte{byte(i)},
+		})
+	}
+	return txns
+}
+
+func TestLogAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	log, err := OpenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns := sampleTxns(20)
+	for i := range txns {
+		if err := log.Append(&txns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []ztree.Txn
+	if err := ReplayLog(dir, func(txn *ztree.Txn) error {
+		got = append(got, *txn)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(txns) {
+		t.Fatalf("replayed %d, want %d", len(got), len(txns))
+	}
+	for i := range got {
+		if got[i].Zxid != txns[i].Zxid || got[i].Path != txns[i].Path {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], txns[i])
+		}
+	}
+}
+
+func TestReplayEmptyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	// Missing log file: no error, no records.
+	count := 0
+	if err := ReplayLog(dir, func(*ztree.Txn) error { count++; return nil }); err != nil || count != 0 {
+		t.Fatalf("missing log: %d records, %v", count, err)
+	}
+	// Empty log file.
+	log, _ := OpenLog(dir)
+	_ = log.Close()
+	if err := ReplayLog(dir, func(*ztree.Txn) error { count++; return nil }); err != nil || count != 0 {
+		t.Fatalf("empty log: %d records, %v", count, err)
+	}
+}
+
+func TestReplayTornTailIsIgnored(t *testing.T) {
+	dir := t.TempDir()
+	log, _ := OpenLog(dir)
+	txns := sampleTxns(5)
+	for i := range txns {
+		if err := log.Append(&txns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = log.Close()
+
+	// Simulate a crash mid-write: truncate the file inside the last
+	// record.
+	path := filepath.Join(dir, logFileName)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := ReplayLog(dir, func(*ztree.Txn) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("replayed %d, want 4 (torn tail dropped)", count)
+	}
+}
+
+func TestReplayMidCorruptionReported(t *testing.T) {
+	dir := t.TempDir()
+	log, _ := OpenLog(dir)
+	txns := sampleTxns(5)
+	for i := range txns {
+		if err := log.Append(&txns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = log.Close()
+
+	// Flip a byte inside the SECOND record's payload.
+	path := filepath.Join(dir, logFileName)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLen := int(uint32(buf[0])<<24 | uint32(buf[1])<<16 | uint32(buf[2])<<8 | uint32(buf[3]))
+	off := recordHeader + firstLen + recordHeader + 2
+	buf[off] ^= 0xFF
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = ReplayLog(dir, func(*ztree.Txn) error { return nil })
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("err = %v, want ErrCorruptRecord", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tree := ztree.New()
+	for i := range sampleTxns(10) {
+		txn := sampleTxns(10)[i]
+		tree.Apply(&txn)
+	}
+	if err := WriteSnapshot(dir, tree.Snapshot(), 10); err != nil {
+		t.Fatal(err)
+	}
+	snap, zxid, err := LoadLatestSnapshot(dir)
+	if err != nil || zxid != 10 {
+		t.Fatalf("load = zxid %d, %v", zxid, err)
+	}
+	restored := ztree.New()
+	restored.Restore(snap)
+	if restored.Digest() != tree.Digest() {
+		t.Fatal("digest mismatch")
+	}
+}
+
+func TestLoadLatestPicksNewest(t *testing.T) {
+	dir := t.TempDir()
+	old := ztree.New()
+	old.Apply(&ztree.Txn{Zxid: 1, Type: ztree.TxnCreate, Path: "/old"})
+	if err := WriteSnapshot(dir, old.Snapshot(), 1); err != nil {
+		t.Fatal(err)
+	}
+	newer := ztree.New()
+	newer.Apply(&ztree.Txn{Zxid: 2, Type: ztree.TxnCreate, Path: "/new"})
+	if err := WriteSnapshot(dir, newer.Snapshot(), 2); err != nil {
+		t.Fatal(err)
+	}
+	snap, zxid, err := LoadLatestSnapshot(dir)
+	if err != nil || zxid != 2 {
+		t.Fatalf("zxid = %d, %v", zxid, err)
+	}
+	restored := ztree.New()
+	restored.Restore(snap)
+	if _, err := restored.Exists("/new"); err != nil {
+		t.Fatal("newest snapshot not selected")
+	}
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	good := ztree.New()
+	good.Apply(&ztree.Txn{Zxid: 1, Type: ztree.TxnCreate, Path: "/good"})
+	if err := WriteSnapshot(dir, good.Snapshot(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// A newer but corrupt snapshot.
+	bad := filepath.Join(dir, snapPrefix+"00000000000000ff")
+	if err := os.WriteFile(bad, []byte("garbage-too-short-or-bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, zxid, err := LoadLatestSnapshot(dir)
+	if err != nil || zxid != 1 {
+		t.Fatalf("fallback failed: zxid %d, %v", zxid, err)
+	}
+	restored := ztree.New()
+	restored.Restore(snap)
+	if _, err := restored.Exists("/good"); err != nil {
+		t.Fatal("fallback snapshot wrong")
+	}
+}
+
+func TestNoSnapshot(t *testing.T) {
+	if _, _, err := LoadLatestSnapshot(t.TempDir()); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := LoadLatestSnapshot(filepath.Join(t.TempDir(), "missing")); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("missing dir err = %v", err)
+	}
+}
+
+func TestPurgeSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	tree := ztree.New()
+	for i := int64(1); i <= 5; i++ {
+		if err := WriteSnapshot(dir, tree.Snapshot(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := PurgeSnapshots(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	count := 0
+	for _, e := range entries {
+		if len(e.Name()) > len(snapPrefix) && e.Name()[:len(snapPrefix)] == snapPrefix {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("snapshots after purge = %d", count)
+	}
+	// The newest must survive.
+	_, zxid, err := LoadLatestSnapshot(dir)
+	if err != nil || zxid != 5 {
+		t.Fatalf("newest lost: zxid %d, %v", zxid, err)
+	}
+}
+
+func TestPersisterRecoveryFullCycle(t *testing.T) {
+	dir := t.TempDir()
+
+	// First life: apply and record transactions, snapshot mid-way.
+	tree := ztree.New()
+	p, zxid, err := Recover(PersisterConfig{Dir: dir, Tree: tree, SnapshotEvery: 7})
+	if err != nil || zxid != 0 {
+		t.Fatalf("fresh recover: zxid %d, %v", zxid, err)
+	}
+	txns := sampleTxns(20)
+	for i := range txns {
+		tree.Apply(&txns[i])
+		if err := p.Record(&txns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.LastApplied() != 20 {
+		t.Fatalf("lastApplied = %d", p.LastApplied())
+	}
+	wantDigest := tree.Digest()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: recover from snapshot + log suffix.
+	tree2 := ztree.New()
+	p2, zxid, err := Recover(PersisterConfig{Dir: dir, Tree: tree2, SnapshotEvery: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if zxid != 20 {
+		t.Fatalf("recovered zxid = %d, want 20", zxid)
+	}
+	if tree2.Digest() != wantDigest {
+		t.Fatal("recovered tree diverges")
+	}
+}
+
+func TestPersisterIdempotentReplayAfterSnapshot(t *testing.T) {
+	// Records both snapshotted and still in the log must not be applied
+	// twice (zxid guard).
+	dir := t.TempDir()
+	tree := ztree.New()
+	p, _, err := Recover(PersisterConfig{Dir: dir, Tree: tree, SnapshotEvery: 1000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns := sampleTxns(5)
+	for i := range txns {
+		tree.Apply(&txns[i])
+		if err := p.Record(&txns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Manual snapshot WITHOUT truncating the log: recovery must skip
+	// the already-reflected records.
+	if err := WriteSnapshot(dir, tree.Snapshot(), 5); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Close()
+
+	tree2 := ztree.New()
+	p2, zxid, err := Recover(PersisterConfig{Dir: dir, Tree: tree2})
+	if err != nil || zxid != 5 {
+		t.Fatalf("recover: %d, %v", zxid, err)
+	}
+	defer p2.Close()
+	if tree2.Digest() != tree.Digest() {
+		t.Fatal("double application detected")
+	}
+}
+
+func TestDirSize(t *testing.T) {
+	dir := t.TempDir()
+	log, _ := OpenLog(dir)
+	txn := ztree.Txn{Zxid: 1, Type: ztree.TxnCreate, Path: "/x", Data: make([]byte, 1000)}
+	_ = log.Append(&txn)
+	_ = log.Close()
+	size, err := DirSize(dir)
+	if err != nil || size < 1000 {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+}

@@ -1,0 +1,273 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFramedConnRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewFramedConn(a), NewFramedConn(b)
+
+	msgs := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xAB}, 70000)}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, m := range msgs {
+			if err := ca.SendFrame(m); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+	}()
+	for _, want := range msgs {
+		got, err := cb.RecvFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame = %d bytes, want %d", len(got), len(want))
+		}
+	}
+	wg.Wait()
+	_ = ca.Close()
+	if _, err := cb.RecvFrame(); err == nil {
+		t.Fatal("recv after close must fail")
+	}
+}
+
+func TestFramedConnTooLarge(t *testing.T) {
+	a, _ := net.Pipe()
+	ca := NewFramedConn(a)
+	if err := ca.SendFrame(make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChanPipeRoundTrip(t *testing.T) {
+	a, b := NewChanPipe()
+	if err := a.SendFrame([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.RecvFrame()
+	if err != nil || string(got) != "ping" {
+		t.Fatalf("recv = %q, %v", got, err)
+	}
+	// Frames are copied: mutating the sender's slice is harmless.
+	payload := []byte("mutate")
+	_ = b.SendFrame(payload)
+	payload[0] = 'X'
+	got, _ = a.RecvFrame()
+	if string(got) != "mutate" {
+		t.Fatalf("frame aliased sender's buffer: %q", got)
+	}
+}
+
+func TestChanPipeClose(t *testing.T) {
+	a, b := NewChanPipe()
+	_ = a.Close()
+	if err := a.SendFrame([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed = %v", err)
+	}
+	if _, err := b.RecvFrame(); err == nil {
+		t.Fatal("peer recv after close must fail")
+	}
+	if err := b.SendFrame([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send to closed peer = %v", err)
+	}
+}
+
+func TestChanPipeDrainsAfterPeerClose(t *testing.T) {
+	a, b := NewChanPipe()
+	if err := a.SendFrame([]byte("last words")); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Close()
+	got, err := b.RecvFrame()
+	if err != nil || string(got) != "last words" {
+		t.Fatalf("queued frame lost: %q, %v", got, err)
+	}
+	if _, err := b.RecvFrame(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after drain = %v, want EOF", err)
+	}
+}
+
+func secureTestPair(t *testing.T, serverVerify, clientVerify PeerVerifier) (*SecureConn, *SecureConn, *Identity, *Identity, error) {
+	t.Helper()
+	serverID, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientID, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewChanPipe()
+	type result struct {
+		conn *SecureConn
+		err  error
+	}
+	srvCh := make(chan result, 1)
+	go func() {
+		sc, err := Handshake(b, serverID, false, serverVerify)
+		srvCh <- result{sc, err}
+	}()
+	clientConn, clientErr := Handshake(a, clientID, true, clientVerify)
+	srv := <-srvCh
+	if clientErr != nil {
+		return nil, nil, serverID, clientID, clientErr
+	}
+	if srv.err != nil {
+		return nil, nil, serverID, clientID, srv.err
+	}
+	return clientConn, srv.conn, serverID, clientID, nil
+}
+
+func TestSecureChannelRoundTrip(t *testing.T) {
+	cli, srv, serverID, clientID, err := secureTestPair(t, VerifyAny(), VerifyAny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cli.Peer().Equal(serverID.Public) || !srv.Peer().Equal(clientID.Public) {
+		t.Fatal("peer identities not exchanged")
+	}
+	for i := 0; i < 10; i++ {
+		msg := bytes.Repeat([]byte{byte(i)}, 100*i+1)
+		if err := cli.SendFrame(msg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := srv.RecvFrame()
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		// And the reverse direction.
+		if err := srv.SendFrame(msg); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := cli.RecvFrame(); err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("reverse %d: %v", i, err)
+		}
+	}
+}
+
+func TestSecureChannelCiphertextOnWire(t *testing.T) {
+	serverID, _ := NewIdentity()
+	clientID, _ := NewIdentity()
+	a, b := NewChanPipe()
+	done := make(chan *SecureConn, 1)
+	go func() {
+		sc, _ := Handshake(b, serverID, false, VerifyAny())
+		done <- sc
+	}()
+	cli, err := Handshake(a, clientID, true, VerifyAny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-done
+
+	secret := []byte("super-secret-password")
+	go func() { _ = cli.SendFrame(secret) }()
+	// Sniff the raw frame under the secure layer by receiving through
+	// the plaintext pipe... we can't both sniff and deliver on a pipe,
+	// so instead assert the sealed frame differs from the plaintext.
+	raw, err := b.RecvFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, secret) {
+		t.Fatal("plaintext visible on the wire")
+	}
+	if len(raw) != len(secret)+16 {
+		t.Fatalf("sealed length %d, want %d+16", len(raw), len(secret))
+	}
+	_ = srv
+}
+
+func TestSecureChannelRejectsWrongIdentity(t *testing.T) {
+	otherID, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client pins a key the server does not have.
+	_, _, _, _, herr := secureTestPair(t, VerifyAny(), VerifyExact(otherID.Public))
+	if herr == nil {
+		t.Fatal("handshake with wrong pinned key must fail")
+	}
+	if !errors.Is(herr, ErrBadPeerIdentity) {
+		t.Fatalf("err = %v, want ErrBadPeerIdentity", herr)
+	}
+}
+
+func TestSecureChannelTamperDetection(t *testing.T) {
+	serverID, _ := NewIdentity()
+	clientID, _ := NewIdentity()
+	a, b := NewChanPipe()
+	done := make(chan *SecureConn, 1)
+	go func() {
+		sc, _ := Handshake(b, serverID, false, VerifyAny())
+		done <- sc
+	}()
+	cli, err := Handshake(a, clientID, true, VerifyAny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-done
+
+	// Intercept and flip one bit: receive raw, tamper, reinject by
+	// sealing is impossible — instead send garbage directly.
+	go func() { _ = a.SendFrame([]byte("not a valid record")) }()
+	if _, err := srv.RecvFrame(); !errors.Is(err, ErrRecordTampered) {
+		t.Fatalf("err = %v, want ErrRecordTampered", err)
+	}
+	_ = cli
+}
+
+func TestSecureChannelGarbageHandshake(t *testing.T) {
+	id, _ := NewIdentity()
+	a, b := NewChanPipe()
+	go func() {
+		_ = b.SendFrame([]byte("garbage"))
+		_, _ = b.RecvFrame()
+	}()
+	if _, err := Handshake(a, id, true, VerifyAny()); err == nil {
+		t.Fatal("garbage handshake must fail")
+	}
+}
+
+// Property: all payload sizes survive the secure channel.
+func TestQuickSecureChannelPayloads(t *testing.T) {
+	cli, srv, _, _, err := secureTestPair(t, VerifyAny(), VerifyAny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(payload []byte) bool {
+		if err := cli.SendFrame(payload); err != nil {
+			return false
+		}
+		got, err := srv.RecvFrame()
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHKDFDeterministic(t *testing.T) {
+	a := hkdfExpand([]byte("secret"), "label", 32)
+	b := hkdfExpand([]byte("secret"), "label", 32)
+	if !bytes.Equal(a, b) {
+		t.Fatal("HKDF must be deterministic")
+	}
+	c := hkdfExpand([]byte("secret"), "other", 32)
+	if bytes.Equal(a, c) {
+		t.Fatal("labels must separate keys")
+	}
+	if len(hkdfExpand([]byte("s"), "l", 100)) != 100 {
+		t.Fatal("length not honored")
+	}
+}

@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec limits, chosen to match ZooKeeper's jute.maxbuffer default (1 MB)
+// plus headroom for the SecureKeeper ciphertext expansion (~33 % Base64 +
+// IV/HMAC per path chunk).
+const (
+	// MaxBufferSize bounds any single serialized buffer or string.
+	MaxBufferSize = 4 << 20
+	// MaxVectorLen bounds the number of elements in a serialized vector.
+	MaxVectorLen = 1 << 20
+)
+
+// Serialization errors.
+var (
+	ErrBufferTooLarge = errors.New("wire: buffer exceeds maximum size")
+	ErrShortBuffer    = errors.New("wire: short buffer")
+	ErrNegativeLen    = errors.New("wire: negative length")
+)
+
+// Encoder serializes primitive values into a growable byte slice using
+// big-endian, length-prefixed encoding (the jute convention).
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the serialized contents. The returned slice aliases the
+// encoder's internal buffer; callers that retain it must not reuse the
+// encoder afterwards.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes written so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset truncates the encoder for reuse, retaining the allocation.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// WriteBool appends a boolean as a single byte.
+func (e *Encoder) WriteBool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// WriteByte appends a raw byte.
+func (e *Encoder) WriteByte(v byte) error {
+	e.buf = append(e.buf, v)
+	return nil
+}
+
+// WriteInt32 appends a big-endian int32.
+func (e *Encoder) WriteInt32(v int32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(v))
+}
+
+// WriteInt64 appends a big-endian int64.
+func (e *Encoder) WriteInt64(v int64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, uint64(v))
+}
+
+// WriteBuffer appends a length-prefixed byte buffer. A nil buffer is
+// encoded with length -1, matching jute semantics.
+func (e *Encoder) WriteBuffer(v []byte) {
+	if v == nil {
+		e.WriteInt32(-1)
+		return
+	}
+	e.WriteInt32(int32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// WriteString appends a length-prefixed UTF-8 string.
+func (e *Encoder) WriteString(v string) {
+	e.WriteInt32(int32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// WriteStringVector appends a length-prefixed vector of strings.
+func (e *Encoder) WriteStringVector(v []string) {
+	if v == nil {
+		e.WriteInt32(-1)
+		return
+	}
+	e.WriteInt32(int32(len(v)))
+	for _, s := range v {
+		e.WriteString(s)
+	}
+}
+
+// Decoder deserializes primitive values from a byte slice.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a decoder over buf. The decoder does not copy buf.
+func NewDecoder(buf []byte) *Decoder {
+	return &Decoder{buf: buf}
+}
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Offset returns the current read position.
+func (d *Decoder) Offset() int { return d.off }
+
+// ReadBool reads a single-byte boolean.
+func (d *Decoder) ReadBool() (bool, error) {
+	b, err := d.ReadByte()
+	if err != nil {
+		return false, err
+	}
+	return b != 0, nil
+}
+
+// ReadByte reads one raw byte.
+func (d *Decoder) ReadByte() (byte, error) {
+	if d.Remaining() < 1 {
+		return 0, ErrShortBuffer
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+// ReadInt32 reads a big-endian int32.
+func (d *Decoder) ReadInt32() (int32, error) {
+	if d.Remaining() < 4 {
+		return 0, ErrShortBuffer
+	}
+	v := int32(binary.BigEndian.Uint32(d.buf[d.off:]))
+	d.off += 4
+	return v, nil
+}
+
+// ReadInt64 reads a big-endian int64.
+func (d *Decoder) ReadInt64() (int64, error) {
+	if d.Remaining() < 8 {
+		return 0, ErrShortBuffer
+	}
+	v := int64(binary.BigEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+// ReadBuffer reads a length-prefixed byte buffer. Length -1 yields nil.
+// The returned slice is a copy, safe to retain.
+func (d *Decoder) ReadBuffer() ([]byte, error) {
+	n, err := d.ReadInt32()
+	if err != nil {
+		return nil, err
+	}
+	if n == -1 {
+		return nil, nil
+	}
+	if n < 0 {
+		return nil, ErrNegativeLen
+	}
+	if n > MaxBufferSize {
+		return nil, ErrBufferTooLarge
+	}
+	if d.Remaining() < int(n) {
+		return nil, ErrShortBuffer
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += int(n)
+	return out, nil
+}
+
+// ReadString reads a length-prefixed UTF-8 string.
+func (d *Decoder) ReadString() (string, error) {
+	n, err := d.ReadInt32()
+	if err != nil {
+		return "", err
+	}
+	if n < 0 {
+		return "", ErrNegativeLen
+	}
+	if n > MaxBufferSize {
+		return "", ErrBufferTooLarge
+	}
+	if d.Remaining() < int(n) {
+		return "", ErrShortBuffer
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// ReadStringVector reads a length-prefixed vector of strings. Length -1
+// yields nil.
+func (d *Decoder) ReadStringVector() ([]string, error) {
+	n, err := d.ReadInt32()
+	if err != nil {
+		return nil, err
+	}
+	if n == -1 {
+		return nil, nil
+	}
+	if n < 0 {
+		return nil, ErrNegativeLen
+	}
+	if n > MaxVectorLen {
+		return nil, fmt.Errorf("wire: vector length %d exceeds limit", n)
+	}
+	out := make([]string, 0, min(int(n), 4096))
+	for i := int32(0); i < n; i++ {
+		s, err := d.ReadString()
+		if err != nil {
+			return nil, fmt.Errorf("wire: vector element %d: %w", i, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Record is any protocol message that knows how to serialize itself.
+type Record interface {
+	Serialize(e *Encoder)
+	Deserialize(d *Decoder) error
+}
+
+// Marshal serializes a record to a fresh byte slice.
+func Marshal(r Record) []byte {
+	e := NewEncoder(64)
+	r.Serialize(e)
+	return e.Bytes()
+}
+
+// Unmarshal deserializes a record from buf and verifies the record
+// consumed the whole buffer.
+func Unmarshal(buf []byte, r Record) error {
+	d := NewDecoder(buf)
+	if err := r.Deserialize(d); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after %T", d.Remaining(), r)
+	}
+	return nil
+}
+
+// MarshalPair serializes a header followed by a body; either may be nil.
+func MarshalPair(header, body Record) []byte {
+	e := NewEncoder(128)
+	if header != nil {
+		header.Serialize(e)
+	}
+	if body != nil {
+		body.Serialize(e)
+	}
+	return e.Bytes()
+}
+
+// ValidInt32 reports whether v fits an int32, guarding conversions in
+// message construction paths.
+func ValidInt32(v int) bool {
+	return v >= math.MinInt32 && v <= math.MaxInt32
+}

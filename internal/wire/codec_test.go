@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncoderDecoderPrimitives(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteBool(true)
+	e.WriteBool(false)
+	_ = e.WriteByte(0xAB)
+	e.WriteInt32(-42)
+	e.WriteInt32(math.MaxInt32)
+	e.WriteInt64(math.MinInt64)
+	e.WriteBuffer([]byte("hello"))
+	e.WriteBuffer(nil)
+	e.WriteBuffer([]byte{})
+	e.WriteString("héllo/wörld")
+	e.WriteStringVector([]string{"a", "", "c"})
+	e.WriteStringVector(nil)
+
+	d := NewDecoder(e.Bytes())
+	if v, err := d.ReadBool(); err != nil || v != true {
+		t.Fatalf("ReadBool = %v, %v", v, err)
+	}
+	if v, err := d.ReadBool(); err != nil || v != false {
+		t.Fatalf("ReadBool = %v, %v", v, err)
+	}
+	if v, err := d.ReadByte(); err != nil || v != 0xAB {
+		t.Fatalf("ReadByte = %v, %v", v, err)
+	}
+	if v, err := d.ReadInt32(); err != nil || v != -42 {
+		t.Fatalf("ReadInt32 = %v, %v", v, err)
+	}
+	if v, err := d.ReadInt32(); err != nil || v != math.MaxInt32 {
+		t.Fatalf("ReadInt32 = %v, %v", v, err)
+	}
+	if v, err := d.ReadInt64(); err != nil || v != math.MinInt64 {
+		t.Fatalf("ReadInt64 = %v, %v", v, err)
+	}
+	if v, err := d.ReadBuffer(); err != nil || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("ReadBuffer = %q, %v", v, err)
+	}
+	if v, err := d.ReadBuffer(); err != nil || v != nil {
+		t.Fatalf("ReadBuffer nil = %v, %v", v, err)
+	}
+	if v, err := d.ReadBuffer(); err != nil || v == nil || len(v) != 0 {
+		t.Fatalf("ReadBuffer empty = %v, %v", v, err)
+	}
+	if v, err := d.ReadString(); err != nil || v != "héllo/wörld" {
+		t.Fatalf("ReadString = %q, %v", v, err)
+	}
+	if v, err := d.ReadStringVector(); err != nil || len(v) != 3 || v[1] != "" {
+		t.Fatalf("ReadStringVector = %v, %v", v, err)
+	}
+	if v, err := d.ReadStringVector(); err != nil || v != nil {
+		t.Fatalf("ReadStringVector nil = %v, %v", v, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(d *Decoder) error
+	}{
+		{"bool", func(d *Decoder) error { _, err := d.ReadBool(); return err }},
+		{"int32", func(d *Decoder) error { _, err := d.ReadInt32(); return err }},
+		{"int64", func(d *Decoder) error { _, err := d.ReadInt64(); return err }},
+		{"buffer", func(d *Decoder) error { _, err := d.ReadBuffer(); return err }},
+		{"string", func(d *Decoder) error { _, err := d.ReadString(); return err }},
+		{"vector", func(d *Decoder) error { _, err := d.ReadStringVector(); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.run(NewDecoder(nil)); err == nil {
+				t.Fatal("want error on empty buffer")
+			}
+		})
+	}
+}
+
+func TestDecoderBufferBodyTruncated(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteInt32(100) // declares 100 bytes, provides none
+	d := NewDecoder(e.Bytes())
+	if _, err := d.ReadBuffer(); err == nil {
+		t.Fatal("want error for truncated buffer body")
+	}
+}
+
+func TestDecoderNegativeLengths(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteInt32(-7)
+	if _, err := NewDecoder(e.Bytes()).ReadBuffer(); err == nil {
+		t.Fatal("want error for negative buffer length other than -1")
+	}
+	if _, err := NewDecoder(e.Bytes()).ReadString(); err == nil {
+		t.Fatal("want error for negative string length")
+	}
+}
+
+func TestDecoderOversizedDeclaration(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteInt32(MaxBufferSize + 1)
+	if _, err := NewDecoder(e.Bytes()).ReadBuffer(); err == nil {
+		t.Fatal("want error for oversized buffer")
+	}
+	if _, err := NewDecoder(e.Bytes()).ReadString(); err == nil {
+		t.Fatal("want error for oversized string")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.WriteInt64(1)
+	if e.Len() != 8 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after reset = %d", e.Len())
+	}
+}
+
+func TestReadBufferCopies(t *testing.T) {
+	e := NewEncoder(0)
+	e.WriteBuffer([]byte{1, 2, 3})
+	raw := e.Bytes()
+	d := NewDecoder(raw)
+	got, err := d.ReadBuffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[4] = 99 // mutate the underlying storage
+	if got[0] != 1 {
+		t.Fatal("ReadBuffer must copy, not alias")
+	}
+}
+
+// Property: every (int32, int64, string, buffer) round-trips.
+func TestQuickPrimitivesRoundTrip(t *testing.T) {
+	f := func(i32 int32, i64 int64, s string, b []byte, flag bool) bool {
+		e := NewEncoder(0)
+		e.WriteInt32(i32)
+		e.WriteInt64(i64)
+		e.WriteString(s)
+		e.WriteBuffer(b)
+		e.WriteBool(flag)
+		d := NewDecoder(e.Bytes())
+		gi32, err := d.ReadInt32()
+		if err != nil || gi32 != i32 {
+			return false
+		}
+		gi64, err := d.ReadInt64()
+		if err != nil || gi64 != i64 {
+			return false
+		}
+		gs, err := d.ReadString()
+		if err != nil || gs != s {
+			return false
+		}
+		gb, err := d.ReadBuffer()
+		if err != nil || !bytes.Equal(gb, b) {
+			return false
+		}
+		gf, err := d.ReadBool()
+		if err != nil || gf != flag {
+			return false
+		}
+		return d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidInt32(t *testing.T) {
+	if !ValidInt32(0) || !ValidInt32(math.MaxInt32) || !ValidInt32(math.MinInt32) {
+		t.Fatal("boundary values must validate")
+	}
+	if ValidInt32(math.MaxInt32+1) || ValidInt32(math.MinInt32-1) {
+		t.Fatal("out-of-range values must not validate")
+	}
+}

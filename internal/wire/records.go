@@ -1,0 +1,529 @@
+package wire
+
+// Stat carries znode metadata, mirroring ZooKeeper's Stat record.
+type Stat struct {
+	Czxid          int64 // zxid of the transaction that created the node
+	Mzxid          int64 // zxid of the last modification
+	Ctime          int64 // creation time, ms since epoch
+	Mtime          int64 // last-modification time, ms since epoch
+	Version        int32 // data version
+	Cversion       int32 // child version (bumped on child create/delete)
+	Aversion       int32 // ACL version (kept for wire compatibility)
+	EphemeralOwner int64 // session id owning an ephemeral node, else 0
+	DataLength     int32 // length of the stored payload
+	NumChildren    int32 // number of children
+	Pzxid          int64 // zxid of the last child change
+}
+
+// Serialize implements Record.
+func (s *Stat) Serialize(e *Encoder) {
+	e.WriteInt64(s.Czxid)
+	e.WriteInt64(s.Mzxid)
+	e.WriteInt64(s.Ctime)
+	e.WriteInt64(s.Mtime)
+	e.WriteInt32(s.Version)
+	e.WriteInt32(s.Cversion)
+	e.WriteInt32(s.Aversion)
+	e.WriteInt64(s.EphemeralOwner)
+	e.WriteInt32(s.DataLength)
+	e.WriteInt32(s.NumChildren)
+	e.WriteInt64(s.Pzxid)
+}
+
+// Deserialize implements Record.
+func (s *Stat) Deserialize(d *Decoder) error {
+	var err error
+	if s.Czxid, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	if s.Mzxid, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	if s.Ctime, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	if s.Mtime, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	if s.Version, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	if s.Cversion, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	if s.Aversion, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	if s.EphemeralOwner, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	if s.DataLength, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	if s.NumChildren, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	if s.Pzxid, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RequestHeader precedes every client request.
+type RequestHeader struct {
+	Xid int32
+	Op  OpCode
+}
+
+// Serialize implements Record.
+func (h *RequestHeader) Serialize(e *Encoder) {
+	e.WriteInt32(h.Xid)
+	e.WriteInt32(int32(h.Op))
+}
+
+// Deserialize implements Record.
+func (h *RequestHeader) Deserialize(d *Decoder) error {
+	xid, err := d.ReadInt32()
+	if err != nil {
+		return err
+	}
+	op, err := d.ReadInt32()
+	if err != nil {
+		return err
+	}
+	h.Xid, h.Op = xid, OpCode(op)
+	return nil
+}
+
+// ReplyHeader precedes every server response.
+type ReplyHeader struct {
+	Xid  int32
+	Zxid int64
+	Err  ErrCode
+}
+
+// Serialize implements Record.
+func (h *ReplyHeader) Serialize(e *Encoder) {
+	e.WriteInt32(h.Xid)
+	e.WriteInt64(h.Zxid)
+	e.WriteInt32(int32(h.Err))
+}
+
+// Deserialize implements Record.
+func (h *ReplyHeader) Deserialize(d *Decoder) error {
+	var err error
+	if h.Xid, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	if h.Zxid, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	code, err := d.ReadInt32()
+	if err != nil {
+		return err
+	}
+	h.Err = ErrCode(code)
+	return nil
+}
+
+// ConnectRequest opens a session.
+type ConnectRequest struct {
+	ProtocolVersion int32
+	LastZxidSeen    int64
+	TimeoutMillis   int32
+	SessionID       int64
+	Passwd          []byte
+}
+
+// Serialize implements Record.
+func (r *ConnectRequest) Serialize(e *Encoder) {
+	e.WriteInt32(r.ProtocolVersion)
+	e.WriteInt64(r.LastZxidSeen)
+	e.WriteInt32(r.TimeoutMillis)
+	e.WriteInt64(r.SessionID)
+	e.WriteBuffer(r.Passwd)
+}
+
+// Deserialize implements Record.
+func (r *ConnectRequest) Deserialize(d *Decoder) error {
+	var err error
+	if r.ProtocolVersion, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	if r.LastZxidSeen, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	if r.TimeoutMillis, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	if r.SessionID, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	if r.Passwd, err = d.ReadBuffer(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ConnectResponse acknowledges a session.
+type ConnectResponse struct {
+	ProtocolVersion int32
+	TimeoutMillis   int32
+	SessionID       int64
+	Passwd          []byte
+}
+
+// Serialize implements Record.
+func (r *ConnectResponse) Serialize(e *Encoder) {
+	e.WriteInt32(r.ProtocolVersion)
+	e.WriteInt32(r.TimeoutMillis)
+	e.WriteInt64(r.SessionID)
+	e.WriteBuffer(r.Passwd)
+}
+
+// Deserialize implements Record.
+func (r *ConnectResponse) Deserialize(d *Decoder) error {
+	var err error
+	if r.ProtocolVersion, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	if r.TimeoutMillis, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	if r.SessionID, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	if r.Passwd, err = d.ReadBuffer(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CreateRequest creates a znode.
+type CreateRequest struct {
+	Path  string
+	Data  []byte
+	Flags CreateFlags
+}
+
+// Serialize implements Record.
+func (r *CreateRequest) Serialize(e *Encoder) {
+	e.WriteString(r.Path)
+	e.WriteBuffer(r.Data)
+	e.WriteInt32(int32(r.Flags))
+}
+
+// Deserialize implements Record.
+func (r *CreateRequest) Deserialize(d *Decoder) error {
+	var err error
+	if r.Path, err = d.ReadString(); err != nil {
+		return err
+	}
+	if r.Data, err = d.ReadBuffer(); err != nil {
+		return err
+	}
+	flags, err := d.ReadInt32()
+	if err != nil {
+		return err
+	}
+	r.Flags = CreateFlags(flags)
+	return nil
+}
+
+// CreateResponse returns the actual path of the created node (which
+// differs from the requested path for sequential nodes).
+type CreateResponse struct {
+	Path string
+}
+
+// Serialize implements Record.
+func (r *CreateResponse) Serialize(e *Encoder) { e.WriteString(r.Path) }
+
+// Deserialize implements Record.
+func (r *CreateResponse) Deserialize(d *Decoder) error {
+	var err error
+	r.Path, err = d.ReadString()
+	return err
+}
+
+// DeleteRequest removes a znode when the version matches (-1 matches any).
+type DeleteRequest struct {
+	Path    string
+	Version int32
+}
+
+// Serialize implements Record.
+func (r *DeleteRequest) Serialize(e *Encoder) {
+	e.WriteString(r.Path)
+	e.WriteInt32(r.Version)
+}
+
+// Deserialize implements Record.
+func (r *DeleteRequest) Deserialize(d *Decoder) error {
+	var err error
+	if r.Path, err = d.ReadString(); err != nil {
+		return err
+	}
+	r.Version, err = d.ReadInt32()
+	return err
+}
+
+// ExistsRequest checks node existence, optionally leaving a watch.
+type ExistsRequest struct {
+	Path  string
+	Watch bool
+}
+
+// Serialize implements Record.
+func (r *ExistsRequest) Serialize(e *Encoder) {
+	e.WriteString(r.Path)
+	e.WriteBool(r.Watch)
+}
+
+// Deserialize implements Record.
+func (r *ExistsRequest) Deserialize(d *Decoder) error {
+	var err error
+	if r.Path, err = d.ReadString(); err != nil {
+		return err
+	}
+	r.Watch, err = d.ReadBool()
+	return err
+}
+
+// ExistsResponse carries the node's Stat.
+type ExistsResponse struct {
+	Stat Stat
+}
+
+// Serialize implements Record.
+func (r *ExistsResponse) Serialize(e *Encoder) { r.Stat.Serialize(e) }
+
+// Deserialize implements Record.
+func (r *ExistsResponse) Deserialize(d *Decoder) error { return r.Stat.Deserialize(d) }
+
+// GetDataRequest reads a znode's payload.
+type GetDataRequest struct {
+	Path  string
+	Watch bool
+}
+
+// Serialize implements Record.
+func (r *GetDataRequest) Serialize(e *Encoder) {
+	e.WriteString(r.Path)
+	e.WriteBool(r.Watch)
+}
+
+// Deserialize implements Record.
+func (r *GetDataRequest) Deserialize(d *Decoder) error {
+	var err error
+	if r.Path, err = d.ReadString(); err != nil {
+		return err
+	}
+	r.Watch, err = d.ReadBool()
+	return err
+}
+
+// GetDataResponse carries payload and Stat.
+type GetDataResponse struct {
+	Data []byte
+	Stat Stat
+}
+
+// Serialize implements Record.
+func (r *GetDataResponse) Serialize(e *Encoder) {
+	e.WriteBuffer(r.Data)
+	r.Stat.Serialize(e)
+}
+
+// Deserialize implements Record.
+func (r *GetDataResponse) Deserialize(d *Decoder) error {
+	var err error
+	if r.Data, err = d.ReadBuffer(); err != nil {
+		return err
+	}
+	return r.Stat.Deserialize(d)
+}
+
+// SetDataRequest replaces a znode's payload when the version matches.
+type SetDataRequest struct {
+	Path    string
+	Data    []byte
+	Version int32
+}
+
+// Serialize implements Record.
+func (r *SetDataRequest) Serialize(e *Encoder) {
+	e.WriteString(r.Path)
+	e.WriteBuffer(r.Data)
+	e.WriteInt32(r.Version)
+}
+
+// Deserialize implements Record.
+func (r *SetDataRequest) Deserialize(d *Decoder) error {
+	var err error
+	if r.Path, err = d.ReadString(); err != nil {
+		return err
+	}
+	if r.Data, err = d.ReadBuffer(); err != nil {
+		return err
+	}
+	r.Version, err = d.ReadInt32()
+	return err
+}
+
+// SetDataResponse carries the updated Stat.
+type SetDataResponse struct {
+	Stat Stat
+}
+
+// Serialize implements Record.
+func (r *SetDataResponse) Serialize(e *Encoder) { r.Stat.Serialize(e) }
+
+// Deserialize implements Record.
+func (r *SetDataResponse) Deserialize(d *Decoder) error { return r.Stat.Deserialize(d) }
+
+// GetChildrenRequest lists a znode's children.
+type GetChildrenRequest struct {
+	Path  string
+	Watch bool
+}
+
+// Serialize implements Record.
+func (r *GetChildrenRequest) Serialize(e *Encoder) {
+	e.WriteString(r.Path)
+	e.WriteBool(r.Watch)
+}
+
+// Deserialize implements Record.
+func (r *GetChildrenRequest) Deserialize(d *Decoder) error {
+	var err error
+	if r.Path, err = d.ReadString(); err != nil {
+		return err
+	}
+	r.Watch, err = d.ReadBool()
+	return err
+}
+
+// GetChildrenResponse carries child node names (not full paths).
+type GetChildrenResponse struct {
+	Children []string
+}
+
+// Serialize implements Record.
+func (r *GetChildrenResponse) Serialize(e *Encoder) { e.WriteStringVector(r.Children) }
+
+// Deserialize implements Record.
+func (r *GetChildrenResponse) Deserialize(d *Decoder) error {
+	var err error
+	r.Children, err = d.ReadStringVector()
+	return err
+}
+
+// SyncRequest flushes the leader-follower channel for a path.
+type SyncRequest struct {
+	Path string
+}
+
+// Serialize implements Record.
+func (r *SyncRequest) Serialize(e *Encoder) { e.WriteString(r.Path) }
+
+// Deserialize implements Record.
+func (r *SyncRequest) Deserialize(d *Decoder) error {
+	var err error
+	r.Path, err = d.ReadString()
+	return err
+}
+
+// SyncResponse echoes the path.
+type SyncResponse struct {
+	Path string
+}
+
+// Serialize implements Record.
+func (r *SyncResponse) Serialize(e *Encoder) { e.WriteString(r.Path) }
+
+// Deserialize implements Record.
+func (r *SyncResponse) Deserialize(d *Decoder) error {
+	var err error
+	r.Path, err = d.ReadString()
+	return err
+}
+
+// WatcherEvent notifies a client of a triggered watch. It is sent with
+// the reserved Xid -1.
+type WatcherEvent struct {
+	Type  EventType
+	State int32
+	Path  string
+}
+
+// WatcherEventXid is the reserved Xid marking watch notifications.
+const WatcherEventXid int32 = -1
+
+// PingXid is the reserved Xid for heartbeat requests.
+const PingXid int32 = -2
+
+// Serialize implements Record.
+func (r *WatcherEvent) Serialize(e *Encoder) {
+	e.WriteInt32(int32(r.Type))
+	e.WriteInt32(r.State)
+	e.WriteString(r.Path)
+}
+
+// Deserialize implements Record.
+func (r *WatcherEvent) Deserialize(d *Decoder) error {
+	t, err := d.ReadInt32()
+	if err != nil {
+		return err
+	}
+	r.Type = EventType(t)
+	if r.State, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	r.Path, err = d.ReadString()
+	return err
+}
+
+// RequestBody returns a zero value of the body record for an op, or nil
+// for ops without a body (ping, close).
+func RequestBody(op OpCode) Record {
+	switch op {
+	case OpCreate:
+		return &CreateRequest{}
+	case OpDelete:
+		return &DeleteRequest{}
+	case OpExists:
+		return &ExistsRequest{}
+	case OpGetData:
+		return &GetDataRequest{}
+	case OpSetData:
+		return &SetDataRequest{}
+	case OpGetChildren:
+		return &GetChildrenRequest{}
+	case OpSync:
+		return &SyncRequest{}
+	default:
+		return nil
+	}
+}
+
+// ResponseBody returns a zero value of the response record for an op, or
+// nil for ops without a response body (delete, ping, close).
+func ResponseBody(op OpCode) Record {
+	switch op {
+	case OpCreate:
+		return &CreateResponse{}
+	case OpExists:
+		return &ExistsResponse{}
+	case OpGetData:
+		return &GetDataResponse{}
+	case OpSetData:
+		return &SetDataResponse{}
+	case OpGetChildren:
+		return &GetChildrenResponse{}
+	case OpSync:
+		return &SyncResponse{}
+	default:
+		return nil
+	}
+}

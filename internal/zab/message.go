@@ -1,0 +1,132 @@
+// Package zab implements the atomic broadcast protocol that keeps the
+// replicated znode database consistent: leader election, a two-phase
+// propose/ack/commit broadcast with quorum tracking, follower recovery
+// by snapshot or diff, and failure detection via heartbeats. It follows
+// the structure of ZAB (Junqueira et al., DSN'11) as used by ZooKeeper:
+// a single leader orders all writes, followers acknowledge proposals,
+// and a proposal commits once a quorum (including the leader) has
+// acknowledged it.
+package zab
+
+import (
+	"fmt"
+
+	"securekeeper/internal/ztree"
+)
+
+// PeerID identifies a replica within the ensemble.
+type PeerID int64
+
+// Kind discriminates protocol messages.
+type Kind int32
+
+// Protocol message kinds.
+const (
+	// Election.
+	KindVote Kind = iota + 1
+	// Leader activation and recovery.
+	KindFollowerInfo
+	KindSyncSnap
+	KindSyncDiff
+	KindNewLeaderAck
+	// Broadcast.
+	KindPropose
+	KindAck
+	KindCommit
+	// Failure detection.
+	KindPing
+	KindPong
+	// Application-level messages tunneled over the peer transport
+	// (e.g. the server layer's write-request forwarding to the leader).
+	KindApp
+)
+
+// String returns the mnemonic for a message kind.
+func (k Kind) String() string {
+	switch k {
+	case KindVote:
+		return "VOTE"
+	case KindFollowerInfo:
+		return "FOLLOWERINFO"
+	case KindSyncSnap:
+		return "SYNCSNAP"
+	case KindSyncDiff:
+		return "SYNCDIFF"
+	case KindNewLeaderAck:
+		return "NEWLEADERACK"
+	case KindPropose:
+		return "PROPOSE"
+	case KindAck:
+		return "ACK"
+	case KindCommit:
+		return "COMMIT"
+	case KindPing:
+		return "PING"
+	case KindPong:
+		return "PONG"
+	case KindApp:
+		return "APP"
+	default:
+		return fmt.Sprintf("KIND(%d)", int32(k))
+	}
+}
+
+// Origin correlates a committed transaction back to the replica and
+// client request that initiated it, so the owning replica can complete
+// the pending client call.
+type Origin struct {
+	Peer    PeerID
+	Session int64
+	Xid     int32
+}
+
+// Message is the envelope exchanged between peers. A single struct with
+// optional fields keeps the in-process transport allocation-light; the
+// TCP transport serializes only the populated fields for each kind.
+type Message struct {
+	Kind  Kind
+	From  PeerID
+	Epoch int64
+	Zxid  int64
+
+	// Vote fields. VoteReply marks responses to vote broadcasts;
+	// replies never trigger further replies (otherwise two settled
+	// peers answering each other's stray votes would ping-pong
+	// forever).
+	VoteFor   PeerID
+	VoteZxid  int64
+	VoteReply bool
+
+	// Propose fields.
+	Txn    *ztree.Txn
+	Origin Origin
+
+	// Sync fields.
+	Snapshot *ztree.Snapshot
+	Diff     []ProposalRecord
+
+	// App payload (opaque to zab).
+	App []byte
+}
+
+// ProposalRecord pairs a transaction with its origin for log transfer.
+type ProposalRecord struct {
+	Txn    ztree.Txn
+	Origin Origin
+}
+
+// Committed is delivered to the replica layer for every transaction the
+// ensemble commits, in zxid order.
+type Committed struct {
+	Txn    ztree.Txn
+	Origin Origin
+}
+
+// EpochOf extracts the epoch from a zxid.
+func EpochOf(zxid int64) int64 { return zxid >> 32 }
+
+// CounterOf extracts the in-epoch counter from a zxid.
+func CounterOf(zxid int64) int64 { return zxid & 0xffffffff }
+
+// MakeZxid composes a zxid from epoch and counter.
+func MakeZxid(epoch, counter int64) int64 { return epoch<<32 | (counter & 0xffffffff) }

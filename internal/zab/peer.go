@@ -1,0 +1,746 @@
+package zab
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"securekeeper/internal/ztree"
+)
+
+// Role is the peer's current protocol role.
+type Role int32
+
+// Protocol roles.
+const (
+	RoleLooking Role = iota + 1
+	RoleFollowing
+	RoleLeading
+)
+
+// String returns the mnemonic for a role.
+func (r Role) String() string {
+	switch r {
+	case RoleLooking:
+		return "LOOKING"
+	case RoleFollowing:
+		return "FOLLOWING"
+	case RoleLeading:
+		return "LEADING"
+	default:
+		return fmt.Sprintf("ROLE(%d)", int32(r))
+	}
+}
+
+// Submission errors.
+var (
+	ErrNotLeader = errors.New("zab: not the leader")
+	ErrStopped   = errors.New("zab: peer stopped")
+)
+
+// Config parameterizes a Peer.
+type Config struct {
+	// ID is this replica's identity; Peers lists the whole ensemble
+	// including ID.
+	ID    PeerID
+	Peers []PeerID
+	// Transport connects this peer to the ensemble.
+	Transport Transport
+	// Deliver is invoked from the peer's loop goroutine for every
+	// committed transaction, in zxid order. It must not block.
+	Deliver func(Committed)
+	// Snapshot and Restore let the protocol transfer database state
+	// during follower recovery.
+	Snapshot func() *ztree.Snapshot
+	Restore  func(*ztree.Snapshot)
+	// OnApp receives application messages tunneled between replicas
+	// (the server layer's request forwarding). Must not block.
+	OnApp func(from PeerID, payload []byte)
+	// OnRoleChange is invoked when the peer's role or known leader
+	// changes. Optional.
+	OnRoleChange func(role Role, leader PeerID)
+	// TickInterval drives heartbeats; ElectionTimeout bounds how long
+	// a peer waits for votes or leader liveness before (re)electing.
+	TickInterval    time.Duration
+	ElectionTimeout time.Duration
+	// MaxLogEntries caps the committed log kept for diff syncs; beyond
+	// it followers recover via snapshot.
+	MaxLogEntries int
+	// LastZxid seeds the peer's history position after a restart that
+	// recovered state from disk.
+	LastZxid int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.TickInterval <= 0 {
+		out.TickInterval = 10 * time.Millisecond
+	}
+	if out.ElectionTimeout <= 0 {
+		out.ElectionTimeout = 120 * time.Millisecond
+	}
+	if out.MaxLogEntries <= 0 {
+		// Bounded both for the O(log) diff-sync copies and for memory:
+		// entries retain their transaction payloads. Followers that
+		// fall further behind recover via snapshot instead.
+		out.MaxLogEntries = 20000
+	}
+	return out
+}
+
+type vote struct {
+	round int64
+	for_  PeerID
+	zxid  int64
+}
+
+func betterVote(a, b vote) bool { // is a better than b
+	if a.zxid != b.zxid {
+		return a.zxid > b.zxid
+	}
+	return a.for_ > b.for_
+}
+
+type pendingProposal struct {
+	rec  ProposalRecord
+	acks map[PeerID]struct{}
+}
+
+type submitReq struct {
+	txn    ztree.Txn
+	origin Origin
+	errCh  chan error
+}
+
+// Peer is one replica's instance of the atomic broadcast protocol. Start
+// it with Run (typically via Start) and stop it with Stop.
+type Peer struct {
+	cfg Config
+
+	role   atomic.Int32
+	leader atomic.Int64
+	stop   chan struct{}
+	done   chan struct{}
+	submit chan submitReq
+
+	// Loop-owned state (no locking needed inside the loop).
+	round        int64
+	myVote       vote
+	votes        map[PeerID]vote
+	epoch        int64
+	counter      int64
+	lastZxid     int64 // highest zxid logged (proposed or applied)
+	lastCommit   int64 // highest zxid delivered
+	outstanding  []int64
+	proposals    map[int64]*pendingProposal
+	inflight     map[int64]ProposalRecord // follower: proposals awaiting commit
+	commitLog    []ProposalRecord
+	logBase      int64 // zxid preceding commitLog[0]
+	synced       map[PeerID]struct{}
+	lastHeard    map[PeerID]time.Time
+	electionDue  time.Time
+	followTarget PeerID
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Stats counts protocol events for observability and tests.
+type Stats struct {
+	Elections int64
+	Proposals int64
+	Commits   int64
+	Resyncs   int64
+}
+
+// NewPeer constructs a peer; call Start to run it.
+func NewPeer(cfg Config) *Peer {
+	c := cfg.withDefaults()
+	p := &Peer{
+		cfg:       c,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		submit:    make(chan submitReq),
+		votes:     make(map[PeerID]vote),
+		proposals: make(map[int64]*pendingProposal),
+		inflight:  make(map[int64]ProposalRecord),
+		synced:    make(map[PeerID]struct{}),
+		lastHeard: make(map[PeerID]time.Time),
+	}
+	p.role.Store(int32(RoleLooking))
+	p.leader.Store(int64(-1))
+	p.lastZxid = c.LastZxid
+	atomic.StoreInt64(&p.lastCommit, c.LastZxid)
+	return p
+}
+
+// Start launches the peer's loop goroutine.
+func (p *Peer) Start() {
+	go p.run()
+}
+
+// Stop terminates the peer and waits for its loop to exit.
+func (p *Peer) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}
+
+// Role returns the peer's current role.
+func (p *Peer) Role() Role { return Role(p.role.Load()) }
+
+// Leader returns the current known leader, or -1 if none.
+func (p *Peer) Leader() PeerID { return PeerID(p.leader.Load()) }
+
+// ID returns this peer's identity.
+func (p *Peer) ID() PeerID { return p.cfg.ID }
+
+// LastCommitted returns the highest delivered zxid. Only meaningful for
+// observability; read from the loop's perspective it may lag.
+func (p *Peer) LastCommitted() int64 { return atomic.LoadInt64(&p.lastCommit) }
+
+// StatsSnapshot returns a copy of the protocol counters.
+func (p *Peer) StatsSnapshot() Stats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	return p.stats
+}
+
+// Submit proposes a transaction. Only valid on the leader; followers
+// get ErrNotLeader and must forward via SendApp instead.
+func (p *Peer) Submit(txn ztree.Txn, origin Origin) error {
+	if p.Role() != RoleLeading {
+		return ErrNotLeader
+	}
+	req := submitReq{txn: txn, origin: origin, errCh: make(chan error, 1)}
+	select {
+	case p.submit <- req:
+	case <-p.stop:
+		return ErrStopped
+	}
+	select {
+	case err := <-req.errCh:
+		return err
+	case <-p.stop:
+		return ErrStopped
+	}
+}
+
+// SendApp tunnels an application payload to another replica.
+func (p *Peer) SendApp(to PeerID, payload []byte) error {
+	return p.cfg.Transport.Send(to, Message{Kind: KindApp, App: payload})
+}
+
+// quorum returns the minimum ensemble majority size.
+func (p *Peer) quorum() int { return len(p.cfg.Peers)/2 + 1 }
+
+func (p *Peer) setRole(role Role, leader PeerID) {
+	prevRole := Role(p.role.Swap(int32(role)))
+	prevLeader := PeerID(p.leader.Swap(int64(leader)))
+	if p.cfg.OnRoleChange != nil && (prevRole != role || prevLeader != leader) {
+		p.cfg.OnRoleChange(role, leader)
+	}
+}
+
+func (p *Peer) run() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.cfg.TickInterval)
+	defer ticker.Stop()
+
+	p.startElection()
+
+	for {
+		select {
+		case <-p.stop:
+			return
+		case msg := <-p.cfg.Transport.Receive():
+			p.handle(msg)
+		case req := <-p.submit:
+			p.handleSubmit(req)
+		case now := <-ticker.C:
+			p.tick(now)
+		}
+	}
+}
+
+// --- election ---
+
+func (p *Peer) startElection() {
+	p.statsMu.Lock()
+	p.stats.Elections++
+	p.statsMu.Unlock()
+
+	p.setRole(RoleLooking, -1)
+	p.round++
+	p.votes = make(map[PeerID]vote, len(p.cfg.Peers))
+	p.myVote = vote{round: p.round, for_: p.cfg.ID, zxid: p.lastZxid}
+	p.votes[p.cfg.ID] = p.myVote
+	p.synced = make(map[PeerID]struct{})
+	p.electionDue = time.Now().Add(p.cfg.ElectionTimeout)
+	p.broadcastVote()
+	// A single-peer ensemble (or one whose own vote already forms a
+	// quorum) decides immediately — no votes will arrive to trigger it.
+	p.checkElection()
+}
+
+func (p *Peer) broadcastVote() {
+	for _, id := range p.cfg.Peers {
+		if id == p.cfg.ID {
+			continue
+		}
+		_ = p.cfg.Transport.Send(id, Message{
+			Kind:     KindVote,
+			Epoch:    p.myVote.round,
+			VoteFor:  p.myVote.for_,
+			VoteZxid: p.myVote.zxid,
+		})
+	}
+}
+
+func (p *Peer) handleVote(msg Message) {
+	v := vote{round: msg.Epoch, for_: msg.VoteFor, zxid: msg.VoteZxid}
+	if p.Role() != RoleLooking {
+		// A settled peer answers only genuine vote broadcasts, with a
+		// reply naming the current leader, echoing the asker's round so
+		// it counts in the asker's tally. Replies to replies would
+		// ping-pong forever between two settled peers.
+		if !msg.VoteReply {
+			_ = p.cfg.Transport.Send(msg.From, Message{
+				Kind:      KindVote,
+				Epoch:     msg.Epoch,
+				VoteFor:   p.Leader(),
+				VoteZxid:  p.lastZxid,
+				VoteReply: true,
+			})
+		}
+		return
+	}
+	switch {
+	case v.round > p.myVote.round:
+		// Join the newer round, adopting the better of the two votes.
+		p.round = v.round
+		mine := vote{round: v.round, for_: p.cfg.ID, zxid: p.lastZxid}
+		if betterVote(v, mine) {
+			p.myVote = v
+		} else {
+			p.myVote = mine
+		}
+		p.votes = map[PeerID]vote{p.cfg.ID: p.myVote, msg.From: v}
+		p.broadcastVote()
+	case v.round == p.myVote.round:
+		p.votes[msg.From] = v
+		if betterVote(v, p.myVote) {
+			p.myVote = vote{round: p.round, for_: v.for_, zxid: v.zxid}
+			p.votes[p.cfg.ID] = p.myVote
+			p.broadcastVote()
+		}
+	default:
+		// Stale round: remind the sender of the current round (as a
+		// reply, so a settled sender will not answer back).
+		if !msg.VoteReply {
+			_ = p.cfg.Transport.Send(msg.From, Message{
+				Kind:      KindVote,
+				Epoch:     p.myVote.round,
+				VoteFor:   p.myVote.for_,
+				VoteZxid:  p.myVote.zxid,
+				VoteReply: true,
+			})
+		}
+		return
+	}
+	p.checkElection()
+}
+
+func (p *Peer) checkElection() {
+	tally := make(map[PeerID]int, len(p.votes))
+	for _, v := range p.votes {
+		tally[v.for_]++
+	}
+	for candidate, n := range tally {
+		if n < p.quorum() {
+			continue
+		}
+		if candidate == p.cfg.ID {
+			p.becomeLeader()
+		} else {
+			p.becomeFollower(candidate)
+		}
+		return
+	}
+}
+
+func (p *Peer) becomeLeader() {
+	// The new epoch must exceed every epoch reflected in the votes.
+	maxEpoch := EpochOf(p.lastZxid)
+	for _, v := range p.votes {
+		if e := EpochOf(v.zxid); e > maxEpoch {
+			maxEpoch = e
+		}
+	}
+	p.epoch = maxEpoch + 1
+	p.counter = 0
+	p.lastZxid = MakeZxid(p.epoch, 0)
+	p.proposals = make(map[int64]*pendingProposal)
+	p.outstanding = nil
+	p.synced = map[PeerID]struct{}{p.cfg.ID: {}}
+	now := time.Now()
+	for _, id := range p.cfg.Peers {
+		p.lastHeard[id] = now
+	}
+	p.setRole(RoleLeading, p.cfg.ID)
+}
+
+func (p *Peer) becomeFollower(leader PeerID) {
+	p.followTarget = leader
+	p.inflight = make(map[int64]ProposalRecord)
+	p.lastHeard[leader] = time.Now()
+	p.setRole(RoleFollowing, leader)
+	_ = p.cfg.Transport.Send(leader, Message{Kind: KindFollowerInfo, Zxid: p.lastZxid})
+}
+
+// --- recovery / sync ---
+
+func (p *Peer) handleFollowerInfo(msg Message) {
+	if p.Role() != RoleLeading {
+		return
+	}
+	p.lastHeard[msg.From] = time.Now()
+	if diff, ok := p.diffSince(msg.Zxid); ok {
+		_ = p.cfg.Transport.Send(msg.From, Message{
+			Kind:  KindSyncDiff,
+			Epoch: p.epoch,
+			Zxid:  p.lastCommitted(),
+			Diff:  diff,
+		})
+		return
+	}
+	snap := p.cfg.Snapshot()
+	_ = p.cfg.Transport.Send(msg.From, Message{
+		Kind:     KindSyncSnap,
+		Epoch:    p.epoch,
+		Zxid:     p.lastCommitted(),
+		Snapshot: snap,
+	})
+}
+
+func (p *Peer) lastCommitted() int64 { return atomic.LoadInt64(&p.lastCommit) }
+
+// diffSince returns the committed proposals after zxid if the log still
+// holds them.
+func (p *Peer) diffSince(zxid int64) ([]ProposalRecord, bool) {
+	if zxid < p.logBase {
+		return nil, false
+	}
+	if EpochOf(zxid) != p.epoch && zxid != 0 && len(p.commitLog) == 0 {
+		return nil, false
+	}
+	idx := sort.Search(len(p.commitLog), func(i int) bool {
+		return p.commitLog[i].Txn.Zxid > zxid
+	})
+	// Verify the follower's zxid is actually in our history.
+	if idx > 0 && p.commitLog[idx-1].Txn.Zxid != zxid && zxid != p.logBase {
+		return nil, false
+	}
+	out := make([]ProposalRecord, len(p.commitLog)-idx)
+	copy(out, p.commitLog[idx:])
+	return out, true
+}
+
+func (p *Peer) handleSync(msg Message) {
+	if p.Role() != RoleFollowing || msg.From != p.followTarget {
+		return
+	}
+	p.statsMu.Lock()
+	p.stats.Resyncs++
+	p.statsMu.Unlock()
+
+	switch msg.Kind {
+	case KindSyncSnap:
+		p.commitLog = nil
+		p.logBase = msg.Zxid
+		p.lastZxid = msg.Zxid
+		atomic.StoreInt64(&p.lastCommit, msg.Zxid)
+		// Restore after the position update so the application layer
+		// can read the new zxid when persisting the restored state.
+		if msg.Snapshot != nil {
+			p.cfg.Restore(msg.Snapshot)
+		}
+	case KindSyncDiff:
+		for _, rec := range msg.Diff {
+			if rec.Txn.Zxid <= p.lastCommitted() {
+				continue
+			}
+			p.deliver(Committed{Txn: rec.Txn, Origin: rec.Origin})
+		}
+		p.lastZxid = msg.Zxid
+	}
+	p.epoch = msg.Epoch
+	p.inflight = make(map[int64]ProposalRecord)
+	p.lastHeard[msg.From] = time.Now()
+	_ = p.cfg.Transport.Send(msg.From, Message{Kind: KindNewLeaderAck, Zxid: p.lastZxid})
+}
+
+func (p *Peer) handleNewLeaderAck(msg Message) {
+	if p.Role() != RoleLeading {
+		return
+	}
+	p.synced[msg.From] = struct{}{}
+	p.lastHeard[msg.From] = time.Now()
+}
+
+// --- broadcast ---
+
+func (p *Peer) handleSubmit(req submitReq) {
+	if p.Role() != RoleLeading {
+		req.errCh <- ErrNotLeader
+		return
+	}
+	if len(p.synced) < p.quorum() {
+		req.errCh <- fmt.Errorf("zab: leader not yet activated (%d/%d synced): %w",
+			len(p.synced), p.quorum(), ErrNotLeader)
+		return
+	}
+	p.counter++
+	zxid := MakeZxid(p.epoch, p.counter)
+	req.txn.Zxid = zxid
+	p.lastZxid = zxid
+	rec := ProposalRecord{Txn: req.txn, Origin: req.origin}
+	p.proposals[zxid] = &pendingProposal{
+		rec:  rec,
+		acks: map[PeerID]struct{}{p.cfg.ID: {}},
+	}
+	p.outstanding = append(p.outstanding, zxid)
+	p.statsMu.Lock()
+	p.stats.Proposals++
+	p.statsMu.Unlock()
+	for id := range p.synced {
+		if id == p.cfg.ID {
+			continue
+		}
+		_ = p.cfg.Transport.Send(id, Message{Kind: KindPropose, Epoch: p.epoch, Txn: &rec.Txn, Origin: rec.Origin})
+	}
+	req.errCh <- nil
+	p.advanceCommits()
+}
+
+func (p *Peer) handlePropose(msg Message) {
+	if p.Role() != RoleFollowing || msg.From != p.followTarget || msg.Txn == nil {
+		return
+	}
+	p.lastHeard[msg.From] = time.Now()
+	zxid := msg.Txn.Zxid
+	if zxid <= p.lastCommitted() {
+		return // duplicate of an already-committed proposal
+	}
+	p.inflight[zxid] = ProposalRecord{Txn: *msg.Txn, Origin: msg.Origin}
+	if zxid > p.lastZxid {
+		p.lastZxid = zxid
+	}
+	_ = p.cfg.Transport.Send(msg.From, Message{Kind: KindAck, Zxid: zxid})
+}
+
+func (p *Peer) resync() {
+	if p.Role() != RoleFollowing {
+		return
+	}
+	p.inflight = make(map[int64]ProposalRecord)
+	_ = p.cfg.Transport.Send(p.followTarget, Message{Kind: KindFollowerInfo, Zxid: p.lastCommitted()})
+}
+
+func (p *Peer) handleAck(msg Message) {
+	if p.Role() != RoleLeading {
+		return
+	}
+	p.lastHeard[msg.From] = time.Now()
+	prop, ok := p.proposals[msg.Zxid]
+	if !ok {
+		return
+	}
+	prop.acks[msg.From] = struct{}{}
+	p.advanceCommits()
+}
+
+// advanceCommits commits outstanding proposals strictly in zxid order as
+// soon as the head of the queue reaches quorum.
+func (p *Peer) advanceCommits() {
+	for len(p.outstanding) > 0 {
+		zxid := p.outstanding[0]
+		prop, ok := p.proposals[zxid]
+		if !ok || len(prop.acks) < p.quorum() {
+			return
+		}
+		p.outstanding = p.outstanding[1:]
+		delete(p.proposals, zxid)
+		p.deliver(Committed{Txn: prop.rec.Txn, Origin: prop.rec.Origin})
+		for id := range p.synced {
+			if id == p.cfg.ID {
+				continue
+			}
+			_ = p.cfg.Transport.Send(id, Message{Kind: KindCommit, Zxid: zxid})
+		}
+	}
+}
+
+func (p *Peer) handleCommit(msg Message) {
+	if p.Role() != RoleFollowing || msg.From != p.followTarget {
+		return
+	}
+	p.lastHeard[msg.From] = time.Now()
+	p.commitUpTo(msg.Zxid)
+}
+
+// commitUpTo applies in-flight proposals with zxid <= bound, strictly in
+// zxid order. A hole in the sequence means we missed a proposal (shed
+// mailbox, transient partition) and must recover from the leader.
+func (p *Peer) commitUpTo(bound int64) {
+	for {
+		rec, ok := p.lowestInflight()
+		if !ok || rec.Txn.Zxid > bound {
+			if !ok && bound > p.lastCommitted() {
+				// Leader committed past us but we hold nothing: we
+				// missed the proposals entirely.
+				p.resync()
+			}
+			return
+		}
+		if !p.isNextCommit(rec.Txn.Zxid) {
+			p.resync()
+			return
+		}
+		delete(p.inflight, rec.Txn.Zxid)
+		p.deliver(Committed{Txn: rec.Txn, Origin: rec.Origin})
+	}
+}
+
+// isNextCommit reports whether zxid is the immediate successor of the
+// last committed transaction: next counter within the same epoch, or the
+// first proposal (counter 1) of a later epoch.
+func (p *Peer) isNextCommit(zxid int64) bool {
+	last := p.lastCommitted()
+	if EpochOf(zxid) == EpochOf(last) {
+		return CounterOf(zxid) == CounterOf(last)+1
+	}
+	return EpochOf(zxid) > EpochOf(last) && CounterOf(zxid) == 1
+}
+
+func (p *Peer) lowestInflight() (ProposalRecord, bool) {
+	var best ProposalRecord
+	found := false
+	for zxid, rec := range p.inflight {
+		if !found || zxid < best.Txn.Zxid {
+			best, found = rec, true
+		}
+	}
+	return best, found
+}
+
+// deliver applies a committed transaction and records it in the log.
+func (p *Peer) deliver(c Committed) {
+	atomic.StoreInt64(&p.lastCommit, c.Txn.Zxid)
+	if c.Txn.Zxid > p.lastZxid {
+		p.lastZxid = c.Txn.Zxid
+	}
+	p.commitLog = append(p.commitLog, ProposalRecord{Txn: c.Txn, Origin: c.Origin})
+	if len(p.commitLog) > p.cfg.MaxLogEntries {
+		// Drop half the cap at once: truncating exactly to the cap
+		// would copy the whole log on every commit past it, turning
+		// the hot path O(n).
+		drop := len(p.commitLog) - p.cfg.MaxLogEntries/2
+		p.logBase = p.commitLog[drop-1].Txn.Zxid
+		p.commitLog = append([]ProposalRecord(nil), p.commitLog[drop:]...)
+	}
+	p.statsMu.Lock()
+	p.stats.Commits++
+	p.statsMu.Unlock()
+	p.cfg.Deliver(c)
+}
+
+// --- heartbeats & timeouts ---
+
+func (p *Peer) tick(now time.Time) {
+	switch p.Role() {
+	case RoleLeading:
+		committed := p.lastCommitted()
+		for _, id := range p.cfg.Peers {
+			if id == p.cfg.ID {
+				continue
+			}
+			_ = p.cfg.Transport.Send(id, Message{Kind: KindPing, Epoch: p.epoch, Zxid: committed})
+		}
+		// Abdicate if a quorum has gone silent.
+		alive := 1
+		for id, t := range p.lastHeard {
+			if id == p.cfg.ID {
+				continue
+			}
+			if now.Sub(t) < p.cfg.ElectionTimeout {
+				alive++
+			}
+		}
+		if alive < p.quorum() {
+			p.startElection()
+		}
+	case RoleFollowing:
+		if now.Sub(p.lastHeard[p.followTarget]) > p.cfg.ElectionTimeout {
+			p.startElection()
+		}
+	case RoleLooking:
+		if now.After(p.electionDue) {
+			p.startElection()
+		}
+	}
+}
+
+func (p *Peer) handlePing(msg Message) {
+	if p.Role() == RoleFollowing && msg.From == p.followTarget {
+		p.lastHeard[msg.From] = time.Now()
+		p.commitUpTo(msg.Zxid)
+		_ = p.cfg.Transport.Send(msg.From, Message{Kind: KindPong, Zxid: p.lastCommitted()})
+		return
+	}
+	if p.Role() == RoleLooking {
+		// A leader exists; join it.
+		p.becomeFollower(msg.From)
+	}
+}
+
+func (p *Peer) handlePong(msg Message) {
+	if p.Role() == RoleLeading {
+		p.lastHeard[msg.From] = time.Now()
+	}
+}
+
+// --- dispatch ---
+
+func (p *Peer) handle(msg Message) {
+	switch msg.Kind {
+	case KindVote:
+		p.handleVote(msg)
+	case KindFollowerInfo:
+		p.handleFollowerInfo(msg)
+	case KindSyncSnap, KindSyncDiff:
+		p.handleSync(msg)
+	case KindNewLeaderAck:
+		p.handleNewLeaderAck(msg)
+	case KindPropose:
+		p.handlePropose(msg)
+	case KindAck:
+		p.handleAck(msg)
+	case KindCommit:
+		p.handleCommit(msg)
+	case KindPing:
+		p.handlePing(msg)
+	case KindPong:
+		p.handlePong(msg)
+	case KindApp:
+		if p.cfg.OnApp != nil {
+			p.cfg.OnApp(msg.From, msg.App)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package zab
+
+import (
+	"errors"
+	"sync"
+)
+
+// Transport moves messages between peers. Send must not block the
+// caller indefinitely; implementations may drop messages to unreachable
+// peers (the protocol recovers via re-election and re-sync).
+type Transport interface {
+	// Send delivers msg to the peer with the given id. Delivery is
+	// best-effort; an error indicates the peer is known to be
+	// unreachable.
+	Send(to PeerID, msg Message) error
+	// Receive returns the channel of inbound messages for this peer.
+	Receive() <-chan Message
+	// Close tears the endpoint down.
+	Close() error
+}
+
+// ErrPeerUnreachable indicates the destination is partitioned or down.
+var ErrPeerUnreachable = errors.New("zab: peer unreachable")
+
+// mailboxSize bounds each peer's inbound queue. The protocol tolerates
+// drops (a follower that misses proposals detects the zxid gap and
+// re-syncs), so a full mailbox sheds load rather than deadlocking the
+// sender.
+const mailboxSize = 16384
+
+// Network is an in-process transport hub connecting a set of peers via
+// buffered channels. It supports partitioning individual peers or links
+// for fault-injection experiments (Fig 12).
+type Network struct {
+	mu     sync.RWMutex
+	boxes  map[PeerID]chan Message
+	down   map[PeerID]bool
+	cuts   map[[2]PeerID]bool
+	closed bool
+}
+
+// NewNetwork returns an empty hub.
+func NewNetwork() *Network {
+	return &Network{
+		boxes: make(map[PeerID]chan Message),
+		down:  make(map[PeerID]bool),
+		cuts:  make(map[[2]PeerID]bool),
+	}
+}
+
+// Endpoint registers a peer and returns its transport endpoint.
+func (n *Network) Endpoint(id PeerID) *NetworkEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	box, ok := n.boxes[id]
+	if !ok {
+		box = make(chan Message, mailboxSize)
+		n.boxes[id] = box
+	}
+	return &NetworkEndpoint{net: n, id: id, box: box}
+}
+
+// SetDown marks a peer crashed (true) or recovered (false). Messages to
+// and from a down peer are dropped.
+func (n *Network) SetDown(id PeerID, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = down
+}
+
+// Cut severs (or heals) the bidirectional link between two peers.
+func (n *Network) Cut(a, b PeerID, cut bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cuts[linkKey(a, b)] = cut
+}
+
+func linkKey(a, b PeerID) [2]PeerID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]PeerID{a, b}
+}
+
+func (n *Network) deliver(from, to PeerID, msg Message) error {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.closed || n.down[from] || n.down[to] || n.cuts[linkKey(from, to)] {
+		return ErrPeerUnreachable
+	}
+	box, ok := n.boxes[to]
+	if !ok {
+		return ErrPeerUnreachable
+	}
+	select {
+	case box <- msg:
+		return nil
+	default:
+		// Mailbox overflow: shed the message; the receiver re-syncs.
+		return ErrPeerUnreachable
+	}
+}
+
+// Close shuts the hub down. Endpoints' Receive channels stop yielding.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+}
+
+// NetworkEndpoint is one peer's handle on a Network.
+type NetworkEndpoint struct {
+	net *Network
+	id  PeerID
+	box chan Message
+}
+
+var _ Transport = (*NetworkEndpoint)(nil)
+
+// Send implements Transport.
+func (e *NetworkEndpoint) Send(to PeerID, msg Message) error {
+	msg.From = e.id
+	return e.net.deliver(e.id, to, msg)
+}
+
+// Receive implements Transport.
+func (e *NetworkEndpoint) Receive() <-chan Message { return e.box }
+
+// Close implements Transport. The shared hub stays up for other peers.
+func (e *NetworkEndpoint) Close() error {
+	e.net.SetDown(e.id, true)
+	return nil
+}

@@ -1,0 +1,108 @@
+package zab
+
+import (
+	"testing"
+)
+
+func TestNetworkDelivery(t *testing.T) {
+	net := NewNetwork()
+	a := net.Endpoint(1)
+	b := net.Endpoint(2)
+
+	if err := a.Send(2, Message{Kind: KindPing, Zxid: 5}); err != nil {
+		t.Fatal(err)
+	}
+	msg := <-b.Receive()
+	if msg.Kind != KindPing || msg.Zxid != 5 || msg.From != 1 {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestNetworkSendToUnknownPeer(t *testing.T) {
+	net := NewNetwork()
+	a := net.Endpoint(1)
+	if err := a.Send(99, Message{Kind: KindPing}); err == nil {
+		t.Fatal("send to unregistered peer must fail")
+	}
+}
+
+func TestNetworkDownPeer(t *testing.T) {
+	net := NewNetwork()
+	a := net.Endpoint(1)
+	net.Endpoint(2)
+
+	net.SetDown(2, true)
+	if err := a.Send(2, Message{Kind: KindPing}); err == nil {
+		t.Fatal("send to down peer must fail")
+	}
+	net.SetDown(2, false)
+	if err := a.Send(2, Message{Kind: KindPing}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A down sender is also cut off.
+	net.SetDown(1, true)
+	if err := a.Send(2, Message{Kind: KindPing}); err == nil {
+		t.Fatal("send from down peer must fail")
+	}
+}
+
+func TestNetworkLinkCut(t *testing.T) {
+	net := NewNetwork()
+	a := net.Endpoint(1)
+	b := net.Endpoint(2)
+	c := net.Endpoint(3)
+	_ = c
+
+	net.Cut(1, 2, true)
+	if err := a.Send(2, Message{Kind: KindPing}); err == nil {
+		t.Fatal("cut link must drop messages")
+	}
+	if err := b.Send(1, Message{Kind: KindPing}); err == nil {
+		t.Fatal("cut is bidirectional")
+	}
+	// Third parties unaffected.
+	if err := a.Send(3, Message{Kind: KindPing}); err != nil {
+		t.Fatal(err)
+	}
+	net.Cut(1, 2, false)
+	if err := a.Send(2, Message{Kind: KindPing}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkMailboxOverflowSheds(t *testing.T) {
+	net := NewNetwork()
+	a := net.Endpoint(1)
+	net.Endpoint(2)
+	// Fill the mailbox without reading.
+	var err error
+	for i := 0; i < mailboxSize+10; i++ {
+		err = a.Send(2, Message{Kind: KindPing})
+	}
+	if err == nil {
+		t.Fatal("overflowing mailbox must shed (error), not block")
+	}
+}
+
+func TestEndpointClose(t *testing.T) {
+	net := NewNetwork()
+	a := net.Endpoint(1)
+	net.Endpoint(2)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, Message{Kind: KindPing}); err == nil {
+		t.Fatal("closed endpoint must not send")
+	}
+}
+
+func TestNetworkClose(t *testing.T) {
+	net := NewNetwork()
+	a := net.Endpoint(1)
+	net.Endpoint(2)
+	net.Close()
+	if err := a.Send(2, Message{Kind: KindPing}); err == nil {
+		t.Fatal("closed network must not deliver")
+	}
+}

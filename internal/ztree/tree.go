@@ -1,0 +1,486 @@
+// Package ztree implements the hierarchical znode database at the heart
+// of the coordination service: a tree of nodes addressed by slash-
+// separated paths, each carrying a payload, version metadata (Stat), and
+// optionally an ephemeral owner. The tree applies committed transactions
+// deterministically so that every replica converges to the same state,
+// and it triggers watches on mutations.
+//
+// The tree treats paths and payloads as opaque byte strings. This is the
+// property SecureKeeper exploits: ciphertext paths and payloads flow
+// through unmodified ("the untrusted components handle the ciphertext as
+// a blackbox, i.e. the same as plaintext", §4.1).
+package ztree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"securekeeper/internal/wire"
+)
+
+// node is a single znode.
+type node struct {
+	data     []byte
+	stat     wire.Stat
+	children map[string]struct{}
+}
+
+// Tree is the znode database. All methods are safe for concurrent use.
+type Tree struct {
+	mu        sync.RWMutex
+	nodes     map[string]*node
+	ephemeral map[int64]map[string]struct{} // session id -> owned paths
+	watches   *WatchManager
+	now       func() int64 // wall clock in ms, injectable for tests
+	clock     int64        // fallback logical clock when now is nil
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithClock injects the millisecond wall-clock source used for Stat
+// timestamps. Tests use this to make Ctime/Mtime deterministic.
+func WithClock(now func() int64) Option {
+	return func(t *Tree) { t.now = now }
+}
+
+// New returns a tree containing only the root znode "/".
+func New(opts ...Option) *Tree {
+	t := &Tree{
+		nodes:     make(map[string]*node, 64),
+		ephemeral: make(map[int64]map[string]struct{}),
+		watches:   NewWatchManager(),
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	t.nodes["/"] = &node{children: make(map[string]struct{})}
+	return t
+}
+
+// Watches exposes the tree's watch manager for registration.
+func (t *Tree) Watches() *WatchManager { return t.watches }
+
+func (t *Tree) timestamp() int64 {
+	if t.now != nil {
+		return t.now()
+	}
+	t.clock++
+	return t.clock
+}
+
+// ValidatePath checks structural path validity: absolute, no empty or
+// dot segments, no trailing slash (except root).
+func ValidatePath(path string) error {
+	if path == "" {
+		return fmt.Errorf("ztree: empty path: %w", wire.ErrBadArguments.Error())
+	}
+	if path[0] != '/' {
+		return fmt.Errorf("ztree: relative path %q: %w", path, wire.ErrBadArguments.Error())
+	}
+	if path == "/" {
+		return nil
+	}
+	if strings.HasSuffix(path, "/") {
+		return fmt.Errorf("ztree: trailing slash in %q: %w", path, wire.ErrBadArguments.Error())
+	}
+	for _, seg := range strings.Split(path[1:], "/") {
+		if seg == "" || seg == "." || seg == ".." {
+			return fmt.Errorf("ztree: invalid segment %q in %q: %w", seg, path, wire.ErrBadArguments.Error())
+		}
+	}
+	return nil
+}
+
+// SplitPath returns the parent path and the final segment of path.
+// SplitPath("/a/b") == ("/a", "b"); SplitPath("/a") == ("/", "a").
+func SplitPath(path string) (parent, name string) {
+	idx := strings.LastIndexByte(path, '/')
+	if idx <= 0 {
+		return "/", path[1:]
+	}
+	return path[:idx], path[idx+1:]
+}
+
+// Create inserts a new znode and returns its Stat. The zxid stamps the
+// creating transaction. For ephemeral nodes, owner is the session id.
+func (t *Tree) Create(path string, data []byte, flags wire.CreateFlags, owner int64, zxid int64) (*wire.Stat, error) {
+	if err := ValidatePath(path); err != nil {
+		return nil, err
+	}
+	if path == "/" {
+		return nil, wire.ErrNodeExists.Error()
+	}
+	parentPath, _ := SplitPath(path)
+
+	t.mu.Lock()
+	parent, ok := t.nodes[parentPath]
+	if !ok {
+		t.mu.Unlock()
+		return nil, wire.ErrNoNode.Error()
+	}
+	if parent.stat.EphemeralOwner != 0 {
+		t.mu.Unlock()
+		return nil, wire.ErrNoChildrenForEphemerals.Error()
+	}
+	if _, exists := t.nodes[path]; exists {
+		t.mu.Unlock()
+		return nil, wire.ErrNodeExists.Error()
+	}
+
+	now := t.timestamp()
+	n := &node{
+		data:     cloneBytes(data),
+		children: make(map[string]struct{}),
+		stat: wire.Stat{
+			Czxid:      zxid,
+			Mzxid:      zxid,
+			Pzxid:      zxid,
+			Ctime:      now,
+			Mtime:      now,
+			DataLength: int32(len(data)),
+		},
+	}
+	if flags&wire.FlagEphemeral != 0 {
+		n.stat.EphemeralOwner = owner
+		set, ok := t.ephemeral[owner]
+		if !ok {
+			set = make(map[string]struct{})
+			t.ephemeral[owner] = set
+		}
+		set[path] = struct{}{}
+	}
+	t.nodes[path] = n
+	_, name := SplitPath(path)
+	parent.children[name] = struct{}{}
+	parent.stat.Cversion++
+	parent.stat.Pzxid = zxid
+	parent.stat.NumChildren = int32(len(parent.children))
+	stat := n.stat
+	t.mu.Unlock()
+
+	t.watches.trigger(path, wire.EventNodeCreated)
+	t.watches.trigger(parentPath, wire.EventNodeChildrenChanged)
+	return &stat, nil
+}
+
+// Delete removes a znode if version matches (-1 matches any) and it has
+// no children.
+func (t *Tree) Delete(path string, version int32, zxid int64) error {
+	if err := ValidatePath(path); err != nil {
+		return err
+	}
+	if path == "/" {
+		return wire.ErrBadArguments.Error()
+	}
+	parentPath, name := SplitPath(path)
+
+	t.mu.Lock()
+	n, ok := t.nodes[path]
+	if !ok {
+		t.mu.Unlock()
+		return wire.ErrNoNode.Error()
+	}
+	if version != -1 && version != n.stat.Version {
+		t.mu.Unlock()
+		return wire.ErrBadVersion.Error()
+	}
+	if len(n.children) > 0 {
+		t.mu.Unlock()
+		return wire.ErrNotEmpty.Error()
+	}
+	delete(t.nodes, path)
+	if n.stat.EphemeralOwner != 0 {
+		if set, ok := t.ephemeral[n.stat.EphemeralOwner]; ok {
+			delete(set, path)
+			if len(set) == 0 {
+				delete(t.ephemeral, n.stat.EphemeralOwner)
+			}
+		}
+	}
+	if parent, ok := t.nodes[parentPath]; ok {
+		delete(parent.children, name)
+		parent.stat.Cversion++
+		parent.stat.Pzxid = zxid
+		parent.stat.NumChildren = int32(len(parent.children))
+	}
+	t.mu.Unlock()
+
+	t.watches.trigger(path, wire.EventNodeDeleted)
+	t.watches.trigger(parentPath, wire.EventNodeChildrenChanged)
+	return nil
+}
+
+// SetData replaces a znode's payload if version matches (-1 matches any).
+func (t *Tree) SetData(path string, data []byte, version int32, zxid int64) (*wire.Stat, error) {
+	if err := ValidatePath(path); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	n, ok := t.nodes[path]
+	if !ok {
+		t.mu.Unlock()
+		return nil, wire.ErrNoNode.Error()
+	}
+	if version != -1 && version != n.stat.Version {
+		t.mu.Unlock()
+		return nil, wire.ErrBadVersion.Error()
+	}
+	n.data = cloneBytes(data)
+	n.stat.Version++
+	n.stat.Mzxid = zxid
+	n.stat.Mtime = t.timestamp()
+	n.stat.DataLength = int32(len(data))
+	stat := n.stat
+	t.mu.Unlock()
+
+	t.watches.trigger(path, wire.EventNodeDataChanged)
+	return &stat, nil
+}
+
+// GetData returns a copy of the payload and the Stat.
+func (t *Tree) GetData(path string) ([]byte, *wire.Stat, error) {
+	if err := ValidatePath(path); err != nil {
+		return nil, nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[path]
+	if !ok {
+		return nil, nil, wire.ErrNoNode.Error()
+	}
+	stat := n.stat
+	return cloneBytes(n.data), &stat, nil
+}
+
+// Exists returns the Stat of a znode, or ErrNoNode.
+func (t *Tree) Exists(path string) (*wire.Stat, error) {
+	if err := ValidatePath(path); err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[path]
+	if !ok {
+		return nil, wire.ErrNoNode.Error()
+	}
+	stat := n.stat
+	return &stat, nil
+}
+
+// GetChildren returns a sorted list of child names.
+func (t *Tree) GetChildren(path string) ([]string, error) {
+	if err := ValidatePath(path); err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	n, ok := t.nodes[path]
+	if !ok {
+		t.mu.RUnlock()
+		return nil, wire.ErrNoNode.Error()
+	}
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	t.mu.RUnlock()
+	sort.Strings(out)
+	return out, nil
+}
+
+// NextSequence returns the sequence number for the next sequential child
+// of parentPath. ZooKeeper uses the parent's Cversion for this purpose.
+func (t *Tree) NextSequence(parentPath string) (int32, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[parentPath]
+	if !ok {
+		return 0, wire.ErrNoNode.Error()
+	}
+	return n.stat.Cversion, nil
+}
+
+// KillSession deletes all ephemeral nodes owned by a session and returns
+// the deleted paths (deepest first so children go before parents).
+func (t *Tree) KillSession(sessionID int64, zxid int64) []string {
+	t.mu.Lock()
+	set := t.ephemeral[sessionID]
+	paths := make([]string, 0, len(set))
+	for p := range set {
+		paths = append(paths, p)
+	}
+	t.mu.Unlock()
+	// Deepest paths first so that (hypothetical) ephemeral parents are
+	// emptied before deletion.
+	sort.Slice(paths, func(i, j int) bool { return len(paths[i]) > len(paths[j]) })
+	deleted := paths[:0]
+	for _, p := range paths {
+		if err := t.Delete(p, -1, zxid); err == nil {
+			deleted = append(deleted, p)
+		}
+	}
+	return deleted
+}
+
+// Count returns the number of znodes including the root.
+func (t *Tree) Count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.nodes)
+}
+
+// ApproxBytes estimates the memory held by payloads and paths, used by
+// the Fig 2 memory-timeline experiment.
+func (t *Tree) ApproxBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var total int64
+	for p, n := range t.nodes {
+		total += int64(len(p)) + int64(len(n.data)) + 96 // stat + map overhead estimate
+	}
+	return total
+}
+
+// Digest computes an order-independent checksum over paths, data and
+// versions. Replicas compare digests in tests to assert convergence.
+func (t *Tree) Digest() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var digest uint64
+	for p, n := range t.nodes {
+		h := fnv64a(p)
+		h = fnv64aBytes(h, n.data)
+		h ^= uint64(uint32(n.stat.Version))<<32 | uint64(uint32(n.stat.Cversion))
+		digest += h // commutative combine: iteration order independent
+	}
+	return digest
+}
+
+// Snapshot captures the full tree state for recovery transfer.
+func (t *Tree) Snapshot() *Snapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	snap := &Snapshot{Nodes: make([]SnapshotNode, 0, len(t.nodes))}
+	for p, n := range t.nodes {
+		snap.Nodes = append(snap.Nodes, SnapshotNode{
+			Path: p,
+			Data: cloneBytes(n.data),
+			Stat: n.stat,
+		})
+	}
+	sort.Slice(snap.Nodes, func(i, j int) bool { return snap.Nodes[i].Path < snap.Nodes[j].Path })
+	return snap
+}
+
+// Restore replaces the tree contents with a snapshot.
+func (t *Tree) Restore(snap *Snapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes = make(map[string]*node, len(snap.Nodes))
+	t.ephemeral = make(map[int64]map[string]struct{})
+	for _, sn := range snap.Nodes {
+		n := &node{
+			data:     cloneBytes(sn.Data),
+			stat:     sn.Stat,
+			children: make(map[string]struct{}),
+		}
+		t.nodes[sn.Path] = n
+		if owner := sn.Stat.EphemeralOwner; owner != 0 {
+			set, ok := t.ephemeral[owner]
+			if !ok {
+				set = make(map[string]struct{})
+				t.ephemeral[owner] = set
+			}
+			set[sn.Path] = struct{}{}
+		}
+	}
+	if _, ok := t.nodes["/"]; !ok {
+		t.nodes["/"] = &node{children: make(map[string]struct{})}
+	}
+	// Rebuild child links.
+	for p := range t.nodes {
+		if p == "/" {
+			continue
+		}
+		parentPath, name := SplitPath(p)
+		if parent, ok := t.nodes[parentPath]; ok {
+			parent.children[name] = struct{}{}
+		}
+	}
+}
+
+// SnapshotNode is one znode in a serialized snapshot.
+type SnapshotNode struct {
+	Path string
+	Data []byte
+	Stat wire.Stat
+}
+
+// Snapshot is a point-in-time copy of the tree used for recovery.
+type Snapshot struct {
+	Nodes []SnapshotNode
+}
+
+// Serialize implements wire.Record.
+func (s *Snapshot) Serialize(e *wire.Encoder) {
+	e.WriteInt32(int32(len(s.Nodes)))
+	for i := range s.Nodes {
+		e.WriteString(s.Nodes[i].Path)
+		e.WriteBuffer(s.Nodes[i].Data)
+		s.Nodes[i].Stat.Serialize(e)
+	}
+}
+
+// Deserialize implements wire.Record.
+func (s *Snapshot) Deserialize(d *wire.Decoder) error {
+	n, err := d.ReadInt32()
+	if err != nil {
+		return err
+	}
+	if n < 0 || n > wire.MaxVectorLen {
+		return fmt.Errorf("ztree: bad snapshot node count %d", n)
+	}
+	s.Nodes = make([]SnapshotNode, 0, min(int(n), 65536))
+	for i := int32(0); i < n; i++ {
+		var sn SnapshotNode
+		if sn.Path, err = d.ReadString(); err != nil {
+			return err
+		}
+		if sn.Data, err = d.ReadBuffer(); err != nil {
+			return err
+		}
+		if err = sn.Stat.Deserialize(d); err != nil {
+			return err
+		}
+		s.Nodes = append(s.Nodes, sn)
+	}
+	return nil
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func fnv64aBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}

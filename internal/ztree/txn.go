@@ -1,0 +1,152 @@
+package ztree
+
+import (
+	"fmt"
+
+	"securekeeper/internal/wire"
+)
+
+// TxnType identifies the kind of committed transaction.
+type TxnType int32
+
+// Transaction types.
+const (
+	TxnCreate TxnType = iota + 1
+	TxnDelete
+	TxnSetData
+	TxnCloseSession
+	TxnSync  // no-op transaction giving SYNC its linearization point
+	TxnError // a write that failed validation; committed so FIFO order holds
+)
+
+// Txn is a deterministic state-machine command. The leader validates
+// client requests, converts them to Txns (resolving sequential-node
+// names and versions), and the broadcast layer commits identical Txns on
+// every replica.
+type Txn struct {
+	Zxid    int64
+	Type    TxnType
+	Path    string // final path (sequence number already appended)
+	Data    []byte
+	Flags   wire.CreateFlags
+	Version int32
+	Session int64
+	Err     wire.ErrCode // for TxnError: the validation error to report
+}
+
+// Serialize implements wire.Record.
+func (t *Txn) Serialize(e *wire.Encoder) {
+	e.WriteInt64(t.Zxid)
+	e.WriteInt32(int32(t.Type))
+	e.WriteString(t.Path)
+	e.WriteBuffer(t.Data)
+	e.WriteInt32(int32(t.Flags))
+	e.WriteInt32(t.Version)
+	e.WriteInt64(t.Session)
+	e.WriteInt32(int32(t.Err))
+}
+
+// Deserialize implements wire.Record.
+func (t *Txn) Deserialize(d *wire.Decoder) error {
+	var err error
+	if t.Zxid, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	typ, err := d.ReadInt32()
+	if err != nil {
+		return err
+	}
+	t.Type = TxnType(typ)
+	if t.Path, err = d.ReadString(); err != nil {
+		return err
+	}
+	if t.Data, err = d.ReadBuffer(); err != nil {
+		return err
+	}
+	flags, err := d.ReadInt32()
+	if err != nil {
+		return err
+	}
+	t.Flags = wire.CreateFlags(flags)
+	if t.Version, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	if t.Session, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	code, err := d.ReadInt32()
+	if err != nil {
+		return err
+	}
+	t.Err = wire.ErrCode(code)
+	return nil
+}
+
+// TxnResult is the outcome of applying a transaction.
+type TxnResult struct {
+	Zxid    int64
+	Err     wire.ErrCode
+	Stat    *wire.Stat
+	Path    string   // created path for TxnCreate
+	Deleted []string // ephemeral paths removed by TxnCloseSession
+}
+
+// Apply executes a committed transaction against the tree. Apply is
+// deterministic: given the same tree state and Txn, every replica
+// produces the same result.
+func (t *Tree) Apply(txn *Txn) *TxnResult {
+	res := &TxnResult{Zxid: txn.Zxid, Path: txn.Path}
+	switch txn.Type {
+	case TxnCreate:
+		stat, err := t.Create(txn.Path, txn.Data, txn.Flags, txn.Session, txn.Zxid)
+		res.Err = toErrCode(err)
+		res.Stat = stat
+	case TxnDelete:
+		res.Err = toErrCode(t.Delete(txn.Path, txn.Version, txn.Zxid))
+	case TxnSetData:
+		stat, err := t.SetData(txn.Path, txn.Data, txn.Version, txn.Zxid)
+		res.Err = toErrCode(err)
+		res.Stat = stat
+	case TxnCloseSession:
+		res.Deleted = t.KillSession(txn.Session, txn.Zxid)
+	case TxnSync:
+		// No state change; the commit itself is the synchronization.
+	case TxnError:
+		res.Err = txn.Err
+	default:
+		res.Err = wire.ErrUnimplemented
+	}
+	return res
+}
+
+func toErrCode(err error) wire.ErrCode {
+	if err == nil {
+		return wire.ErrOK
+	}
+	var pe *wire.ProtocolError
+	if asProtocolError(err, &pe) {
+		return pe.Code
+	}
+	return wire.ErrSystemError
+}
+
+func asProtocolError(err error, target **wire.ProtocolError) bool {
+	for err != nil {
+		if pe, ok := err.(*wire.ProtocolError); ok {
+			*target = pe
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// String renders the txn for logs.
+func (t *Txn) String() string {
+	return fmt.Sprintf("txn{zxid=%#x type=%d path=%q len=%d}", t.Zxid, t.Type, t.Path, len(t.Data))
+}

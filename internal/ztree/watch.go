@@ -1,0 +1,140 @@
+package ztree
+
+import (
+	"sync"
+
+	"securekeeper/internal/wire"
+)
+
+// Watcher receives watch events. Implementations must not block: events
+// are delivered synchronously from the mutating goroutine.
+type Watcher interface {
+	Notify(ev wire.WatcherEvent)
+}
+
+// FuncWatcher adapts a function to the Watcher interface. The returned
+// value is a pointer so it is usable as a registration key (watcher
+// identities must be comparable).
+func FuncWatcher(f func(ev wire.WatcherEvent)) Watcher {
+	return &funcWatcher{f: f}
+}
+
+type funcWatcher struct {
+	f func(ev wire.WatcherEvent)
+}
+
+// Notify implements Watcher.
+func (w *funcWatcher) Notify(ev wire.WatcherEvent) { w.f(ev) }
+
+// WatchManager tracks one-shot watches per path, mirroring ZooKeeper
+// semantics: a watch fires once and is removed; data watches fire on
+// create/delete/set, existence watches on create/delete, child watches
+// on children changes and node deletion.
+type WatchManager struct {
+	mu    sync.Mutex
+	data  map[string]map[Watcher]struct{}
+	exist map[string]map[Watcher]struct{}
+	child map[string]map[Watcher]struct{}
+}
+
+// NewWatchManager returns an empty watch manager.
+func NewWatchManager() *WatchManager {
+	return &WatchManager{
+		data:  make(map[string]map[Watcher]struct{}),
+		exist: make(map[string]map[Watcher]struct{}),
+		child: make(map[string]map[Watcher]struct{}),
+	}
+}
+
+// Add registers a one-shot watch of the given kind on path.
+func (m *WatchManager) Add(path string, kind wire.WatchKind, w Watcher) {
+	if w == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	table := m.table(kind)
+	set, ok := table[path]
+	if !ok {
+		set = make(map[Watcher]struct{})
+		table[path] = set
+	}
+	set[w] = struct{}{}
+}
+
+// RemoveWatcher drops every registration of w, used on session close.
+func (m *WatchManager) RemoveWatcher(w Watcher) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, table := range []map[string]map[Watcher]struct{}{m.data, m.exist, m.child} {
+		for path, set := range table {
+			delete(set, w)
+			if len(set) == 0 {
+				delete(table, path)
+			}
+		}
+	}
+}
+
+// Count returns the number of registered (path, watcher) pairs.
+func (m *WatchManager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, table := range []map[string]map[Watcher]struct{}{m.data, m.exist, m.child} {
+		for _, set := range table {
+			n += len(set)
+		}
+	}
+	return n
+}
+
+func (m *WatchManager) table(kind wire.WatchKind) map[string]map[Watcher]struct{} {
+	switch kind {
+	case wire.WatchData:
+		return m.data
+	case wire.WatchExist:
+		return m.exist
+	default:
+		return m.child
+	}
+}
+
+// trigger fires and clears the watches affected by an event on path.
+func (m *WatchManager) trigger(path string, typ wire.EventType) {
+	ev := wire.WatcherEvent{Type: typ, Path: path}
+	var fired []Watcher
+
+	m.mu.Lock()
+	switch typ {
+	case wire.EventNodeCreated:
+		fired = takeAll(m.data, path, fired)
+		fired = takeAll(m.exist, path, fired)
+	case wire.EventNodeDeleted:
+		fired = takeAll(m.data, path, fired)
+		fired = takeAll(m.exist, path, fired)
+		fired = takeAll(m.child, path, fired)
+	case wire.EventNodeDataChanged:
+		fired = takeAll(m.data, path, fired)
+		fired = takeAll(m.exist, path, fired)
+	case wire.EventNodeChildrenChanged:
+		fired = takeAll(m.child, path, fired)
+	}
+	m.mu.Unlock()
+
+	for _, w := range fired {
+		w.Notify(ev)
+	}
+}
+
+func takeAll(table map[string]map[Watcher]struct{}, path string, into []Watcher) []Watcher {
+	set, ok := table[path]
+	if !ok {
+		return into
+	}
+	delete(table, path)
+	for w := range set {
+		into = append(into, w)
+	}
+	return into
+}

@@ -1,0 +1,391 @@
+// Package recipes implements the classic ZooKeeper coordination
+// primitives on top of the client library: distributed locks, leader
+// election, barriers and counters. These are the workloads the paper's
+// introduction motivates ("naming, configuration management, leader
+// election, group membership, barriers and distributed locks", §2.1) —
+// and they run unchanged against all three cluster variants, including
+// SecureKeeper, because the recipes only use the public client API.
+package recipes
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/wire"
+)
+
+// Recipe errors.
+var (
+	ErrTimeout   = errors.New("recipes: timed out")
+	ErrNotLocked = errors.New("recipes: lock is not held")
+	ErrAbandoned = errors.New("recipes: election abandoned")
+)
+
+// pollInterval paces the wait loops. Recipes prefer watches where
+// possible and fall back to polling when a watch would race.
+const pollInterval = 2 * time.Millisecond
+
+// EnsurePath creates every element of path that does not yet exist
+// (like `mkdir -p`). Existing nodes are left untouched.
+func EnsurePath(cl *client.Client, path string) error {
+	if path == "" || path[0] != '/' {
+		return fmt.Errorf("recipes: invalid path %q", path)
+	}
+	if path == "/" {
+		return nil
+	}
+	elems := strings.Split(path[1:], "/")
+	current := ""
+	for _, elem := range elems {
+		current += "/" + elem
+		if _, err := cl.Create(current, nil, 0); err != nil && !isCode(err, wire.ErrNodeExists) {
+			return fmt.Errorf("recipes: ensure %s: %w", current, err)
+		}
+	}
+	return nil
+}
+
+func isCode(err error, code wire.ErrCode) bool {
+	var pe *wire.ProtocolError
+	return errors.As(err, &pe) && pe.Code == code
+}
+
+// --- distributed lock ---
+
+// Lock is a distributed mutex built on ephemeral sequential nodes: the
+// holder of the lowest sequence owns the lock; crashing holders release
+// implicitly because their node is ephemeral. This is the recipe that
+// exercises SecureKeeper's counter enclave on every acquisition.
+type Lock struct {
+	cl   *client.Client
+	root string
+	node string // our candidate node while contending/holding
+}
+
+// NewLock creates a lock rooted at root (created if missing).
+func NewLock(cl *client.Client, root string) (*Lock, error) {
+	if err := EnsurePath(cl, root); err != nil {
+		return nil, err
+	}
+	return &Lock{cl: cl, root: root}, nil
+}
+
+// TryLock attempts a non-blocking acquisition.
+func (l *Lock) TryLock() (bool, error) {
+	if err := l.enqueue(); err != nil {
+		return false, err
+	}
+	first, err := l.amFirst()
+	if err != nil {
+		return false, err
+	}
+	if !first {
+		// Withdraw the candidacy.
+		_ = l.cl.Delete(l.node, -1)
+		l.node = ""
+	}
+	return first, nil
+}
+
+// Lock blocks until the lock is acquired or the timeout expires.
+func (l *Lock) Lock(timeout time.Duration) error {
+	if err := l.enqueue(); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		first, err := l.amFirst()
+		if err != nil {
+			return err
+		}
+		if first {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			_ = l.cl.Delete(l.node, -1)
+			l.node = ""
+			return ErrTimeout
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// Unlock releases the lock.
+func (l *Lock) Unlock() error {
+	if l.node == "" {
+		return ErrNotLocked
+	}
+	err := l.cl.Delete(l.node, -1)
+	l.node = ""
+	return err
+}
+
+// Holder returns the name of the current lock-holding candidate node,
+// or "" when the lock is free.
+func (l *Lock) Holder() (string, error) {
+	kids, err := l.cl.Children(l.root)
+	if err != nil {
+		return "", err
+	}
+	if len(kids) == 0 {
+		return "", nil
+	}
+	sort.Strings(kids)
+	return kids[0], nil
+}
+
+func (l *Lock) enqueue() error {
+	if l.node != "" {
+		return nil // already contending or holding
+	}
+	node, err := l.cl.Create(l.root+"/lock-", nil, wire.FlagSequential|wire.FlagEphemeral)
+	if err != nil {
+		return fmt.Errorf("recipes: enqueue lock candidate: %w", err)
+	}
+	l.node = node
+	return nil
+}
+
+func (l *Lock) amFirst() (bool, error) {
+	kids, err := l.cl.Children(l.root)
+	if err != nil {
+		return false, err
+	}
+	if len(kids) == 0 {
+		return false, fmt.Errorf("recipes: lock root emptied under us")
+	}
+	sort.Strings(kids)
+	return l.root+"/"+kids[0] == l.node, nil
+}
+
+// --- leader election ---
+
+// Election implements the leader-election recipe: candidates create
+// ephemeral sequential member nodes; the lowest sequence leads.
+type Election struct {
+	cl   *client.Client
+	root string
+	node string
+}
+
+// NewElection joins an election rooted at root.
+func NewElection(cl *client.Client, root string) (*Election, error) {
+	if err := EnsurePath(cl, root); err != nil {
+		return nil, err
+	}
+	node, err := cl.Create(root+"/member-", nil, wire.FlagSequential|wire.FlagEphemeral)
+	if err != nil {
+		return nil, fmt.Errorf("recipes: volunteer: %w", err)
+	}
+	return &Election{cl: cl, root: root, node: node}, nil
+}
+
+// Node returns this candidate's member node path.
+func (e *Election) Node() string { return e.node }
+
+// IsLeader reports whether this candidate currently leads.
+func (e *Election) IsLeader() (bool, error) {
+	kids, err := e.cl.Children(e.root)
+	if err != nil {
+		return false, err
+	}
+	if len(kids) == 0 {
+		return false, ErrAbandoned
+	}
+	sort.Strings(kids)
+	return e.root+"/"+kids[0] == e.node, nil
+}
+
+// AwaitLeadership blocks until this candidate leads or the timeout
+// expires.
+func (e *Election) AwaitLeadership(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		lead, err := e.IsLeader()
+		if err != nil {
+			return err
+		}
+		if lead {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// Resign withdraws from the election (a leader resigning hands over to
+// the next candidate).
+func (e *Election) Resign() error {
+	return e.cl.Delete(e.node, -1)
+}
+
+// --- barrier ---
+
+// Barrier is a double barrier: participants enter and proceed together
+// once Size of them arrived; they leave together once all exited.
+type Barrier struct {
+	cl   *client.Client
+	root string
+	size int
+	node string
+}
+
+// NewBarrier creates a barrier for size participants rooted at root.
+func NewBarrier(cl *client.Client, root string, size int) (*Barrier, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("recipes: barrier size %d", size)
+	}
+	if err := EnsurePath(cl, root); err != nil {
+		return nil, err
+	}
+	return &Barrier{cl: cl, root: root, size: size}, nil
+}
+
+// Enter registers this participant and blocks until the barrier is
+// full or the timeout expires.
+func (b *Barrier) Enter(name string, timeout time.Duration) error {
+	node := b.root + "/" + name
+	if _, err := b.cl.Create(node, nil, wire.FlagEphemeral); err != nil {
+		return fmt.Errorf("recipes: enter barrier: %w", err)
+	}
+	b.node = node
+	deadline := time.Now().Add(timeout)
+	for {
+		kids, err := b.cl.Children(b.root)
+		if err != nil {
+			return err
+		}
+		if len(kids) >= b.size {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			_ = b.cl.Delete(node, -1)
+			return ErrTimeout
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// Leave deregisters this participant and blocks until everyone left.
+func (b *Barrier) Leave(timeout time.Duration) error {
+	if b.node != "" {
+		if err := b.cl.Delete(b.node, -1); err != nil && !isCode(err, wire.ErrNoNode) {
+			return err
+		}
+		b.node = ""
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		kids, err := b.cl.Children(b.root)
+		if err != nil {
+			return err
+		}
+		if len(kids) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// --- distributed counter ---
+
+// Counter is a distributed counter using versioned compare-and-swap on
+// a single znode.
+type Counter struct {
+	cl   *client.Client
+	path string
+}
+
+// NewCounter creates (or attaches to) a counter at path.
+func NewCounter(cl *client.Client, path string) (*Counter, error) {
+	parent, _ := splitPath(path)
+	if err := EnsurePath(cl, parent); err != nil {
+		return nil, err
+	}
+	if _, err := cl.Create(path, []byte("0"), 0); err != nil && !isCode(err, wire.ErrNodeExists) {
+		return nil, err
+	}
+	return &Counter{cl: cl, path: path}, nil
+}
+
+// Get returns the current value.
+func (c *Counter) Get() (int64, error) {
+	data, _, err := c.cl.Get(c.path)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(string(data), 10, 64)
+}
+
+// Add atomically adds delta and returns the new value, retrying on
+// version conflicts (optimistic concurrency).
+func (c *Counter) Add(delta int64) (int64, error) {
+	for attempt := 0; attempt < 100; attempt++ {
+		data, stat, err := c.cl.Get(c.path)
+		if err != nil {
+			return 0, err
+		}
+		cur, err := strconv.ParseInt(string(data), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("recipes: counter holds %q: %w", data, err)
+		}
+		next := cur + delta
+		if _, err := c.cl.Set(c.path, []byte(strconv.FormatInt(next, 10)), stat.Version); err != nil {
+			if isCode(err, wire.ErrBadVersion) {
+				continue // raced another increment, retry
+			}
+			return 0, err
+		}
+		return next, nil
+	}
+	return 0, fmt.Errorf("recipes: counter contention too high")
+}
+
+// --- group membership ---
+
+// Group tracks live members via ephemeral nodes.
+type Group struct {
+	cl   *client.Client
+	root string
+	node string
+}
+
+// JoinGroup registers this member under root with the given name.
+func JoinGroup(cl *client.Client, root, name string) (*Group, error) {
+	if err := EnsurePath(cl, root); err != nil {
+		return nil, err
+	}
+	node := root + "/" + name
+	if _, err := cl.Create(node, nil, wire.FlagEphemeral); err != nil {
+		return nil, fmt.Errorf("recipes: join group: %w", err)
+	}
+	return &Group{cl: cl, root: root, node: node}, nil
+}
+
+// Members lists the current live members, sorted.
+func (g *Group) Members() ([]string, error) {
+	return g.cl.Children(g.root)
+}
+
+// Leave deregisters this member.
+func (g *Group) Leave() error {
+	return g.cl.Delete(g.node, -1)
+}
+
+func splitPath(path string) (parent, name string) {
+	idx := strings.LastIndexByte(path, '/')
+	if idx <= 0 {
+		return "/", strings.TrimPrefix(path, "/")
+	}
+	return path[:idx], path[idx+1:]
+}

@@ -1,0 +1,404 @@
+package recipes
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/core"
+)
+
+// newCluster boots a SecureKeeper cluster: recipes must work unchanged
+// through the enclave stack.
+func newCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(core.Config{
+		Variant:         core.SecureKeeper,
+		Replicas:        3,
+		TickInterval:    5 * time.Millisecond,
+		ElectionTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if _, err := c.WaitForLeader(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func connect(t *testing.T, c *core.Cluster, i int) *client.Client {
+	t.Helper()
+	cl, err := c.Connect(i%c.Size(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cl.Close() })
+	return cl
+}
+
+func TestEnsurePath(t *testing.T) {
+	c := newCluster(t)
+	cl := connect(t, c, 0)
+	if err := EnsurePath(cl, "/a/b/c/d"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := EnsurePath(cl, "/a/b/c/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exists("/a/b/c/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsurePath(cl, "relative"); err == nil {
+		t.Fatal("relative path must fail")
+	}
+	if err := EnsurePath(cl, "/"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	c := newCluster(t)
+	var (
+		mu     sync.Mutex
+		inside int
+		peak   int
+		total  int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := connect(t, c, w)
+			lock, err := NewLock(cl, "/locks/m")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for round := 0; round < 3; round++ {
+				if err := lock.Lock(10 * time.Second); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				mu.Lock()
+				inside++
+				if inside > peak {
+					peak = inside
+				}
+				total++
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				mu.Lock()
+				inside--
+				mu.Unlock()
+				if err := lock.Unlock(); err != nil {
+					t.Errorf("worker %d unlock: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if peak != 1 {
+		t.Fatalf("mutual exclusion violated: peak = %d", peak)
+	}
+	if total != 12 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	c := newCluster(t)
+	clA := connect(t, c, 0)
+	clB := connect(t, c, 1)
+
+	lockA, err := NewLock(clA, "/locks/try")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockB, err := NewLock(clB, "/locks/try")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := lockA.TryLock()
+	if err != nil || !got {
+		t.Fatalf("first TryLock = %v, %v", got, err)
+	}
+	got, err = lockB.TryLock()
+	if err != nil || got {
+		t.Fatalf("contended TryLock = %v, %v (want false)", got, err)
+	}
+	if err := lockA.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = lockB.TryLock()
+	if err != nil || !got {
+		t.Fatalf("TryLock after release = %v, %v", got, err)
+	}
+	_ = lockB.Unlock()
+	if err := lockB.Unlock(); err != ErrNotLocked {
+		t.Fatalf("double unlock = %v", err)
+	}
+}
+
+func TestLockTimeout(t *testing.T) {
+	c := newCluster(t)
+	clA := connect(t, c, 0)
+	clB := connect(t, c, 1)
+	lockA, _ := NewLock(clA, "/locks/to")
+	lockB, _ := NewLock(clB, "/locks/to")
+	if err := lockA.Lock(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := lockB.Lock(50 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// The timed-out candidate must have withdrawn: holder is still A.
+	holder, err := lockA.Holder()
+	if err != nil || holder == "" {
+		t.Fatalf("holder = %q, %v", holder, err)
+	}
+	kids, _ := clA.Children("/locks/to")
+	if len(kids) != 1 {
+		t.Fatalf("stale candidates remain: %v", kids)
+	}
+}
+
+func TestLockReleasedOnSessionDeath(t *testing.T) {
+	c := newCluster(t)
+	clA := connect(t, c, 0)
+	holder, err := c.Connect(1, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockH, err := NewLock(holder, "/locks/death")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lockH.Lock(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The holder's process dies.
+	_ = holder.Close()
+
+	lockA, err := NewLock(clA, "/locks/death")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lockA.Lock(10 * time.Second); err != nil {
+		t.Fatalf("lock not released by session death: %v", err)
+	}
+}
+
+func TestElection(t *testing.T) {
+	c := newCluster(t)
+	candidates := make([]*Election, 3)
+	for i := range candidates {
+		cl := connect(t, c, i)
+		e, err := NewElection(cl, "/election/svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		candidates[i] = e
+	}
+	// Exactly one leader.
+	leaders := 0
+	leaderIdx := -1
+	for i, e := range candidates {
+		lead, err := e.IsLeader()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lead {
+			leaders++
+			leaderIdx = i
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders = %d", leaders)
+	}
+	// Leader resigns; someone else takes over.
+	if err := candidates[leaderIdx].Resign(); err != nil {
+		t.Fatal(err)
+	}
+	next := candidates[(leaderIdx+1)%3]
+	if err := next.AwaitLeadership(10 * time.Second); err != nil {
+		// The successor is the lowest remaining sequence, which may be
+		// the other candidate. Try it too.
+		other := candidates[(leaderIdx+2)%3]
+		if err2 := other.AwaitLeadership(time.Second); err2 != nil {
+			t.Fatalf("no successor: %v / %v", err, err2)
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	c := newCluster(t)
+	const n = 3
+	var entered, left sync.WaitGroup
+	entered.Add(n)
+	left.Add(n)
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			cl := connect(t, c, i)
+			b, err := NewBarrier(cl, "/barrier/b1", n)
+			if err != nil {
+				errCh <- err
+				entered.Done()
+				left.Done()
+				return
+			}
+			if err := b.Enter(fmt.Sprintf("p%d", i), 10*time.Second); err != nil {
+				errCh <- err
+				entered.Done()
+				left.Done()
+				return
+			}
+			entered.Done()
+			entered.Wait() // all must have passed Enter together
+			if err := b.Leave(10 * time.Second); err != nil {
+				errCh <- err
+			}
+			left.Done()
+		}(i)
+	}
+	left.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierTimeout(t *testing.T) {
+	c := newCluster(t)
+	cl := connect(t, c, 0)
+	b, err := NewBarrier(cl, "/barrier/short", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Enter("lonely", 50*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if _, err := NewBarrier(cl, "/barrier/short", 0); err == nil {
+		t.Fatal("zero-size barrier must be rejected")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := newCluster(t)
+	cl := connect(t, c, 0)
+	ctr, err := NewCounter(cl, "/counters/hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ctr.Get(); err != nil || v != 0 {
+		t.Fatalf("initial = %d, %v", v, err)
+	}
+	if v, err := ctr.Add(5); err != nil || v != 5 {
+		t.Fatalf("add = %d, %v", v, err)
+	}
+	if v, err := ctr.Add(-2); err != nil || v != 3 {
+		t.Fatalf("add = %d, %v", v, err)
+	}
+}
+
+func TestCounterConcurrentIncrements(t *testing.T) {
+	c := newCluster(t)
+	const workers, each = 4, 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := connect(t, c, w)
+			ctr, err := NewCounter(cl, "/counters/conc")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < each; i++ {
+				if _, err := ctr.Add(1); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	cl := connect(t, c, 0)
+	ctr, err := NewCounter(cl, "/counters/conc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ctr.Get()
+	if err != nil || v != workers*each {
+		t.Fatalf("final = %d, %v; want %d (lost updates?)", v, err, workers*each)
+	}
+}
+
+func TestGroupMembership(t *testing.T) {
+	c := newCluster(t)
+	clA := connect(t, c, 0)
+	clB := connect(t, c, 1)
+
+	gA, err := JoinGroup(clA, "/groups/web", "server-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gB, err := JoinGroup(clB, "/groups/web", "server-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := gA.Members()
+	if err != nil || len(members) != 2 {
+		t.Fatalf("members = %v, %v", members, err)
+	}
+	if err := gB.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	members, err = gA.Members()
+	if err != nil || len(members) != 1 || members[0] != "server-a" {
+		t.Fatalf("members after leave = %v, %v", members, err)
+	}
+}
+
+// TestGroupMembershipSurvivesCrash: a member whose connection dies is
+// removed automatically (ephemeral nodes).
+func TestGroupMembershipSurvivesCrash(t *testing.T) {
+	c := newCluster(t)
+	watcherCl := connect(t, c, 0)
+	dying, err := c.Connect(1, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := JoinGroup(dying, "/groups/crashy", "victim"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := JoinGroup(watcherCl, "/groups/crashy", "survivor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dying.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		members, err := g.Members()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(members) == 1 && members[0] == "survivor" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim not removed: %v", members)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
