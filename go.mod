@@ -1,0 +1,3 @@
+module securekeeper
+
+go 1.22
