@@ -10,6 +10,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -117,6 +118,12 @@ type Result struct {
 	Elapsed    time.Duration
 	Throughput float64 // requests per second
 	Latency    LatencySummary
+	// AllocsPerOp is the process-wide heap allocation count during the
+	// measured window divided by completed operations: client, replica,
+	// broadcast and enclave allocations all included, the same scope as
+	// `go test -benchmem` on the in-process cluster. It tracks
+	// allocation regressions alongside throughput.
+	AllocsPerOp float64
 }
 
 // LatencySummary reports request-latency percentiles over a bounded
@@ -257,21 +264,30 @@ func (ev *Evaluator) Run(cfg RunConfig) (Result, error) {
 	if c.Warmup > 0 {
 		time.Sleep(c.Warmup)
 	}
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	counting.Store(true)
 	start := time.Now()
 	time.Sleep(c.Duration)
 	counting.Store(false)
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	close(stop)
 	wg.Wait()
 
 	total := ops.Load()
+	allocsPerOp := 0.0
+	if total > 0 {
+		allocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total)
+	}
 	return Result{
-		Ops:        total,
-		Errors:     errs.Load(),
-		Elapsed:    elapsed,
-		Throughput: float64(total) / elapsed.Seconds(),
-		Latency:    sampler.summary(),
+		Ops:         total,
+		Errors:      errs.Load(),
+		Elapsed:     elapsed,
+		Throughput:  float64(total) / elapsed.Seconds(),
+		Latency:     sampler.summary(),
+		AllocsPerOp: allocsPerOp,
 	}, nil
 }
 

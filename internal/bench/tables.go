@@ -27,13 +27,15 @@ func Table1(cfg Table1Config) (*Table, error) {
 		payloads = []int{1024}
 	}
 
-	// measured[async][mode][variant] = mean throughput over payloads.
+	// measured[async][mode][variant] = mean throughput over payloads;
+	// allocs tracks the mean allocations per operation the same way.
 	type key struct {
 		async bool
 		mode  OpMode
 		v     core.Variant
 	}
 	measured := make(map[key]float64)
+	allocs := make(map[key]float64)
 
 	for _, v := range Variants() {
 		cluster, err := newCluster(v, scale.Replicas)
@@ -43,7 +45,7 @@ func Table1(cfg Table1Config) (*Table, error) {
 		ev := NewEvaluator(cluster)
 		for _, async := range []bool{false, true} {
 			for _, mode := range table1Modes {
-				var sum float64
+				var sum, allocSum float64
 				for _, payload := range payloads {
 					clients, window := scale.SyncClients, 0
 					if async {
@@ -64,8 +66,10 @@ func Table1(cfg Table1Config) (*Table, error) {
 						return nil, fmt.Errorf("bench: table1 %v %v: %w", v, mode, err)
 					}
 					sum += res.Throughput
+					allocSum += res.AllocsPerOp
 				}
 				measured[key{async, mode, v}] = sum / float64(len(payloads))
+				allocs[key{async, mode, v}] = allocSum / float64(len(payloads))
 			}
 		}
 		cluster.Close()
@@ -81,12 +85,12 @@ func Table1(cfg Table1Config) (*Table, error) {
 
 	t := &Table{
 		ID: "table1", Title: "SecureKeeper overhead comparison (vs Vanilla)",
-		Header: []string{"style", "operation", "TLS-ZK", "SecureKeeper", "delta"},
+		Header: []string{"style", "operation", "TLS-ZK", "SecureKeeper", "delta", "allocs/op (SK)"},
 	}
 
 	var sumsTLS, sumsSK []float64 // rows, for the averages
-	addRow := func(style string, label string, tls, sk float64) {
-		t.Rows = append(t.Rows, []string{style, label, Percent(tls), Percent(sk), Percent(sk - tls)})
+	addRow := func(style string, label string, tls, sk float64, allocCell string) {
+		t.Rows = append(t.Rows, []string{style, label, Percent(tls), Percent(sk), Percent(sk - tls), allocCell})
 	}
 
 	readRows, writeRows := [][2]float64{}, [][2]float64{}
@@ -99,7 +103,8 @@ func Table1(cfg Table1Config) (*Table, error) {
 		for _, mode := range table1Modes {
 			tls := overhead(async, mode, core.TLS)
 			sk := overhead(async, mode, core.SecureKeeper)
-			addRow(style, mode.String(), tls, sk)
+			skAllocs := allocs[key{async, mode, core.SecureKeeper}]
+			addRow(style, mode.String(), tls, sk, fmt.Sprintf("%.1f", skAllocs))
 			styleTLS += tls
 			styleSK += sk
 			sumsTLS = append(sumsTLS, tls)
@@ -111,7 +116,7 @@ func Table1(cfg Table1Config) (*Table, error) {
 			}
 		}
 		n := float64(len(table1Modes))
-		addRow(style, "Average", styleTLS/n, styleSK/n)
+		addRow(style, "Average", styleTLS/n, styleSK/n, "-")
 	}
 
 	avg := func(rows [][2]float64, i int) float64 {
@@ -124,15 +129,15 @@ func Table1(cfg Table1Config) (*Table, error) {
 		}
 		return s / float64(len(rows))
 	}
-	addRow("all", "Read average", avg(readRows, 0), avg(readRows, 1))
-	addRow("all", "Write average", avg(writeRows, 0), avg(writeRows, 1))
+	addRow("all", "Read average", avg(readRows, 0), avg(readRows, 1), "-")
+	addRow("all", "Write average", avg(writeRows, 0), avg(writeRows, 1), "-")
 	var gTLS, gSK float64
 	for i := range sumsTLS {
 		gTLS += sumsTLS[i]
 		gSK += sumsSK[i]
 	}
 	n := float64(len(sumsTLS))
-	addRow("all", "Global average", gTLS/n, gSK/n)
+	addRow("all", "Global average", gTLS/n, gSK/n, "-")
 	return t, nil
 }
 

@@ -229,8 +229,17 @@ func (c *Client) submit(op wire.OpCode, body wire.Record) *Future {
 	c.pending[xid] = call{op: op, future: future}
 	c.mu.Unlock()
 
+	// Serialize through a pooled encoder straight into SendFrame, which
+	// does not retain the payload (transport.Conn contract).
 	hdr := wire.RequestHeader{Xid: xid, Op: op}
-	if err := c.conn.SendFrame(wire.MarshalPair(&hdr, body)); err != nil {
+	e := wire.GetEncoder()
+	hdr.Serialize(e)
+	if body != nil {
+		body.Serialize(e)
+	}
+	err := c.conn.SendFrame(e.Bytes())
+	wire.PutEncoder(e)
+	if err != nil {
 		// Resolve the future only if it is still ours: failAll (the
 		// recvLoop dying concurrently with this failed send) may have
 		// already resolved it, and a second send into the 1-buffered

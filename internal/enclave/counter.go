@@ -76,18 +76,22 @@ func (c *Counter) Provisioned() bool {
 // assigned by the (untrusted) leader, it returns the encrypted path
 // with the number merged into the final element.
 func (c *Counter) AppendSequence(encPath string, seq int32) (string, error) {
-	e := wire.NewEncoder(len(encPath) + 8)
+	e := wire.GetEncoder()
 	e.WriteString(encPath)
 	e.WriteInt32(seq)
 	msg := e.Bytes()
-	buf := make([]byte, len(msg)+GrowthHeadroom(len(msg)))
-	copy(buf, msg)
-	n, err := c.enclave.Ecall(EcallSequence, buf, len(msg))
+	pb := sgx.GetBuf(len(msg) + GrowthHeadroom(len(msg)))
+	copy(pb.B, msg)
+	wire.PutEncoder(e)
+	n, err := c.enclave.Ecall(EcallSequence, pb.B, len(msg))
 	if err != nil {
+		pb.Release()
 		return "", err
 	}
-	d := wire.NewDecoder(buf[:n])
+	var d wire.Decoder
+	d.Reset(pb.B[:n])
 	out, err := d.ReadString()
+	pb.Release()
 	if err != nil {
 		return "", fmt.Errorf("enclave: sequence reply: %w", err)
 	}
@@ -102,7 +106,8 @@ func (c *Counter) ecSequence(buf []byte, msgLen int) (int, error) {
 	if codec == nil {
 		return 0, ErrKeyNotProvisioned
 	}
-	d := wire.NewDecoder(buf[:msgLen])
+	var d wire.Decoder
+	d.Reset(buf[:msgLen])
 	encPath, err := d.ReadString()
 	if err != nil {
 		return 0, fmt.Errorf("enclave: sequence input: %w", err)
@@ -120,11 +125,12 @@ func (c *Counter) ecSequence(buf []byte, msgLen int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	e := wire.NewEncoder(len(newPath) + 4)
-	e.WriteString(newPath)
-	out := e.Bytes()
-	if len(out) > len(buf) {
+	if 4+len(newPath) > len(buf) {
 		return 0, sgx.ErrBufferOverflow
 	}
-	return copy(buf, out), nil
+	e := wire.GetEncoder()
+	e.WriteString(newPath)
+	n := copy(buf, e.Bytes())
+	wire.PutEncoder(e)
+	return n, nil
 }

@@ -148,14 +148,21 @@ func (en *Entry) ProcessResponse(msg []byte) ([]byte, error) {
 	return en.call(EcallResponse, msg)
 }
 
+// call runs one ecall with the §5.1 pre-sized buffer contract. The
+// oversized headroom buffer is pooled; the result — which the server
+// pipeline retains in its FIFO queue — is copied out exactly sized.
 func (en *Entry) call(name string, msg []byte) ([]byte, error) {
-	buf := make([]byte, len(msg)+GrowthHeadroom(len(msg)))
-	copy(buf, msg)
-	n, err := en.enclave.Ecall(name, buf, len(msg))
+	pb := sgx.GetBuf(len(msg) + GrowthHeadroom(len(msg)))
+	copy(pb.B, msg)
+	n, err := en.enclave.Ecall(name, pb.B, len(msg))
 	if err != nil {
+		pb.Release()
 		return nil, err
 	}
-	return buf[:n], nil
+	out := make([]byte, n)
+	copy(out, pb.B[:n])
+	pb.Release()
+	return out, nil
 }
 
 // --- trusted code (runs inside the enclave) ---
@@ -164,6 +171,11 @@ func (en *Entry) call(name string, msg []byte) ([]byte, error) {
 // plaintext request, encrypt the sensitive fields (path and payload)
 // towards the ZooKeeper data store, remember (xid, op) in the FIFO
 // queue, and serialize the rewritten message.
+//
+// The decode is zero-copy (byte fields alias buf) and the decoded
+// request record is reused as the rewritten body: every field is either
+// forwarded or overwritten with its encrypted form, and the final
+// serialization drains all aliases before buf is overwritten.
 func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 	en.mu.Lock()
 	codec := en.codec
@@ -173,8 +185,10 @@ func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 	}
 
 	var hdr wire.RequestHeader
-	d := wire.NewDecoder(buf[:msgLen])
-	if err := hdr.Deserialize(d); err != nil {
+	var d wire.Decoder
+	d.Reset(buf[:msgLen])
+	d.SetZeroCopy(true)
+	if err := hdr.Deserialize(&d); err != nil {
 		return 0, fmt.Errorf("enclave: request header: %w", err)
 	}
 
@@ -184,7 +198,7 @@ func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 	switch hdr.Op {
 	case wire.OpCreate:
 		req := &wire.CreateRequest{}
-		if err := req.Deserialize(d); err != nil {
+		if err := req.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: create body: %w", err)
 		}
 		sequential := req.Flags&wire.FlagSequential != 0
@@ -197,11 +211,12 @@ func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 			return 0, err
 		}
 		pend.plainPath, pend.sequential = req.Path, sequential
-		body = &wire.CreateRequest{Path: encPath, Data: encData, Flags: req.Flags}
+		req.Path, req.Data = encPath, encData
+		body = req
 
 	case wire.OpSetData:
 		req := &wire.SetDataRequest{}
-		if err := req.Deserialize(d); err != nil {
+		if err := req.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: set body: %w", err)
 		}
 		encPath, err := codec.EncryptPath(req.Path)
@@ -215,11 +230,12 @@ func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 			return 0, err
 		}
 		pend.plainPath = req.Path
-		body = &wire.SetDataRequest{Path: encPath, Data: encData, Version: req.Version}
+		req.Path, req.Data = encPath, encData
+		body = req
 
 	case wire.OpGetData:
 		req := &wire.GetDataRequest{}
-		if err := req.Deserialize(d); err != nil {
+		if err := req.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: get body: %w", err)
 		}
 		encPath, err := codec.EncryptPath(req.Path)
@@ -227,11 +243,12 @@ func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 			return 0, err
 		}
 		pend.plainPath = req.Path
-		body = &wire.GetDataRequest{Path: encPath, Watch: req.Watch}
+		req.Path = encPath
+		body = req
 
 	case wire.OpDelete:
 		req := &wire.DeleteRequest{}
-		if err := req.Deserialize(d); err != nil {
+		if err := req.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: delete body: %w", err)
 		}
 		encPath, err := codec.EncryptPath(req.Path)
@@ -239,11 +256,12 @@ func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 			return 0, err
 		}
 		pend.plainPath = req.Path
-		body = &wire.DeleteRequest{Path: encPath, Version: req.Version}
+		req.Path = encPath
+		body = req
 
 	case wire.OpExists:
 		req := &wire.ExistsRequest{}
-		if err := req.Deserialize(d); err != nil {
+		if err := req.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: exists body: %w", err)
 		}
 		encPath, err := codec.EncryptPath(req.Path)
@@ -251,11 +269,12 @@ func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 			return 0, err
 		}
 		pend.plainPath = req.Path
-		body = &wire.ExistsRequest{Path: encPath, Watch: req.Watch}
+		req.Path = encPath
+		body = req
 
 	case wire.OpGetChildren:
 		req := &wire.GetChildrenRequest{}
-		if err := req.Deserialize(d); err != nil {
+		if err := req.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: ls body: %w", err)
 		}
 		encPath, err := codec.EncryptPath(req.Path)
@@ -263,11 +282,12 @@ func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 			return 0, err
 		}
 		pend.plainPath = req.Path
-		body = &wire.GetChildrenRequest{Path: encPath, Watch: req.Watch}
+		req.Path = encPath
+		body = req
 
 	case wire.OpSync:
 		req := &wire.SyncRequest{}
-		if err := req.Deserialize(d); err != nil {
+		if err := req.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: sync body: %w", err)
 		}
 		encPath, err := codec.EncryptPath(req.Path)
@@ -275,7 +295,8 @@ func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 			return 0, err
 		}
 		pend.plainPath = req.Path
-		body = &wire.SyncRequest{Path: encPath}
+		req.Path = encPath
+		body = req
 
 	case wire.OpPing, wire.OpCloseSession:
 		// No sensitive fields; forward verbatim and skip the queue
@@ -296,11 +317,11 @@ func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 	en.queue = append(en.queue, pend)
 	en.mu.Unlock()
 
-	out := wire.MarshalPair(&hdr, body)
-	if len(out) > len(buf) {
+	n, ok := wire.MarshalPairInto(buf, &hdr, body)
+	if !ok {
 		return 0, sgx.ErrBufferOverflow
 	}
-	return copy(buf, out), nil
+	return n, nil
 }
 
 // ecResponse is the trusted response-path transformation: deserialize
@@ -315,8 +336,10 @@ func (en *Entry) ecResponse(buf []byte, msgLen int) (int, error) {
 	}
 
 	var hdr wire.ReplyHeader
-	d := wire.NewDecoder(buf[:msgLen])
-	if err := hdr.Deserialize(d); err != nil {
+	var d wire.Decoder
+	d.Reset(buf[:msgLen])
+	d.SetZeroCopy(true)
+	if err := hdr.Deserialize(&d); err != nil {
 		return 0, fmt.Errorf("enclave: reply header: %w", err)
 	}
 
@@ -324,7 +347,7 @@ func (en *Entry) ecResponse(buf []byte, msgLen int) (int, error) {
 	// reserved xid and an encrypted path that must be decrypted.
 	if hdr.Xid == wire.WatcherEventXid {
 		var ev wire.WatcherEvent
-		if err := ev.Deserialize(d); err != nil {
+		if err := ev.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: watch event: %w", err)
 		}
 		plain, err := codec.DecryptPath(ev.Path)
@@ -332,11 +355,11 @@ func (en *Entry) ecResponse(buf []byte, msgLen int) (int, error) {
 			return 0, err
 		}
 		ev.Path = plain
-		out := wire.MarshalPair(&hdr, &ev)
-		if len(out) > len(buf) {
+		n, ok := wire.MarshalPairInto(buf, &hdr, &ev)
+		if !ok {
 			return 0, sgx.ErrBufferOverflow
 		}
-		return copy(buf, out), nil
+		return n, nil
 	}
 	if hdr.Xid == wire.PingXid {
 		return msgLen, nil
@@ -363,10 +386,12 @@ func (en *Entry) ecResponse(buf []byte, msgLen int) (int, error) {
 	switch pend.op {
 	case wire.OpGetData:
 		resp := &wire.GetDataResponse{}
-		if err := resp.Deserialize(d); err != nil {
+		if err := resp.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: get response: %w", err)
 		}
-		plain, err := codec.DecryptPayload(pend.plainPath, resp.Data)
+		// resp.Data zero-copy aliases buf, which is this ecall's private
+		// scratch: decrypt it in place, no intermediate ciphertext copy.
+		plain, err := codec.DecryptPayloadInPlace(pend.plainPath, resp.Data)
 		if err != nil {
 			// Binding or HMAC failure: report integrity violation to
 			// the client instead of tampered data (§7.1).
@@ -380,7 +405,7 @@ func (en *Entry) ecResponse(buf []byte, msgLen int) (int, error) {
 
 	case wire.OpCreate:
 		resp := &wire.CreateResponse{}
-		if err := resp.Deserialize(d); err != nil {
+		if err := resp.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: create response: %w", err)
 		}
 		plain, err := codec.DecryptPath(resp.Path)
@@ -392,23 +417,21 @@ func (en *Entry) ecResponse(buf []byte, msgLen int) (int, error) {
 
 	case wire.OpGetChildren:
 		resp := &wire.GetChildrenResponse{}
-		if err := resp.Deserialize(d); err != nil {
+		if err := resp.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: ls response: %w", err)
 		}
-		out := make([]string, len(resp.Children))
 		for i, child := range resp.Children {
 			plain, err := codec.DecryptChunk(child)
 			if err != nil {
 				return en.integrityReply(buf, hdr)
 			}
-			out[i] = plain
+			resp.Children[i] = plain
 		}
-		resp.Children = out
 		body = resp
 
 	case wire.OpSetData:
 		resp := &wire.SetDataResponse{}
-		if err := resp.Deserialize(d); err != nil {
+		if err := resp.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: set response: %w", err)
 		}
 		resp.Stat.DataLength -= int32(skcrypto.PayloadOverhead)
@@ -416,7 +439,7 @@ func (en *Entry) ecResponse(buf []byte, msgLen int) (int, error) {
 
 	case wire.OpExists:
 		resp := &wire.ExistsResponse{}
-		if err := resp.Deserialize(d); err != nil {
+		if err := resp.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: exists response: %w", err)
 		}
 		if resp.Stat.DataLength >= int32(skcrypto.PayloadOverhead) {
@@ -426,7 +449,7 @@ func (en *Entry) ecResponse(buf []byte, msgLen int) (int, error) {
 
 	case wire.OpSync:
 		resp := &wire.SyncResponse{}
-		if err := resp.Deserialize(d); err != nil {
+		if err := resp.Deserialize(&d); err != nil {
 			return 0, fmt.Errorf("enclave: sync response: %w", err)
 		}
 		plain, err := codec.DecryptPath(resp.Path)
@@ -441,11 +464,11 @@ func (en *Entry) ecResponse(buf []byte, msgLen int) (int, error) {
 		return msgLen, nil
 	}
 
-	out := wire.MarshalPair(&hdr, body)
-	if len(out) > len(buf) {
+	n, ok := wire.MarshalPairInto(buf, &hdr, body)
+	if !ok {
 		return 0, sgx.ErrBufferOverflow
 	}
-	return copy(buf, out), nil
+	return n, nil
 }
 
 // integrityReply rewrites the response into an integrity-violation
@@ -453,11 +476,11 @@ func (en *Entry) ecResponse(buf []byte, msgLen int) (int, error) {
 // seeing the tampered data.
 func (en *Entry) integrityReply(buf []byte, hdr wire.ReplyHeader) (int, error) {
 	hdr.Err = wire.ErrIntegrity
-	out := wire.MarshalPair(&hdr, nil)
-	if len(out) > len(buf) {
+	n, ok := wire.MarshalPairInto(buf, &hdr, nil)
+	if !ok {
 		return 0, sgx.ErrBufferOverflow
 	}
-	return copy(buf, out), nil
+	return n, nil
 }
 
 // PendingDepth reports the FIFO queue length (observability; §6.5 notes

@@ -600,7 +600,9 @@ func (r *Replica) handleRead(s *session, entry *inflightReq) []byte {
 		if err := wire.Unmarshal(entry.body, &req); err != nil {
 			return errorReply(entry.xid, zxid, wire.ErrMarshallingError)
 		}
-		data, stat, err := r.tree.GetData(req.Path)
+		// Reference read: the payload is serialized into the reply right
+		// below, which is the copy at the session boundary.
+		data, stat, err := r.tree.GetDataRef(req.Path)
 		if err != nil {
 			if req.Watch {
 				r.tree.Watches().Add(req.Path, wire.WatchExist, s)
@@ -672,13 +674,16 @@ func errCodeOf(err error) wire.ErrCode {
 // --- forwarded-request encoding ---
 
 func encodeForward(op wire.OpCode, body []byte, origin zab.Origin) []byte {
-	e := wire.NewEncoder(32 + len(body))
+	e := wire.GetEncoder()
 	e.WriteInt64(int64(origin.Peer))
 	e.WriteInt64(origin.Session)
 	e.WriteInt32(origin.Xid)
 	e.WriteInt32(int32(op))
 	e.WriteBuffer(body)
-	return e.Bytes()
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	wire.PutEncoder(e)
+	return out
 }
 
 func decodeForward(buf []byte) (wire.OpCode, []byte, zab.Origin, error) {

@@ -196,19 +196,27 @@ func (e *Enclave) Ecall(name string, buf []byte, msgLen int) (int, error) {
 
 	// The trusted stack copies into a private buffer: the enclave must
 	// never operate on untrusted memory in place, or the host could
-	// race modifications past validation (TOCTOU).
-	inside := make([]byte, len(buf))
+	// race modifications past validation (TOCTOU). The staging buffer
+	// comes from the trusted-side pool — bytes past msgLen are garbage
+	// from earlier crossings (trusted code must only read what it was
+	// handed), and the buffer is never recycled to untrusted callers,
+	// so plaintext residue stays inside the boundary.
+	pb := getStagingBuf(len(buf))
+	inside := pb.B[:len(buf)]
 	copy(inside, buf[:msgLen])
 	newLen, err := fn(inside, msgLen)
 	if err != nil {
+		pb.Release()
 		e.runtime.meter.Charge(cost.CrossingNs)
 		return 0, err
 	}
 	if newLen > len(buf) {
+		pb.Release()
 		e.runtime.meter.Charge(cost.CrossingNs)
 		return 0, fmt.Errorf("%w: need %d, have %d", ErrBufferOverflow, newLen, len(buf))
 	}
 	copy(buf, inside[:newLen])
+	pb.Release()
 	// Exit: copy-out plus crossing.
 	e.runtime.meter.Charge(cost.CrossingNs)
 	return newLen, nil

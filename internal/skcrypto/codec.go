@@ -10,6 +10,9 @@
 // by ciphertext) while never reusing an IV across distinct paths. The
 // IV and the GCM authentication tag travel with the chunk, Base64url-
 // encoded to stay clear of '/' and other characters illegal in paths.
+// The determinism also makes path chunks cacheable: the codec keeps a
+// bounded LRU of encrypted and decrypted chunks, so the steady-state
+// request path performs no AES or SHA-256 work for known paths.
 //
 // Payloads are bound to their path by appending the SHA-256 hash of the
 // plaintext path (plus a sequential-node marker byte) before
@@ -26,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // KeySize is the AES-GCM-128 key length used for storage encryption.
@@ -57,9 +61,22 @@ var (
 
 var b64 = base64.RawURLEncoding
 
-// Codec performs storage encryption with the shared enclave key.
+// AAD labels separating the path and payload domains.
+var (
+	pathAAD    = []byte("path")
+	payloadAAD = []byte("payload")
+)
+
+// Codec performs storage encryption with the shared enclave key. The
+// chunk caches are per-codec: installing a new key builds a new Codec,
+// which discards all cached ciphertext derived from the old key.
 type Codec struct {
 	aead cipher.AEAD
+	// enc maps a plaintext path prefix (up to and including a chunk,
+	// which together with the key fully determines the ciphertext) to
+	// the encoded encrypted chunk; dec maps the encoded chunk back.
+	enc *chunkCache
+	dec *chunkCache
 }
 
 // NewCodec builds a codec from the 16-byte storage key.
@@ -75,7 +92,34 @@ func NewCodec(key []byte) (*Codec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("skcrypto: gcm: %w", err)
 	}
-	return &Codec{aead: aead}, nil
+	return &Codec{
+		aead: aead,
+		enc:  newChunkCache(DefaultChunkCacheSize),
+		dec:  newChunkCache(DefaultChunkCacheSize),
+	}, nil
+}
+
+// ChunkCacheLen reports the entry counts of the encrypt- and
+// decrypt-direction chunk caches (observability and tests).
+func (c *Codec) ChunkCacheLen() (enc, dec int) {
+	return c.enc.len(), c.dec.len()
+}
+
+// hashScratch pools the small buffers used to assemble domain-separated
+// hash inputs ("skpath:"+prefix, "skbind:"+path) without string
+// concatenation garbage.
+var hashScratch = sync.Pool{
+	New: func() any { return &scratchBuf{b: make([]byte, 0, 160)} },
+}
+
+type scratchBuf struct{ b []byte }
+
+const maxPooledScratch = 4096
+
+func putScratch(s *scratchBuf) {
+	if cap(s.b) <= maxPooledScratch {
+		hashScratch.Put(s)
+	}
 }
 
 // --- path encryption ---
@@ -84,41 +128,90 @@ func NewCodec(key []byte) (*Codec, error) {
 // path prefix up to and including the chunk (§4.3: the chunk's own
 // plaintext must participate, otherwise all children of one parent
 // would share an IV).
-func chunkIV(prefix string) []byte {
-	sum := sha256.Sum256([]byte("skpath:" + prefix))
-	return sum[:ivSize]
+func chunkIV(dst *[ivSize]byte, prefix string) {
+	s := hashScratch.Get().(*scratchBuf)
+	s.b = append(s.b[:0], "skpath:"...)
+	s.b = append(s.b, prefix...)
+	sum := sha256.Sum256(s.b)
+	putScratch(s)
+	copy(dst[:], sum[:ivSize])
 }
 
-// encryptChunk encrypts one path element with the IV for prefix.
+// encryptChunk encrypts one path element with the IV for prefix and
+// returns its Base64url encoding, sized exactly.
 func (c *Codec) encryptChunk(prefix, chunk string) string {
-	iv := chunkIV(prefix)
-	ct := c.aead.Seal(nil, iv, []byte(chunk), []byte("path"))
-	out := make([]byte, 0, ivSize+len(ct))
-	out = append(out, iv...)
-	out = append(out, ct...)
-	return b64.EncodeToString(out)
+	var iv [ivSize]byte
+	chunkIV(&iv, prefix)
+	rawLen := ivSize + len(chunk) + tagSize
+	s := hashScratch.Get().(*scratchBuf)
+	s.b = append(s.b[:0], iv[:]...)
+	s.b = append(s.b, chunk...)
+	raw := c.aead.Seal(s.b[:ivSize], iv[:], s.b[ivSize:ivSize+len(chunk)], pathAAD)
+	out := make([]byte, b64.EncodedLen(rawLen))
+	b64.Encode(out, raw)
+	putScratch(s)
+	return string(out)
 }
 
 // DecryptChunk decrypts a single encrypted path element (used for the
 // children names returned by LS, where the request gives no prefix IV —
-// which is why the IV is appended to every chunk, §4.3).
+// which is why the IV is appended to every chunk, §4.3). Successful
+// decryptions are cached: GCM authentication guarantees byte-identical
+// chunks decrypt identically under one key.
 func (c *Codec) DecryptChunk(enc string) (string, error) {
-	raw, err := b64.DecodeString(enc)
-	if err != nil {
-		return "", fmt.Errorf("%w: %v", ErrMalformedPath, err)
+	if plain, ok := c.dec.get(enc); ok {
+		return plain, nil
 	}
-	if len(raw) < ivSize+tagSize {
+	rawLen := b64.DecodedLen(len(enc))
+	if rawLen < ivSize+tagSize {
 		return "", ErrMalformedPath
 	}
-	plain, err := c.aead.Open(nil, raw[:ivSize], raw[ivSize:], []byte("path"))
+	s := hashScratch.Get().(*scratchBuf)
+	if cap(s.b) < rawLen {
+		s.b = make([]byte, 0, rawLen)
+	}
+	raw := s.b[:rawLen]
+	n, err := b64.Decode(raw, []byte(enc))
 	if err != nil {
+		putScratch(s)
+		return "", fmt.Errorf("%w: %v", ErrMalformedPath, err)
+	}
+	raw = raw[:n]
+	if len(raw) < ivSize+tagSize {
+		putScratch(s)
+		return "", ErrMalformedPath
+	}
+	plainBytes, err := c.aead.Open(raw[ivSize:ivSize], raw[:ivSize], raw[ivSize:], pathAAD)
+	if err != nil {
+		putScratch(s)
 		return "", ErrDecrypt
 	}
-	return string(plain), nil
+	plain := string(plainBytes)
+	putScratch(s)
+	c.dec.add(enc, plain)
+	return plain, nil
 }
 
+// encryptChunkCached returns the encrypted chunk for the prefix ending
+// in chunk, consulting both cache directions.
+func (c *Codec) encryptChunkCached(prefix, chunk string) string {
+	if enc, ok := c.enc.get(prefix); ok {
+		return enc
+	}
+	enc := c.encryptChunk(prefix, chunk)
+	c.enc.add(prefix, enc)
+	c.dec.add(enc, strings.Clone(chunk))
+	return enc
+}
+
+// maxInlineChunks bounds the stack-allocated chunk list; deeper paths
+// fall back to a heap slice.
+const maxInlineChunks = 16
+
 // EncryptPath encrypts every element of an absolute plaintext path,
-// preserving the hierarchy. EncryptPath("/") returns "/".
+// preserving the hierarchy. EncryptPath("/") returns "/". Cached chunks
+// make re-encryption of known paths allocation-free except for the
+// result string itself.
 func (c *Codec) EncryptPath(plain string) (string, error) {
 	if plain == "" || plain[0] != '/' {
 		return "", fmt.Errorf("%w: %q is not absolute", ErrMalformedPath, plain)
@@ -126,16 +219,31 @@ func (c *Codec) EncryptPath(plain string) (string, error) {
 	if plain == "/" {
 		return "/", nil
 	}
-	chunks := strings.Split(plain[1:], "/")
-	var sb strings.Builder
-	prefix := ""
-	for _, chunk := range chunks {
-		if chunk == "" {
+	var inline [maxInlineChunks]string
+	chunks := inline[:0]
+	total := 0
+	for start := 1; start <= len(plain); {
+		end := strings.IndexByte(plain[start:], '/')
+		if end < 0 {
+			end = len(plain)
+		} else {
+			end += start
+		}
+		if end == start {
 			return "", fmt.Errorf("%w: empty element in %q", ErrMalformedPath, plain)
 		}
-		prefix += "/" + chunk
+		// The prefix is a sub-slice of the input — no per-chunk string
+		// concatenation; the cache clones keys it keeps.
+		enc := c.encryptChunkCached(plain[:end], plain[start:end])
+		chunks = append(chunks, enc)
+		total += 1 + len(enc)
+		start = end + 1
+	}
+	var sb strings.Builder
+	sb.Grow(total)
+	for _, enc := range chunks {
 		sb.WriteByte('/')
-		sb.WriteString(c.encryptChunk(prefix, chunk))
+		sb.WriteString(enc)
 	}
 	return sb.String(), nil
 }
@@ -148,12 +256,27 @@ func (c *Codec) DecryptPath(enc string) (string, error) {
 	if enc == "/" {
 		return "/", nil
 	}
-	var sb strings.Builder
-	for _, chunk := range strings.Split(enc[1:], "/") {
-		plain, err := c.DecryptChunk(chunk)
+	var inline [maxInlineChunks]string
+	chunks := inline[:0]
+	total := 0
+	for start := 1; start <= len(enc); {
+		end := strings.IndexByte(enc[start:], '/')
+		if end < 0 {
+			end = len(enc)
+		} else {
+			end += start
+		}
+		plain, err := c.DecryptChunk(enc[start:end])
 		if err != nil {
 			return "", err
 		}
+		chunks = append(chunks, plain)
+		total += 1 + len(plain)
+		start = end + 1
+	}
+	var sb strings.Builder
+	sb.Grow(total)
+	for _, plain := range chunks {
 		sb.WriteByte('/')
 		sb.WriteString(plain)
 	}
@@ -196,43 +319,71 @@ func StripSequence(plain string) (string, bool) {
 
 // --- payload encryption ---
 
-// pathBindingHash hashes the plaintext path a payload is bound to.
-func pathBindingHash(plainPath string) []byte {
-	sum := sha256.Sum256([]byte("skbind:" + plainPath))
-	return sum[:]
+// pathBindingHash writes the hash binding a payload to its plaintext
+// path into dst.
+func pathBindingHash(dst *[hashSize]byte, plainPath string) {
+	s := hashScratch.Get().(*scratchBuf)
+	s.b = append(s.b[:0], "skbind:"...)
+	s.b = append(s.b, plainPath...)
+	*dst = sha256.Sum256(s.b)
+	putScratch(s)
 }
 
 // EncryptPayload encrypts payload bound to plainPath. For sequential
 // nodes the binding hash covers the path *without* the sequence number
 // (the entry enclave encrypts before the counter enclave appends it,
 // §4.4), and the marker byte records that choice for verification.
+// The ciphertext is produced in a single exactly-sized allocation: the
+// plaintext is assembled after the IV and sealed in place.
 func (c *Codec) EncryptPayload(plainPath string, payload []byte, sequential bool) ([]byte, error) {
-	iv := make([]byte, ivSize)
+	innerLen := len(payload) + hashSize + seqFlagSize
+	out := make([]byte, ivSize+innerLen, EncryptedPayloadLen(len(payload)))
+	iv := out[:ivSize]
 	if _, err := rand.Read(iv); err != nil {
 		return nil, fmt.Errorf("skcrypto: payload iv: %w", err)
 	}
-	inner := make([]byte, 0, len(payload)+hashSize+seqFlagSize)
-	inner = append(inner, payload...)
-	inner = append(inner, pathBindingHash(plainPath)...)
+	inner := out[ivSize:]
+	copy(inner, payload)
+	var bind [hashSize]byte
+	pathBindingHash(&bind, plainPath)
+	copy(inner[len(payload):], bind[:])
 	if sequential {
-		inner = append(inner, 1)
+		inner[innerLen-1] = 1
 	} else {
-		inner = append(inner, 0)
+		inner[innerLen-1] = 0
 	}
-	out := make([]byte, 0, ivSize+len(inner)+tagSize)
-	out = append(out, iv...)
-	return c.aead.Seal(out, iv, inner, []byte("payload")), nil
+	// In-place seal: dst inner[:0] reuses the plaintext's storage, and
+	// out's capacity already covers the GCM tag.
+	ct := c.aead.Seal(inner[:0], iv, inner, payloadAAD)
+	return out[:ivSize+len(ct)], nil
 }
 
 // DecryptPayload decrypts a stored payload and verifies its binding to
 // actualPath (the plaintext path the client addressed). For payloads
 // whose sequential marker is set, the sequence suffix is stripped from
-// actualPath before comparing binding hashes.
+// actualPath before comparing binding hashes. ct is left untouched; the
+// plaintext is an exactly-sized fresh allocation.
 func (c *Codec) DecryptPayload(actualPath string, ct []byte) ([]byte, error) {
 	if len(ct) < PayloadOverhead {
 		return nil, ErrShortPayload
 	}
-	inner, err := c.aead.Open(nil, ct[:ivSize], ct[ivSize:], []byte("payload"))
+	dst := make([]byte, 0, len(ct)-ivSize-tagSize)
+	return c.decryptPayload(actualPath, ct, dst)
+}
+
+// DecryptPayloadInPlace is DecryptPayload reusing ct's own storage for
+// the plaintext: zero-allocation, but it destroys ct. Only callers that
+// own ct as scratch (the entry enclave decrypting inside its ecall
+// buffer) may use it.
+func (c *Codec) DecryptPayloadInPlace(actualPath string, ct []byte) ([]byte, error) {
+	if len(ct) < PayloadOverhead {
+		return nil, ErrShortPayload
+	}
+	return c.decryptPayload(actualPath, ct, ct[ivSize:ivSize])
+}
+
+func (c *Codec) decryptPayload(actualPath string, ct, dst []byte) ([]byte, error) {
+	inner, err := c.aead.Open(dst, ct[:ivSize], ct[ivSize:], payloadAAD)
 	if err != nil {
 		return nil, ErrDecrypt
 	}
@@ -251,7 +402,9 @@ func (c *Codec) DecryptPayload(actualPath string, ct []byte) ([]byte, error) {
 		}
 		checkPath = base
 	}
-	if !hashEqual(pathBindingHash(checkPath), boundHash) {
+	var want [hashSize]byte
+	pathBindingHash(&want, checkPath)
+	if !hashEqual(want[:], boundHash) {
 		return nil, ErrBinding
 	}
 	return payload, nil

@@ -28,22 +28,58 @@ var (
 
 // Conn is a message-oriented connection.
 type Conn interface {
-	// SendFrame writes one message.
+	// SendFrame writes one message. Implementations do not retain
+	// payload after returning, so callers may reuse its storage.
 	SendFrame(payload []byte) error
-	// RecvFrame reads the next message.
+	// RecvFrame reads the next message. The returned slice is owned by
+	// the caller; implementations never reuse its storage.
 	RecvFrame() ([]byte, error)
 	// Close tears the connection down.
 	Close() error
 }
 
+// frameArena amortizes per-frame buffer allocations: frames are carved
+// out of a large chunk, and a fresh chunk is allocated only when the
+// current one is exhausted. Carved regions are never reused, so the
+// caller-owns contract of RecvFrame holds — the garbage collector
+// frees a chunk once no frame carved from it is referenced. Frames too
+// large to amortize get their own allocation.
+type frameArena struct {
+	buf []byte
+	off int
+}
+
+const (
+	arenaChunkSize = 32 << 10
+	// arenaMaxCarve bounds carved frames so one big frame cannot waste
+	// most of a chunk.
+	arenaMaxCarve = arenaChunkSize / 4
+)
+
+// carve returns a caller-owned slice of n bytes with capacity capped at
+// n, so appends by the caller can never bleed into later carves.
+func (a *frameArena) carve(n int) []byte {
+	if n > arenaMaxCarve {
+		return make([]byte, n)
+	}
+	if len(a.buf)-a.off < n {
+		a.buf = make([]byte, arenaChunkSize)
+		a.off = 0
+	}
+	b := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return b
+}
+
 // FramedConn wraps a stream connection with 4-byte big-endian length
 // prefixes. Safe for one concurrent reader and one concurrent writer.
 type FramedConn struct {
-	conn     net.Conn
-	writeMu  sync.Mutex
-	readMu   sync.Mutex
-	readBuf  [4]byte
-	writeBuf []byte
+	conn      net.Conn
+	writeMu   sync.Mutex
+	readMu    sync.Mutex
+	readBuf   [4]byte
+	writeBuf  []byte
+	readArena frameArena
 }
 
 var _ Conn = (*FramedConn)(nil)
@@ -80,7 +116,7 @@ func (c *FramedConn) RecvFrame() ([]byte, error) {
 	if n > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
+	payload := c.readArena.carve(int(n))
 	if _, err := io.ReadFull(c.conn, payload); err != nil {
 		return nil, fmt.Errorf("transport: read frame body: %w", err)
 	}
@@ -99,6 +135,9 @@ type ChanConn struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 	peerDone  <-chan struct{}
+
+	sendMu    sync.Mutex
+	sendArena frameArena
 }
 
 var _ Conn = (*ChanConn)(nil)
@@ -125,7 +164,11 @@ func (c *ChanConn) SendFrame(payload []byte) error {
 		return ErrClosed
 	default:
 	}
-	buf := make([]byte, len(payload))
+	// The receiver owns the delivered frame, so the payload is copied —
+	// into an arena carve, which amortizes the per-frame allocation.
+	c.sendMu.Lock()
+	buf := c.sendArena.carve(len(payload))
+	c.sendMu.Unlock()
 	copy(buf, payload)
 	select {
 	case c.send <- buf:

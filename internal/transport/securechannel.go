@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // The secure channel is a TLS-1.3-like construction: an X25519 ECDH key
@@ -65,13 +66,21 @@ func VerifyAny() PeerVerifier {
 }
 
 // SecureConn protects an underlying Conn with authenticated encryption.
+// The per-direction mutexes serialize the nonce counters and scratch
+// buffers, so one concurrent sender and one concurrent receiver are
+// safe (matching FramedConn's contract).
 type SecureConn struct {
-	inner    Conn
-	sendAEAD cipher.AEAD
-	recvAEAD cipher.AEAD
-	sendSeq  uint64
-	recvSeq  uint64
-	peer     ed25519.PublicKey
+	inner     Conn
+	sendAEAD  cipher.AEAD
+	recvAEAD  cipher.AEAD
+	sendMu    sync.Mutex
+	recvMu    sync.Mutex
+	sendSeq   uint64
+	recvSeq   uint64
+	sendBuf   []byte // reused seal scratch; inner.SendFrame does not retain it
+	sendNonce [12]byte
+	recvNonce [12]byte
+	peer      ed25519.PublicKey
 }
 
 var _ Conn = (*SecureConn)(nil)
@@ -93,7 +102,9 @@ func parseHandshake(buf []byte) (ephPub *ecdh.PublicKey, peer ed25519.PublicKey,
 		return nil, nil, fmt.Errorf("%w: bad handshake length %d", ErrHandshakeFailed, len(buf))
 	}
 	signed := buf[:32+ed25519.PublicKeySize]
-	peer = ed25519.PublicKey(buf[32 : 32+ed25519.PublicKeySize])
+	// Clone the key: the handshake frame's storage belongs to the
+	// transport and must not be pinned for the connection's lifetime.
+	peer = ed25519.PublicKey(append([]byte(nil), buf[32:32+ed25519.PublicKeySize]...))
 	sig := buf[32+ed25519.PublicKeySize:]
 	if !ed25519.Verify(peer, signed, sig) {
 		return nil, nil, fmt.Errorf("%w: bad handshake signature", ErrHandshakeFailed)
@@ -191,12 +202,16 @@ func Handshake(inner Conn, id *Identity, isInitiator bool, verify PeerVerifier) 
 // Peer returns the authenticated long-term key of the remote side.
 func (c *SecureConn) Peer() ed25519.PublicKey { return c.peer }
 
-// SendFrame implements Conn: seals payload with the next nonce.
+// SendFrame implements Conn: seals payload with the next nonce. The
+// seal scratch buffer is reused across sends — the inner connection
+// copies the frame out before returning.
 func (c *SecureConn) SendFrame(payload []byte) error {
-	var nonce [12]byte
-	binary.BigEndian.PutUint64(nonce[4:], c.sendSeq)
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	binary.BigEndian.PutUint64(c.sendNonce[4:], c.sendSeq)
 	c.sendSeq++
-	sealed := c.sendAEAD.Seal(nil, nonce[:], payload, nil)
+	sealed := c.sendAEAD.Seal(c.sendBuf[:0], c.sendNonce[:], payload, nil)
+	c.sendBuf = sealed[:0]
 	return c.inner.SendFrame(sealed)
 }
 
@@ -208,10 +223,13 @@ func (c *SecureConn) RecvFrame() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	var nonce [12]byte
-	binary.BigEndian.PutUint64(nonce[4:], c.recvSeq)
+	c.recvMu.Lock()
+	binary.BigEndian.PutUint64(c.recvNonce[4:], c.recvSeq)
 	c.recvSeq++
-	plain, err := c.recvAEAD.Open(nil, nonce[:], sealed, nil)
+	// In-place open: the inner frame is caller-owned, so its storage is
+	// reused for the plaintext handed up.
+	plain, err := c.recvAEAD.Open(sealed[:0], c.recvNonce[:], sealed, nil)
+	c.recvMu.Unlock()
 	if err != nil {
 		return nil, ErrRecordTampered
 	}

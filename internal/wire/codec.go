@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Codec limits, chosen to match ZooKeeper's jute.maxbuffer default (1 MB)
@@ -45,6 +46,33 @@ func (e *Encoder) Len() int { return len(e.buf) }
 
 // Reset truncates the encoder for reuse, retaining the allocation.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// maxPooledEncoderCap bounds the capacity of encoders returned to the
+// pool, so one snapshot-sized serialization does not pin megabytes.
+const maxPooledEncoderCap = 64 << 10
+
+var encoderPool = sync.Pool{
+	New: func() any { return &Encoder{buf: make([]byte, 0, 512)} },
+}
+
+// GetEncoder returns a reset encoder from the shared pool. Callers on
+// hot paths pair it with PutEncoder once the serialized bytes have been
+// copied out (or handed to a consumer that does not retain them, such
+// as a transport SendFrame).
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns an encoder to the pool. The caller must not touch
+// the encoder or any slice obtained from Bytes afterwards.
+func PutEncoder(e *Encoder) {
+	if cap(e.buf) > maxPooledEncoderCap {
+		return
+	}
+	encoderPool.Put(e)
+}
 
 // WriteBool appends a boolean as a single byte.
 func (e *Encoder) WriteBool(v bool) {
@@ -104,12 +132,29 @@ func (e *Encoder) WriteStringVector(v []string) {
 type Decoder struct {
 	buf []byte
 	off int
+	// zeroCopy makes ReadBuffer return sub-slices of buf instead of
+	// copies. Only safe when the decoded records do not outlive buf.
+	zeroCopy bool
 }
 
 // NewDecoder returns a decoder over buf. The decoder does not copy buf.
 func NewDecoder(buf []byte) *Decoder {
 	return &Decoder{buf: buf}
 }
+
+// Reset re-targets the decoder at buf, clearing position and mode, so a
+// stack-allocated (or reused) Decoder value avoids the NewDecoder heap
+// allocation on hot paths.
+func (d *Decoder) Reset(buf []byte) {
+	d.buf, d.off, d.zeroCopy = buf, 0, false
+}
+
+// SetZeroCopy toggles zero-copy ReadBuffer mode: byte fields alias the
+// decoded buffer rather than being copied. Callers that immediately
+// re-encode or transform the fields (the entry enclave's ecall bodies)
+// use this to skip one copy per byte field; anything that retains the
+// decoded record beyond the buffer's lifetime must not.
+func (d *Decoder) SetZeroCopy(on bool) { d.zeroCopy = on }
 
 // Remaining returns the number of unread bytes.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
@@ -157,7 +202,8 @@ func (d *Decoder) ReadInt64() (int64, error) {
 }
 
 // ReadBuffer reads a length-prefixed byte buffer. Length -1 yields nil.
-// The returned slice is a copy, safe to retain.
+// The returned slice is a copy, safe to retain — unless the decoder is
+// in zero-copy mode, in which case it aliases the decoded buffer.
 func (d *Decoder) ReadBuffer() ([]byte, error) {
 	n, err := d.ReadInt32()
 	if err != nil {
@@ -174,6 +220,11 @@ func (d *Decoder) ReadBuffer() ([]byte, error) {
 	}
 	if d.Remaining() < int(n) {
 		return nil, ErrShortBuffer
+	}
+	if d.zeroCopy {
+		out := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+		d.off += int(n)
+		return out, nil
 	}
 	out := make([]byte, n)
 	copy(out, d.buf[d.off:])
@@ -234,11 +285,14 @@ type Record interface {
 	Deserialize(d *Decoder) error
 }
 
-// Marshal serializes a record to a fresh byte slice.
+// Marshal serializes a record to a fresh, exactly-sized byte slice.
 func Marshal(r Record) []byte {
-	e := NewEncoder(64)
+	e := GetEncoder()
 	r.Serialize(e)
-	return e.Bytes()
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	PutEncoder(e)
+	return out
 }
 
 // Unmarshal deserializes a record from buf and verifies the record
@@ -254,16 +308,42 @@ func Unmarshal(buf []byte, r Record) error {
 	return nil
 }
 
-// MarshalPair serializes a header followed by a body; either may be nil.
+// MarshalPair serializes a header followed by a body; either may be
+// nil. The result is a fresh, exactly-sized slice the caller owns.
 func MarshalPair(header, body Record) []byte {
-	e := NewEncoder(128)
+	e := GetEncoder()
 	if header != nil {
 		header.Serialize(e)
 	}
 	if body != nil {
 		body.Serialize(e)
 	}
-	return e.Bytes()
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	PutEncoder(e)
+	return out
+}
+
+// MarshalPairInto serializes a header/body pair into dst without
+// allocating, reporting the serialized length and whether it fit. The
+// records are serialized into a pooled scratch encoder first and copied
+// into dst afterwards, so body fields may safely alias dst (the entry
+// enclave rewrites its ecall buffer in place this way).
+func MarshalPairInto(dst []byte, header, body Record) (int, bool) {
+	e := GetEncoder()
+	if header != nil {
+		header.Serialize(e)
+	}
+	if body != nil {
+		body.Serialize(e)
+	}
+	n := len(e.buf)
+	ok := n <= len(dst)
+	if ok {
+		copy(dst, e.buf)
+	}
+	PutEncoder(e)
+	return n, ok
 }
 
 // ValidInt32 reports whether v fits an int32, guarding conversions in

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEncoderPoolRoundTrip: pooled encoders start empty and reuse their
+// allocation.
+func TestEncoderPoolRoundTrip(t *testing.T) {
+	e := GetEncoder()
+	e.WriteString("hello")
+	PutEncoder(e)
+	e2 := GetEncoder()
+	if e2.Len() != 0 {
+		t.Fatalf("pooled encoder not reset: len=%d", e2.Len())
+	}
+	PutEncoder(e2)
+}
+
+// TestMarshalPairIntoMatchesMarshalPair: the in-place variant must
+// produce byte-identical output and report overflow instead of writing.
+func TestMarshalPairIntoMatchesMarshalPair(t *testing.T) {
+	hdr := &RequestHeader{Xid: 7, Op: OpGetData}
+	body := &GetDataRequest{Path: "/a/b", Watch: true}
+	want := MarshalPair(hdr, body)
+
+	buf := make([]byte, 256)
+	n, ok := MarshalPairInto(buf, hdr, body)
+	if !ok {
+		t.Fatal("MarshalPairInto reported overflow on a roomy buffer")
+	}
+	if !bytes.Equal(buf[:n], want) {
+		t.Fatalf("MarshalPairInto = %x, want %x", buf[:n], want)
+	}
+
+	tiny := make([]byte, len(want)-1)
+	if n2, ok := MarshalPairInto(tiny, hdr, body); ok {
+		t.Fatalf("MarshalPairInto fit %d bytes into %d", n2, len(tiny))
+	}
+}
+
+// TestMarshalPairIntoBodyAliasingDst: body byte fields may alias dst
+// (the entry enclave rewrites its ecall buffer in place); serialization
+// must read them before overwriting.
+func TestMarshalPairIntoBodyAliasingDst(t *testing.T) {
+	buf := make([]byte, 256)
+	payload := buf[10:20]
+	for i := range payload {
+		payload[i] = byte('a' + i)
+	}
+	wantData := append([]byte(nil), payload...)
+	hdr := &ReplyHeader{Xid: 1, Err: ErrOK}
+	body := &GetDataResponse{Data: payload}
+	n, ok := MarshalPairInto(buf, hdr, body)
+	if !ok {
+		t.Fatal("overflow")
+	}
+	var gotHdr ReplyHeader
+	var got GetDataResponse
+	d := NewDecoder(buf[:n])
+	if err := gotHdr.Deserialize(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Deserialize(d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, wantData) {
+		t.Fatalf("aliased body corrupted: %q, want %q", got.Data, wantData)
+	}
+}
+
+// TestDecoderZeroCopy: zero-copy buffers alias the input; the default
+// mode copies.
+func TestDecoderZeroCopy(t *testing.T) {
+	e := NewEncoder(32)
+	e.WriteBuffer([]byte("payload"))
+	raw := e.Bytes()
+
+	d := NewDecoder(raw)
+	copied, err := d.ReadBuffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zc Decoder
+	zc.Reset(raw)
+	zc.SetZeroCopy(true)
+	aliased, err := zc.ReadBuffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(copied, aliased) {
+		t.Fatal("modes disagree on content")
+	}
+	raw[4] = 'X' // first payload byte
+	if copied[0] == 'X' {
+		t.Fatal("default mode aliased the input")
+	}
+	if aliased[0] != 'X' {
+		t.Fatal("zero-copy mode copied the input")
+	}
+	// The aliased slice's capacity is capped: appending must not
+	// scribble over bytes the decoder has not read yet.
+	if cap(aliased) != len(aliased) {
+		t.Fatalf("zero-copy slice capacity %d leaks past its length %d", cap(aliased), len(aliased))
+	}
+}
+
+// TestDecoderReset clears position, buffer, and mode.
+func TestDecoderReset(t *testing.T) {
+	var d Decoder
+	d.Reset([]byte{0, 0, 0, 1, 0xff})
+	d.SetZeroCopy(true)
+	if v, err := d.ReadInt32(); err != nil || v != 1 {
+		t.Fatalf("ReadInt32 = %d, %v", v, err)
+	}
+	d.Reset([]byte{0, 0, 0, 2})
+	if d.Offset() != 0 {
+		t.Fatal("Reset kept the read position")
+	}
+	if d.zeroCopy {
+		t.Fatal("Reset kept zero-copy mode")
+	}
+	if v, err := d.ReadInt32(); err != nil || v != 2 {
+		t.Fatalf("ReadInt32 after Reset = %d, %v", v, err)
+	}
+}

@@ -105,8 +105,45 @@ func betterVote(a, b vote) bool { // is a better than b
 }
 
 type pendingProposal struct {
-	rec  ProposalRecord
-	acks map[PeerID]struct{}
+	rec ProposalRecord
+	// acks records which peers acknowledged, inline rather than in a
+	// per-proposal map: ensembles are small and proposals are hot-path.
+	// Ensembles larger than the inline array spill into overflow, so
+	// commits stay correct at any size; only 17+-peer ensembles pay
+	// the map allocation.
+	acks     [maxInlineAcks]PeerID
+	nacks    int
+	overflow map[PeerID]struct{}
+}
+
+// maxInlineAcks bounds the inline ack set, sized for the 3-7 replica
+// ensembles ZooKeeper deployments use.
+const maxInlineAcks = 16
+
+// ack records an acknowledgement, deduplicating by peer.
+func (pp *pendingProposal) ack(from PeerID) {
+	for i := 0; i < pp.nacks; i++ {
+		if pp.acks[i] == from {
+			return
+		}
+	}
+	if _, ok := pp.overflow[from]; ok {
+		return
+	}
+	if pp.nacks < len(pp.acks) {
+		pp.acks[pp.nacks] = from
+		pp.nacks++
+		return
+	}
+	if pp.overflow == nil {
+		pp.overflow = make(map[PeerID]struct{})
+	}
+	pp.overflow[from] = struct{}{}
+}
+
+// ackCount returns the number of distinct acknowledging peers.
+func (pp *pendingProposal) ackCount() int {
+	return pp.nacks + len(pp.overflow)
 }
 
 type submitReq struct {
@@ -212,20 +249,33 @@ func (p *Peer) StatsSnapshot() Stats {
 	return p.stats
 }
 
+// submitErrChPool recycles the per-Submit reply channels. A channel is
+// only returned to the pool after its single buffered reply has been
+// consumed; channels abandoned on the stop path (which may still
+// receive a late reply) are left to the garbage collector.
+var submitErrChPool = sync.Pool{
+	New: func() any { return make(chan error, 1) },
+}
+
 // Submit proposes a transaction. Only valid on the leader; followers
 // get ErrNotLeader and must forward via SendApp instead.
 func (p *Peer) Submit(txn ztree.Txn, origin Origin) error {
 	if p.Role() != RoleLeading {
 		return ErrNotLeader
 	}
-	req := submitReq{txn: txn, origin: origin, errCh: make(chan error, 1)}
+	errCh := submitErrChPool.Get().(chan error)
+	req := submitReq{txn: txn, origin: origin, errCh: errCh}
 	select {
 	case p.submit <- req:
 	case <-p.stop:
+		if len(errCh) == 0 {
+			submitErrChPool.Put(errCh) // never handed to the loop
+		}
 		return ErrStopped
 	}
 	select {
 	case err := <-req.errCh:
+		submitErrChPool.Put(errCh)
 		return err
 	case <-p.stop:
 		return ErrStopped
@@ -511,10 +561,9 @@ func (p *Peer) handleSubmit(req submitReq) {
 	req.txn.Zxid = zxid
 	p.lastZxid = zxid
 	rec := ProposalRecord{Txn: req.txn, Origin: req.origin}
-	p.proposals[zxid] = &pendingProposal{
-		rec:  rec,
-		acks: map[PeerID]struct{}{p.cfg.ID: {}},
-	}
+	pp := &pendingProposal{rec: rec}
+	pp.ack(p.cfg.ID)
+	p.proposals[zxid] = pp
 	p.outstanding = append(p.outstanding, zxid)
 	p.statsMu.Lock()
 	p.stats.Proposals++
@@ -562,7 +611,7 @@ func (p *Peer) handleAck(msg Message) {
 	if !ok {
 		return
 	}
-	prop.acks[msg.From] = struct{}{}
+	prop.ack(msg.From)
 	p.advanceCommits()
 }
 
@@ -572,7 +621,7 @@ func (p *Peer) advanceCommits() {
 	for len(p.outstanding) > 0 {
 		zxid := p.outstanding[0]
 		prop, ok := p.proposals[zxid]
-		if !ok || len(prop.acks) < p.quorum() {
+		if !ok || prop.ackCount() < p.quorum() {
 			return
 		}
 		p.outstanding = p.outstanding[1:]

@@ -423,3 +423,25 @@ func TestWireErrCodeUnused(t *testing.T) {
 		t.Fatal("txn must carry the code")
 	}
 }
+
+// TestPendingProposalAckOverflow: ack sets beyond the inline array
+// spill into the overflow map so huge ensembles still reach quorum;
+// duplicates never double-count in either region.
+func TestPendingProposalAckOverflow(t *testing.T) {
+	var pp pendingProposal
+	const peers = maxInlineAcks + 5
+	for round := 0; round < 2; round++ { // second round = all duplicates
+		for i := 0; i < peers; i++ {
+			pp.ack(PeerID(i + 1))
+		}
+	}
+	if got := pp.ackCount(); got != peers {
+		t.Fatalf("ackCount = %d after %d distinct acks (with duplicates), want %d", got, peers, peers)
+	}
+	if pp.nacks != maxInlineAcks {
+		t.Fatalf("inline region holds %d, want %d", pp.nacks, maxInlineAcks)
+	}
+	if len(pp.overflow) != peers-maxInlineAcks {
+		t.Fatalf("overflow holds %d, want %d", len(pp.overflow), peers-maxInlineAcks)
+	}
+}

@@ -242,6 +242,21 @@ func (t *Tree) SetData(path string, data []byte, version int32, zxid int64) (*wi
 
 // GetData returns a copy of the payload and the Stat.
 func (t *Tree) GetData(path string) ([]byte, *wire.Stat, error) {
+	data, stat, err := t.GetDataRef(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cloneBytes(data), stat, nil
+}
+
+// GetDataRef returns the payload without the defensive copy. Payload
+// slices are immutable once stored (SetData installs a fresh clone
+// rather than mutating in place), so the reference stays consistent;
+// the caller must not modify it. This is the replica-internal read
+// path: the server serializes the payload into the response message
+// immediately, and that serialization is the copy at the session
+// boundary.
+func (t *Tree) GetDataRef(path string) ([]byte, *wire.Stat, error) {
 	if err := ValidatePath(path); err != nil {
 		return nil, nil, err
 	}
@@ -252,7 +267,7 @@ func (t *Tree) GetData(path string) ([]byte, *wire.Stat, error) {
 		return nil, nil, wire.ErrNoNode.Error()
 	}
 	stat := n.stat
-	return cloneBytes(n.data), &stat, nil
+	return n.data, &stat, nil
 }
 
 // Exists returns the Stat of a znode, or ErrNoNode.
