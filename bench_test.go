@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -266,6 +267,63 @@ func BenchmarkFig8Set(b *testing.B) {
 		b.Run(fmt.Sprintf("payload=%d", payload), func(b *testing.B) {
 			forEachVariant(b, func(b *testing.B, v core.Variant) {
 				benchOps(b, v, bench.ModeSet, payload)
+			})
+		})
+	}
+}
+
+// BenchmarkFig8SetContended is the multi-client variant of Fig 8: n
+// concurrent clients hammer Set on distinct nodes, exercising the
+// sharded ztree across paths and the leader's proposal batching under
+// write bursts. It reports propose-frames/txn measured at the leader:
+// without batching the ratio equals the follower count (2 in a
+// 3-replica ensemble); batching must push it below that.
+func BenchmarkFig8SetContended(b *testing.B) {
+	for _, clients := range []int{4, 16} {
+		clients := clients
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			forEachVariant(b, func(b *testing.B, v core.Variant) {
+				cluster := newBenchCluster(b, v)
+				leaderIdx := cluster.LeaderIndex()
+				if leaderIdx < 0 {
+					b.Fatal("no leader")
+				}
+				payload := make([]byte, 1024)
+				cls := make([]*client.Client, clients)
+				for i := range cls {
+					cl, err := cluster.Connect(0, client.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer cl.Close()
+					cls[i] = cl
+					if _, err := cl.Create(fmt.Sprintf("/c%d", i), payload, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				statsBefore := cluster.Replica(leaderIdx).Peer().StatsSnapshot()
+				var next atomic.Int64
+				b.ReportAllocs()
+				b.SetParallelism(clients) // clients goroutines even at GOMAXPROCS=1
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					id := int(next.Add(1)-1) % clients
+					cl := cls[id]
+					path := fmt.Sprintf("/c%d", id)
+					for pb.Next() {
+						if _, err := cl.Set(path, payload, -1); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				b.StopTimer()
+				stats := cluster.Replica(leaderIdx).Peer().StatsSnapshot()
+				txns := stats.Proposals - statsBefore.Proposals
+				frames := stats.ProposeFrames - statsBefore.ProposeFrames
+				if txns > 0 {
+					b.ReportMetric(float64(frames)/float64(txns), "propose-frames/txn")
+				}
 			})
 		})
 	}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: securekeeper
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFig7Get/payload=1024/Vanilla-ZK-4         	     300	     10925 ns/op	    4140 B/op	      17 allocs/op
+BenchmarkFig7Get/payload=1024/SecureKeeper-4       	     300	      8863 ns/op	    5912 B/op	      26 allocs/op
+BenchmarkFig8SetContended/clients=16/SecureKeeper-4	     500	     17217 ns/op	         0.4120 propose-frames/txn	   13625 B/op	      43 allocs/op
+PASS
+ok  	securekeeper	0.102s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got := ParseBenchOutput(sampleOutput)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	van := got["BenchmarkFig7Get/payload=1024/Vanilla-ZK"]
+	if van.NsPerOp != 10925 || van.AllocsPerOp != 17 {
+		t.Fatalf("vanilla = %+v", van)
+	}
+	// Custom metrics (propose-frames/txn) must not confuse the parser.
+	cont := got["BenchmarkFig8SetContended/clients=16/SecureKeeper"]
+	if cont.NsPerOp != 17217 || cont.AllocsPerOp != 43 {
+		t.Fatalf("contended = %+v", cont)
+	}
+}
+
+func TestParseBenchOutputKeepsBestOfRepeats(t *testing.T) {
+	out := `
+BenchmarkX-8 100 2000 ns/op 10 B/op 5 allocs/op
+BenchmarkX-8 100 1500 ns/op 10 B/op 5 allocs/op
+BenchmarkX-8 100 1800 ns/op 10 B/op 5 allocs/op
+`
+	got := ParseBenchOutput(out)
+	if got["BenchmarkX"].NsPerOp != 1500 {
+		t.Fatalf("kept %v, want min 1500", got["BenchmarkX"].NsPerOp)
+	}
+}
+
+func baseOf(ns, allocs float64) *Baseline {
+	return &Baseline{
+		TolerancePct: 20,
+		Benchmarks:   map[string]Result{"BenchmarkX": {NsPerOp: ns, AllocsPerOp: allocs}},
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	measured := map[string]Result{"BenchmarkX": {NsPerOp: 1150, AllocsPerOp: 11}}
+	if f := Gate(baseOf(1000, 10), measured, 20); len(f) != 0 {
+		t.Fatalf("unexpected failures: %v", f)
+	}
+}
+
+func TestGateFailsOnNsRegression(t *testing.T) {
+	measured := map[string]Result{"BenchmarkX": {NsPerOp: 1300, AllocsPerOp: 10}}
+	f := Gate(baseOf(1000, 10), measured, 20)
+	if len(f) != 1 || !strings.Contains(f[0], "ns/op regressed") {
+		t.Fatalf("failures = %v", f)
+	}
+}
+
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	measured := map[string]Result{"BenchmarkX": {NsPerOp: 1000, AllocsPerOp: 13}}
+	f := Gate(baseOf(1000, 10), measured, 20)
+	if len(f) != 1 || !strings.Contains(f[0], "allocs/op regressed") {
+		t.Fatalf("failures = %v", f)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	f := Gate(baseOf(1000, 10), map[string]Result{}, 20)
+	if len(f) != 1 || !strings.Contains(f[0], "missing") {
+		t.Fatalf("failures = %v", f)
+	}
+}
+
+func TestGateRewardsImprovement(t *testing.T) {
+	measured := map[string]Result{"BenchmarkX": {NsPerOp: 400, AllocsPerOp: 2}}
+	if f := Gate(baseOf(1000, 10), measured, 20); len(f) != 0 {
+		t.Fatalf("improvement flagged as failure: %v", f)
+	}
+}
+
+func TestGateSeparateNsTolerance(t *testing.T) {
+	base := baseOf(1000, 10)
+	base.NsTolerancePct = 50
+	// +40% ns is inside the widened ns gate; +40% allocs is not.
+	measured := map[string]Result{"BenchmarkX": {NsPerOp: 1400, AllocsPerOp: 14}}
+	f := Gate(base, measured, 20)
+	if len(f) != 1 || !strings.Contains(f[0], "allocs/op regressed") {
+		t.Fatalf("failures = %v", f)
+	}
+}

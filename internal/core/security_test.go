@@ -109,6 +109,11 @@ func TestPayloadSwapAttackDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// A successful Create only proves the origin replica applied the
+	// write; followers apply on the (async) commit frame. Wait until
+	// every replica converged before poking at their trees.
+	waitTreesConverged(t, c, 3)
+
 	// The attacker (with full control of the replica) swaps payloads in
 	// every replica's store.
 	for i := 0; i < c.Size(); i++ {

@@ -11,16 +11,60 @@ import (
 func newTestCluster(t *testing.T, v Variant) *Cluster {
 	t.Helper()
 	c, err := NewCluster(Config{
-		Variant:         v,
-		Replicas:        3,
-		TickInterval:    5 * time.Millisecond,
-		ElectionTimeout: 50 * time.Millisecond,
+		Variant:      v,
+		Replicas:     3,
+		TickInterval: 5 * time.Millisecond,
+		// Generous relative to the tick: under the race detector the
+		// peer loops run slowly enough that a 50ms timeout triggers
+		// spurious re-elections, failing in-flight writes.
+		ElectionTimeout: 250 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatalf("NewCluster(%v): %v", v, err)
 	}
 	t.Cleanup(c.Close)
+	// Settle the ensemble before tests connect: a write submitted
+	// during the election window fails with CONNECTIONLOSS (there is
+	// no leader to forward to), which is correct protocol behaviour
+	// but a flaky test.
+	if _, err := c.WaitForLeader(5 * time.Second); err != nil {
+		t.Fatalf("WaitForLeader(%v): %v", v, err)
+	}
+	// Every replica must know its role before clients connect: a
+	// follower that is still LOOKING rejects forwarded writes with
+	// CONNECTIONLOSS because it has no leader to forward to.
+	for i := 0; i < c.Size(); i++ {
+		if err := c.Replica(i).WaitForRole(5 * time.Second); err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+	}
 	return c
+}
+
+// waitTreesConverged blocks until every replica's tree holds at least
+// minNodes znodes and all digests agree, or fails the test. Tests that
+// inspect follower trees directly need this: a client write completes
+// when the origin replica applies it, while other followers apply on
+// the asynchronous commit frame.
+func waitTreesConverged(t *testing.T, c *Cluster, minNodes int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		converged := true
+		digest := c.Replica(0).Tree().Digest()
+		for i := 0; i < c.Size(); i++ {
+			tree := c.Replica(i).Tree()
+			if tree.Count() < minNodes || tree.Digest() != digest {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("replicas did not converge")
 }
 
 func TestSmokeAllVariants(t *testing.T) {

@@ -92,8 +92,13 @@ type Replica struct {
 	mu       sync.Mutex
 	sessions map[int64]*session
 	pending  map[pendingKey]*pendingWrite
-	nextSess int64
-	closed   bool
+	// pendingFree is a freelist of recycled pendingWrite entries (guarded
+	// by mu): the write hot path inserts and deletes one map entry per
+	// request, and reusing the value structs keeps that churn
+	// allocation-free in steady state.
+	pendingFree *pendingWrite
+	nextSess    int64
+	closed      bool
 
 	// seqMu guards seqHint: the leader's view of the next sequence
 	// number per parent, covering transactions that are proposed but
@@ -120,6 +125,30 @@ type pendingKey struct {
 type pendingWrite struct {
 	entry *inflightReq
 	sess  *session
+	next  *pendingWrite // freelist link, meaningful only while recycled
+}
+
+// getPendingWrite pops a recycled entry or allocates one. Caller holds
+// r.mu.
+func (r *Replica) getPendingWrite(entry *inflightReq, sess *session) *pendingWrite {
+	pw := r.pendingFree
+	if pw != nil {
+		r.pendingFree = pw.next
+		pw.next = nil
+	} else {
+		pw = &pendingWrite{}
+	}
+	pw.entry, pw.sess = entry, sess
+	return pw
+}
+
+// putPendingWrite recycles an entry removed from the pending map. Caller
+// holds r.mu and must have copied the fields it still needs: the entry
+// is reused by the next write.
+func (r *Replica) putPendingWrite(pw *pendingWrite) {
+	pw.entry, pw.sess = nil, nil
+	pw.next = r.pendingFree
+	r.pendingFree = pw
 }
 
 // forwardedReq is a follower's write awaiting prep on the leader.
@@ -321,6 +350,7 @@ func (r *Replica) dropSession(s *session) {
 		if key.session == s.id {
 			pw.entry.fail(wire.ErrConnectionLoss)
 			delete(r.pending, key)
+			r.putPendingWrite(pw)
 		}
 	}
 	closed := r.closed
@@ -347,7 +377,7 @@ func (r *Replica) dropSession(s *session) {
 func (r *Replica) handleWrite(s *session, entry *inflightReq) {
 	r.writeOps.Add(1)
 	r.mu.Lock()
-	r.pending[pendingKey{session: s.id, xid: entry.xid}] = &pendingWrite{entry: entry, sess: s}
+	r.pending[pendingKey{session: s.id, xid: entry.xid}] = r.getPendingWrite(entry, s)
 	r.mu.Unlock()
 
 	origin := zab.Origin{Peer: r.cfg.ID, Session: s.id, Xid: entry.xid}
@@ -494,15 +524,19 @@ func (r *Replica) deliver(c zab.Committed) {
 	r.mu.Lock()
 	key := pendingKey{session: c.Origin.Session, xid: c.Origin.Xid}
 	pw, ok := r.pending[key]
+	var entry *inflightReq
+	var sess *session
 	if ok {
 		delete(r.pending, key)
+		entry, sess = pw.entry, pw.sess
+		r.putPendingWrite(pw)
 	}
 	r.mu.Unlock()
 	if !ok {
 		return
 	}
-	pw.entry.complete(buildWriteResponse(pw.entry.op, c.Origin.Xid, res))
-	pw.sess.kick()
+	entry.complete(buildWriteResponse(entry.op, c.Origin.Xid, res))
+	sess.kick()
 }
 
 // failPending fails one pending write.
@@ -510,13 +544,17 @@ func (r *Replica) failPending(origin zab.Origin, code wire.ErrCode) {
 	r.mu.Lock()
 	key := pendingKey{session: origin.Session, xid: origin.Xid}
 	pw, ok := r.pending[key]
+	var entry *inflightReq
+	var sess *session
 	if ok {
 		delete(r.pending, key)
+		entry, sess = pw.entry, pw.sess
+		r.putPendingWrite(pw)
 	}
 	r.mu.Unlock()
 	if ok {
-		pw.entry.fail(code)
-		pw.sess.kick()
+		entry.fail(code)
+		sess.kick()
 	}
 }
 
@@ -549,16 +587,21 @@ func (r *Replica) onRoleChange(role zab.Role, leader zab.PeerID) {
 		r.seqMu.Lock()
 		r.seqHint = make(map[string]int32)
 		r.seqMu.Unlock()
+		type failed struct {
+			entry *inflightReq
+			sess  *session
+		}
 		r.mu.Lock()
-		pending := make([]*pendingWrite, 0, len(r.pending))
-		for key := range r.pending {
-			pending = append(pending, r.pending[key])
+		pending := make([]failed, 0, len(r.pending))
+		for key, pw := range r.pending {
+			pending = append(pending, failed{entry: pw.entry, sess: pw.sess})
 			delete(r.pending, key)
+			r.putPendingWrite(pw)
 		}
 		r.mu.Unlock()
-		for _, pw := range pending {
-			pw.entry.fail(wire.ErrConnectionLoss)
-			pw.sess.kick()
+		for _, f := range pending {
+			f.entry.fail(wire.ErrConnectionLoss)
+			f.sess.kick()
 		}
 	}
 }

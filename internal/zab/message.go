@@ -29,8 +29,11 @@ const (
 	KindSyncSnap
 	KindSyncDiff
 	KindNewLeaderAck
-	// Broadcast.
+	// Broadcast. KindPropose carries a single transaction (legacy
+	// single-record path, kept for wire compatibility); the leader
+	// batches submissions into KindProposeBatch frames.
 	KindPropose
+	KindProposeBatch
 	KindAck
 	KindCommit
 	// Failure detection.
@@ -56,6 +59,8 @@ func (k Kind) String() string {
 		return "NEWLEADERACK"
 	case KindPropose:
 		return "PROPOSE"
+	case KindProposeBatch:
+		return "PROPOSEBATCH"
 	case KindAck:
 		return "ACK"
 	case KindCommit:
@@ -97,9 +102,14 @@ type Message struct {
 	VoteZxid  int64
 	VoteReply bool
 
-	// Propose fields.
+	// Propose fields. Txn carries a legacy single-record proposal;
+	// Batch carries a multi-record PROPOSE frame in ascending zxid
+	// order. For KindProposeBatch the Zxid field piggybacks the
+	// leader's commit bound so followers can apply without waiting for
+	// a separate COMMIT frame.
 	Txn    *ztree.Txn
 	Origin Origin
+	Batch  []ProposalRecord
 
 	// Sync fields.
 	Snapshot *ztree.Snapshot

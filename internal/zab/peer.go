@@ -3,6 +3,7 @@ package zab
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -172,6 +173,7 @@ type Peer struct {
 	lastZxid     int64 // highest zxid logged (proposed or applied)
 	lastCommit   int64 // highest zxid delivered
 	outstanding  []int64
+	batch        []ProposalRecord // leader: submissions awaiting one PROPOSE frame
 	proposals    map[int64]*pendingProposal
 	inflight     map[int64]ProposalRecord // follower: proposals awaiting commit
 	commitLog    []ProposalRecord
@@ -179,6 +181,7 @@ type Peer struct {
 	synced       map[PeerID]struct{}
 	lastHeard    map[PeerID]time.Time
 	electionDue  time.Time
+	finalizeDue  time.Time // grace deadline for a quorum-but-not-unanimous tally
 	followTarget PeerID
 
 	statsMu sync.Mutex
@@ -191,6 +194,11 @@ type Stats struct {
 	Proposals int64
 	Commits   int64
 	Resyncs   int64
+	// ProposeFrames counts PROPOSE frames actually sent (one per
+	// follower per flush). With batching, ProposeFrames/Proposals drops
+	// below the follower count under concurrent load; the contended
+	// benchmarks assert on that ratio.
+	ProposeFrames int64
 }
 
 // NewPeer constructs a peer; call Start to run it.
@@ -313,6 +321,9 @@ func (p *Peer) run() {
 			p.handle(msg)
 		case req := <-p.submit:
 			p.handleSubmit(req)
+			p.drainSubmits()
+			p.flushProposals()
+			p.advanceCommits()
 		case now := <-ticker.C:
 			p.tick(now)
 		}
@@ -327,6 +338,8 @@ func (p *Peer) startElection() {
 	p.statsMu.Unlock()
 
 	p.setRole(RoleLooking, -1)
+	p.batch = nil // unsent proposals die with the leadership term
+	p.finalizeDue = time.Time{}
 	p.round++
 	p.votes = make(map[PeerID]vote, len(p.cfg.Peers))
 	p.myVote = vote{round: p.round, for_: p.cfg.ID, zxid: p.lastZxid}
@@ -408,20 +421,46 @@ func (p *Peer) handleVote(msg Message) {
 }
 
 func (p *Peer) checkElection() {
+	candidate, n, ok := p.tallyQuorum()
+	if !ok {
+		return
+	}
+	if n == len(p.cfg.Peers) {
+		// Unanimous: no tallied peer can still adopt a better vote
+		// (every vote names the same best candidate), so finalize now.
+		p.finalizeElection(candidate)
+		return
+	}
+	// Quorum without unanimity: a tallied peer may adopt a better vote
+	// after we counted it (it keeps electing while we settle), which
+	// can build rings of followers with no leader. Hold the result for
+	// a short grace period — ZooKeeper's election "finalize wait" — and
+	// let the tick finalize whatever tally then stands.
+	if p.finalizeDue.IsZero() {
+		p.finalizeDue = time.Now().Add(2 * p.cfg.TickInterval)
+	}
+}
+
+// tallyQuorum returns the candidate holding a quorum of current votes.
+func (p *Peer) tallyQuorum() (PeerID, int, bool) {
 	tally := make(map[PeerID]int, len(p.votes))
 	for _, v := range p.votes {
 		tally[v.for_]++
 	}
 	for candidate, n := range tally {
-		if n < p.quorum() {
-			continue
+		if n >= p.quorum() {
+			return candidate, n, true
 		}
-		if candidate == p.cfg.ID {
-			p.becomeLeader()
-		} else {
-			p.becomeFollower(candidate)
-		}
-		return
+	}
+	return 0, 0, false
+}
+
+func (p *Peer) finalizeElection(candidate PeerID) {
+	p.finalizeDue = time.Time{}
+	if candidate == p.cfg.ID {
+		p.becomeLeader()
+	} else {
+		p.becomeFollower(candidate)
 	}
 }
 
@@ -438,6 +477,7 @@ func (p *Peer) becomeLeader() {
 	p.lastZxid = MakeZxid(p.epoch, 0)
 	p.proposals = make(map[int64]*pendingProposal)
 	p.outstanding = nil
+	p.batch = nil
 	p.synced = map[PeerID]struct{}{p.cfg.ID: {}}
 	now := time.Now()
 	for _, id := range p.cfg.Peers {
@@ -546,6 +586,9 @@ func (p *Peer) handleNewLeaderAck(msg Message) {
 
 // --- broadcast ---
 
+// handleSubmit stamps a submission with the next zxid and queues it on
+// the current batch; the run loop flushes accumulated submissions as a
+// single multi-record PROPOSE frame per follower.
 func (p *Peer) handleSubmit(req submitReq) {
 	if p.Role() != RoleLeading {
 		req.errCh <- ErrNotLeader
@@ -565,19 +608,88 @@ func (p *Peer) handleSubmit(req submitReq) {
 	pp.ack(p.cfg.ID)
 	p.proposals[zxid] = pp
 	p.outstanding = append(p.outstanding, zxid)
+	p.batch = append(p.batch, rec)
 	p.statsMu.Lock()
 	p.stats.Proposals++
 	p.statsMu.Unlock()
+	req.errCh <- nil
+}
+
+// maxDrainRounds bounds how many scheduler yields one batch window
+// spends collecting concurrent submissions before flushing.
+const maxDrainRounds = 4
+
+// drainSubmits accumulates concurrently-submitted transactions into the
+// current batch. A submitter unblocks the moment its request is
+// accepted, so under contention the next submissions are typically
+// being *scheduled* rather than already queued; yielding between drain
+// rounds lets runnable submitters enqueue, which is what makes batches
+// actually form. The window closes after a round that found nothing, so
+// a lone writer pays only one scheduler yield before its single-record
+// frame flushes.
+func (p *Peer) drainSubmits() {
+	p.drainOnce()
+	for rounds := 0; rounds < maxDrainRounds; rounds++ {
+		runtime.Gosched()
+		if p.drainOnce() == 0 {
+			return
+		}
+	}
+}
+
+// drainOnce accepts every submission already queued, flushing early if
+// the batch hits the frame cap. Returns how many it accepted.
+func (p *Peer) drainOnce() int {
+	n := 0
+	for {
+		select {
+		case req := <-p.submit:
+			p.handleSubmit(req)
+			n++
+			if len(p.batch) >= maxBatchRecords {
+				p.flushProposals()
+			}
+		default:
+			return n
+		}
+	}
+}
+
+// flushProposals sends the accumulated batch as one PROPOSE frame per
+// synced follower, piggybacking the leader's commit bound so followers
+// can apply previously committed transactions without a COMMIT frame.
+func (p *Peer) flushProposals() {
+	if len(p.batch) == 0 {
+		return
+	}
+	// One shared copy per flush: the in-process transport passes the
+	// slice by reference and receivers treat frames as read-only, so
+	// every follower can share it while p.batch is reused.
+	frame := make([]ProposalRecord, len(p.batch))
+	copy(frame, p.batch)
+	p.batch = p.batch[:0]
+	bound := p.lastCommitted()
+	frames := int64(0)
 	for id := range p.synced {
 		if id == p.cfg.ID {
 			continue
 		}
-		_ = p.cfg.Transport.Send(id, Message{Kind: KindPropose, Epoch: p.epoch, Txn: &rec.Txn, Origin: rec.Origin})
+		_ = p.cfg.Transport.Send(id, Message{Kind: KindProposeBatch, Epoch: p.epoch, Zxid: bound, Batch: frame})
+		frames++
 	}
-	req.errCh <- nil
-	p.advanceCommits()
+	if frames > 0 {
+		p.statsMu.Lock()
+		p.stats.ProposeFrames += frames
+		p.statsMu.Unlock()
+	}
 }
 
+// handlePropose accepts a legacy single-record proposal. The in-repo
+// leader always sends batches; this path remains for wire compatibility
+// with single-record peers. Like the batch path it acks the contiguous
+// frontier, never the raw zxid: the leader interprets ACKs
+// cumulatively, so acking past a gap would vouch for proposals this
+// follower does not hold.
 func (p *Peer) handlePropose(msg Message) {
 	if p.Role() != RoleFollowing || msg.From != p.followTarget || msg.Txn == nil {
 		return
@@ -591,7 +703,75 @@ func (p *Peer) handlePropose(msg Message) {
 	if zxid > p.lastZxid {
 		p.lastZxid = zxid
 	}
-	_ = p.cfg.Transport.Send(msg.From, Message{Kind: KindAck, Zxid: zxid})
+	frontier := p.ackFrontier()
+	_ = p.cfg.Transport.Send(msg.From, Message{Kind: KindAck, Zxid: frontier})
+	if frontier < zxid {
+		p.resync() // an earlier proposal was shed; recover now
+	}
+}
+
+// handleProposeBatch replays a multi-record PROPOSE frame in zxid order
+// and acknowledges it as a unit: one cumulative ACK for the contiguous
+// prefix of proposals this follower holds.
+func (p *Peer) handleProposeBatch(msg Message) {
+	if p.Role() != RoleFollowing || msg.From != p.followTarget || len(msg.Batch) == 0 {
+		return
+	}
+	p.lastHeard[msg.From] = time.Now()
+	committed := p.lastCommitted()
+	var prev int64
+	for i := range msg.Batch {
+		rec := &msg.Batch[i]
+		zxid := rec.Txn.Zxid
+		if i > 0 && zxid <= prev {
+			break // malformed frame: ignore the out-of-order tail
+		}
+		prev = zxid
+		if zxid <= committed {
+			continue // duplicate of an already-committed proposal
+		}
+		p.inflight[zxid] = *rec
+		if zxid > p.lastZxid {
+			p.lastZxid = zxid
+		}
+	}
+	// Ack the batch as a unit, but never past a gap: the cumulative ACK
+	// asserts this follower holds *every* proposal up to the frontier,
+	// and acking past missing proposals would let the leader count a
+	// false quorum for them.
+	frontier := p.ackFrontier()
+	_ = p.cfg.Transport.Send(msg.From, Message{Kind: KindAck, Zxid: frontier})
+	if frontier < prev {
+		// An earlier frame was shed; recover now instead of waiting for
+		// the commit-time hole detection.
+		p.resync()
+		return
+	}
+	// Piggybacked commit bound: apply what the leader has committed.
+	p.commitUpTo(msg.Zxid)
+}
+
+// ackFrontier returns the highest zxid z such that this follower holds
+// (or has committed) every proposal in (lastCommitted, z].
+func (p *Peer) ackFrontier() int64 {
+	z := p.lastCommitted()
+	for {
+		next := MakeZxid(EpochOf(z), CounterOf(z)+1)
+		if _, ok := p.inflight[next]; ok {
+			z = next
+			continue
+		}
+		// Epoch boundary: the first proposal of the current epoch
+		// follows the last zxid of the previous one.
+		if EpochOf(z) < p.epoch {
+			next = MakeZxid(p.epoch, 1)
+			if _, ok := p.inflight[next]; ok {
+				z = next
+				continue
+			}
+		}
+		return z
+	}
 }
 
 func (p *Peer) resync() {
@@ -602,37 +782,55 @@ func (p *Peer) resync() {
 	_ = p.cfg.Transport.Send(p.followTarget, Message{Kind: KindFollowerInfo, Zxid: p.lastCommitted()})
 }
 
+// handleAck records a cumulative acknowledgement: an ACK for zxid Z
+// asserts the follower holds every outstanding proposal up to Z, so
+// batches are acknowledged as units.
 func (p *Peer) handleAck(msg Message) {
 	if p.Role() != RoleLeading {
 		return
 	}
 	p.lastHeard[msg.From] = time.Now()
-	prop, ok := p.proposals[msg.Zxid]
-	if !ok {
-		return
+	acked := false
+	for _, zxid := range p.outstanding { // ascending zxid order
+		if zxid > msg.Zxid {
+			break
+		}
+		if prop, ok := p.proposals[zxid]; ok {
+			prop.ack(msg.From)
+			acked = true
+		}
 	}
-	prop.ack(msg.From)
-	p.advanceCommits()
+	if acked {
+		p.advanceCommits()
+	}
 }
 
 // advanceCommits commits outstanding proposals strictly in zxid order as
-// soon as the head of the queue reaches quorum.
+// soon as the head of the queue reaches quorum, then notifies followers
+// with a single cumulative COMMIT frame for the whole run (the next
+// PROPOSE frame piggybacks the same bound).
 func (p *Peer) advanceCommits() {
+	committed := false
 	for len(p.outstanding) > 0 {
 		zxid := p.outstanding[0]
 		prop, ok := p.proposals[zxid]
 		if !ok || prop.ackCount() < p.quorum() {
-			return
+			break
 		}
 		p.outstanding = p.outstanding[1:]
 		delete(p.proposals, zxid)
 		p.deliver(Committed{Txn: prop.rec.Txn, Origin: prop.rec.Origin})
-		for id := range p.synced {
-			if id == p.cfg.ID {
-				continue
-			}
-			_ = p.cfg.Transport.Send(id, Message{Kind: KindCommit, Zxid: zxid})
+		committed = true
+	}
+	if !committed {
+		return
+	}
+	bound := p.lastCommitted()
+	for id := range p.synced {
+		if id == p.cfg.ID {
+			continue
 		}
+		_ = p.cfg.Transport.Send(id, Message{Kind: KindCommit, Zxid: bound})
 	}
 }
 
@@ -645,48 +843,41 @@ func (p *Peer) handleCommit(msg Message) {
 }
 
 // commitUpTo applies in-flight proposals with zxid <= bound, strictly in
-// zxid order. A hole in the sequence means we missed a proposal (shed
-// mailbox, transient partition) and must recover from the leader.
+// zxid order by walking the successor chain from the last commit — O(1)
+// per record where a lowest-of-map scan would make committing a full
+// batch quadratic. A hole below the bound means we missed a proposal
+// (shed mailbox, transient partition) and must recover from the leader.
 func (p *Peer) commitUpTo(bound int64) {
-	for {
-		rec, ok := p.lowestInflight()
-		if !ok || rec.Txn.Zxid > bound {
-			if !ok && bound > p.lastCommitted() {
-				// Leader committed past us but we hold nothing: we
-				// missed the proposals entirely.
-				p.resync()
-			}
-			return
-		}
-		if !p.isNextCommit(rec.Txn.Zxid) {
+	for p.lastCommitted() < bound {
+		rec, ok := p.nextInflightCommit()
+		if !ok {
+			// The leader committed past us but the successor is not
+			// buffered: we missed proposals.
 			p.resync()
 			return
+		}
+		if rec.Txn.Zxid > bound {
+			return // buffered, but the leader has not committed it yet
 		}
 		delete(p.inflight, rec.Txn.Zxid)
 		p.deliver(Committed{Txn: rec.Txn, Origin: rec.Origin})
 	}
 }
 
-// isNextCommit reports whether zxid is the immediate successor of the
-// last committed transaction: next counter within the same epoch, or the
-// first proposal (counter 1) of a later epoch.
-func (p *Peer) isNextCommit(zxid int64) bool {
+// nextInflightCommit returns the buffered proposal that immediately
+// succeeds the last commit: next counter within the same epoch, or the
+// first proposal (counter 1) of the current epoch after a boundary.
+func (p *Peer) nextInflightCommit() (ProposalRecord, bool) {
 	last := p.lastCommitted()
-	if EpochOf(zxid) == EpochOf(last) {
-		return CounterOf(zxid) == CounterOf(last)+1
+	if rec, ok := p.inflight[MakeZxid(EpochOf(last), CounterOf(last)+1)]; ok {
+		return rec, true
 	}
-	return EpochOf(zxid) > EpochOf(last) && CounterOf(zxid) == 1
-}
-
-func (p *Peer) lowestInflight() (ProposalRecord, bool) {
-	var best ProposalRecord
-	found := false
-	for zxid, rec := range p.inflight {
-		if !found || zxid < best.Txn.Zxid {
-			best, found = rec, true
+	if EpochOf(last) < p.epoch {
+		if rec, ok := p.inflight[MakeZxid(p.epoch, 1)]; ok {
+			return rec, true
 		}
 	}
-	return best, found
+	return ProposalRecord{}, false
 }
 
 // deliver applies a committed transaction and records it in the log.
@@ -715,6 +906,7 @@ func (p *Peer) deliver(c Committed) {
 func (p *Peer) tick(now time.Time) {
 	switch p.Role() {
 	case RoleLeading:
+		p.flushProposals() // defensive: no batch should survive a loop iteration
 		committed := p.lastCommitted()
 		for _, id := range p.cfg.Peers {
 			if id == p.cfg.ID {
@@ -740,6 +932,13 @@ func (p *Peer) tick(now time.Time) {
 			p.startElection()
 		}
 	case RoleLooking:
+		if !p.finalizeDue.IsZero() && now.After(p.finalizeDue) {
+			p.finalizeDue = time.Time{}
+			if candidate, _, ok := p.tallyQuorum(); ok {
+				p.finalizeElection(candidate)
+				return
+			}
+		}
 		if now.After(p.electionDue) {
 			p.startElection()
 		}
@@ -779,6 +978,8 @@ func (p *Peer) handle(msg Message) {
 		p.handleNewLeaderAck(msg)
 	case KindPropose:
 		p.handlePropose(msg)
+	case KindProposeBatch:
+		p.handleProposeBatch(msg)
 	case KindAck:
 		p.handleAck(msg)
 	case KindCommit:

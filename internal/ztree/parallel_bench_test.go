@@ -1,0 +1,92 @@
+package ztree
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkZTreeParallel measures GOMAXPROCS-parallel mixed Get/Set
+// throughput (90% reads / 10% writes, the paper's read-mostly profile)
+// against trees with different shard counts. shards=1 reproduces the
+// pre-shard single-RWMutex behaviour; the default must beat it by ≥2×
+// on multi-core hosts (ISSUE 2 acceptance).
+func BenchmarkZTreeParallel(b *testing.B) {
+	for _, shards := range []int{1, 8, DefaultShards} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			tr := New(WithShards(shards))
+			const parents = 16
+			const perParent = 64
+			paths := make([]string, 0, parents*perParent)
+			payload := make([]byte, 256)
+			for p := 0; p < parents; p++ {
+				if _, err := tr.Create(fmt.Sprintf("/p%d", p), nil, 0, 0, 1); err != nil {
+					b.Fatal(err)
+				}
+				for c := 0; c < perParent; c++ {
+					path := fmt.Sprintf("/p%d/c%d", p, c)
+					if _, err := tr.Create(path, payload, 0, 0, 2); err != nil {
+						b.Fatal(err)
+					}
+					paths = append(paths, path)
+				}
+			}
+			var seed atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					path := paths[rng.Intn(len(paths))]
+					if rng.Intn(10) == 0 {
+						if _, err := tr.SetData(path, payload, -1, 3); err != nil {
+							b.Error(err)
+							return
+						}
+					} else {
+						if _, _, err := tr.GetDataRef(path); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkZTreeParallelWriteHeavy is the contended all-write variant:
+// every operation takes a shard write lock, so it isolates pure lock
+// contention rather than RWMutex read scaling.
+func BenchmarkZTreeParallelWriteHeavy(b *testing.B) {
+	for _, shards := range []int{1, DefaultShards} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			tr := New(WithShards(shards))
+			const nodes = 512
+			paths := make([]string, 0, nodes)
+			payload := make([]byte, 256)
+			for c := 0; c < nodes; c++ {
+				path := fmt.Sprintf("/c%d", c)
+				if _, err := tr.Create(path, payload, 0, 0, 1); err != nil {
+					b.Fatal(err)
+				}
+				paths = append(paths, path)
+			}
+			var seed atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					if _, err := tr.SetData(paths[rng.Intn(nodes)], payload, -1, 2); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

@@ -9,6 +9,14 @@
 // property SecureKeeper exploits: ciphertext paths and payloads flow
 // through unmodified ("the untrusted components handle the ciphertext as
 // a blackbox, i.e. the same as plaintext", §4.1).
+//
+// Concurrency: the node map is split into path-hash-addressed shards,
+// each guarded by its own RWMutex, so readers and writers touching
+// different subtree regions do not contend on a single lock. Operations
+// that span two nodes (create and delete touch the node and its parent)
+// lock at most two shards, always in ascending shard-index order, which
+// makes deadlock impossible. Watch dispatch always happens after every
+// shard lock is released.
 package ztree
 
 import (
@@ -16,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"securekeeper/internal/wire"
 )
@@ -27,14 +36,36 @@ type node struct {
 	children map[string]struct{}
 }
 
+// shard is one slice of the node map with its own lock.
+type shard struct {
+	mu    sync.RWMutex // 24 bytes
+	nodes map[string]*node
+	// Pad the 32 bytes of fields to a multiple of the cache line so
+	// neighbouring shards' locks do not false-share under contention
+	// (two lines, to also clear the adjacent-line prefetcher).
+	_ [128 - 32]byte //nolint:unused
+}
+
+// DefaultShards is the shard count used by New unless WithShards
+// overrides it. Sized so that a machine's worth of goroutines rarely
+// collide on one lock while keeping whole-tree operations (snapshot,
+// digest) cheap.
+const DefaultShards = 32
+
 // Tree is the znode database. All methods are safe for concurrent use.
 type Tree struct {
-	mu        sync.RWMutex
-	nodes     map[string]*node
-	ephemeral map[int64]map[string]struct{} // session id -> owned paths
-	watches   *WatchManager
-	now       func() int64 // wall clock in ms, injectable for tests
-	clock     int64        // fallback logical clock when now is nil
+	shards []shard
+	mask   uint64 // len(shards)-1; len is a power of two
+
+	// ephemeral indexes session id -> owned paths. It has its own lock;
+	// the ordering discipline is that ephMu may be acquired while shard
+	// locks are held, never the reverse.
+	ephMu     sync.Mutex
+	ephemeral map[int64]map[string]struct{}
+
+	watches *WatchManager
+	now     func() int64 // wall clock in ms, injectable for tests
+	clock   atomic.Int64 // fallback logical clock when now is nil
 }
 
 // Option configures a Tree.
@@ -46,18 +77,96 @@ func WithClock(now func() int64) Option {
 	return func(t *Tree) { t.now = now }
 }
 
+// WithShards sets the shard count, rounded up to a power of two.
+// Benchmarks use WithShards(1) to measure the pre-shard behaviour.
+func WithShards(n int) Option {
+	return func(t *Tree) {
+		if n < 1 {
+			n = 1
+		}
+		size := 1
+		for size < n {
+			size <<= 1
+		}
+		t.shards = make([]shard, size)
+		t.mask = uint64(size - 1)
+	}
+}
+
 // New returns a tree containing only the root znode "/".
 func New(opts ...Option) *Tree {
 	t := &Tree{
-		nodes:     make(map[string]*node, 64),
 		ephemeral: make(map[int64]map[string]struct{}),
 		watches:   NewWatchManager(),
 	}
+	WithShards(DefaultShards)(t)
 	for _, opt := range opts {
 		opt(t)
 	}
-	t.nodes["/"] = &node{children: make(map[string]struct{})}
+	for i := range t.shards {
+		t.shards[i].nodes = make(map[string]*node, 8)
+	}
+	t.shardFor("/").nodes["/"] = &node{children: make(map[string]struct{})}
 	return t
+}
+
+// shardIndex maps a path to its shard slot.
+func (t *Tree) shardIndex(path string) uint64 {
+	return fnv64a(path) & t.mask
+}
+
+func (t *Tree) shardFor(path string) *shard {
+	return &t.shards[t.shardIndex(path)]
+}
+
+// lockPair write-locks the shards holding path a and path b in ascending
+// index order (a single lock when both hash to the same shard) and
+// returns the two shards in argument order plus an unlock function, so
+// callers do not re-hash the paths.
+func (t *Tree) lockPair(a, b string) (sa, sb *shard, unlock func()) {
+	i, j := t.shardIndex(a), t.shardIndex(b)
+	sa, sb = &t.shards[i], &t.shards[j]
+	if i == j {
+		sa.mu.Lock()
+		return sa, sb, sa.mu.Unlock
+	}
+	lo, hi := sa, sb
+	if i > j {
+		lo, hi = sb, sa
+	}
+	lo.mu.Lock()
+	hi.mu.Lock()
+	return sa, sb, func() {
+		hi.mu.Unlock()
+		lo.mu.Unlock()
+	}
+}
+
+// lockAll write-locks every shard in index order; unlockAll reverses it.
+func (t *Tree) lockAll() {
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+	}
+}
+
+func (t *Tree) unlockAll() {
+	for i := len(t.shards) - 1; i >= 0; i-- {
+		t.shards[i].mu.Unlock()
+	}
+}
+
+// rlockAll read-locks every shard in index order for consistent
+// whole-tree reads (snapshot).
+func (t *Tree) rlockAll() {
+	for i := range t.shards {
+		t.shards[i].mu.RLock()
+	}
+}
+
+func (t *Tree) runlockAll() {
+	for i := len(t.shards) - 1; i >= 0; i-- {
+		t.shards[i].mu.RUnlock()
+	}
 }
 
 // Watches exposes the tree's watch manager for registration.
@@ -67,8 +176,7 @@ func (t *Tree) timestamp() int64 {
 	if t.now != nil {
 		return t.now()
 	}
-	t.clock++
-	return t.clock
+	return t.clock.Add(1)
 }
 
 // ValidatePath checks structural path validity: absolute, no empty or
@@ -113,20 +221,20 @@ func (t *Tree) Create(path string, data []byte, flags wire.CreateFlags, owner in
 	if path == "/" {
 		return nil, wire.ErrNodeExists.Error()
 	}
-	parentPath, _ := SplitPath(path)
+	parentPath, name := SplitPath(path)
 
-	t.mu.Lock()
-	parent, ok := t.nodes[parentPath]
+	parentShard, childShard, unlock := t.lockPair(parentPath, path)
+	parent, ok := parentShard.nodes[parentPath]
 	if !ok {
-		t.mu.Unlock()
+		unlock()
 		return nil, wire.ErrNoNode.Error()
 	}
 	if parent.stat.EphemeralOwner != 0 {
-		t.mu.Unlock()
+		unlock()
 		return nil, wire.ErrNoChildrenForEphemerals.Error()
 	}
-	if _, exists := t.nodes[path]; exists {
-		t.mu.Unlock()
+	if _, exists := childShard.nodes[path]; exists {
+		unlock()
 		return nil, wire.ErrNodeExists.Error()
 	}
 
@@ -145,21 +253,22 @@ func (t *Tree) Create(path string, data []byte, flags wire.CreateFlags, owner in
 	}
 	if flags&wire.FlagEphemeral != 0 {
 		n.stat.EphemeralOwner = owner
+		t.ephMu.Lock()
 		set, ok := t.ephemeral[owner]
 		if !ok {
 			set = make(map[string]struct{})
 			t.ephemeral[owner] = set
 		}
 		set[path] = struct{}{}
+		t.ephMu.Unlock()
 	}
-	t.nodes[path] = n
-	_, name := SplitPath(path)
+	childShard.nodes[path] = n
 	parent.children[name] = struct{}{}
 	parent.stat.Cversion++
 	parent.stat.Pzxid = zxid
 	parent.stat.NumChildren = int32(len(parent.children))
 	stat := n.stat
-	t.mu.Unlock()
+	unlock()
 
 	t.watches.trigger(path, wire.EventNodeCreated)
 	t.watches.trigger(parentPath, wire.EventNodeChildrenChanged)
@@ -177,36 +286,38 @@ func (t *Tree) Delete(path string, version int32, zxid int64) error {
 	}
 	parentPath, name := SplitPath(path)
 
-	t.mu.Lock()
-	n, ok := t.nodes[path]
+	parentShard, childShard, unlock := t.lockPair(parentPath, path)
+	n, ok := childShard.nodes[path]
 	if !ok {
-		t.mu.Unlock()
+		unlock()
 		return wire.ErrNoNode.Error()
 	}
 	if version != -1 && version != n.stat.Version {
-		t.mu.Unlock()
+		unlock()
 		return wire.ErrBadVersion.Error()
 	}
 	if len(n.children) > 0 {
-		t.mu.Unlock()
+		unlock()
 		return wire.ErrNotEmpty.Error()
 	}
-	delete(t.nodes, path)
+	delete(childShard.nodes, path)
 	if n.stat.EphemeralOwner != 0 {
+		t.ephMu.Lock()
 		if set, ok := t.ephemeral[n.stat.EphemeralOwner]; ok {
 			delete(set, path)
 			if len(set) == 0 {
 				delete(t.ephemeral, n.stat.EphemeralOwner)
 			}
 		}
+		t.ephMu.Unlock()
 	}
-	if parent, ok := t.nodes[parentPath]; ok {
+	if parent, ok := parentShard.nodes[parentPath]; ok {
 		delete(parent.children, name)
 		parent.stat.Cversion++
 		parent.stat.Pzxid = zxid
 		parent.stat.NumChildren = int32(len(parent.children))
 	}
-	t.mu.Unlock()
+	unlock()
 
 	t.watches.trigger(path, wire.EventNodeDeleted)
 	t.watches.trigger(parentPath, wire.EventNodeChildrenChanged)
@@ -218,14 +329,15 @@ func (t *Tree) SetData(path string, data []byte, version int32, zxid int64) (*wi
 	if err := ValidatePath(path); err != nil {
 		return nil, err
 	}
-	t.mu.Lock()
-	n, ok := t.nodes[path]
+	s := t.shardFor(path)
+	s.mu.Lock()
+	n, ok := s.nodes[path]
 	if !ok {
-		t.mu.Unlock()
+		s.mu.Unlock()
 		return nil, wire.ErrNoNode.Error()
 	}
 	if version != -1 && version != n.stat.Version {
-		t.mu.Unlock()
+		s.mu.Unlock()
 		return nil, wire.ErrBadVersion.Error()
 	}
 	n.data = cloneBytes(data)
@@ -234,7 +346,7 @@ func (t *Tree) SetData(path string, data []byte, version int32, zxid int64) (*wi
 	n.stat.Mtime = t.timestamp()
 	n.stat.DataLength = int32(len(data))
 	stat := n.stat
-	t.mu.Unlock()
+	s.mu.Unlock()
 
 	t.watches.trigger(path, wire.EventNodeDataChanged)
 	return &stat, nil
@@ -260,9 +372,10 @@ func (t *Tree) GetDataRef(path string) ([]byte, *wire.Stat, error) {
 	if err := ValidatePath(path); err != nil {
 		return nil, nil, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	n, ok := t.nodes[path]
+	s := t.shardFor(path)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[path]
 	if !ok {
 		return nil, nil, wire.ErrNoNode.Error()
 	}
@@ -275,9 +388,10 @@ func (t *Tree) Exists(path string) (*wire.Stat, error) {
 	if err := ValidatePath(path); err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	n, ok := t.nodes[path]
+	s := t.shardFor(path)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[path]
 	if !ok {
 		return nil, wire.ErrNoNode.Error()
 	}
@@ -290,17 +404,18 @@ func (t *Tree) GetChildren(path string) ([]string, error) {
 	if err := ValidatePath(path); err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	n, ok := t.nodes[path]
+	s := t.shardFor(path)
+	s.mu.RLock()
+	n, ok := s.nodes[path]
 	if !ok {
-		t.mu.RUnlock()
+		s.mu.RUnlock()
 		return nil, wire.ErrNoNode.Error()
 	}
 	out := make([]string, 0, len(n.children))
 	for name := range n.children {
 		out = append(out, name)
 	}
-	t.mu.RUnlock()
+	s.mu.RUnlock()
 	sort.Strings(out)
 	return out, nil
 }
@@ -308,9 +423,10 @@ func (t *Tree) GetChildren(path string) ([]string, error) {
 // NextSequence returns the sequence number for the next sequential child
 // of parentPath. ZooKeeper uses the parent's Cversion for this purpose.
 func (t *Tree) NextSequence(parentPath string) (int32, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	n, ok := t.nodes[parentPath]
+	s := t.shardFor(parentPath)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[parentPath]
 	if !ok {
 		return 0, wire.ErrNoNode.Error()
 	}
@@ -320,13 +436,13 @@ func (t *Tree) NextSequence(parentPath string) (int32, error) {
 // KillSession deletes all ephemeral nodes owned by a session and returns
 // the deleted paths (deepest first so children go before parents).
 func (t *Tree) KillSession(sessionID int64, zxid int64) []string {
-	t.mu.Lock()
+	t.ephMu.Lock()
 	set := t.ephemeral[sessionID]
 	paths := make([]string, 0, len(set))
 	for p := range set {
 		paths = append(paths, p)
 	}
-	t.mu.Unlock()
+	t.ephMu.Unlock()
 	// Deepest paths first so that (hypothetical) ephemeral parents are
 	// emptied before deletion.
 	sort.Slice(paths, func(i, j int) bool { return len(paths[i]) > len(paths[j]) })
@@ -341,19 +457,27 @@ func (t *Tree) KillSession(sessionID int64, zxid int64) []string {
 
 // Count returns the number of znodes including the root.
 func (t *Tree) Count() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.nodes)
+	total := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		total += len(s.nodes)
+		s.mu.RUnlock()
+	}
+	return total
 }
 
 // ApproxBytes estimates the memory held by payloads and paths, used by
 // the Fig 2 memory-timeline experiment.
 func (t *Tree) ApproxBytes() int64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var total int64
-	for p, n := range t.nodes {
-		total += int64(len(p)) + int64(len(n.data)) + 96 // stat + map overhead estimate
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for p, n := range s.nodes {
+			total += int64(len(p)) + int64(len(n.data)) + 96 // stat + map overhead estimate
+		}
+		s.mu.RUnlock()
 	}
 	return total
 }
@@ -361,39 +485,53 @@ func (t *Tree) ApproxBytes() int64 {
 // Digest computes an order-independent checksum over paths, data and
 // versions. Replicas compare digests in tests to assert convergence.
 func (t *Tree) Digest() uint64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var digest uint64
-	for p, n := range t.nodes {
-		h := fnv64a(p)
-		h = fnv64aBytes(h, n.data)
-		h ^= uint64(uint32(n.stat.Version))<<32 | uint64(uint32(n.stat.Cversion))
-		digest += h // commutative combine: iteration order independent
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for p, n := range s.nodes {
+			h := fnv64a(p)
+			h = fnv64aBytes(h, n.data)
+			h ^= uint64(uint32(n.stat.Version))<<32 | uint64(uint32(n.stat.Cversion))
+			digest += h // commutative combine: iteration order independent
+		}
+		s.mu.RUnlock()
 	}
 	return digest
 }
 
-// Snapshot captures the full tree state for recovery transfer.
+// Snapshot captures the full tree state for recovery transfer. All
+// shards are read-locked together so the snapshot is a consistent
+// point-in-time view.
 func (t *Tree) Snapshot() *Snapshot {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	snap := &Snapshot{Nodes: make([]SnapshotNode, 0, len(t.nodes))}
-	for p, n := range t.nodes {
-		snap.Nodes = append(snap.Nodes, SnapshotNode{
-			Path: p,
-			Data: cloneBytes(n.data),
-			Stat: n.stat,
-		})
+	t.rlockAll()
+	total := 0
+	for i := range t.shards {
+		total += len(t.shards[i].nodes)
 	}
+	snap := &Snapshot{Nodes: make([]SnapshotNode, 0, total)}
+	for i := range t.shards {
+		for p, n := range t.shards[i].nodes {
+			snap.Nodes = append(snap.Nodes, SnapshotNode{
+				Path: p,
+				Data: cloneBytes(n.data),
+				Stat: n.stat,
+			})
+		}
+	}
+	t.runlockAll()
 	sort.Slice(snap.Nodes, func(i, j int) bool { return snap.Nodes[i].Path < snap.Nodes[j].Path })
 	return snap
 }
 
 // Restore replaces the tree contents with a snapshot.
 func (t *Tree) Restore(snap *Snapshot) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.nodes = make(map[string]*node, len(snap.Nodes))
+	t.lockAll()
+	defer t.unlockAll()
+	for i := range t.shards {
+		t.shards[i].nodes = make(map[string]*node, 8)
+	}
+	t.ephMu.Lock()
 	t.ephemeral = make(map[int64]map[string]struct{})
 	for _, sn := range snap.Nodes {
 		n := &node{
@@ -401,7 +539,7 @@ func (t *Tree) Restore(snap *Snapshot) {
 			stat:     sn.Stat,
 			children: make(map[string]struct{}),
 		}
-		t.nodes[sn.Path] = n
+		t.shardFor(sn.Path).nodes[sn.Path] = n
 		if owner := sn.Stat.EphemeralOwner; owner != 0 {
 			set, ok := t.ephemeral[owner]
 			if !ok {
@@ -411,17 +549,21 @@ func (t *Tree) Restore(snap *Snapshot) {
 			set[sn.Path] = struct{}{}
 		}
 	}
-	if _, ok := t.nodes["/"]; !ok {
-		t.nodes["/"] = &node{children: make(map[string]struct{})}
+	t.ephMu.Unlock()
+	rootShard := t.shardFor("/")
+	if _, ok := rootShard.nodes["/"]; !ok {
+		rootShard.nodes["/"] = &node{children: make(map[string]struct{})}
 	}
 	// Rebuild child links.
-	for p := range t.nodes {
-		if p == "/" {
-			continue
-		}
-		parentPath, name := SplitPath(p)
-		if parent, ok := t.nodes[parentPath]; ok {
-			parent.children[name] = struct{}{}
+	for i := range t.shards {
+		for p := range t.shards[i].nodes {
+			if p == "/" {
+				continue
+			}
+			parentPath, name := SplitPath(p)
+			if parent, ok := t.shardFor(parentPath).nodes[parentPath]; ok {
+				parent.children[name] = struct{}{}
+			}
 		}
 	}
 }

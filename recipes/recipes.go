@@ -126,8 +126,14 @@ func (l *Lock) Unlock() error {
 }
 
 // Holder returns the name of the current lock-holding candidate node,
-// or "" when the lock is free.
+// or "" when the lock is free. The read is preceded by a sync so it
+// observes every candidate change agreed before the call (ZooKeeper's
+// sync-then-read idiom; a replica-local read may lag other sessions'
+// writes).
 func (l *Lock) Holder() (string, error) {
+	if err := l.cl.Sync(l.root); err != nil {
+		return "", err
+	}
 	kids, err := l.cl.Children(l.root)
 	if err != nil {
 		return "", err
@@ -372,8 +378,13 @@ func JoinGroup(cl *client.Client, root, name string) (*Group, error) {
 	return &Group{cl: cl, root: root, node: node}, nil
 }
 
-// Members lists the current live members, sorted.
+// Members lists the current live members, sorted. Sync-then-read: the
+// membership view includes every join/leave agreed before the call even
+// when this client's replica lags other sessions' writes.
 func (g *Group) Members() ([]string, error) {
+	if err := g.cl.Sync(g.root); err != nil {
+		return nil, err
+	}
 	return g.cl.Children(g.root)
 }
 

@@ -164,6 +164,11 @@ func TestLockTimeout(t *testing.T) {
 	if err != nil || holder == "" {
 		t.Fatalf("holder = %q, %v", holder, err)
 	}
+	// Sync-then-read: B's withdrawal committed via B's session; A's
+	// replica-local view needs a sync to be guaranteed to include it.
+	if err := clA.Sync("/locks/to"); err != nil {
+		t.Fatal(err)
+	}
 	kids, _ := clA.Children("/locks/to")
 	if len(kids) != 1 {
 		t.Fatalf("stale candidates remain: %v", kids)
