@@ -45,8 +45,13 @@ func main() {
 
 	if *update {
 		base := Baseline{TolerancePct: 20, Benchmarks: measured}
-		if prev, err := LoadBaseline(*baselinePath); err == nil && prev.TolerancePct > 0 {
-			base.TolerancePct = prev.TolerancePct
+		if prev, err := LoadBaseline(*baselinePath); err == nil {
+			// Preserve the previous baseline's tolerance settings:
+			// -update refreshes the numbers, not the gate policy.
+			if prev.TolerancePct > 0 {
+				base.TolerancePct = prev.TolerancePct
+			}
+			base.NsTolerancePct = prev.NsTolerancePct
 		}
 		buf, err := json.MarshalIndent(&base, "", "  ")
 		if err != nil {

@@ -7,6 +7,12 @@
 //	skclient delete /a
 //	skclient watch /a            (blocks until a watch event fires)
 //
+// -addr accepts a comma-separated list of replica addresses; the first
+// reachable one serves the session, so a command keeps working while
+// part of a multi-process ensemble is down:
+//
+//	skclient -addr 127.0.0.1:2181,127.0.0.1:2182,127.0.0.1:2183 get /a
+//
 // For tls/securekeeper variants the client runs the secure-channel
 // handshake. The demo accepts any server identity; a production client
 // pins the enclave's public key received out of band (§4.1).
@@ -18,6 +24,7 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"securekeeper/internal/client"
@@ -33,31 +40,19 @@ func main() {
 }
 
 func run() error {
-	addr := flag.String("addr", "127.0.0.1:2181", "replica address")
+	addr := flag.String("addr", "127.0.0.1:2181", "replica address, or a comma-separated list tried in order")
 	variant := flag.String("variant", "securekeeper", "vanilla, tls or securekeeper (must match the server)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		return fmt.Errorf("usage: skclient [-addr host:port] [-variant v] <create|get|set|delete|ls|stat|sync|watch> [path] [data]")
+		return fmt.Errorf("usage: skclient [-addr host:port[,host:port...]] [-variant v] <create|get|set|delete|ls|stat|sync|watch> [path] [data]")
 	}
 
-	tcp, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+	conn, err := dialAny(strings.Split(*addr, ","), *variant)
 	if err != nil {
-		return fmt.Errorf("dial %s: %w", *addr, err)
+		return err
 	}
-	defer tcp.Close()
-
-	var conn transport.Conn = transport.NewFramedConn(tcp)
-	if *variant != "vanilla" {
-		id, err := transport.NewIdentity()
-		if err != nil {
-			return err
-		}
-		conn, err = transport.Handshake(conn, id, true, transport.VerifyAny())
-		if err != nil {
-			return fmt.Errorf("secure handshake: %w", err)
-		}
-	}
+	defer conn.Close()
 
 	events := make(chan wire.WatcherEvent, 16)
 	cl, err := client.Connect(conn, client.Options{
@@ -69,6 +64,44 @@ func run() error {
 	defer cl.Close()
 
 	return execute(cl, events, args)
+}
+
+// dialAny connects (and, for secure variants, handshakes) against the
+// first reachable replica in addrs. With a multi-process ensemble this
+// lets one command line name every replica and survive partial
+// outages.
+func dialAny(addrs []string, variant string) (transport.Conn, error) {
+	var lastErr error
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		tcp, err := net.DialTimeout("tcp", a, 5*time.Second)
+		if err != nil {
+			lastErr = fmt.Errorf("dial %s: %w", a, err)
+			continue
+		}
+		var conn transport.Conn = transport.NewFramedConn(tcp)
+		if variant != "vanilla" {
+			id, err := transport.NewIdentity()
+			if err != nil {
+				tcp.Close()
+				return nil, err
+			}
+			conn, err = transport.Handshake(conn, id, true, transport.VerifyAny())
+			if err != nil {
+				tcp.Close()
+				lastErr = fmt.Errorf("secure handshake with %s: %w", a, err)
+				continue
+			}
+		}
+		return conn, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no replica address given")
+	}
+	return nil, lastErr
 }
 
 func execute(cl *client.Client, events chan wire.WatcherEvent, args []string) error {

@@ -1,25 +1,46 @@
-// Command skserver runs a SecureKeeper (or baseline) ensemble and
-// serves clients over TCP. All replicas run in this process connected
-// by the in-process broadcast network; each replica listens on its own
-// TCP port for clients.
+// Command skserver runs SecureKeeper (or baseline) replicas and serves
+// clients over TCP. It has two modes:
+//
+// In-process ensemble (default): all replicas run in this process
+// connected by the in-process broadcast network; replica i listens for
+// clients on port+i.
 //
 //	skserver -variant securekeeper -replicas 3 -listen 127.0.0.1:2181
 //
-// Replica i listens on port+i. Connect with skclient.
+// Process-per-replica (-id/-peers): this process runs ONE replica,
+// connected to its peers over the zabnet TCP mesh — the paper's
+// deployment shape, one replica per machine. Each process serves
+// clients on its own -listen address:
+//
+//	skserver -id 1 -peers 1=127.0.0.1:2888,2=127.0.0.1:2889,3=127.0.0.1:2890 -listen 127.0.0.1:2181
+//	skserver -id 2 -peers 1=127.0.0.1:2888,2=127.0.0.1:2889,3=127.0.0.1:2890 -listen 127.0.0.1:2182
+//	skserver -id 3 -peers 1=127.0.0.1:2888,2=127.0.0.1:2889,3=127.0.0.1:2890 -listen 127.0.0.1:2183
+//
+// For -variant securekeeper in multi-process mode every replica must
+// share one storage key: pass the same -storage-key (32 hex chars) to
+// each process, playing the role of the paper's key server releasing
+// one key to all attested enclaves.
+//
+// Role transitions are printed as "skserver: id=N role=LEADING
+// leader=N" lines; orchestration (and the CI failover smoke) watches
+// them to find the leader. Connect with skclient.
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"securekeeper/internal/core"
 	"securekeeper/internal/transport"
+	"securekeeper/internal/zab"
 )
 
 func main() {
@@ -31,15 +52,132 @@ func main() {
 
 func run() error {
 	variant := flag.String("variant", "securekeeper", "vanilla, tls or securekeeper")
-	replicas := flag.Int("replicas", 3, "ensemble size")
-	listen := flag.String("listen", "127.0.0.1:2181", "base address; replica i listens on port+i")
+	replicas := flag.Int("replicas", 3, "ensemble size (in-process mode)")
+	listen := flag.String("listen", "127.0.0.1:2181", "client address; in-process mode gives replica i port+i")
+	id := flag.Int64("id", 0, "replica id: enables process-per-replica mode (requires -peers)")
+	peersFlag := flag.String("peers", "", "ensemble mesh addresses, id=host:port comma-separated (process-per-replica mode)")
+	storageKey := flag.String("storage-key", "", "shared storage key, hex (securekeeper multi-process ensembles)")
 	flag.Parse()
 
 	v, err := parseVariant(*variant)
 	if err != nil {
 		return err
 	}
-	cluster, err := core.NewCluster(core.Config{Variant: v, Replicas: *replicas})
+	if (*id != 0) != (*peersFlag != "") {
+		return fmt.Errorf("-id and -peers must be used together")
+	}
+	if *id != 0 {
+		return runNode(v, *id, *peersFlag, *listen, *storageKey)
+	}
+	return runCluster(v, *replicas, *listen)
+}
+
+// runNode is the process-per-replica mode: one replica, TCP peer mesh.
+func runNode(v core.Variant, id int64, peersFlag, listen, keyHex string) error {
+	peers, err := parsePeers(peersFlag)
+	if err != nil {
+		return err
+	}
+	if _, ok := peers[zab.PeerID(id)]; !ok {
+		return fmt.Errorf("-peers has no entry for own id %d", id)
+	}
+	var key []byte
+	if keyHex != "" {
+		if key, err = hex.DecodeString(keyHex); err != nil {
+			return fmt.Errorf("parse -storage-key: %w", err)
+		}
+	}
+	node, err := core.NewNode(core.NodeConfig{
+		Variant:    v,
+		ID:         zab.PeerID(id),
+		Peers:      peers,
+		StorageKey: key,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", listen, err)
+	}
+	defer ln.Close()
+	fmt.Printf("skserver: id=%d variant=%s mesh=%s clients=%s peers=%d\n",
+		id, v, node.Mesh().Addr(), ln.Addr(), len(peers))
+
+	go watchRole(node)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				if err := node.ServeExternal(transport.NewFramedConn(conn)); err != nil {
+					fmt.Fprintf(os.Stderr, "skserver: session on replica %d ended: %v\n", id, err)
+				}
+			}()
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("skserver: id=%d shutting down\n", id)
+	return nil
+}
+
+// watchRole prints ensemble role transitions; the failover harness and
+// the CI smoke script grep these lines to locate the leader.
+func watchRole(node *core.Node) {
+	var lastRole zab.Role
+	var lastLeader zab.PeerID = -2
+	for range time.Tick(50 * time.Millisecond) {
+		role, leader := node.Role(), node.Leader()
+		if role == lastRole && leader == lastLeader {
+			continue
+		}
+		lastRole, lastLeader = role, leader
+		fmt.Printf("skserver: id=%d role=%s leader=%d\n", node.ID(), role, leader)
+	}
+}
+
+// parsePeers parses "1=host:port,2=host:port,...".
+func parsePeers(s string) (map[zab.PeerID]string, error) {
+	peers := make(map[zab.PeerID]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		idStr, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("parse -peers: %q is not id=host:port", part)
+		}
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil || id <= 0 {
+			return nil, fmt.Errorf("parse -peers: bad id %q", idStr)
+		}
+		if _, _, err := net.SplitHostPort(addr); err != nil {
+			return nil, fmt.Errorf("parse -peers: bad address %q: %w", addr, err)
+		}
+		if _, dup := peers[zab.PeerID(id)]; dup {
+			return nil, fmt.Errorf("parse -peers: duplicate id %d", id)
+		}
+		peers[zab.PeerID(id)] = addr
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("parse -peers: no peers")
+	}
+	return peers, nil
+}
+
+// runCluster is the legacy in-process mode: the whole ensemble in this
+// process, replica i serving clients on port+i.
+func runCluster(v core.Variant, replicas int, listen string) error {
+	cluster, err := core.NewCluster(core.Config{Variant: v, Replicas: replicas})
 	if err != nil {
 		return err
 	}
@@ -49,7 +187,7 @@ func run() error {
 		return err
 	}
 
-	host, portStr, err := net.SplitHostPort(*listen)
+	host, portStr, err := net.SplitHostPort(listen)
 	if err != nil {
 		return fmt.Errorf("parse -listen: %w", err)
 	}
@@ -58,20 +196,20 @@ func run() error {
 		return fmt.Errorf("parse port: %w", err)
 	}
 
-	listeners := make([]net.Listener, 0, *replicas)
+	listeners := make([]net.Listener, 0, replicas)
 	defer func() {
 		for _, ln := range listeners {
 			_ = ln.Close()
 		}
 	}()
-	for i := 0; i < *replicas; i++ {
+	for i := 0; i < replicas; i++ {
 		addr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
 		ln, err := net.Listen("tcp", addr)
 		if err != nil {
 			return fmt.Errorf("listen %s: %w", addr, err)
 		}
 		listeners = append(listeners, ln)
-		fmt.Printf("replica %d (%s) listening on %s\n", i, roleName(cluster, i, leader), addr)
+		fmt.Printf("replica %d (%s) listening on %s\n", i, roleName(i, leader), addr)
 		go acceptLoop(cluster, i, ln)
 	}
 
@@ -83,17 +221,15 @@ func run() error {
 	return nil
 }
 
-func roleName(c *core.Cluster, i, leader int) string {
+func roleName(i, leader int) string {
 	if i == leader {
 		return "leader"
 	}
 	return "follower"
 }
 
-// acceptLoop serves TCP clients against replica i. For TCP serving, the
-// interception stack is assembled here instead of Cluster.Connect: the
-// framed conn is handshaked (TLS/SecureKeeper) and, for SecureKeeper,
-// wrapped with a per-connection entry enclave via ConnectTCP.
+// acceptLoop serves TCP clients against replica i of an in-process
+// cluster.
 func acceptLoop(cluster *core.Cluster, i int, ln net.Listener) {
 	for {
 		conn, err := ln.Accept()

@@ -59,6 +59,25 @@ func (f *Future) Wait() Result { return <-f.ch }
 // Done exposes the completion channel for select loops.
 func (f *Future) Done() <-chan Result { return f.ch }
 
+// futurePool recycles Future completions. Every call allocated a
+// Future plus its 1-buffered channel — the last per-call allocation on
+// the client hot path. A future receives exactly one result; once that
+// result has been consumed the future (and its drained channel) can be
+// reused. Only the synchronous API recycles: futures returned by the
+// Async methods escape to callers who may hold Done() indefinitely.
+var futurePool = sync.Pool{
+	New: func() any { return &Future{ch: make(chan Result, 1)} },
+}
+
+// waitRecycle consumes the future's single result and returns the
+// future to the pool. Callers must own the future exclusively (the
+// synchronous wrappers do: the future never escapes them).
+func waitRecycle(f *Future) Result {
+	res := <-f.ch
+	futurePool.Put(f)
+	return res
+}
+
 type call struct {
 	op     wire.OpCode
 	future *Future
@@ -212,7 +231,7 @@ func decodeResult(op wire.OpCode, hdr wire.ReplyHeader, body []byte) Result {
 
 // submit sends a request and registers its future.
 func (c *Client) submit(op wire.OpCode, body wire.Record) *Future {
-	future := &Future{ch: make(chan Result, 1)}
+	future := futurePool.Get().(*Future)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -297,59 +316,59 @@ func (c *Client) SyncAsync(path string) *Future {
 // Create creates a znode and returns its actual path (with the sequence
 // suffix for sequential nodes).
 func (c *Client) Create(path string, data []byte, flags wire.CreateFlags) (string, error) {
-	res := c.CreateAsync(path, data, flags).Wait()
+	res := waitRecycle(c.CreateAsync(path, data, flags))
 	return res.Path, res.Err
 }
 
 // Delete removes a znode; version -1 matches any version.
 func (c *Client) Delete(path string, version int32) error {
-	return c.DeleteAsync(path, version).Wait().Err
+	return waitRecycle(c.DeleteAsync(path, version)).Err
 }
 
 // Get reads a znode's payload and Stat.
 func (c *Client) Get(path string) ([]byte, wire.Stat, error) {
-	res := c.GetAsync(path, false).Wait()
+	res := waitRecycle(c.GetAsync(path, false))
 	return res.Data, res.Stat, res.Err
 }
 
 // GetW reads a znode and leaves a data watch.
 func (c *Client) GetW(path string) ([]byte, wire.Stat, error) {
-	res := c.GetAsync(path, true).Wait()
+	res := waitRecycle(c.GetAsync(path, true))
 	return res.Data, res.Stat, res.Err
 }
 
 // Set replaces a znode's payload; version -1 matches any version.
 func (c *Client) Set(path string, data []byte, version int32) (wire.Stat, error) {
-	res := c.SetAsync(path, data, version).Wait()
+	res := waitRecycle(c.SetAsync(path, data, version))
 	return res.Stat, res.Err
 }
 
 // Exists returns the znode's Stat or a NoNode error.
 func (c *Client) Exists(path string) (wire.Stat, error) {
-	res := c.ExistsAsync(path, false).Wait()
+	res := waitRecycle(c.ExistsAsync(path, false))
 	return res.Stat, res.Err
 }
 
 // ExistsW checks existence and leaves a watch (data watch if the node
 // exists, creation watch otherwise).
 func (c *Client) ExistsW(path string) (wire.Stat, error) {
-	res := c.ExistsAsync(path, true).Wait()
+	res := waitRecycle(c.ExistsAsync(path, true))
 	return res.Stat, res.Err
 }
 
 // Children lists a znode's children, sorted.
 func (c *Client) Children(path string) ([]string, error) {
-	res := c.ChildrenAsync(path, false).Wait()
+	res := waitRecycle(c.ChildrenAsync(path, false))
 	return res.Children, res.Err
 }
 
 // ChildrenW lists children and leaves a child watch.
 func (c *Client) ChildrenW(path string) ([]string, error) {
-	res := c.ChildrenAsync(path, true).Wait()
+	res := waitRecycle(c.ChildrenAsync(path, true))
 	return res.Children, res.Err
 }
 
 // Sync flushes the leader-replica channel for a path.
 func (c *Client) Sync(path string) error {
-	return c.SyncAsync(path).Wait().Err
+	return waitRecycle(c.SyncAsync(path)).Err
 }

@@ -87,10 +87,120 @@ type replicaHost struct {
 	counter  *enclave.Counter
 	sealed   *enclave.SealedKeyStore
 	stopped  bool
-	// entryProvisioned records whether the initial remote attestation
-	// for the entry-enclave measurement has happened on this replica;
-	// later enclaves unseal instead (§4.5).
+	// provMu guards entryProvisioned, which records whether the initial
+	// remote attestation for the entry-enclave measurement has happened
+	// on this replica; later enclaves unseal instead (§4.5).
+	provMu           sync.Mutex
 	entryProvisioned bool
+}
+
+// newKeyServer builds the variant's key-release administrator. A nil
+// storageKey generates a fresh random key (single-process ensembles); a
+// multi-process ensemble passes the same key to every replica, playing
+// the role of the paper's central key server that all enclaves attest
+// against.
+func newKeyServer(storageKey []byte) (*enclave.KeyServer, error) {
+	trusted := []sgx.Measurement{
+		sgx.MeasureCode(enclave.EntryCodeIdentity),
+		sgx.MeasureCode(enclave.CounterCodeIdentity),
+	}
+	if storageKey != nil {
+		return enclave.NewKeyServerWithKey(storageKey, trusted...)
+	}
+	return enclave.NewKeyServer(trusted...)
+}
+
+// buildHost assembles one replica host: channel identity, the SGX
+// runtime and counter enclave for SecureKeeper, and the replica itself
+// on the given peer transport. Shared by the in-process Cluster and the
+// process-per-replica Node.
+func buildHost(variant Variant, ks *enclave.KeyServer, cost *sgx.CostModel, applyLatency bool, scfg server.Config) (*replicaHost, error) {
+	host := &replicaHost{}
+	identity, err := transport.NewIdentity()
+	if err != nil {
+		return nil, err
+	}
+	host.identity = identity
+
+	scfg.SeqAppend = server.PlainSequenceAppender
+	if variant == SecureKeeper {
+		c := sgx.DefaultCostModel()
+		if cost != nil {
+			c = *cost
+		}
+		host.runtime = sgx.NewRuntime(sgx.EPCUsableBytes, c, applyLatency)
+		host.sealed = enclave.NewSealedKeyStore()
+		ks.TrustPlatform(host.runtime.QuoteVerificationKey())
+
+		counter, err := enclave.NewCounter(host.runtime)
+		if err != nil {
+			return nil, err
+		}
+		if err := enclave.ProvisionCounter(counter, ks, host.sealed); err != nil {
+			return nil, err
+		}
+		host.counter = counter
+		scfg.SeqAppend = counter.AppendSequence
+	}
+
+	host.replica = server.NewReplica(scfg)
+	return host, nil
+}
+
+// hostEntryEnclave instantiates and provisions a per-client entry
+// enclave on the host's SGX runtime: the first one on a replica is
+// remote-attested by the key server; subsequent ones unseal the key
+// blob the first left behind (§4.5).
+func hostEntryEnclave(ks *enclave.KeyServer, host *replicaHost) (*enclave.Entry, error) {
+	entry, err := enclave.NewEntry(host.runtime)
+	if err != nil {
+		return nil, err
+	}
+	host.provMu.Lock()
+	provisioned := host.entryProvisioned
+	host.provMu.Unlock()
+	if provisioned {
+		if err := enclave.UnsealEntry(entry, host.sealed); err == nil {
+			return entry, nil
+		}
+		// Sealed blob missing or damaged: fall back to attestation.
+	}
+	if err := enclave.ProvisionEntry(entry, ks, host.sealed); err != nil {
+		entry.Close()
+		return nil, err
+	}
+	host.provMu.Lock()
+	host.entryProvisioned = true
+	host.provMu.Unlock()
+	return entry, nil
+}
+
+// serveExternalHost serves an externally accepted (e.g. TCP) connection
+// with the variant's full stack. Blocks until the session ends.
+func serveExternalHost(variant Variant, ks *enclave.KeyServer, host *replicaHost, conn transport.Conn) error {
+	switch variant {
+	case Vanilla:
+		return host.replica.ServeConn(conn, server.NopInterceptor{})
+	case TLS:
+		sc, err := transport.Handshake(conn, host.identity, false, transport.VerifyAny())
+		if err != nil {
+			return err
+		}
+		return host.replica.ServeConn(sc, server.NopInterceptor{})
+	case SecureKeeper:
+		entry, err := hostEntryEnclave(ks, host)
+		if err != nil {
+			return err
+		}
+		defer entry.Close()
+		sc, err := transport.Handshake(conn, host.identity, false, transport.VerifyAny())
+		if err != nil {
+			return err
+		}
+		return host.replica.ServeConn(sc, &entryInterceptor{entry: entry})
+	default:
+		return fmt.Errorf("core: unknown variant %d", variant)
+	}
 }
 
 // Cluster is a running ensemble.
@@ -122,10 +232,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	// SecureKeeper: one storage key shared by all enclaves, released
 	// only after attestation.
 	if cfg.Variant == SecureKeeper {
-		ks, err := enclave.NewKeyServer(
-			sgx.MeasureCode(enclave.EntryCodeIdentity),
-			sgx.MeasureCode(enclave.CounterCodeIdentity),
-		)
+		ks, err := newKeyServer(nil)
 		if err != nil {
 			return nil, err
 		}
@@ -154,43 +261,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 }
 
 func (c *Cluster) newHost(peers []zab.PeerID, id zab.PeerID) (*replicaHost, error) {
-	host := &replicaHost{}
-	identity, err := transport.NewIdentity()
-	if err != nil {
-		return nil, err
-	}
-	host.identity = identity
-
-	seqAppend := server.PlainSequenceAppender
-	if c.cfg.Variant == SecureKeeper {
-		cost := sgx.DefaultCostModel()
-		if c.cfg.SGXCost != nil {
-			cost = *c.cfg.SGXCost
-		}
-		host.runtime = sgx.NewRuntime(sgx.EPCUsableBytes, cost, c.cfg.ApplySGXLatency)
-		host.sealed = enclave.NewSealedKeyStore()
-		c.keyServer.TrustPlatform(host.runtime.QuoteVerificationKey())
-
-		counter, err := enclave.NewCounter(host.runtime)
-		if err != nil {
-			return nil, err
-		}
-		if err := enclave.ProvisionCounter(counter, c.keyServer, host.sealed); err != nil {
-			return nil, err
-		}
-		host.counter = counter
-		seqAppend = counter.AppendSequence
-	}
-
-	host.replica = server.NewReplica(server.Config{
+	return buildHost(c.cfg.Variant, c.keyServer, c.cfg.SGXCost, c.cfg.ApplySGXLatency, server.Config{
 		ID:              id,
 		Peers:           peers,
 		Transport:       c.net.Endpoint(id),
-		SeqAppend:       seqAppend,
 		TickInterval:    c.cfg.TickInterval,
 		ElectionTimeout: c.cfg.ElectionTimeout,
 	})
-	return host, nil
 }
 
 // Variant returns the cluster's configuration variant.
@@ -312,32 +389,9 @@ func (c *Cluster) Connect(i int, opts client.Options) (*client.Client, error) {
 	}
 }
 
-// newEntryEnclave instantiates and provisions a per-client entry
-// enclave on the replica's SGX runtime: the first one on a replica is
-// remote-attested by the key server; subsequent ones unseal the key
-// blob the first left behind (§4.5).
+// newEntryEnclave provisions a per-client entry enclave on the host.
 func (c *Cluster) newEntryEnclave(host *replicaHost) (*enclave.Entry, error) {
-	entry, err := enclave.NewEntry(host.runtime)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	provisioned := host.entryProvisioned
-	c.mu.Unlock()
-	if provisioned {
-		if err := enclave.UnsealEntry(entry, host.sealed); err == nil {
-			return entry, nil
-		}
-		// Sealed blob missing or damaged: fall back to attestation.
-	}
-	if err := enclave.ProvisionEntry(entry, c.keyServer, host.sealed); err != nil {
-		entry.Close()
-		return nil, err
-	}
-	c.mu.Lock()
-	host.entryProvisioned = true
-	c.mu.Unlock()
-	return entry, nil
+	return hostEntryEnclave(c.keyServer, host)
 }
 
 // serve runs a plaintext server-side session.
@@ -397,29 +451,7 @@ func (c *Cluster) ServeExternal(i int, conn transport.Conn) error {
 	if stopped {
 		return ErrReplicaStopped
 	}
-	switch c.cfg.Variant {
-	case Vanilla:
-		return host.replica.ServeConn(conn, server.NopInterceptor{})
-	case TLS:
-		sc, err := transport.Handshake(conn, host.identity, false, transport.VerifyAny())
-		if err != nil {
-			return err
-		}
-		return host.replica.ServeConn(sc, server.NopInterceptor{})
-	case SecureKeeper:
-		entry, err := c.newEntryEnclave(host)
-		if err != nil {
-			return err
-		}
-		defer entry.Close()
-		sc, err := transport.Handshake(conn, host.identity, false, transport.VerifyAny())
-		if err != nil {
-			return err
-		}
-		return host.replica.ServeConn(sc, &entryInterceptor{entry: entry})
-	default:
-		return fmt.Errorf("core: unknown variant %d", c.cfg.Variant)
-	}
+	return serveExternalHost(c.cfg.Variant, c.keyServer, host, conn)
 }
 
 // ReplicaPublicKey returns replica i's channel identity public key, the

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/enclave"
+	"securekeeper/internal/server"
+	"securekeeper/internal/sgx"
+	"securekeeper/internal/transport"
+	"securekeeper/internal/zab"
+	"securekeeper/internal/zabnet"
+)
+
+// NodeConfig parameterizes one process-per-replica ensemble member.
+type NodeConfig struct {
+	// Variant selects Vanilla, TLS or SecureKeeper.
+	Variant Variant
+	// ID is this replica's ensemble identity; Peers maps every member
+	// (including ID) to its peer-mesh TCP address.
+	ID    zab.PeerID
+	Peers map[zab.PeerID]string
+	// MeshListener optionally provides a pre-bound peer listener
+	// (tests use ephemeral ports); nil listens on Peers[ID].
+	MeshListener net.Listener
+	// TickInterval and ElectionTimeout tune the broadcast protocol.
+	TickInterval    time.Duration
+	ElectionTimeout time.Duration
+	// StorageKey is the ensemble-wide storage key for SecureKeeper: in
+	// a multi-process deployment every replica's key server must
+	// release the same key or replicas would store mutually
+	// undecryptable ciphertext. Nil generates a random key (only valid
+	// for a single-replica ensemble). Ignored for baselines.
+	StorageKey []byte
+	// DataDir, when set, makes the replica durable (see server.Config).
+	DataDir       string
+	SnapshotEvery int
+	// ApplySGXLatency and SGXCost mirror the Cluster knobs.
+	ApplySGXLatency bool
+	SGXCost         *sgx.CostModel
+	// Logf, when set, receives mesh connection diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Node is one replica of a multi-process ensemble: a zabnet TCP mesh
+// to its peers plus the variant's full per-host stack. It is the
+// process-per-replica counterpart of Cluster, which runs the whole
+// ensemble in one process over channels.
+type Node struct {
+	cfg       NodeConfig
+	mesh      *zabnet.Mesh
+	keyServer *enclave.KeyServer
+	host      *replicaHost
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewNode starts the replica: the mesh begins dialing its peers
+// immediately and the replica joins the ensemble's election. Unlike
+// NewCluster it does NOT wait for a leader — a lone first process of a
+// 3-replica ensemble must come up and wait for quorum.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Variant == 0 {
+		cfg.Variant = Vanilla
+	}
+	if cfg.ID <= 0 {
+		return nil, fmt.Errorf("core: node id %d must be positive", cfg.ID)
+	}
+	if _, ok := cfg.Peers[cfg.ID]; !ok && cfg.MeshListener == nil {
+		return nil, fmt.Errorf("core: peer map has no address for node %d", cfg.ID)
+	}
+
+	n := &Node{cfg: cfg}
+	if cfg.Variant == SecureKeeper {
+		if cfg.StorageKey == nil && len(cfg.Peers) > 1 {
+			return nil, fmt.Errorf("core: a multi-replica SecureKeeper ensemble needs a shared storage key")
+		}
+		ks, err := newKeyServer(cfg.StorageKey)
+		if err != nil {
+			return nil, err
+		}
+		n.keyServer = ks
+	}
+
+	mesh, err := zabnet.NewMesh(zabnet.Config{
+		ID:       cfg.ID,
+		Peers:    cfg.Peers,
+		Listener: cfg.MeshListener,
+		Logf:     cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.mesh = mesh
+
+	ids := make([]zab.PeerID, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	host, err := buildHost(cfg.Variant, n.keyServer, cfg.SGXCost, cfg.ApplySGXLatency, server.Config{
+		ID:              cfg.ID,
+		Peers:           ids,
+		Transport:       mesh,
+		TickInterval:    cfg.TickInterval,
+		ElectionTimeout: cfg.ElectionTimeout,
+		DataDir:         cfg.DataDir,
+		SnapshotEvery:   cfg.SnapshotEvery,
+	})
+	if err != nil {
+		_ = mesh.Close()
+		return nil, err
+	}
+	n.host = host
+	return n, nil
+}
+
+// Variant returns the node's configuration variant.
+func (n *Node) Variant() Variant { return n.cfg.Variant }
+
+// ID returns the node's ensemble identity.
+func (n *Node) ID() zab.PeerID { return n.cfg.ID }
+
+// Replica exposes the underlying replica (tests and observability).
+func (n *Node) Replica() *server.Replica { return n.host.replica }
+
+// Mesh exposes the peer transport (tests and fault injection).
+func (n *Node) Mesh() *zabnet.Mesh { return n.mesh }
+
+// IsLeader reports whether this node currently leads the ensemble.
+func (n *Node) IsLeader() bool { return n.host.replica.IsLeader() }
+
+// Role returns the node's protocol role.
+func (n *Node) Role() zab.Role { return n.host.replica.Peer().Role() }
+
+// Leader returns the known leader id, or -1.
+func (n *Node) Leader() zab.PeerID { return n.host.replica.Peer().Leader() }
+
+// WaitForRole blocks until the node settles into an ensemble role.
+func (n *Node) WaitForRole(timeout time.Duration) error {
+	return n.host.replica.WaitForRole(timeout)
+}
+
+// ReplicaPublicKey returns the channel identity clients pin (§4.1).
+func (n *Node) ReplicaPublicKey() []byte {
+	return append([]byte(nil), n.host.identity.Public...)
+}
+
+// ServeExternal serves an externally accepted client connection with
+// the variant's full stack. Blocks until the session ends.
+func (n *Node) ServeExternal(conn transport.Conn) error {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrReplicaStopped
+	}
+	return serveExternalHost(n.cfg.Variant, n.keyServer, n.host, conn)
+}
+
+// Connect opens an in-process client session (tests and embedding).
+func (n *Node) Connect(opts client.Options) (*client.Client, error) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil, ErrReplicaStopped
+	}
+	clientEnd, serverEnd := transport.NewChanPipe()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		if err := n.ServeExternal(serverEnd); err != nil {
+			// An error before the session loop (enclave provisioning,
+			// handshake) leaves the pipe open with nobody reading;
+			// close it or the client side blocks in Handshake forever.
+			_ = serverEnd.Close()
+		}
+	}()
+	// Mirror image of the server-side close above: a client-side
+	// failure must close the pipe too, or the serve goroutine blocks
+	// on it forever and Close deadlocks in wg.Wait.
+	fail := func(err error) (*client.Client, error) {
+		_ = clientEnd.Close()
+		return nil, err
+	}
+	if n.cfg.Variant == Vanilla {
+		cl, err := client.Connect(clientEnd, opts)
+		if err != nil {
+			return fail(err)
+		}
+		return cl, nil
+	}
+	id, err := transport.NewIdentity()
+	if err != nil {
+		return fail(err)
+	}
+	sc, err := transport.Handshake(clientEnd, id, true, transport.VerifyExact(n.host.identity.Public))
+	if err != nil {
+		return fail(err)
+	}
+	cl, err := client.Connect(sc, opts)
+	if err != nil {
+		return fail(err)
+	}
+	return cl, nil
+}
+
+// Close stops the replica and tears the mesh down.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+
+	n.host.replica.Close()
+	_ = n.mesh.Close()
+	if n.host.counter != nil {
+		n.host.counter.Close()
+	}
+	n.wg.Wait()
+}

@@ -214,7 +214,13 @@ func NewReplica(cfg Config) *Replica {
 }
 
 // forwardWorker preps and proposes forwarded writes strictly in arrival
-// order (per-session FIFO depends on it).
+// order (per-session FIFO depends on it). A forwarded write this
+// replica cannot propose — it is not the leader, or not yet activated —
+// is REJECTED back to the origin rather than dropped: the origin stays
+// FOLLOWING throughout a normal leader handover, so it would never
+// fail the pending client call on a role change, and the client would
+// hang forever on a silently shed request (observed in the
+// multi-process failover harness).
 func (r *Replica) forwardWorker() {
 	defer r.wg.Done()
 	for {
@@ -223,13 +229,27 @@ func (r *Replica) forwardWorker() {
 			return
 		case req := <-r.forwarded:
 			if r.peer.Role() != zab.RoleLeading {
-				continue // origin's client is failed on the next role change
+				r.rejectForward(req.origin)
+				continue
 			}
-			// Submit errors resolve via role-change failure on the
-			// origin replica; nothing to do here.
-			_ = r.peer.Submit(r.prepTxn(req.op, req.body, req.origin.Session), req.origin)
+			if err := r.peer.Submit(r.prepTxn(req.op, req.body, req.origin.Session), req.origin); err != nil {
+				r.rejectForward(req.origin)
+			}
 		}
 	}
+}
+
+// rejectForward tells the origin replica a forwarded write will never
+// be proposed, so it fails the pending client call (CONNECTIONLOSS;
+// the client retries, exactly as on a ZooKeeper leader change).
+// Best-effort: if the reject is shed too, the origin's own role-change
+// failure path remains the backstop.
+func (r *Replica) rejectForward(origin zab.Origin) {
+	if origin.Peer == r.cfg.ID {
+		r.failPending(origin, wire.ErrConnectionLoss)
+		return
+	}
+	_ = r.peer.SendApp(origin.Peer, encodeReject(origin))
 }
 
 // ID returns the replica's ensemble identity.
@@ -410,20 +430,28 @@ func (r *Replica) prepTxn(op wire.OpCode, body []byte, sessionID int64) ztree.Tx
 	return txn
 }
 
-// onForwarded handles a follower's forwarded request on the leader.
-// Runs on the zab loop goroutine; Submit would deadlock there (it
-// round-trips through the same loop), so requests are queued to the
-// ordered forward worker.
+// onForwarded handles peer application messages: a follower's
+// forwarded write on the leader, or a reject notification back on the
+// origin. Runs on the zab loop goroutine; Submit would deadlock there
+// (it round-trips through the same loop), so requests are queued to
+// the ordered forward worker.
 func (r *Replica) onForwarded(from zab.PeerID, payload []byte) {
-	op, body, origin, err := decodeForward(payload)
+	kind, op, body, origin, err := decodeForward(payload)
 	if err != nil {
 		return
 	}
-	select {
-	case r.forwarded <- forwardedReq{op: op, body: body, origin: origin}:
-	default:
-		// Queue full: shed; the origin's client times out or is failed
-		// on the next role change.
+	switch kind {
+	case fwdReject:
+		r.failPending(origin, wire.ErrConnectionLoss)
+	case fwdRequest:
+		select {
+		case r.forwarded <- forwardedReq{op: op, body: body, origin: origin}:
+		default:
+			// Queue full: reject so the origin's client gets
+			// CONNECTIONLOSS instead of hanging (SendApp is
+			// non-blocking, safe on the zab loop).
+			r.rejectForward(origin)
+		}
 	}
 }
 
@@ -716,11 +744,16 @@ func errCodeOf(err error) wire.ErrCode {
 
 // --- forwarded-request encoding ---
 
+// App-message kinds tunneled between replicas.
+const (
+	fwdRequest byte = 1 // follower -> leader: propose this write
+	fwdReject  byte = 2 // leader -> origin: the write will not be proposed
+)
+
 func encodeForward(op wire.OpCode, body []byte, origin zab.Origin) []byte {
 	e := wire.GetEncoder()
-	e.WriteInt64(int64(origin.Peer))
-	e.WriteInt64(origin.Session)
-	e.WriteInt32(origin.Xid)
+	_ = e.WriteByte(fwdRequest)
+	writeOrigin(e, origin)
 	e.WriteInt32(int32(op))
 	e.WriteBuffer(body)
 	out := make([]byte, e.Len())
@@ -729,27 +762,50 @@ func encodeForward(op wire.OpCode, body []byte, origin zab.Origin) []byte {
 	return out
 }
 
-func decodeForward(buf []byte) (wire.OpCode, []byte, zab.Origin, error) {
+func encodeReject(origin zab.Origin) []byte {
+	e := wire.GetEncoder()
+	_ = e.WriteByte(fwdReject)
+	writeOrigin(e, origin)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	wire.PutEncoder(e)
+	return out
+}
+
+func writeOrigin(e *wire.Encoder, origin zab.Origin) {
+	e.WriteInt64(int64(origin.Peer))
+	e.WriteInt64(origin.Session)
+	e.WriteInt32(origin.Xid)
+}
+
+func decodeForward(buf []byte) (byte, wire.OpCode, []byte, zab.Origin, error) {
 	d := wire.NewDecoder(buf)
 	var origin zab.Origin
+	kind, err := d.ReadByte()
+	if err != nil {
+		return 0, 0, nil, origin, err
+	}
 	peer, err := d.ReadInt64()
 	if err != nil {
-		return 0, nil, origin, err
+		return 0, 0, nil, origin, err
 	}
 	origin.Peer = zab.PeerID(peer)
 	if origin.Session, err = d.ReadInt64(); err != nil {
-		return 0, nil, origin, err
+		return 0, 0, nil, origin, err
 	}
 	if origin.Xid, err = d.ReadInt32(); err != nil {
-		return 0, nil, origin, err
+		return 0, 0, nil, origin, err
+	}
+	if kind == fwdReject {
+		return kind, 0, nil, origin, nil
 	}
 	opRaw, err := d.ReadInt32()
 	if err != nil {
-		return 0, nil, origin, err
+		return 0, 0, nil, origin, err
 	}
 	body, err := d.ReadBuffer()
 	if err != nil {
-		return 0, nil, origin, err
+		return 0, 0, nil, origin, err
 	}
-	return wire.OpCode(opRaw), body, origin, nil
+	return kind, wire.OpCode(opRaw), body, origin, nil
 }

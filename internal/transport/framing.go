@@ -14,6 +14,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // MaxFrameSize bounds a single framed message (protocol payload plus
@@ -125,6 +126,12 @@ func (c *FramedConn) RecvFrame() ([]byte, error) {
 
 // Close implements Conn.
 func (c *FramedConn) Close() error { return c.conn.Close() }
+
+// SetDeadline bounds both reads and writes on the underlying stream.
+// Handshaking layers (the zab peer mesh) use it so a stalled or
+// malicious dialer cannot pin an accept goroutine forever; pass the
+// zero time to clear.
+func (c *FramedConn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
 // ChanConn is an in-process message connection over channels, used by
 // the benchmark harness to factor network stacks out of throughput

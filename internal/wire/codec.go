@@ -110,6 +110,13 @@ func (e *Encoder) WriteBuffer(v []byte) {
 	e.buf = append(e.buf, v...)
 }
 
+// WriteRaw appends bytes verbatim, with no length prefix. Used for
+// framing layers that carry pre-encoded payload chunks (the zab peer
+// transport's fragmented snapshot frames).
+func (e *Encoder) WriteRaw(v []byte) {
+	e.buf = append(e.buf, v...)
+}
+
 // WriteString appends a length-prefixed UTF-8 string.
 func (e *Encoder) WriteString(v string) {
 	e.WriteInt32(int32(len(v)))
@@ -229,6 +236,26 @@ func (d *Decoder) ReadBuffer() ([]byte, error) {
 	out := make([]byte, n)
 	copy(out, d.buf[d.off:])
 	d.off += int(n)
+	return out, nil
+}
+
+// ReadRaw reads exactly n unprefixed bytes, the counterpart of
+// WriteRaw. In zero-copy mode the result aliases the decoded buffer.
+func (d *Decoder) ReadRaw(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, ErrNegativeLen
+	}
+	if d.Remaining() < n {
+		return nil, ErrShortBuffer
+	}
+	if d.zeroCopy {
+		out := d.buf[d.off : d.off+n : d.off+n]
+		d.off += n
+		return out, nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += n
 	return out, nil
 }
 

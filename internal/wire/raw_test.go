@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRawRoundTrip(t *testing.T) {
+	e := NewEncoder(16)
+	e.WriteInt32(7)
+	e.WriteRaw([]byte("chunkbytes"))
+	e.WriteInt32(9)
+
+	d := NewDecoder(e.Bytes())
+	if v, err := d.ReadInt32(); err != nil || v != 7 {
+		t.Fatalf("ReadInt32 = %d, %v", v, err)
+	}
+	raw, err := d.ReadRaw(10)
+	if err != nil || !bytes.Equal(raw, []byte("chunkbytes")) {
+		t.Fatalf("ReadRaw = %q, %v", raw, err)
+	}
+	if v, err := d.ReadInt32(); err != nil || v != 9 {
+		t.Fatalf("trailing ReadInt32 = %d, %v", v, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestReadRawBounds(t *testing.T) {
+	d := NewDecoder([]byte{1, 2, 3})
+	if _, err := d.ReadRaw(-1); err != ErrNegativeLen {
+		t.Fatalf("negative length: err = %v", err)
+	}
+	if _, err := d.ReadRaw(4); err != ErrShortBuffer {
+		t.Fatalf("overlong read: err = %v", err)
+	}
+	if raw, err := d.ReadRaw(3); err != nil || len(raw) != 3 {
+		t.Fatalf("exact read = %v, %v", raw, err)
+	}
+}
+
+func TestReadRawZeroCopyAliases(t *testing.T) {
+	buf := []byte("abcdef")
+	d := NewDecoder(buf)
+	d.SetZeroCopy(true)
+	raw, err := d.ReadRaw(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] = 'X'
+	if buf[0] != 'X' {
+		t.Fatal("zero-copy ReadRaw must alias the source buffer")
+	}
+}

@@ -1,0 +1,40 @@
+package zab
+
+import "testing"
+
+// TestPendingProposalFreelist: recycled entries must come back clean —
+// a stale ack count or overflow map would let a new proposal commit on
+// a previous proposal's quorum.
+func TestPendingProposalFreelist(t *testing.T) {
+	p := NewPeer(Config{ID: 1, Peers: []PeerID{1}, Transport: NewNetwork().Endpoint(1)})
+	// Not started: exercise the freelist directly on the loop-owned state.
+	pp := p.getPendingProposal()
+	pp.ack(1)
+	pp.ack(2)
+	for i := PeerID(3); i < 25; i++ {
+		pp.ack(i) // spill into overflow
+	}
+	if pp.ackCount() != 24 {
+		t.Fatalf("ackCount = %d", pp.ackCount())
+	}
+	p.putPendingProposal(pp)
+
+	got := p.getPendingProposal()
+	if got != pp {
+		t.Fatal("freelist must recycle the returned entry")
+	}
+	if got.ackCount() != 0 || got.overflow != nil || got.next != nil {
+		t.Fatalf("recycled entry dirty: nacks=%d overflow=%v next=%v", got.nacks, got.overflow, got.next)
+	}
+	if got.rec.Txn.Data != nil || got.rec.Txn.Path != "" {
+		t.Fatalf("recycled entry pins record %+v", got.rec)
+	}
+
+	// Freelist order: LIFO, multiple entries.
+	a := p.getPendingProposal()
+	p.putPendingProposal(got)
+	p.putPendingProposal(a)
+	if p.getPendingProposal() != a || p.getPendingProposal() != got {
+		t.Fatal("freelist must pop most-recently-recycled first")
+	}
+}

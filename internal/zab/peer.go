@@ -115,6 +115,10 @@ type pendingProposal struct {
 	acks     [maxInlineAcks]PeerID
 	nacks    int
 	overflow map[PeerID]struct{}
+	// next links recycled entries on the leader's freelist (loop-owned,
+	// meaningful only while the entry is recycled) — the same scheme as
+	// the replica's pendingWrite freelist.
+	next *pendingProposal
 }
 
 // maxInlineAcks bounds the inline ack set, sized for the 3-7 replica
@@ -147,6 +151,30 @@ func (pp *pendingProposal) ackCount() int {
 	return pp.nacks + len(pp.overflow)
 }
 
+// getPendingProposal pops a recycled entry or allocates one. Loop-owned
+// state: only the peer's run goroutine touches the freelist.
+func (p *Peer) getPendingProposal() *pendingProposal {
+	pp := p.ppFree
+	if pp != nil {
+		p.ppFree = pp.next
+		pp.next = nil
+	} else {
+		pp = &pendingProposal{}
+	}
+	return pp
+}
+
+// putPendingProposal recycles a committed proposal's tracking entry.
+// The record is cleared so the freelist does not pin transaction
+// payloads; the inline ack array needs no reset (nacks bounds it).
+func (p *Peer) putPendingProposal(pp *pendingProposal) {
+	pp.rec = ProposalRecord{}
+	pp.nacks = 0
+	pp.overflow = nil
+	pp.next = p.ppFree
+	p.ppFree = pp
+}
+
 type submitReq struct {
 	txn    ztree.Txn
 	origin Origin
@@ -175,6 +203,7 @@ type Peer struct {
 	outstanding  []int64
 	batch        []ProposalRecord // leader: submissions awaiting one PROPOSE frame
 	proposals    map[int64]*pendingProposal
+	ppFree       *pendingProposal         // freelist of recycled pendingProposals
 	inflight     map[int64]ProposalRecord // follower: proposals awaiting commit
 	commitLog    []ProposalRecord
 	logBase      int64 // zxid preceding commitLog[0]
@@ -183,6 +212,15 @@ type Peer struct {
 	electionDue  time.Time
 	finalizeDue  time.Time // grace deadline for a quorum-but-not-unanimous tally
 	followTarget PeerID
+	// leaderSynced records whether the followed leader has answered our
+	// FOLLOWERINFO with a sync. Until it does, the tick re-sends the
+	// FOLLOWERINFO: the first one races the leader's own activation (it
+	// ignores FOLLOWERINFO while still LOOKING), and without a retry
+	// the leader would never assemble a synced quorum — a permanently
+	// wedged ensemble the multi-process failover harness exposed.
+	// nextSyncAsk paces those retries.
+	leaderSynced bool
+	nextSyncAsk  time.Time
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -488,11 +526,22 @@ func (p *Peer) becomeLeader() {
 
 func (p *Peer) becomeFollower(leader PeerID) {
 	p.followTarget = leader
+	p.leaderSynced = false
+	p.nextSyncAsk = time.Now().Add(p.syncAskInterval())
 	p.inflight = make(map[int64]ProposalRecord)
 	p.lastHeard[leader] = time.Now()
 	p.setRole(RoleFollowing, leader)
-	_ = p.cfg.Transport.Send(leader, Message{Kind: KindFollowerInfo, Zxid: p.lastZxid})
+	// FOLLOWERINFO advertises the COMMITTED frontier, never lastZxid:
+	// buffered-but-uncommitted proposals die with the old term, and
+	// claiming them would make the leader's diff start past entries
+	// this follower never applied — silent state divergence.
+	_ = p.cfg.Transport.Send(leader, Message{Kind: KindFollowerInfo, Zxid: p.lastCommitted()})
 }
+
+// syncAskInterval paces FOLLOWERINFO retries: fast enough to win the
+// race with a just-activating leader, slow enough that a long snapshot
+// transfer in flight is not answered with yet more snapshots.
+func (p *Peer) syncAskInterval() time.Duration { return p.cfg.ElectionTimeout / 2 }
 
 // --- recovery / sync ---
 
@@ -571,6 +620,7 @@ func (p *Peer) handleSync(msg Message) {
 		p.lastZxid = msg.Zxid
 	}
 	p.epoch = msg.Epoch
+	p.leaderSynced = true
 	p.inflight = make(map[int64]ProposalRecord)
 	p.lastHeard[msg.From] = time.Now()
 	_ = p.cfg.Transport.Send(msg.From, Message{Kind: KindNewLeaderAck, Zxid: p.lastZxid})
@@ -604,7 +654,8 @@ func (p *Peer) handleSubmit(req submitReq) {
 	req.txn.Zxid = zxid
 	p.lastZxid = zxid
 	rec := ProposalRecord{Txn: req.txn, Origin: req.origin}
-	pp := &pendingProposal{rec: rec}
+	pp := p.getPendingProposal()
+	pp.rec = rec
 	pp.ack(p.cfg.ID)
 	p.proposals[zxid] = pp
 	p.outstanding = append(p.outstanding, zxid)
@@ -778,6 +829,10 @@ func (p *Peer) resync() {
 	if p.Role() != RoleFollowing {
 		return
 	}
+	// Until the sync lands, the tick keeps re-requesting (the request
+	// itself may be shed on a flapping link).
+	p.leaderSynced = false
+	p.nextSyncAsk = time.Now().Add(p.syncAskInterval())
 	p.inflight = make(map[int64]ProposalRecord)
 	_ = p.cfg.Transport.Send(p.followTarget, Message{Kind: KindFollowerInfo, Zxid: p.lastCommitted()})
 }
@@ -820,6 +875,7 @@ func (p *Peer) advanceCommits() {
 		p.outstanding = p.outstanding[1:]
 		delete(p.proposals, zxid)
 		p.deliver(Committed{Txn: prop.rec.Txn, Origin: prop.rec.Origin})
+		p.putPendingProposal(prop)
 		committed = true
 	}
 	if !committed {
@@ -930,6 +986,16 @@ func (p *Peer) tick(now time.Time) {
 	case RoleFollowing:
 		if now.Sub(p.lastHeard[p.followTarget]) > p.cfg.ElectionTimeout {
 			p.startElection()
+			return
+		}
+		if !p.leaderSynced && now.After(p.nextSyncAsk) {
+			// The initial FOLLOWERINFO raced the leader's activation (or
+			// was shed); keep asking — paced, so a slow in-flight
+			// snapshot transfer is not answered with more snapshots —
+			// until the leader syncs us. Advertise the committed
+			// frontier (see becomeFollower).
+			p.nextSyncAsk = now.Add(p.syncAskInterval())
+			_ = p.cfg.Transport.Send(p.followTarget, Message{Kind: KindFollowerInfo, Zxid: p.lastCommitted()})
 		}
 	case RoleLooking:
 		if !p.finalizeDue.IsZero() && now.After(p.finalizeDue) {

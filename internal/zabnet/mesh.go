@@ -1,0 +1,609 @@
+// Package zabnet is the TCP peer transport for the atomic broadcast
+// protocol: it implements zab.Transport over real sockets so replicas
+// can run as separate OS processes on separate machines, which is how
+// the paper's SecureKeeper deployment operates (one enclave-backed
+// replica per host).
+//
+// Topology: every peer listens on its configured address and the peer
+// with the HIGHER id dials the lower one, so each pair shares exactly
+// one TCP connection used bidirectionally (ZooKeeper's election
+// transport uses the same deterministic dial-direction rule to avoid
+// duplicate links). Dialers reconnect automatically with exponential
+// backoff; the accept side simply waits to be redialed.
+//
+// Framing reuses transport.FramedConn — the same length-prefixed,
+// arena-carved framing clients speak — with a 1-byte frame type in
+// front. Messages that exceed the chunk size (snapshot transfers) are
+// fragmented across frames and reassembled on the receive side, so one
+// giant snapshot cannot monopolize a frame or trip MaxFrameSize.
+//
+// Loss model: Send is best-effort, exactly like the in-process
+// zab.Network — a disconnected peer or a full outbox sheds the frame
+// and the protocol recovers by re-election or follower resync. Links
+// are identified by the handshaken peer id and Message.From is stamped
+// from the link identity, never trusted from the wire.
+//
+// Trust model: the hello exchange is a PLAINTEXT id claim — the mesh
+// assumes replicas run on a trusted cluster network (the deployment
+// shape the paper evaluates), where reaching a mesh port implies
+// ensemble membership. Cryptographically authenticated peer links
+// (reusing transport.Handshake + attestation) are a ROADMAP item;
+// until then, do not expose mesh ports beyond the cluster boundary.
+package zabnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"securekeeper/internal/transport"
+	"securekeeper/internal/wire"
+	"securekeeper/internal/zab"
+)
+
+// Frame types carried in the first payload byte of every mesh frame.
+const (
+	frameHello     byte = 0x01 // handshake: magic, version, peer id
+	frameMsg       byte = 0x02 // one complete encoded zab.Message
+	frameFragBegin byte = 0x03 // fragment start: total length + first chunk
+	frameFragCont  byte = 0x04 // fragment continuation chunk
+	frameFragEnd   byte = 0x05 // final fragment chunk
+)
+
+// helloMagic identifies the mesh protocol in the handshake frame.
+const helloMagic int32 = 0x5a424e31 // "ZBN1"
+
+// protoVersion is bumped on incompatible frame-layout changes.
+const protoVersion int32 = 1
+
+// maxReassembledBytes bounds a fragmented message (snapshot transfer)
+// on the receive side; the claimed total is peer-controlled.
+const maxReassembledBytes = 256 << 20
+
+// Mesh errors.
+var (
+	ErrMeshClosed = errors.New("zabnet: mesh closed")
+	errBadHello   = errors.New("zabnet: bad handshake")
+)
+
+// Config parameterizes a Mesh.
+type Config struct {
+	// ID is this replica's identity; Peers maps every ensemble member
+	// (including ID, unless Listener is provided) to its mesh address.
+	ID    zab.PeerID
+	Peers map[zab.PeerID]string
+	// Listener optionally provides a pre-bound listener (tests use
+	// ephemeral ports); when nil the mesh listens on Peers[ID].
+	Listener net.Listener
+	// DialTimeout bounds one connection attempt; HandshakeTimeout
+	// bounds the hello exchange on a new link.
+	DialTimeout      time.Duration
+	HandshakeTimeout time.Duration
+	// ReconnectMin/Max bound the dialer's exponential backoff.
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// OutboxFrames bounds each peer's send queue; a full outbox sheds
+	// (the protocol tolerates loss, and blocking would stall the zab
+	// loop). InboxFrames bounds the shared receive queue.
+	OutboxFrames int
+	InboxFrames  int
+	// ChunkBytes is the fragmentation threshold and fragment size for
+	// oversized messages (snapshot transfers).
+	ChunkBytes int
+	// Logf, when set, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = time.Second
+	}
+	if out.HandshakeTimeout <= 0 {
+		out.HandshakeTimeout = 2 * time.Second
+	}
+	if out.ReconnectMin <= 0 {
+		out.ReconnectMin = 20 * time.Millisecond
+	}
+	if out.ReconnectMax <= 0 {
+		out.ReconnectMax = time.Second
+	}
+	if out.OutboxFrames <= 0 {
+		out.OutboxFrames = 4096
+	}
+	if out.InboxFrames <= 0 {
+		out.InboxFrames = 16384
+	}
+	if out.ChunkBytes <= 0 {
+		out.ChunkBytes = 1 << 20
+	}
+	// A fragment frame is type byte + 8-byte total + chunk; keep it
+	// comfortably under the transport's frame ceiling.
+	if out.ChunkBytes > transport.MaxFrameSize/2 {
+		out.ChunkBytes = transport.MaxFrameSize / 2
+	}
+	return out
+}
+
+// Mesh connects one replica to its ensemble over TCP.
+type Mesh struct {
+	cfg   Config
+	ln    net.Listener
+	inbox chan zab.Message
+
+	mu    sync.Mutex
+	links map[zab.PeerID]*link
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+var _ zab.Transport = (*Mesh)(nil)
+
+// link is one live TCP connection to a peer.
+type link struct {
+	peer   zab.PeerID
+	fc     *transport.FramedConn
+	outbox chan []byte
+	// sendMu serializes enqueues so a fragmented message's frames are
+	// contiguous in the outbox (the receiver's reassembly depends on
+	// it) and so the capacity pre-check in Send stays atomic.
+	sendMu sync.Mutex
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *link) close() {
+	l.once.Do(func() {
+		close(l.done)
+		_ = l.fc.Close()
+	})
+}
+
+// NewMesh starts the mesh: it listens for lower-id... rather, for
+// higher-id peers dialing in, and dials every lower-id peer itself.
+func NewMesh(cfg Config) (*Mesh, error) {
+	c := cfg.withDefaults()
+	ln := c.Listener
+	if ln == nil {
+		addr, ok := c.Peers[c.ID]
+		if !ok {
+			return nil, fmt.Errorf("zabnet: peer map has no address for self (id %d)", c.ID)
+		}
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("zabnet: listen %s: %w", addr, err)
+		}
+	}
+	m := &Mesh{
+		cfg:    c,
+		ln:     ln,
+		inbox:  make(chan zab.Message, c.InboxFrames),
+		links:  make(map[zab.PeerID]*link),
+		closed: make(chan struct{}),
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	for id, addr := range c.Peers {
+		if id >= c.ID {
+			continue // higher ids dial us; we dial lower ids
+		}
+		m.wg.Add(1)
+		go m.dialLoop(id, addr)
+	}
+	return m, nil
+}
+
+// Addr returns the mesh listener's bound address.
+func (m *Mesh) Addr() string { return m.ln.Addr().String() }
+
+// ID returns the mesh's own peer identity.
+func (m *Mesh) ID() zab.PeerID { return m.cfg.ID }
+
+// Send implements zab.Transport: best-effort framed delivery to the
+// peer's current link. An unconnected peer or a full outbox sheds the
+// message (the protocol recovers via resync/re-election).
+func (m *Mesh) Send(to zab.PeerID, msg zab.Message) error {
+	if to == m.cfg.ID {
+		return zab.ErrPeerUnreachable
+	}
+	select {
+	case <-m.closed:
+		return ErrMeshClosed
+	default:
+	}
+	l := m.link(to)
+	if l == nil {
+		return zab.ErrPeerUnreachable
+	}
+	msg.From = m.cfg.ID
+	frames := encodeFrames(&msg, m.cfg.ChunkBytes)
+	l.sendMu.Lock()
+	defer l.sendMu.Unlock()
+	// The outbox is only written under sendMu, so this capacity check
+	// makes the whole multi-frame enqueue atomic: either every fragment
+	// of a message is queued or none is.
+	if len(l.outbox)+len(frames) > cap(l.outbox) {
+		return zab.ErrPeerUnreachable
+	}
+	for _, f := range frames {
+		select {
+		case l.outbox <- f:
+		case <-l.done:
+			return zab.ErrPeerUnreachable
+		}
+	}
+	return nil
+}
+
+// Receive implements zab.Transport.
+func (m *Mesh) Receive() <-chan zab.Message { return m.inbox }
+
+// Close implements zab.Transport: tears down the listener and every
+// link and waits for all mesh goroutines to exit.
+func (m *Mesh) Close() error {
+	m.closeOnce.Do(func() {
+		close(m.closed)
+		_ = m.ln.Close()
+		m.mu.Lock()
+		for _, l := range m.links {
+			l.close()
+		}
+		m.mu.Unlock()
+	})
+	m.wg.Wait()
+	return nil
+}
+
+// Connected reports whether a live link to the peer exists.
+func (m *Mesh) Connected(id zab.PeerID) bool { return m.link(id) != nil }
+
+// KillLink drops the current TCP connection to a peer (fault
+// injection: the dial side re-establishes it with backoff).
+func (m *Mesh) KillLink(id zab.PeerID) {
+	if l := m.link(id); l != nil {
+		l.close()
+	}
+}
+
+func (m *Mesh) link(id zab.PeerID) *link {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.links[id]
+}
+
+func (m *Mesh) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// --- connection establishment ---
+
+func (m *Mesh) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			l, err := m.acceptPeer(conn)
+			if err != nil {
+				m.logf("zabnet %d: reject inbound %s: %v", m.cfg.ID, conn.RemoteAddr(), err)
+				_ = conn.Close()
+				return
+			}
+			m.installLink(l)
+		}()
+	}
+}
+
+// acceptPeer validates an inbound handshake. Only higher-id peers may
+// dial us (the dial-direction rule); anything else is rejected.
+func (m *Mesh) acceptPeer(conn net.Conn) (*link, error) {
+	fc := transport.NewFramedConn(conn)
+	_ = fc.SetDeadline(time.Now().Add(m.cfg.HandshakeTimeout))
+	peer, err := recvHello(fc)
+	if err != nil {
+		return nil, err
+	}
+	if peer <= m.cfg.ID {
+		return nil, fmt.Errorf("%w: peer %d must not dial %d (higher id dials lower)", errBadHello, peer, m.cfg.ID)
+	}
+	if _, ok := m.cfg.Peers[peer]; !ok {
+		return nil, fmt.Errorf("%w: unknown peer %d", errBadHello, peer)
+	}
+	if err := sendHello(fc, m.cfg.ID); err != nil {
+		return nil, err
+	}
+	_ = fc.SetDeadline(time.Time{})
+	return m.newLink(peer, fc), nil
+}
+
+func (m *Mesh) dialLoop(peer zab.PeerID, addr string) {
+	defer m.wg.Done()
+	backoff := m.cfg.ReconnectMin
+	for {
+		select {
+		case <-m.closed:
+			return
+		default:
+		}
+		l, err := m.dialPeer(peer, addr)
+		if err != nil {
+			m.logf("zabnet %d: dial peer %d (%s): %v (retry in %v)", m.cfg.ID, peer, addr, err, backoff)
+			select {
+			case <-m.closed:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > m.cfg.ReconnectMax {
+				backoff = m.cfg.ReconnectMax
+			}
+			continue
+		}
+		backoff = m.cfg.ReconnectMin
+		m.logf("zabnet %d: connected to peer %d (%s)", m.cfg.ID, peer, addr)
+		m.installLink(l)
+		select {
+		case <-l.done:
+			// Link died; loop to redial.
+		case <-m.closed:
+			l.close()
+			return
+		}
+	}
+}
+
+func (m *Mesh) dialPeer(peer zab.PeerID, addr string) (*link, error) {
+	conn, err := net.DialTimeout("tcp", addr, m.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	fc := transport.NewFramedConn(conn)
+	_ = fc.SetDeadline(time.Now().Add(m.cfg.HandshakeTimeout))
+	if err := sendHello(fc, m.cfg.ID); err != nil {
+		_ = fc.Close()
+		return nil, err
+	}
+	got, err := recvHello(fc)
+	if err != nil {
+		_ = fc.Close()
+		return nil, err
+	}
+	if got != peer {
+		_ = fc.Close()
+		return nil, fmt.Errorf("%w: dialed peer %d but %d answered", errBadHello, peer, got)
+	}
+	_ = fc.SetDeadline(time.Time{})
+	return m.newLink(peer, fc), nil
+}
+
+func (m *Mesh) newLink(peer zab.PeerID, fc *transport.FramedConn) *link {
+	return &link{
+		peer:   peer,
+		fc:     fc,
+		outbox: make(chan []byte, m.cfg.OutboxFrames),
+		done:   make(chan struct{}),
+	}
+}
+
+// installLink makes l the current link for its peer, retiring any
+// previous one, and starts its writer and reader goroutines.
+func (m *Mesh) installLink(l *link) {
+	m.mu.Lock()
+	select {
+	case <-m.closed:
+		m.mu.Unlock()
+		l.close()
+		return
+	default:
+	}
+	if old := m.links[l.peer]; old != nil {
+		old.close()
+	}
+	m.links[l.peer] = l
+	m.mu.Unlock()
+	m.wg.Add(2)
+	go m.writeLoop(l)
+	go m.readLoop(l)
+}
+
+func (m *Mesh) removeLink(l *link) {
+	m.mu.Lock()
+	if m.links[l.peer] == l {
+		delete(m.links, l.peer)
+	}
+	m.mu.Unlock()
+}
+
+// --- frame pump ---
+
+func (m *Mesh) writeLoop(l *link) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-l.done:
+			return
+		case buf := <-l.outbox:
+			if err := l.fc.SendFrame(buf); err != nil {
+				l.close()
+				return
+			}
+		}
+	}
+}
+
+func (m *Mesh) readLoop(l *link) {
+	defer m.wg.Done()
+	defer m.removeLink(l)
+	defer l.close()
+	// Fragment reassembly state: one in-flight fragmented message per
+	// link (the sender enqueues fragments contiguously).
+	var asm []byte
+	asmTotal := -1
+	for {
+		payload, err := l.fc.RecvFrame()
+		if err != nil {
+			return
+		}
+		if len(payload) < 1 {
+			m.logf("zabnet %d: empty frame from peer %d", m.cfg.ID, l.peer)
+			return
+		}
+		switch payload[0] {
+		case frameMsg:
+			if asmTotal >= 0 {
+				m.logf("zabnet %d: message frame from %d interleaved with fragments", m.cfg.ID, l.peer)
+				return
+			}
+			m.deliverEncoded(l, payload[1:])
+		case frameFragBegin:
+			var d wire.Decoder
+			d.Reset(payload[1:])
+			d.SetZeroCopy(true) // the chunk is copied into asm below
+			total, err := d.ReadInt64()
+			chunk, rawErr := d.ReadRaw(d.Remaining())
+			if asmTotal >= 0 || err != nil || rawErr != nil {
+				m.logf("zabnet %d: bad fragment start from peer %d", m.cfg.ID, l.peer)
+				return
+			}
+			if total <= 0 || total > maxReassembledBytes {
+				m.logf("zabnet %d: fragment total %d from peer %d out of range", m.cfg.ID, total, l.peer)
+				return
+			}
+			asmTotal = int(total)
+			asm = make([]byte, 0, asmTotal)
+			asm = append(asm, chunk...)
+		case frameFragCont, frameFragEnd:
+			if asmTotal < 0 || len(asm)+len(payload)-1 > asmTotal {
+				m.logf("zabnet %d: fragment overflow from peer %d", m.cfg.ID, l.peer)
+				return
+			}
+			asm = append(asm, payload[1:]...)
+			if payload[0] == frameFragEnd {
+				if len(asm) != asmTotal {
+					m.logf("zabnet %d: fragment underrun from peer %d (%d/%d)", m.cfg.ID, l.peer, len(asm), asmTotal)
+					return
+				}
+				m.deliverEncoded(l, asm)
+				asm, asmTotal = nil, -1
+			}
+		default:
+			m.logf("zabnet %d: unknown frame type %#x from peer %d", m.cfg.ID, payload[0], l.peer)
+			return
+		}
+	}
+}
+
+// deliverEncoded decodes one message and queues it for the protocol
+// loop. Decode failures drop the message (framing is intact, so the
+// stream remains usable); a full inbox sheds exactly like the
+// in-process transport's mailbox.
+func (m *Mesh) deliverEncoded(l *link, body []byte) {
+	var msg zab.Message
+	var d wire.Decoder
+	d.Reset(body)
+	if err := msg.Deserialize(&d); err != nil || d.Remaining() != 0 {
+		m.logf("zabnet %d: drop undecodable %d-byte message from peer %d: %v", m.cfg.ID, len(body), l.peer, err)
+		return
+	}
+	// The link's handshaken identity is authoritative; never trust a
+	// From field claimed on the wire.
+	msg.From = l.peer
+	select {
+	case m.inbox <- msg:
+	default:
+		// Inbox overflow: shed; the protocol re-syncs.
+	}
+}
+
+// --- wire helpers ---
+
+func sendHello(fc *transport.FramedConn, id zab.PeerID) error {
+	e := wire.GetEncoder()
+	_ = e.WriteByte(frameHello)
+	e.WriteInt32(helloMagic)
+	e.WriteInt32(protoVersion)
+	e.WriteInt64(int64(id))
+	err := fc.SendFrame(e.Bytes())
+	wire.PutEncoder(e)
+	return err
+}
+
+func recvHello(fc *transport.FramedConn) (zab.PeerID, error) {
+	payload, err := fc.RecvFrame()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", errBadHello, err)
+	}
+	var d wire.Decoder
+	d.Reset(payload)
+	d.SetZeroCopy(true)
+	t, err := d.ReadByte()
+	if err != nil || t != frameHello {
+		return 0, errBadHello
+	}
+	magic, err := d.ReadInt32()
+	if err != nil || magic != helloMagic {
+		return 0, errBadHello
+	}
+	version, err := d.ReadInt32()
+	if err != nil || version != protoVersion {
+		return 0, fmt.Errorf("%w: protocol version %d (want %d)", errBadHello, version, protoVersion)
+	}
+	id, err := d.ReadInt64()
+	if err != nil || d.Remaining() != 0 || id <= 0 {
+		return 0, errBadHello
+	}
+	return zab.PeerID(id), nil
+}
+
+// encodeFrames serializes a message into one frameMsg frame, or a
+// fragment sequence when the encoding exceeds the chunk size (snapshot
+// transfers). Each returned slice is an independently owned frame
+// payload ready for the outbox.
+func encodeFrames(msg *zab.Message, chunkBytes int) [][]byte {
+	e := wire.GetEncoder()
+	msg.Serialize(e)
+	body := e.Bytes()
+	if len(body) <= chunkBytes {
+		frame := make([]byte, 0, len(body)+1)
+		frame = append(frame, frameMsg)
+		frame = append(frame, body...)
+		wire.PutEncoder(e)
+		return [][]byte{frame}
+	}
+	var frames [][]byte
+	for off := 0; off < len(body); off += chunkBytes {
+		end := off + chunkBytes
+		if end > len(body) {
+			end = len(body)
+		}
+		chunk := body[off:end]
+		fe := wire.GetEncoder()
+		switch {
+		case off == 0:
+			_ = fe.WriteByte(frameFragBegin)
+			fe.WriteInt64(int64(len(body)))
+		case end == len(body):
+			_ = fe.WriteByte(frameFragEnd)
+		default:
+			_ = fe.WriteByte(frameFragCont)
+		}
+		fe.WriteRaw(chunk)
+		frame := make([]byte, len(fe.Bytes()))
+		copy(frame, fe.Bytes())
+		wire.PutEncoder(fe)
+		frames = append(frames, frame)
+	}
+	wire.PutEncoder(e)
+	return frames
+}

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Multi-process failover smoke: build skserver/skclient, launch a
+# 3-process ensemble connected over the zabnet TCP peer mesh, drive
+# create/get/set traffic with skclient, SIGKILL the leader process,
+# and assert the survivors re-elect and converge on post-failover
+# writes. This exercises the same binaries and flags an operator uses,
+# end to end, on top of what the in-test harness already covers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+VARIANT="${SMOKE_VARIANT:-vanilla}"
+BASE="${SMOKE_PORT_BASE:-24180}"
+BIN="$(mktemp -d)"
+LOGS="$(mktemp -d)"
+
+# SecureKeeper replicas must share one storage key (the key server's
+# released key) or they would replicate mutually undecryptable state.
+KEYFLAGS=()
+if [ "$VARIANT" = securekeeper ]; then
+  KEYFLAGS=(-storage-key "00112233445566778899aabbccddeeff")
+fi
+
+MESH=()
+CADDR=()
+PEERS=""
+for i in 1 2 3; do
+  MESH[$i]="127.0.0.1:$((BASE + i))"
+  CADDR[$i]="127.0.0.1:$((BASE + 10 + i))"
+  PEERS="${PEERS:+$PEERS,}$i=${MESH[$i]}"
+done
+
+declare -A PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+  echo "--- node logs ---"
+  tail -n 20 "$LOGS"/node*.log 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$BIN/skserver" ./cmd/skserver
+go build -o "$BIN/skclient" ./cmd/skclient
+
+skc() { "$BIN/skclient" -variant "$VARIANT" "$@"; }
+
+start_node() {
+  local i="$1"
+  "$BIN/skserver" -variant "$VARIANT" -id "$i" -peers "$PEERS" \
+    ${KEYFLAGS[@]+"${KEYFLAGS[@]}"} \
+    -listen "${CADDR[$i]}" >"$LOGS/node$i.log" 2>&1 &
+  PIDS[$i]=$!
+  echo "== node $i started (pid ${PIDS[$i]}, clients ${CADDR[$i]})"
+}
+
+# leader_id prints the id of the node whose LAST role transition is
+# LEADING, among the still-running nodes.
+leader_id() {
+  for i in 1 2 3; do
+    [ -n "${PIDS[$i]:-}" ] || continue
+    local last
+    last=$(grep 'role=' "$LOGS/node$i.log" 2>/dev/null | tail -n 1 || true)
+    if [[ "$last" == *"role=LEADING"* ]]; then
+      echo "$i"
+      return 0
+    fi
+  done
+  return 1
+}
+
+wait_leader() {
+  for _ in $(seq 1 300); do
+    if leader_id >/dev/null; then return 0; fi
+    sleep 0.1
+  done
+  echo "FAIL: no leader elected" >&2
+  return 1
+}
+
+# retry CMD... until success (ensemble may be mid-election).
+retry() {
+  for _ in $(seq 1 100); do
+    if "$@" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "FAIL: retries exhausted: $*" >&2
+  return 1
+}
+
+for i in 1 2 3; do start_node "$i"; done
+wait_leader
+LEADER=$(leader_id)
+echo "== leader is node $LEADER"
+
+echo "== client traffic across all replicas"
+retry skc -addr "${CADDR[1]}" create /smoke v1
+for i in 1 2 3; do
+  retry skc -addr "${CADDR[$i]}" sync /smoke
+  got=$(skc -addr "${CADDR[$i]}" get /smoke)
+  [[ "$got" == v1* ]] || { echo "FAIL: node $i read '$got', want v1" >&2; exit 1; }
+done
+retry skc -addr "${CADDR[1]},${CADDR[2]},${CADDR[3]}" set /smoke v2
+
+echo "== SIGKILL leader (node $LEADER)"
+kill -9 "${PIDS[$LEADER]}"
+unset "PIDS[$LEADER]"
+
+SURVIVORS=()
+for i in 1 2 3; do [ "$i" != "$LEADER" ] && SURVIVORS+=("$i"); done
+SURV_ADDRS="${CADDR[${SURVIVORS[0]}]},${CADDR[${SURVIVORS[1]}]}"
+
+wait_leader
+NEW_LEADER=$(leader_id)
+echo "== re-elected leader is node $NEW_LEADER"
+[ "$NEW_LEADER" != "$LEADER" ] || { echo "FAIL: dead node still leader" >&2; exit 1; }
+
+echo "== post-failover traffic on survivors"
+retry skc -addr "$SURV_ADDRS" set /smoke v3
+for i in "${SURVIVORS[@]}"; do
+  retry skc -addr "${CADDR[$i]}" sync /smoke
+  got=$(skc -addr "${CADDR[$i]}" get /smoke)
+  [[ "$got" == v3* ]] || { echo "FAIL: survivor $i read '$got', want v3" >&2; exit 1; }
+done
+
+echo "== restart node $LEADER and verify resync"
+start_node "$LEADER"
+retry skc -addr "${CADDR[$LEADER]}" sync /smoke
+got=$(skc -addr "${CADDR[$LEADER]}" get /smoke)
+[[ "$got" == v3* ]] || { echo "FAIL: restarted node read '$got', want v3" >&2; exit 1; }
+
+echo "PASS: 3-process ensemble survived leader SIGKILL with re-election and convergence"
