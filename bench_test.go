@@ -7,6 +7,7 @@
 package securekeeper_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -23,6 +24,9 @@ import (
 	"securekeeper/internal/skcrypto"
 	"securekeeper/internal/wire"
 )
+
+// ctxbg is the background context for benchmark operations.
+var ctxbg = context.Background()
 
 // newBenchCluster boots a cluster tuned for benchmarking.
 func newBenchCluster(b *testing.B, v core.Variant) *core.Cluster {
@@ -57,15 +61,15 @@ func benchOps(b *testing.B, v core.Variant, mode bench.OpMode, payloadSize int) 
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	if _, err := cl.Create("/b", nil, 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/b", nil, 0); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := cl.Create("/b/target", payload, 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/b/target", payload, 0); err != nil {
 		b.Fatal(err)
 	}
 	if mode == bench.ModeLs {
 		for i := 0; i < 8; i++ {
-			if _, err := cl.Create(fmt.Sprintf("/b/target/c%02d", i), nil, 0); err != nil {
+			if _, err := cl.Create(ctxbg, fmt.Sprintf("/b/target/c%02d", i), nil, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -77,26 +81,26 @@ func benchOps(b *testing.B, v core.Variant, mode bench.OpMode, payloadSize int) 
 		var err error
 		switch mode {
 		case bench.ModeGet:
-			_, _, err = cl.Get("/b/target")
+			_, _, err = cl.Get(ctxbg, "/b/target")
 		case bench.ModeSet:
-			_, err = cl.Set("/b/target", payload, -1)
+			_, err = cl.Set(ctxbg, "/b/target", payload, -1)
 		case bench.ModeCreate:
-			_, err = cl.Create(fmt.Sprintf("/b/n%09d", i), payload, 0)
+			_, err = cl.Create(ctxbg, fmt.Sprintf("/b/n%09d", i), payload, 0)
 		case bench.ModeCreateSeq:
-			_, err = cl.Create("/b/s-", payload, wire.FlagSequential)
+			_, err = cl.Create(ctxbg, "/b/s-", payload, wire.FlagSequential)
 		case bench.ModeLs:
-			_, err = cl.Children("/b/target")
+			_, err = cl.Children(ctxbg, "/b/target")
 		case bench.ModeDelete:
 			p := fmt.Sprintf("/b/d%09d", i)
-			if _, cerr := cl.Create(p, nil, 0); cerr != nil {
+			if _, cerr := cl.Create(ctxbg, p, nil, 0); cerr != nil {
 				b.Fatal(cerr)
 			}
-			err = cl.Delete(p, -1)
+			err = cl.Delete(ctxbg, p, -1)
 		case bench.ModeMixed:
 			if i%10 < 7 {
-				_, _, err = cl.Get("/b/target")
+				_, _, err = cl.Get(ctxbg, "/b/target")
 			} else {
-				_, err = cl.Set("/b/target", payload, -1)
+				_, err = cl.Set(ctxbg, "/b/target", payload, -1)
 			}
 		}
 		if err != nil {
@@ -216,10 +220,10 @@ func BenchmarkFig6bAsyncMixed(b *testing.B) {
 		}
 		defer cl.Close()
 		payload := make([]byte, 1024)
-		if _, err := cl.Create("/b", nil, 0); err != nil {
+		if _, err := cl.Create(ctxbg, "/b", nil, 0); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := cl.Create("/b/t", payload, 0); err != nil {
+		if _, err := cl.Create(ctxbg, "/b/t", payload, 0); err != nil {
 			b.Fatal(err)
 		}
 		const window = 64
@@ -297,7 +301,7 @@ func BenchmarkFig8SetContended(b *testing.B) {
 					}
 					defer cl.Close()
 					cls[i] = cl
-					if _, err := cl.Create(fmt.Sprintf("/c%d", i), payload, 0); err != nil {
+					if _, err := cl.Create(ctxbg, fmt.Sprintf("/c%d", i), payload, 0); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -311,7 +315,7 @@ func BenchmarkFig8SetContended(b *testing.B) {
 					cl := cls[id]
 					path := fmt.Sprintf("/c%d", id)
 					for pb.Next() {
-						if _, err := cl.Set(path, payload, -1); err != nil {
+						if _, err := cl.Set(ctxbg, path, payload, -1); err != nil {
 							b.Error(err)
 							return
 						}
@@ -327,6 +331,75 @@ func BenchmarkFig8SetContended(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkMulti measures an N-op atomic transaction (one wire round
+// trip, one zab proposal, one zxid) against its classic equivalent of
+// N sequential Sets (BenchmarkMultiSequentialSets: N round trips, N
+// proposals). The pair quantifies what the multi API buys on the
+// agreement path for both the plaintext and enclave variants.
+func BenchmarkMulti(b *testing.B) {
+	const nOps = 8
+	forEachVariant(b, func(b *testing.B, v core.Variant) {
+		cluster := newBenchCluster(b, v)
+		cl, err := cluster.Connect(0, client.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		payload := make([]byte, 128)
+		if _, err := cl.Create(ctxbg, "/m", nil, 0); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < nOps; i++ {
+			if _, err := cl.Create(ctxbg, fmt.Sprintf("/m/k%d", i), payload, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			txn := cl.Txn()
+			for j := 0; j < nOps; j++ {
+				txn.Set(fmt.Sprintf("/m/k%d", j), payload, -1)
+			}
+			if _, err := txn.Commit(ctxbg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMultiSequentialSets is the baseline for BenchmarkMulti: the
+// same N writes issued as N independent synchronous Sets.
+func BenchmarkMultiSequentialSets(b *testing.B) {
+	const nOps = 8
+	forEachVariant(b, func(b *testing.B, v core.Variant) {
+		cluster := newBenchCluster(b, v)
+		cl, err := cluster.Connect(0, client.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		payload := make([]byte, 128)
+		if _, err := cl.Create(ctxbg, "/m", nil, 0); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < nOps; i++ {
+			if _, err := cl.Create(ctxbg, fmt.Sprintf("/m/k%d", i), payload, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < nOps; j++ {
+				if _, err := cl.Set(ctxbg, fmt.Sprintf("/m/k%d", j), payload, -1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 func BenchmarkFig9aCreate(b *testing.B) {
@@ -359,11 +432,11 @@ func BenchmarkFig11YCSB(b *testing.B) {
 		defer cl.Close()
 		const records = 32
 		payload := make([]byte, 1024)
-		if _, err := cl.Create("/y", nil, 0); err != nil {
+		if _, err := cl.Create(ctxbg, "/y", nil, 0); err != nil {
 			b.Fatal(err)
 		}
 		for i := 0; i < records; i++ {
-			if _, err := cl.Create(fmt.Sprintf("/y/user%06d", i), payload, 0); err != nil {
+			if _, err := cl.Create(ctxbg, fmt.Sprintf("/y/user%06d", i), payload, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -374,9 +447,9 @@ func BenchmarkFig11YCSB(b *testing.B) {
 			key := fmt.Sprintf("/y/user%06d", zipf.Uint64())
 			var err error
 			if rng.Float64() < 0.5 {
-				_, _, err = cl.Get(key)
+				_, _, err = cl.Get(ctxbg, key)
 			} else {
-				_, err = cl.Set(key, payload, -1)
+				_, err = cl.Set(ctxbg, key, payload, -1)
 			}
 			if err != nil {
 				b.Fatal(err)
@@ -411,14 +484,14 @@ func BenchmarkFig12LeaderFailover(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := cl.Create("/f", nil, 0); err != nil {
+		if _, err := cl.Create(ctxbg, "/f", nil, 0); err != nil {
 			b.Fatal(err)
 		}
 
 		b.StartTimer() // measure: kill leader -> first successful write
 		cluster.StopReplica(leader)
 		for {
-			if _, err := cl.Create(fmt.Sprintf("/f/after-%d", i), nil, 0); err == nil {
+			if _, err := cl.Create(ctxbg, fmt.Sprintf("/f/after-%d", i), nil, 0); err == nil {
 				break
 			}
 			time.Sleep(2 * time.Millisecond)
@@ -700,12 +773,12 @@ func BenchmarkSecureChannelRecord(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.Create("/sc", make([]byte, 1024), 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/sc", make([]byte, 1024), 0); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := cl.Get("/sc"); err != nil {
+		if _, _, err := cl.Get(ctxbg, "/sc"); err != nil {
 			b.Fatal(err)
 		}
 	}

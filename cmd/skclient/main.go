@@ -4,8 +4,9 @@
 //	skclient get /a
 //	skclient ls /
 //	skclient set /a world
+//	skclient cas /a 3 world2     (atomic Check+Set multi: version guard)
 //	skclient delete /a
-//	skclient watch /a            (blocks until a watch event fires)
+//	skclient watch /a            (blocks until the watch handle fires)
 //
 // -addr accepts a comma-separated list of replica addresses; the first
 // reachable one serves the session, so a command keeps working while
@@ -13,12 +14,18 @@
 //
 //	skclient -addr 127.0.0.1:2181,127.0.0.1:2182,127.0.0.1:2183 get /a
 //
+// -timeout bounds the whole command through the client API's
+// context.Context plumbing; an unreachable ensemble fails the command
+// instead of hanging it.
+//
 // For tls/securekeeper variants the client runs the secure-channel
 // handshake. The demo accepts any server identity; a production client
 // pins the enclave's public key received out of band (§4.1).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -42,10 +49,18 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:2181", "replica address, or a comma-separated list tried in order")
 	variant := flag.String("variant", "securekeeper", "vanilla, tls or securekeeper (must match the server)")
+	timeout := flag.Duration("timeout", 30*time.Second, "deadline for the whole command (0 = none)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		return fmt.Errorf("usage: skclient [-addr host:port[,host:port...]] [-variant v] <create|get|set|delete|ls|stat|sync|watch> [path] [data]")
+		return fmt.Errorf("usage: skclient [-addr host:port[,host:port...]] [-variant v] [-timeout d] <create|get|set|cas|delete|ls|stat|sync|watch> [path] [args...]")
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	conn, err := dialAny(strings.Split(*addr, ","), *variant)
@@ -54,16 +69,13 @@ func run() error {
 	}
 	defer conn.Close()
 
-	events := make(chan wire.WatcherEvent, 16)
-	cl, err := client.Connect(conn, client.Options{
-		OnEvent: func(ev wire.WatcherEvent) { events <- ev },
-	})
+	cl, err := client.Connect(conn, client.Options{})
 	if err != nil {
 		return fmt.Errorf("connect: %w", err)
 	}
 	defer cl.Close()
 
-	return execute(cl, events, args)
+	return execute(ctx, cl, args)
 }
 
 // dialAny connects (and, for secure variants, handshakes) against the
@@ -104,7 +116,7 @@ func dialAny(addrs []string, variant string) (transport.Conn, error) {
 	return nil, lastErr
 }
 
-func execute(cl *client.Client, events chan wire.WatcherEvent, args []string) error {
+func execute(ctx context.Context, cl *client.Client, args []string) error {
 	cmd := args[0]
 	path := "/"
 	if len(args) > 1 {
@@ -116,7 +128,7 @@ func execute(cl *client.Client, events chan wire.WatcherEvent, args []string) er
 		if len(args) > 2 {
 			data = []byte(args[2])
 		}
-		created, err := cl.Create(path, data, 0)
+		created, err := cl.Create(ctx, path, data, 0)
 		if err != nil {
 			return err
 		}
@@ -126,13 +138,13 @@ func execute(cl *client.Client, events chan wire.WatcherEvent, args []string) er
 		if len(args) > 2 {
 			data = []byte(args[2])
 		}
-		created, err := cl.Create(path, data, wire.FlagSequential)
+		created, err := cl.Create(ctx, path, data, wire.FlagSequential)
 		if err != nil {
 			return err
 		}
 		fmt.Println("created", created)
 	case "get":
-		data, stat, err := cl.Get(path)
+		data, stat, err := cl.Get(ctx, path)
 		if err != nil {
 			return err
 		}
@@ -141,18 +153,39 @@ func execute(cl *client.Client, events chan wire.WatcherEvent, args []string) er
 		if len(args) < 3 {
 			return fmt.Errorf("set needs <path> <data>")
 		}
-		stat, err := cl.Set(path, []byte(args[2]), -1)
+		stat, err := cl.Set(ctx, path, []byte(args[2]), -1)
 		if err != nil {
 			return err
 		}
 		fmt.Println("ok, version", stat.Version)
+	case "cas":
+		// Atomic compare-and-set through a Check+Set multi: both ops
+		// commit under one zxid or the transaction aborts untouched.
+		if len(args) < 4 {
+			return fmt.Errorf("cas needs <path> <expected-version> <data>")
+		}
+		version, err := strconv.ParseInt(args[2], 10, 32)
+		if err != nil {
+			return fmt.Errorf("parse version: %w", err)
+		}
+		results, err := cl.Txn().
+			Check(path, int32(version)).
+			Set(path, []byte(args[3]), -1).
+			Commit(ctx)
+		if err != nil {
+			for i, r := range results {
+				fmt.Printf("op %d (%s): %s\n", i, r.Op, r.Err)
+			}
+			return err
+		}
+		fmt.Println("ok, version", results[1].Stat.Version)
 	case "delete":
-		if err := cl.Delete(path, -1); err != nil {
+		if err := cl.Delete(ctx, path, -1); err != nil {
 			return err
 		}
 		fmt.Println("deleted", path)
 	case "ls":
-		kids, err := cl.Children(path)
+		kids, err := cl.Children(ctx, path)
 		if err != nil {
 			return err
 		}
@@ -160,7 +193,7 @@ func execute(cl *client.Client, events chan wire.WatcherEvent, args []string) er
 			fmt.Println(k)
 		}
 	case "stat":
-		stat, err := cl.Exists(path)
+		stat, err := cl.Exists(ctx, path)
 		if err != nil {
 			return err
 		}
@@ -168,19 +201,32 @@ func execute(cl *client.Client, events chan wire.WatcherEvent, args []string) er
 			stat.Version, stat.Cversion, stat.NumChildren, stat.DataLength,
 			strconv.FormatInt(stat.EphemeralOwner, 16))
 	case "sync":
-		if err := cl.Sync(path); err != nil {
+		if err := cl.Sync(ctx, path); err != nil {
 			return err
 		}
 		fmt.Println("synced", path)
 	case "watch":
-		if _, _, err := cl.GetW(path); err != nil {
+		_, _, w, err := cl.GetW(ctx, path)
+		if err != nil && !isNoNode(err) {
 			return err
 		}
 		fmt.Println("watching", path, "...")
-		ev := <-events
-		fmt.Printf("event: %v on %s\n", ev.Type, ev.Path)
+		select {
+		case ev, ok := <-w.Events():
+			if !ok {
+				return fmt.Errorf("session ended before the watch fired")
+			}
+			fmt.Printf("event: %v on %s\n", ev.Type, ev.Path)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return nil
+}
+
+func isNoNode(err error) bool {
+	var pe *wire.ProtocolError
+	return errors.As(err, &pe) && pe.Code == wire.ErrNoNode
 }

@@ -57,6 +57,8 @@ func run() error {
 	id := flag.Int64("id", 0, "replica id: enables process-per-replica mode (requires -peers)")
 	peersFlag := flag.String("peers", "", "ensemble mesh addresses, id=host:port comma-separated (process-per-replica mode)")
 	storageKey := flag.String("storage-key", "", "shared storage key, hex (securekeeper multi-process ensembles)")
+	dataDir := flag.String("data-dir", "", "durable state directory (process-per-replica mode); empty = in-memory only")
+	snapshotEvery := flag.Int("snapshot-every", 0, "commits between durable snapshots (0 = storage default)")
 	flag.Parse()
 
 	v, err := parseVariant(*variant)
@@ -67,13 +69,19 @@ func run() error {
 		return fmt.Errorf("-id and -peers must be used together")
 	}
 	if *id != 0 {
-		return runNode(v, *id, *peersFlag, *listen, *storageKey)
+		return runNode(v, *id, *peersFlag, *listen, *storageKey, *dataDir, *snapshotEvery)
+	}
+	if *dataDir != "" {
+		return fmt.Errorf("-data-dir requires process-per-replica mode (-id/-peers)")
 	}
 	return runCluster(v, *replicas, *listen)
 }
 
 // runNode is the process-per-replica mode: one replica, TCP peer mesh.
-func runNode(v core.Variant, id int64, peersFlag, listen, keyHex string) error {
+// With -data-dir the replica is durable: committed transactions are
+// logged and snapshotted there, and a restart recovers from disk
+// instead of relying on a live leader's snapshot/diff sync.
+func runNode(v core.Variant, id int64, peersFlag, listen, keyHex, dataDir string, snapshotEvery int) error {
 	peers, err := parsePeers(peersFlag)
 	if err != nil {
 		return err
@@ -88,10 +96,12 @@ func runNode(v core.Variant, id int64, peersFlag, listen, keyHex string) error {
 		}
 	}
 	node, err := core.NewNode(core.NodeConfig{
-		Variant:    v,
-		ID:         zab.PeerID(id),
-		Peers:      peers,
-		StorageKey: key,
+		Variant:       v,
+		ID:            zab.PeerID(id),
+		Peers:         peers,
+		StorageKey:    key,
+		DataDir:       dataDir,
+		SnapshotEvery: snapshotEvery,
 	})
 	if err != nil {
 		return err

@@ -1,18 +1,19 @@
 // Leaderelection: the ZooKeeper leader-election recipe on SecureKeeper:
 // contenders create ephemeral sequential nodes; the lowest sequence is
-// the leader; everyone else watches for changes. The example also kills
+// the leader; everyone else waits on a per-watch subscription handle
+// for its immediate predecessor (no polling herd). The example kills
 // the elected leader's session to show failover.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"sort"
 	"time"
 
 	"securekeeper/internal/client"
 	"securekeeper/internal/core"
-	"securekeeper/internal/wire"
+	"securekeeper/recipes"
 )
 
 const electionRoot = "/election/service-a"
@@ -24,12 +25,15 @@ func main() {
 }
 
 type contender struct {
-	name string
-	cl   *client.Client
-	node string
+	name     string
+	cl       *client.Client
+	election *recipes.Election
 }
 
 func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
 	cluster, err := core.NewCluster(core.Config{
 		Variant:         core.SecureKeeper,
 		Replicas:        3,
@@ -44,17 +48,6 @@ func run() error {
 		return err
 	}
 
-	setup, err := cluster.Connect(0, client.Options{})
-	if err != nil {
-		return err
-	}
-	for _, p := range []string{"/election", electionRoot} {
-		if _, err := setup.Create(p, nil, 0); err != nil {
-			return fmt.Errorf("create %s: %w", p, err)
-		}
-	}
-	_ = setup.Close()
-
 	// Three service instances volunteer.
 	contenders := make([]*contender, 0, 3)
 	for i := 0; i < 3; i++ {
@@ -62,13 +55,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		node, err := cl.Create(electionRoot+"/member-", nil, wire.FlagSequential|wire.FlagEphemeral)
+		e, err := recipes.NewElection(ctx, cl, electionRoot)
 		if err != nil {
 			return err
 		}
-		c := &contender{name: fmt.Sprintf("instance-%d", i), cl: cl, node: node}
+		c := &contender{name: fmt.Sprintf("instance-%d", i), cl: cl, election: e}
 		contenders = append(contenders, c)
-		fmt.Printf("%s volunteered as %s\n", c.name, node)
+		fmt.Printf("%s volunteered as %s\n", c.name, e.Node())
 	}
 	defer func() {
 		for _, c := range contenders {
@@ -78,58 +71,47 @@ func run() error {
 		}
 	}()
 
-	leader, err := electedLeader(contenders)
+	leader, err := electedLeader(ctx, contenders)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("elected leader: %s (%s)\n", leader.name, leader.node)
+	fmt.Printf("elected leader: %s (%s)\n", leader.name, leader.election.Node())
 
 	// The leader's session dies; its ephemeral node disappears and the
-	// next contender takes over.
+	// next contender takes over — woken by its predecessor watch, not
+	// by polling.
 	fmt.Printf("killing %s's session...\n", leader.name)
 	_ = leader.cl.Close()
 	leader.cl = nil
 
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		next, err := electedLeader(contenders)
-		if err == nil && next != leader {
-			fmt.Printf("failover complete: new leader is %s (%s)\n", next.name, next.node)
+	for _, c := range contenders {
+		if c.cl == nil {
+			continue
+		}
+		awaitCtx, awaitCancel := context.WithTimeout(ctx, 5*time.Second)
+		err := c.election.AwaitLeadership(awaitCtx)
+		awaitCancel()
+		if err == nil {
+			fmt.Printf("failover complete: new leader is %s (%s)\n", c.name, c.election.Node())
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("failover did not happen")
-		}
-		time.Sleep(10 * time.Millisecond)
 	}
+	return fmt.Errorf("failover did not happen")
 }
 
-// electedLeader resolves which contender currently holds the lowest
-// sequence node.
-func electedLeader(contenders []*contender) (*contender, error) {
-	var probe *client.Client
+// electedLeader resolves which contender currently leads.
+func electedLeader(ctx context.Context, contenders []*contender) (*contender, error) {
 	for _, c := range contenders {
-		if c.cl != nil {
-			probe = c.cl
-			break
+		if c.cl == nil {
+			continue
 		}
-	}
-	if probe == nil {
-		return nil, fmt.Errorf("no live contenders")
-	}
-	kids, err := probe.Children(electionRoot)
-	if err != nil {
-		return nil, err
-	}
-	if len(kids) == 0 {
-		return nil, fmt.Errorf("no members")
-	}
-	sort.Strings(kids)
-	lowest := electionRoot + "/" + kids[0]
-	for _, c := range contenders {
-		if c.node == lowest {
+		lead, err := c.election.IsLeader(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if lead {
 			return c, nil
 		}
 	}
-	return nil, fmt.Errorf("leader node %s not owned by a live contender yet", lowest)
+	return nil, fmt.Errorf("no contender leads")
 }

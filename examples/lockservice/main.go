@@ -2,19 +2,22 @@
 // sequential ephemeral znodes — the operation that exercises Secure-
 // Keeper's counter enclave (§4.4). Each contender creates a sequential
 // node under the lock; the lowest sequence number holds the lock;
-// releasing deletes the node.
+// releasing deletes the node. The example uses recipes.Lock, which
+// waits on a per-watch subscription handle for its immediate
+// predecessor (no polling, no thundering herd) and takes a
+// context.Context for cancellation.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"sort"
 	"sync"
 	"time"
 
 	"securekeeper/internal/client"
 	"securekeeper/internal/core"
-	"securekeeper/internal/wire"
+	"securekeeper/recipes"
 )
 
 const lockRoot = "/locks/printer"
@@ -26,6 +29,9 @@ func main() {
 }
 
 func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
 	cluster, err := core.NewCluster(core.Config{
 		Variant:         core.SecureKeeper,
 		Replicas:        3,
@@ -39,17 +45,6 @@ func run() error {
 	if _, err := cluster.WaitForLeader(5 * time.Second); err != nil {
 		return err
 	}
-
-	setup, err := cluster.Connect(0, client.Options{})
-	if err != nil {
-		return err
-	}
-	for _, p := range []string{"/locks", lockRoot} {
-		if _, err := setup.Create(p, nil, 0); err != nil {
-			return fmt.Errorf("create %s: %w", p, err)
-		}
-	}
-	_ = setup.Close()
 
 	// Three workers contend for the lock; the critical section appends
 	// to a shared log guarded only by the lock.
@@ -71,9 +66,13 @@ func run() error {
 				return
 			}
 			defer cl.Close()
+			lock, err := recipes.NewLock(ctx, cl, lockRoot)
+			if err != nil {
+				errCh <- err
+				return
+			}
 			for round := 0; round < 2; round++ {
-				release, err := acquire(cl)
-				if err != nil {
+				if err := lock.Lock(ctx); err != nil {
 					errCh <- fmt.Errorf("worker %d acquire: %w", w, err)
 					return
 				}
@@ -90,7 +89,7 @@ func run() error {
 				mu.Lock()
 				inside--
 				mu.Unlock()
-				if err := release(); err != nil {
+				if err := lock.Unlock(ctx); err != nil {
 					errCh <- fmt.Errorf("worker %d release: %w", w, err)
 					return
 				}
@@ -111,27 +110,4 @@ func run() error {
 		fmt.Println("  ", s)
 	}
 	return nil
-}
-
-// acquire takes the lock, spin-polling the children list until our
-// sequential node is the lowest. (The watch-the-predecessor refinement
-// would avoid the herd; polling keeps the example compact.) Returns the
-// release function.
-func acquire(cl *client.Client) (func() error, error) {
-	me, err := cl.Create(lockRoot+"/cand-", nil, wire.FlagSequential|wire.FlagEphemeral)
-	if err != nil {
-		return nil, err
-	}
-	myName := me[len(lockRoot)+1:]
-	for {
-		kids, err := cl.Children(lockRoot)
-		if err != nil {
-			return nil, err
-		}
-		sort.Strings(kids)
-		if len(kids) > 0 && kids[0] == myName {
-			return func() error { return cl.Delete(me, -1) }, nil
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,6 +22,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	cluster, err := core.NewCluster(core.Config{
 		Variant:         core.SecureKeeper,
 		Replicas:        3,
@@ -45,28 +47,28 @@ func run() error {
 	defer cl.Close()
 
 	// Create, read, update, list, delete.
-	if _, err := cl.Create("/demo", []byte("v1"), 0); err != nil {
+	if _, err := cl.Create(ctx, "/demo", []byte("v1"), 0); err != nil {
 		return fmt.Errorf("create: %w", err)
 	}
-	data, stat, err := cl.Get("/demo")
+	data, stat, err := cl.Get(ctx, "/demo")
 	if err != nil {
 		return fmt.Errorf("get: %w", err)
 	}
 	fmt.Printf("GET /demo -> %q (version %d)\n", data, stat.Version)
 
-	if _, err := cl.Set("/demo", []byte("v2"), stat.Version); err != nil {
+	if _, err := cl.Set(ctx, "/demo", []byte("v2"), stat.Version); err != nil {
 		return fmt.Errorf("set: %w", err)
 	}
-	data, _, _ = cl.Get("/demo")
+	data, _, _ = cl.Get(ctx, "/demo")
 	fmt.Printf("GET /demo -> %q after SET\n", data)
 
 	for i := 0; i < 3; i++ {
 		path := fmt.Sprintf("/demo/child-%d", i)
-		if _, err := cl.Create(path, []byte("x"), 0); err != nil {
+		if _, err := cl.Create(ctx, path, []byte("x"), 0); err != nil {
 			return fmt.Errorf("create %s: %w", path, err)
 		}
 	}
-	kids, err := cl.Children("/demo")
+	kids, err := cl.Children(ctx, "/demo")
 	if err != nil {
 		return fmt.Errorf("ls: %w", err)
 	}
@@ -77,11 +79,11 @@ func run() error {
 	fmt.Printf("untrusted store holds %d znodes; all paths/payloads are ciphertext\n", tree.Count())
 
 	for i := 0; i < 3; i++ {
-		if err := cl.Delete(fmt.Sprintf("/demo/child-%d", i), -1); err != nil {
+		if err := cl.Delete(ctx, fmt.Sprintf("/demo/child-%d", i), -1); err != nil {
 			return fmt.Errorf("delete child: %w", err)
 		}
 	}
-	if err := cl.Delete("/demo", -1); err != nil {
+	if err := cl.Delete(ctx, "/demo", -1); err != nil {
 		return fmt.Errorf("delete: %w", err)
 	}
 	fmt.Println("done")

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -333,7 +334,7 @@ func (ev *Evaluator) setup(cl *client.Client, c RunConfig) error {
 func createRetry(cl *client.Client, path string, data []byte, flags wire.CreateFlags) error {
 	var lastErr error
 	for attempt := 0; attempt < 20; attempt++ {
-		_, err := cl.Create(path, data, flags)
+		_, err := cl.Create(context.Background(), path, data, flags)
 		if err == nil || isNodeExists(err) {
 			return nil
 		}

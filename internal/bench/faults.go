@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -93,12 +94,12 @@ func runFaultRun(v core.Variant, c FaultConfig) (Series, error) {
 		return Series{}, err
 	}
 	payload := makePayload(c.Payload, 0)
-	if _, err := seedClient.Create("/bench", nil, 0); err != nil && !isNodeExists(err) {
+	if _, err := seedClient.Create(context.Background(), "/bench", nil, 0); err != nil && !isNodeExists(err) {
 		_ = seedClient.Close()
 		return Series{}, err
 	}
 	for i := 0; i < c.Clients; i++ {
-		if _, err := seedClient.Create(clientNode(i), payload, 0); err != nil && !isNodeExists(err) {
+		if _, err := seedClient.Create(context.Background(), clientNode(i), payload, 0); err != nil && !isNodeExists(err) {
 			_ = seedClient.Close()
 			return Series{}, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -92,10 +93,10 @@ func Fig2(cfg MemoryConfig) (*Figure, error) {
 				defer cl.Close()
 				payload := makePayload(c.Payload, idx)
 				path := clientNode(idx)
-				if _, err := cl.Create("/bench", nil, 0); err != nil && !isNodeExists(err) {
+				if _, err := cl.Create(context.Background(), "/bench", nil, 0); err != nil && !isNodeExists(err) {
 					return
 				}
-				if _, err := cl.Create(path, payload, 0); err != nil && !isNodeExists(err) {
+				if _, err := cl.Create(context.Background(), path, payload, 0); err != nil && !isNodeExists(err) {
 					return
 				}
 				i := 0

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -95,13 +96,13 @@ func runYCSBPoint(cluster *core.Cluster, c YCSBConfig, payload int) (float64, er
 
 	// Load phase: records live under /ycsb.
 	loader := clients[0]
-	if _, err := loader.Create("/ycsb", nil, 0); err != nil && !isNodeExists(err) {
+	if _, err := loader.Create(context.Background(), "/ycsb", nil, 0); err != nil && !isNodeExists(err) {
 		return 0, err
 	}
 	data := makePayload(payload, 0)
 	for i := 0; i < c.Records; i++ {
 		p := ycsbKey(i)
-		if _, err := loader.Create(p, data, 0); err != nil && !isNodeExists(err) {
+		if _, err := loader.Create(context.Background(), p, data, 0); err != nil && !isNodeExists(err) {
 			return 0, err
 		}
 	}
@@ -129,9 +130,9 @@ func runYCSBPoint(cluster *core.Cluster, c YCSBConfig, payload int) (float64, er
 				key := ycsbKey(int(zipf.Uint64()))
 				var err error
 				if rng.Float64() < c.ReadFraction {
-					_, _, err = cl.Get(key)
+					_, _, err = cl.Get(context.Background(), key)
 				} else {
-					_, err = cl.Set(key, buf, -1)
+					_, err = cl.Set(context.Background(), key, buf, -1)
 				}
 				if err != nil {
 					errs.Add(1)

@@ -1,13 +1,21 @@
 // Package client implements the coordination-service client library:
 // session establishment, synchronous and asynchronous (pipelined)
-// operations, watch notification callbacks, and response demultiplexing.
-// The client is oblivious to SecureKeeper: encryption happens in the
-// transport layer (secure channel) and on the replica side (entry
-// enclave), so the paper's claim of an (almost) unchanged client holds
-// here too.
+// operations, watch notification delivery, atomic multi-op
+// transactions, and response demultiplexing. The client is oblivious
+// to SecureKeeper: encryption happens in the transport layer (secure
+// channel) and on the replica side (entry enclave), so the paper's
+// claim of an (almost) unchanged client holds here too.
+//
+// API v2: every synchronous operation takes a context.Context whose
+// deadline/cancellation is plumbed into the Future layer (a cancelled
+// call abandons the wire response without leaking its pooled Future);
+// watch-taking operations return a typed *Watch handle with a
+// per-subscription event channel (see watch.go); and Txn builds atomic
+// multi-op transactions committed under one zxid (see txn.go).
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -31,7 +39,12 @@ type EventHandler func(ev wire.WatcherEvent)
 type Options struct {
 	// SessionTimeoutMillis is requested from the server.
 	SessionTimeoutMillis int32
-	// OnEvent handles watch notifications (optional).
+	// OnEvent handles every watch notification (optional).
+	//
+	// Deprecated: OnEvent is the v1 global callback, kept as a shim. It
+	// still fires for every event, but new code should use the typed
+	// *Watch handles returned by GetW/ExistsW/ChildrenW, which deliver
+	// exactly once per subscription on their own channel.
 	OnEvent EventHandler
 }
 
@@ -46,6 +59,7 @@ type Result struct {
 	Stat     wire.Stat
 	Path     string
 	Children []string
+	Multi    []wire.MultiOpResult
 }
 
 // Future resolves to a Result when the response arrives.
@@ -62,25 +76,22 @@ func (f *Future) Done() <-chan Result { return f.ch }
 // futurePool recycles Future completions. Every call allocated a
 // Future plus its 1-buffered channel — the last per-call allocation on
 // the client hot path. A future receives exactly one result; once that
-// result has been consumed the future (and its drained channel) can be
+// result has been consumed (or provably never sent) the future can be
 // reused. Only the synchronous API recycles: futures returned by the
 // Async methods escape to callers who may hold Done() indefinitely.
 var futurePool = sync.Pool{
 	New: func() any { return &Future{ch: make(chan Result, 1)} },
 }
 
-// waitRecycle consumes the future's single result and returns the
-// future to the pool. Callers must own the future exclusively (the
-// synchronous wrappers do: the future never escapes them).
-func waitRecycle(f *Future) Result {
-	res := <-f.ch
-	futurePool.Put(f)
-	return res
-}
-
 type call struct {
 	op     wire.OpCode
 	future *Future
+	// watch, when set, is the subscription this call arms: the receive
+	// loop marks it armed (eligible for event delivery) the moment the
+	// call's response is processed, so an in-flight event from an OLDER
+	// subscription on the same path can never consume this handle's
+	// one-shot delivery with a change its own read already observed.
+	watch *Watch
 }
 
 // Client is one session with a replica.
@@ -92,6 +103,7 @@ type Client struct {
 	xid     atomic.Int32
 	mu      sync.Mutex
 	pending map[int32]call
+	watches map[watchKey]map[*Watch]struct{}
 	closed  bool
 	readErr error
 
@@ -120,6 +132,7 @@ func Connect(conn transport.Conn, opts Options) (*Client, error) {
 		sessionID: resp.SessionID,
 		onEvent:   opts.OnEvent,
 		pending:   make(map[int32]call),
+		watches:   make(map[watchKey]map[*Watch]struct{}),
 		recvDone:  make(chan struct{}),
 	}
 	go c.recvLoop()
@@ -143,6 +156,7 @@ func (c *Client) Close() error {
 	_ = c.conn.SendFrame(wire.MarshalPair(&hdr, nil))
 	err := c.conn.Close()
 	<-c.recvDone
+	c.closeAllWatches()
 	return err
 }
 
@@ -162,8 +176,8 @@ func (c *Client) recvLoop() {
 		}
 		if hdr.Xid == wire.WatcherEventXid {
 			var ev wire.WatcherEvent
-			if err := ev.Deserialize(d); err == nil && c.onEvent != nil {
-				c.onEvent(ev)
+			if err := ev.Deserialize(d); err == nil {
+				c.dispatchEvent(ev)
 			}
 			continue
 		}
@@ -174,6 +188,13 @@ func (c *Client) recvLoop() {
 		ca, ok := c.pending[hdr.Xid]
 		if ok {
 			delete(c.pending, hdr.Xid)
+			if ca.watch != nil {
+				// Arm before any later frame is read: the server sends a
+				// watch's own events strictly after this response, so
+				// everything the armed subscription now receives is a
+				// change that happened after its read.
+				ca.watch.armed = true
+			}
 		}
 		c.mu.Unlock()
 		if !ok {
@@ -195,12 +216,21 @@ func (c *Client) failAll(err error) {
 	for _, ca := range pending {
 		ca.future.ch <- Result{Op: ca.op, Err: err}
 	}
+	c.closeAllWatches()
 }
 
 func decodeResult(op wire.OpCode, hdr wire.ReplyHeader, body []byte) Result {
 	res := Result{Op: op, Zxid: hdr.Zxid}
 	if hdr.Err != wire.ErrOK {
 		res.Err = hdr.Err.Error()
+		if op == wire.OpMulti {
+			// An aborted multi still carries its per-op result body,
+			// telling the caller which sub-op failed.
+			var resp wire.MultiResponse
+			if err := wire.Unmarshal(body, &resp); err == nil {
+				res.Multi = resp.Results
+			}
+		}
 		return res
 	}
 	record := wire.ResponseBody(op)
@@ -225,27 +255,38 @@ func decodeResult(op wire.OpCode, hdr wire.ReplyHeader, body []byte) Result {
 		res.Children = resp.Children
 	case *wire.SyncResponse:
 		res.Path = resp.Path
+	case *wire.MultiResponse:
+		res.Multi = resp.Results
 	}
 	return res
 }
 
-// submit sends a request and registers its future.
-func (c *Client) submit(op wire.OpCode, body wire.Record) *Future {
+// submit sends a request and registers its future. The returned xid
+// identifies the pending entry for context cancellation; it is 0 when
+// the future was resolved before registration (closed client, prior
+// read error), in which case a result is already buffered.
+func (c *Client) submit(op wire.OpCode, body wire.Record) (*Future, int32) {
+	return c.submitWatch(op, body, nil)
+}
+
+// submitWatch is submit with a subscription to arm on response (see
+// call.watch).
+func (c *Client) submitWatch(op wire.OpCode, body wire.Record, w *Watch) (*Future, int32) {
 	future := futurePool.Get().(*Future)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		future.ch <- Result{Op: op, Err: ErrClosed}
-		return future
+		return future, 0
 	}
 	if c.readErr != nil {
 		err := c.readErr
 		c.mu.Unlock()
 		future.ch <- Result{Op: op, Err: err}
-		return future
+		return future, 0
 	}
 	xid := c.xid.Add(1)
-	c.pending[xid] = call{op: op, future: future}
+	c.pending[xid] = call{op: op, future: future, watch: w}
 	c.mu.Unlock()
 
 	// Serialize through a pooled encoder straight into SendFrame, which
@@ -271,104 +312,206 @@ func (c *Client) submit(op wire.OpCode, body wire.Record) *Future {
 			future.ch <- Result{Op: op, Err: err}
 		}
 	}
-	return future
+	return future, xid
+}
+
+// waitRecycle consumes the future's single result and returns the
+// future to the pool. Callers must own the future exclusively (the
+// synchronous wrappers do: the future never escapes them).
+func waitRecycle(f *Future) Result {
+	res := <-f.ch
+	futurePool.Put(f)
+	return res
+}
+
+// do runs one synchronous operation under ctx: submit, wait, recycle.
+//
+// Cancellation must not leak the pooled future: the pool invariant is
+// an EMPTY 1-buffered channel. On ctx expiry the call withdraws its
+// pending entry; if the withdrawal wins (the receive loop had not
+// claimed the xid) no result can ever be sent, so the empty future is
+// recycled immediately. If it loses, a sender is already committed —
+// the 1-buffered send never blocks, so the result is consumed (and the
+// call succeeds with it: the response did arrive) before recycling.
+func (c *Client) do(ctx context.Context, op wire.OpCode, body wire.Record) Result {
+	return c.doWatch(ctx, op, body, nil)
+}
+
+// doWatch is do with a subscription to arm on response.
+func (c *Client) doWatch(ctx context.Context, op wire.OpCode, body wire.Record, w *Watch) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{Op: op, Err: err}
+	}
+	future, xid := c.submitWatch(op, body, w)
+	if ctx.Done() == nil {
+		return waitRecycle(future)
+	}
+	select {
+	case res := <-future.ch:
+		futurePool.Put(future)
+		return res
+	case <-ctx.Done():
+		c.mu.Lock()
+		_, stillOurs := c.pending[xid]
+		if stillOurs {
+			delete(c.pending, xid)
+		}
+		c.mu.Unlock()
+		if stillOurs {
+			futurePool.Put(future)
+			return Result{Op: op, Err: ctx.Err()}
+		}
+		res := <-future.ch
+		futurePool.Put(future)
+		return res
+	}
 }
 
 // --- asynchronous API ---
 
 // CreateAsync creates a znode without waiting.
 func (c *Client) CreateAsync(path string, data []byte, flags wire.CreateFlags) *Future {
-	return c.submit(wire.OpCreate, &wire.CreateRequest{Path: path, Data: data, Flags: flags})
+	f, _ := c.submit(wire.OpCreate, &wire.CreateRequest{Path: path, Data: data, Flags: flags})
+	return f
 }
 
 // DeleteAsync deletes a znode without waiting.
 func (c *Client) DeleteAsync(path string, version int32) *Future {
-	return c.submit(wire.OpDelete, &wire.DeleteRequest{Path: path, Version: version})
+	f, _ := c.submit(wire.OpDelete, &wire.DeleteRequest{Path: path, Version: version})
+	return f
 }
 
 // GetAsync reads a znode without waiting.
 func (c *Client) GetAsync(path string, watch bool) *Future {
-	return c.submit(wire.OpGetData, &wire.GetDataRequest{Path: path, Watch: watch})
+	f, _ := c.submit(wire.OpGetData, &wire.GetDataRequest{Path: path, Watch: watch})
+	return f
 }
 
 // SetAsync writes a znode without waiting.
 func (c *Client) SetAsync(path string, data []byte, version int32) *Future {
-	return c.submit(wire.OpSetData, &wire.SetDataRequest{Path: path, Data: data, Version: version})
+	f, _ := c.submit(wire.OpSetData, &wire.SetDataRequest{Path: path, Data: data, Version: version})
+	return f
 }
 
 // ExistsAsync checks a znode without waiting.
 func (c *Client) ExistsAsync(path string, watch bool) *Future {
-	return c.submit(wire.OpExists, &wire.ExistsRequest{Path: path, Watch: watch})
+	f, _ := c.submit(wire.OpExists, &wire.ExistsRequest{Path: path, Watch: watch})
+	return f
 }
 
 // ChildrenAsync lists children without waiting.
 func (c *Client) ChildrenAsync(path string, watch bool) *Future {
-	return c.submit(wire.OpGetChildren, &wire.GetChildrenRequest{Path: path, Watch: watch})
+	f, _ := c.submit(wire.OpGetChildren, &wire.GetChildrenRequest{Path: path, Watch: watch})
+	return f
 }
 
 // SyncAsync flushes the leader channel without waiting.
 func (c *Client) SyncAsync(path string) *Future {
-	return c.submit(wire.OpSync, &wire.SyncRequest{Path: path})
+	f, _ := c.submit(wire.OpSync, &wire.SyncRequest{Path: path})
+	return f
+}
+
+// MultiAsync submits an atomic multi-op transaction without waiting.
+func (c *Client) MultiAsync(ops []wire.MultiOp) *Future {
+	f, _ := c.submit(wire.OpMulti, &wire.MultiRequest{Ops: ops})
+	return f
 }
 
 // --- synchronous API ---
 
-// Create creates a znode and returns its actual path (with the sequence
-// suffix for sequential nodes).
-func (c *Client) Create(path string, data []byte, flags wire.CreateFlags) (string, error) {
-	res := waitRecycle(c.CreateAsync(path, data, flags))
+// Create creates a znode and returns its actual path (with the
+// sequence suffix for sequential nodes).
+func (c *Client) Create(ctx context.Context, path string, data []byte, flags wire.CreateFlags) (string, error) {
+	res := c.do(ctx, wire.OpCreate, &wire.CreateRequest{Path: path, Data: data, Flags: flags})
 	return res.Path, res.Err
 }
 
 // Delete removes a znode; version -1 matches any version.
-func (c *Client) Delete(path string, version int32) error {
-	return waitRecycle(c.DeleteAsync(path, version)).Err
+func (c *Client) Delete(ctx context.Context, path string, version int32) error {
+	return c.do(ctx, wire.OpDelete, &wire.DeleteRequest{Path: path, Version: version}).Err
 }
 
 // Get reads a znode's payload and Stat.
-func (c *Client) Get(path string) ([]byte, wire.Stat, error) {
-	res := waitRecycle(c.GetAsync(path, false))
+func (c *Client) Get(ctx context.Context, path string) ([]byte, wire.Stat, error) {
+	res := c.do(ctx, wire.OpGetData, &wire.GetDataRequest{Path: path})
 	return res.Data, res.Stat, res.Err
 }
 
-// GetW reads a znode and leaves a data watch.
-func (c *Client) GetW(path string) ([]byte, wire.Stat, error) {
-	res := waitRecycle(c.GetAsync(path, true))
-	return res.Data, res.Stat, res.Err
+// GetW reads a znode and leaves a data watch, returning the
+// subscription handle. The watch is armed whether or not the node
+// exists (a missing node leaves a creation watch), matching the
+// server's registration semantics; on transport failure the handle is
+// returned already closed.
+func (c *Client) GetW(ctx context.Context, path string) ([]byte, wire.Stat, *Watch, error) {
+	w := c.addWatch(path, wire.WatchData)
+	res := c.doWatch(ctx, wire.OpGetData, &wire.GetDataRequest{Path: path, Watch: true}, w)
+	if res.Err != nil && !isProtocolErr(res.Err) {
+		w.Cancel() // request never reached the server: no watch exists
+	}
+	return res.Data, res.Stat, w, res.Err
 }
 
 // Set replaces a znode's payload; version -1 matches any version.
-func (c *Client) Set(path string, data []byte, version int32) (wire.Stat, error) {
-	res := waitRecycle(c.SetAsync(path, data, version))
+func (c *Client) Set(ctx context.Context, path string, data []byte, version int32) (wire.Stat, error) {
+	res := c.do(ctx, wire.OpSetData, &wire.SetDataRequest{Path: path, Data: data, Version: version})
 	return res.Stat, res.Err
 }
 
 // Exists returns the znode's Stat or a NoNode error.
-func (c *Client) Exists(path string) (wire.Stat, error) {
-	res := waitRecycle(c.ExistsAsync(path, false))
+func (c *Client) Exists(ctx context.Context, path string) (wire.Stat, error) {
+	res := c.do(ctx, wire.OpExists, &wire.ExistsRequest{Path: path})
 	return res.Stat, res.Err
 }
 
 // ExistsW checks existence and leaves a watch (data watch if the node
-// exists, creation watch otherwise).
-func (c *Client) ExistsW(path string) (wire.Stat, error) {
-	res := waitRecycle(c.ExistsAsync(path, true))
-	return res.Stat, res.Err
+// exists, creation watch otherwise), returning the subscription handle.
+func (c *Client) ExistsW(ctx context.Context, path string) (wire.Stat, *Watch, error) {
+	w := c.addWatch(path, wire.WatchData)
+	res := c.doWatch(ctx, wire.OpExists, &wire.ExistsRequest{Path: path, Watch: true}, w)
+	if res.Err != nil && !isProtocolErr(res.Err) {
+		w.Cancel()
+	}
+	return res.Stat, w, res.Err
 }
 
 // Children lists a znode's children, sorted.
-func (c *Client) Children(path string) ([]string, error) {
-	res := waitRecycle(c.ChildrenAsync(path, false))
+func (c *Client) Children(ctx context.Context, path string) ([]string, error) {
+	res := c.do(ctx, wire.OpGetChildren, &wire.GetChildrenRequest{Path: path})
 	return res.Children, res.Err
 }
 
-// ChildrenW lists children and leaves a child watch.
-func (c *Client) ChildrenW(path string) ([]string, error) {
-	res := waitRecycle(c.ChildrenAsync(path, true))
-	return res.Children, res.Err
+// ChildrenW lists children and leaves a child watch, returning the
+// subscription handle. Unlike GetW/ExistsW the server arms no watch on
+// a failed listing, so any error closes the handle.
+func (c *Client) ChildrenW(ctx context.Context, path string) ([]string, *Watch, error) {
+	w := c.addWatch(path, wire.WatchChild)
+	res := c.doWatch(ctx, wire.OpGetChildren, &wire.GetChildrenRequest{Path: path, Watch: true}, w)
+	if res.Err != nil {
+		w.Cancel()
+	}
+	return res.Children, w, res.Err
 }
 
 // Sync flushes the leader-replica channel for a path.
-func (c *Client) Sync(path string) error {
-	return waitRecycle(c.SyncAsync(path)).Err
+func (c *Client) Sync(ctx context.Context, path string) error {
+	return c.do(ctx, wire.OpSync, &wire.SyncRequest{Path: path}).Err
+}
+
+// Multi atomically applies the given sub-operations: either every op
+// commits under one zxid, or none does and the per-op results report
+// which op failed. Most callers should use the Txn builder instead.
+func (c *Client) Multi(ctx context.Context, ops []wire.MultiOp) ([]wire.MultiOpResult, error) {
+	res := c.do(ctx, wire.OpMulti, &wire.MultiRequest{Ops: ops})
+	return res.Multi, res.Err
+}
+
+// isProtocolErr reports whether err is a server-side protocol error
+// (the request reached the replica) as opposed to a transport or
+// context failure.
+func isProtocolErr(err error) bool {
+	var pe *wire.ProtocolError
+	return errors.As(err, &pe)
 }

@@ -2,7 +2,9 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -11,15 +13,26 @@ import (
 	"securekeeper/internal/wire"
 )
 
+// ctxbg is the background context used by tests that exercise no
+// cancellation behaviour.
+var ctxbg = context.Background()
+
 // fakeServer answers the session protocol over a ChanConn: a connect
 // handshake, then scripted per-op responses.
 type fakeServer struct {
 	t    *testing.T
 	conn transport.Conn
 	wg   sync.WaitGroup
+
+	mu   sync.Mutex
+	held []wire.ReplyHeader // responses parked for paths under /slow
 }
 
 func newFakePair(t *testing.T) (*Client, *fakeServer) {
+	return newFakePairConn(t, Options{})
+}
+
+func newFakePairConn(t *testing.T, opts Options) (*Client, *fakeServer) {
 	t.Helper()
 	a, b := transport.NewChanPipe()
 	srv := &fakeServer{t: t, conn: b}
@@ -28,7 +41,7 @@ func newFakePair(t *testing.T) (*Client, *fakeServer) {
 		defer srv.wg.Done()
 		srv.serve()
 	}()
-	cl, err := Connect(a, Options{})
+	cl, err := Connect(a, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,9 +87,46 @@ func (f *fakeServer) serve() {
 				_ = f.conn.SendFrame(wire.MarshalPair(&rh, nil))
 				continue
 			}
+			if strings.HasPrefix(req.Path, "/slow") {
+				// Park the response until releaseHeld: lets tests cancel
+				// a context with the call genuinely in flight.
+				f.mu.Lock()
+				f.held = append(f.held, wire.ReplyHeader{Xid: hdr.Xid, Zxid: 5})
+				f.mu.Unlock()
+				continue
+			}
 			rh := wire.ReplyHeader{Xid: hdr.Xid, Zxid: 5}
 			body := wire.GetDataResponse{Data: []byte(req.Path), Stat: wire.Stat{Version: 3}}
 			_ = f.conn.SendFrame(wire.MarshalPair(&rh, &body))
+		case wire.OpMulti:
+			var req wire.MultiRequest
+			if err := req.Deserialize(d); err != nil {
+				f.t.Errorf("multi decode: %v", err)
+				return
+			}
+			resp := wire.MultiResponse{Results: make([]wire.MultiOpResult, len(req.Ops))}
+			rh := wire.ReplyHeader{Xid: hdr.Xid, Zxid: 8}
+			failing := -1
+			for i, op := range req.Ops {
+				if op.Op == wire.OpCheck && op.Path == "/missing" {
+					failing = i // scripted abort
+				}
+			}
+			for i, op := range req.Ops {
+				resp.Results[i] = wire.MultiOpResult{Op: op.Op}
+				switch {
+				case failing == i:
+					resp.Results[i].Err = wire.ErrNoNode
+				case failing >= 0:
+					resp.Results[i].Err = wire.ErrRuntimeInconsistency
+				case op.Op == wire.OpCreate:
+					resp.Results[i].Path = op.Path + "0000000002"
+				}
+			}
+			if failing >= 0 {
+				rh.Err = wire.ErrNoNode
+			}
+			_ = f.conn.SendFrame(wire.MarshalPair(&rh, &resp))
 		case wire.OpSetData:
 			rh := wire.ReplyHeader{Xid: hdr.Xid, Zxid: 6}
 			body := wire.SetDataResponse{Stat: wire.Stat{Version: 7}}
@@ -102,20 +152,32 @@ func (f *fakeServer) sendEvent(ev wire.WatcherEvent) {
 	_ = f.conn.SendFrame(wire.MarshalPair(&rh, &ev))
 }
 
+// releaseHeld answers every parked /slow response.
+func (f *fakeServer) releaseHeld() {
+	f.mu.Lock()
+	held := f.held
+	f.held = nil
+	f.mu.Unlock()
+	for _, rh := range held {
+		body := wire.GetDataResponse{Data: []byte("late"), Stat: wire.Stat{Version: 3}}
+		_ = f.conn.SendFrame(wire.MarshalPair(&rh, &body))
+	}
+}
+
 func TestClientSyncOps(t *testing.T) {
 	cl, _ := newFakePair(t)
 	if cl.SessionID() != 99 {
 		t.Fatalf("session = %d", cl.SessionID())
 	}
-	data, stat, err := cl.Get("/some/path")
+	data, stat, err := cl.Get(ctxbg, "/some/path")
 	if err != nil || !bytes.Equal(data, []byte("/some/path")) || stat.Version != 3 {
 		t.Fatalf("get = %q, %+v, %v", data, stat, err)
 	}
-	stat, err = cl.Set("/x", []byte("v"), -1)
+	stat, err = cl.Set(ctxbg, "/x", []byte("v"), -1)
 	if err != nil || stat.Version != 7 {
 		t.Fatalf("set = %+v, %v", stat, err)
 	}
-	path, err := cl.Create("/c-", nil, wire.FlagSequential)
+	path, err := cl.Create(ctxbg, "/c-", nil, wire.FlagSequential)
 	if err != nil || path != "/c-0000000001" {
 		t.Fatalf("create = %q, %v", path, err)
 	}
@@ -123,7 +185,7 @@ func TestClientSyncOps(t *testing.T) {
 
 func TestClientErrorMapping(t *testing.T) {
 	cl, _ := newFakePair(t)
-	_, _, err := cl.Get("/missing")
+	_, _, err := cl.Get(ctxbg, "/missing")
 	var pe *wire.ProtocolError
 	if !errors.As(err, &pe) || pe.Code != wire.ErrNoNode {
 		t.Fatalf("err = %v", err)
@@ -176,7 +238,7 @@ func TestClientClosedRejectsCalls(t *testing.T) {
 	if err := cl.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := cl.Get("/x"); !errors.Is(err, ErrClosed) {
+	if _, _, err := cl.Get(ctxbg, "/x"); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 	// Closing twice is fine.
@@ -226,7 +288,7 @@ func TestFutureDoneChannel(t *testing.T) {
 
 func TestUnimplementedOpSurfaces(t *testing.T) {
 	cl, _ := newFakePair(t)
-	if err := cl.Sync("/x"); err == nil {
+	if err := cl.Sync(ctxbg, "/x"); err == nil {
 		t.Fatal("fake server answers UNIMPLEMENTED for sync")
 	}
 }

@@ -19,7 +19,7 @@ func TestFutureRecycleCorrectness(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				path := fmt.Sprintf("/g%d-i%d", g, i)
-				data, stat, err := cl.Get(path)
+				data, stat, err := cl.Get(ctxbg, path)
 				if err != nil {
 					t.Errorf("get %s: %v", path, err)
 					return
@@ -43,10 +43,10 @@ func TestFutureRecycleCorrectness(t *testing.T) {
 func TestFutureRecycleDrained(t *testing.T) {
 	cl, _ := newFakePair(t)
 	for i := 0; i < 100; i++ {
-		if _, _, err := cl.Get("/a"); err != nil {
+		if _, _, err := cl.Get(ctxbg, "/a"); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := cl.Get("/missing"); err == nil {
+		if _, _, err := cl.Get(ctxbg, "/missing"); err == nil {
 			t.Fatal("expected NoNode — stale recycled result satisfied the call")
 		}
 	}

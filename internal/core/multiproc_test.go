@@ -288,10 +288,10 @@ func (pe *procEnsemble) connect(id zab.PeerID) (*client.Client, error) {
 // syncGet returns the node's replicated value for path after a SYNC
 // barrier, so reads do not race the commit propagation.
 func syncGet(cl *client.Client, path string) ([]byte, error) {
-	if err := cl.Sync(path); err != nil {
+	if err := cl.Sync(ctxbg, path); err != nil {
 		return nil, fmt.Errorf("sync: %w", err)
 	}
-	data, _, err := cl.Get(path)
+	data, _, err := cl.Get(ctxbg, path)
 	return data, err
 }
 
@@ -349,7 +349,7 @@ func TestMultiProcessFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	retryWrite(t, "create /mp via follower", func() error {
-		_, err := fcl.Create("/mp", []byte("v1"), 0)
+		_, err := fcl.Create(ctxbg, "/mp", []byte("v1"), 0)
 		return err
 	})
 	for _, id := range all {
@@ -386,7 +386,7 @@ func TestMultiProcessFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	retryWrite(t, "set /mp after failover", func() error {
-		_, err := scl.Set("/mp", []byte("v2"), -1)
+		_, err := scl.Set(ctxbg, "/mp", []byte("v2"), -1)
 		return err
 	})
 	_ = scl.Close()
@@ -501,10 +501,10 @@ func TestTCPMeshServesAllVariants(t *testing.T) {
 			}
 			defer cl.Close()
 			retryWrite(t, "create", func() error {
-				_, err := cl.Create("/v", []byte("x"), 0)
+				_, err := cl.Create(ctxbg, "/v", []byte("x"), 0)
 				return err
 			})
-			if _, err := cl.Set("/v", []byte("y"), -1); err != nil {
+			if _, err := cl.Set(ctxbg, "/v", []byte("y"), -1); err != nil {
 				t.Fatal(err)
 			}
 			// Every replica converges on the update.
@@ -550,7 +550,7 @@ func TestTCPMeshBatchingContended(t *testing.T) {
 		cls[i] = cl
 		path := fmt.Sprintf("/fig8-%d", i)
 		retryWrite(t, "create "+path, func() error {
-			_, err := cl.Create(path, nil, 0)
+			_, err := cl.Create(ctxbg, path, nil, 0)
 			return err
 		})
 	}
@@ -566,7 +566,7 @@ func TestTCPMeshBatchingContended(t *testing.T) {
 				defer wg.Done()
 				path := fmt.Sprintf("/fig8-%d", i)
 				for op := 0; op < opsPerClient; op++ {
-					if _, err := cl.Set(path, payload, -1); err != nil {
+					if _, err := cl.Set(ctxbg, path, payload, -1); err != nil {
 						errs <- fmt.Errorf("client %d op %d: %w", i, op, err)
 						return
 					}

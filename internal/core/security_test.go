@@ -30,7 +30,7 @@ func TestConfidentialityOfUntrustedStore(t *testing.T) {
 		if strings.HasSuffix(p, "database") {
 			data = secretPayload
 		}
-		if _, err := cl.Create(p, data, 0); err != nil {
+		if _, err := cl.Create(ctxbg, p, data, 0); err != nil {
 			t.Fatalf("create %s: %v", p, err)
 		}
 	}
@@ -61,7 +61,7 @@ func TestStorageCodecDecryptsStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.Create("/verify-me", []byte("payload"), 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/verify-me", []byte("payload"), 0); err != nil {
 		t.Fatal(err)
 	}
 	codec := c.StorageCodec()
@@ -102,10 +102,10 @@ func TestPayloadSwapAttackDetected(t *testing.T) {
 	}
 	defer cl.Close()
 
-	if _, err := cl.Create("/admin", []byte("admin-pw"), 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/admin", []byte("admin-pw"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Create("/user", []byte("user-pw"), 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/user", []byte("user-pw"), 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -146,7 +146,7 @@ func TestPayloadSwapAttackDetected(t *testing.T) {
 	}
 
 	// The client must get an integrity error, not the swapped secret.
-	_, _, err = cl.Get("/admin")
+	_, _, err = cl.Get(ctxbg, "/admin")
 	var pe *wire.ProtocolError
 	if !errors.As(err, &pe) || pe.Code != wire.ErrIntegrity {
 		t.Fatalf("swap attack result = %v, want INTEGRITY error", err)
@@ -161,7 +161,7 @@ func TestTamperedPayloadDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.Create("/tamper", []byte("original"), 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/tamper", []byte("original"), 0); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < c.Size(); i++ {
@@ -179,7 +179,7 @@ func TestTamperedPayloadDetected(t *testing.T) {
 			}
 		}
 	}
-	_, _, err = cl.Get("/tamper")
+	_, _, err = cl.Get(ctxbg, "/tamper")
 	var pe *wire.ProtocolError
 	if !errors.As(err, &pe) || pe.Code != wire.ErrIntegrity {
 		t.Fatalf("tamper result = %v, want INTEGRITY error", err)
@@ -250,12 +250,12 @@ func TestWatchThroughEnclave(t *testing.T) {
 	}
 	defer writer.Close()
 
-	if _, err := writer.Create("/watched", []byte("a"), 0); err != nil {
+	if _, err := writer.Create(ctxbg, "/watched", []byte("a"), 0); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if _, _, err := watcher.GetW("/watched"); err == nil {
+		if _, _, _, err := watcher.GetW(ctxbg, "/watched"); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -263,7 +263,7 @@ func TestWatchThroughEnclave(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	if _, err := writer.Set("/watched", []byte("b"), -1); err != nil {
+	if _, err := writer.Set(ctxbg, "/watched", []byte("b"), -1); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -290,7 +290,7 @@ func TestLeaderFailoverEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.Create("/pre-failure", []byte("x"), 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/pre-failure", []byte("x"), 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -299,7 +299,7 @@ func TestLeaderFailoverEndToEnd(t *testing.T) {
 	// Wait for re-election, then writes must succeed again.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		if _, err := cl.Create("/post-failure", []byte("y"), 0); err == nil {
+		if _, err := cl.Create(ctxbg, "/post-failure", []byte("y"), 0); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -308,7 +308,7 @@ func TestLeaderFailoverEndToEnd(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	// Old data still readable.
-	data, _, err := cl.Get("/pre-failure")
+	data, _, err := cl.Get(ctxbg, "/pre-failure")
 	if err != nil || !bytes.Equal(data, []byte("x")) {
 		t.Fatalf("pre-failure data = %q, %v", data, err)
 	}
@@ -333,14 +333,14 @@ func TestSequentialSemanticsMatchVanilla(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer cl.Close()
-			if _, err := cl.Create("/seq", nil, 0); err != nil {
+			if _, err := cl.Create(ctxbg, "/seq", nil, 0); err != nil {
 				t.Fatal(err)
 			}
-			first, err := cl.Create("/seq/n-", nil, wire.FlagSequential)
+			first, err := cl.Create(ctxbg, "/seq/n-", nil, wire.FlagSequential)
 			if err != nil {
 				t.Fatal(err)
 			}
-			second, err := cl.Create("/seq/n-", nil, wire.FlagSequential)
+			second, err := cl.Create(ctxbg, "/seq/n-", nil, wire.FlagSequential)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -351,10 +351,10 @@ func TestSequentialSemanticsMatchVanilla(t *testing.T) {
 				t.Fatalf("sequence not increasing: %q then %q", first, second)
 			}
 			// Both readable and deletable by their returned names.
-			if _, _, err := cl.Get(first); err != nil {
+			if _, _, err := cl.Get(ctxbg, first); err != nil {
 				t.Fatal(err)
 			}
-			if err := cl.Delete(first, -1); err != nil {
+			if err := cl.Delete(ctxbg, first, -1); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -371,10 +371,10 @@ func TestDataLengthReportsPlaintext(t *testing.T) {
 	}
 	defer cl.Close()
 	payload := bytes.Repeat([]byte{1}, 100)
-	if _, err := cl.Create("/len", payload, 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/len", payload, 0); err != nil {
 		t.Fatal(err)
 	}
-	_, stat, err := cl.Get("/len")
+	_, stat, err := cl.Get(ctxbg, "/len")
 	if err != nil || stat.DataLength != 100 {
 		t.Fatalf("DataLength = %d, %v; want 100", stat.DataLength, err)
 	}
@@ -399,7 +399,7 @@ func TestTreesStayConvergent(t *testing.T) {
 	}
 	defer cl.Close()
 	for i := 0; i < 20; i++ {
-		if _, err := cl.Create("/conv"+string(rune('a'+i)), []byte{byte(i)}, 0); err != nil {
+		if _, err := cl.Create(ctxbg, "/conv"+string(rune('a'+i)), []byte{byte(i)}, 0); err != nil {
 			t.Fatal(err)
 		}
 	}

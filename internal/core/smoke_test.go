@@ -78,14 +78,14 @@ func TestSmokeAllVariants(t *testing.T) {
 			}
 			defer cl.Close()
 
-			path, err := cl.Create("/app", []byte("hello"), 0)
+			path, err := cl.Create(ctxbg, "/app", []byte("hello"), 0)
 			if err != nil {
 				t.Fatalf("Create: %v", err)
 			}
 			if path != "/app" {
 				t.Fatalf("Create path = %q, want /app", path)
 			}
-			data, stat, err := cl.Get("/app")
+			data, stat, err := cl.Get(ctxbg, "/app")
 			if err != nil {
 				t.Fatalf("Get: %v", err)
 			}
@@ -95,33 +95,33 @@ func TestSmokeAllVariants(t *testing.T) {
 			if stat.DataLength != 5 {
 				t.Fatalf("Get stat.DataLength = %d, want 5", stat.DataLength)
 			}
-			if _, err := cl.Set("/app", []byte("world"), -1); err != nil {
+			if _, err := cl.Set(ctxbg, "/app", []byte("world"), -1); err != nil {
 				t.Fatalf("Set: %v", err)
 			}
-			data, _, err = cl.Get("/app")
+			data, _, err = cl.Get(ctxbg, "/app")
 			if err != nil || !bytes.Equal(data, []byte("world")) {
 				t.Fatalf("Get after Set = %q, %v", data, err)
 			}
 			// Children + sequential node through the counter enclave.
-			seqPath, err := cl.Create("/app/item-", []byte("x"), 2 /* sequential */)
+			seqPath, err := cl.Create(ctxbg, "/app/item-", []byte("x"), 2 /* sequential */)
 			if err != nil {
 				t.Fatalf("Create sequential: %v", err)
 			}
 			if len(seqPath) != len("/app/item-")+10 {
 				t.Fatalf("sequential path %q lacks 10-digit suffix", seqPath)
 			}
-			kids, err := cl.Children("/app")
+			kids, err := cl.Children(ctxbg, "/app")
 			if err != nil || len(kids) != 1 {
 				t.Fatalf("Children = %v, %v; want 1 child", kids, err)
 			}
-			seqData, _, err := cl.Get(seqPath)
+			seqData, _, err := cl.Get(ctxbg, seqPath)
 			if err != nil || !bytes.Equal(seqData, []byte("x")) {
 				t.Fatalf("Get sequential = %q, %v", seqData, err)
 			}
-			if err := cl.Delete(seqPath, -1); err != nil {
+			if err := cl.Delete(ctxbg, seqPath, -1); err != nil {
 				t.Fatalf("Delete: %v", err)
 			}
-			if err := cl.Delete("/app", -1); err != nil {
+			if err := cl.Delete(ctxbg, "/app", -1); err != nil {
 				t.Fatalf("Delete /app: %v", err)
 			}
 		})
@@ -140,10 +140,10 @@ func TestSmokeFollowerClient(t *testing.T) {
 		t.Fatalf("Connect follower: %v", err)
 	}
 	defer cl.Close()
-	if _, err := cl.Create("/f", []byte("via-follower"), 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/f", []byte("via-follower"), 0); err != nil {
 		t.Fatalf("Create via follower: %v", err)
 	}
-	data, _, err := cl.Get("/f")
+	data, _, err := cl.Get(ctxbg, "/f")
 	if err != nil || string(data) != "via-follower" {
 		t.Fatalf("Get via follower = %q, %v", data, err)
 	}

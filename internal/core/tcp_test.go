@@ -59,10 +59,10 @@ func TestServeExternalOverTCP(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := cl.Create("/tcp", []byte("over-the-wire"), 0); err != nil {
+			if _, err := cl.Create(ctxbg, "/tcp", []byte("over-the-wire"), 0); err != nil {
 				t.Fatalf("create: %v", err)
 			}
-			data, _, err := cl.Get("/tcp")
+			data, _, err := cl.Get(ctxbg, "/tcp")
 			if err != nil || !bytes.Equal(data, []byte("over-the-wire")) {
 				t.Fatalf("get = %q, %v", data, err)
 			}

@@ -62,6 +62,11 @@ type pendingOp struct {
 	op         wire.OpCode
 	plainPath  string
 	sequential bool
+	// subs records a multi's sub-op codes, in order: the response
+	// transformation trusts ONLY this enclave-recorded sequence (never
+	// the replica's claimed result ops) to decide which results carry a
+	// path to decrypt or a ciphertext length to adjust.
+	subs []wire.OpCode
 }
 
 // Entry is the per-client entry enclave. Its exported methods are the
@@ -298,6 +303,36 @@ func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 		req.Path = encPath
 		body = req
 
+	case wire.OpMulti:
+		req := &wire.MultiRequest{}
+		if err := req.Deserialize(&d); err != nil {
+			return 0, fmt.Errorf("enclave: multi body: %w", err)
+		}
+		// Every sub-op is rewritten exactly as its standalone
+		// counterpart: path encryption always, payload encryption (bound
+		// to the plaintext path) for create and set. The whole rewritten
+		// transaction leaves the enclave in one message, so the replica
+		// proposes ciphertext only.
+		pend.subs = make([]wire.OpCode, len(req.Ops))
+		for i := range req.Ops {
+			sop := &req.Ops[i]
+			sequential := sop.Op == wire.OpCreate && sop.Flags&wire.FlagSequential != 0
+			encPath, err := codec.EncryptPath(sop.Path)
+			if err != nil {
+				return 0, err
+			}
+			pend.subs[i] = sop.Op
+			if sop.Op == wire.OpCreate || sop.Op == wire.OpSetData {
+				encData, err := codec.EncryptPayload(sop.Path, sop.Data, sequential)
+				if err != nil {
+					return 0, err
+				}
+				sop.Data = encData
+			}
+			sop.Path = encPath
+		}
+		body = req
+
 	case wire.OpPing, wire.OpCloseSession:
 		// No sensitive fields; forward verbatim and skip the queue
 		// (pings use the reserved xid and never reach ecResponse's
@@ -457,6 +492,47 @@ func (en *Entry) ecResponse(buf []byte, msgLen int) (int, error) {
 			return en.integrityReply(buf, hdr)
 		}
 		resp.Path = plain
+		body = resp
+
+	case wire.OpMulti:
+		resp := &wire.MultiResponse{}
+		if err := resp.Deserialize(&d); err != nil {
+			return 0, fmt.Errorf("enclave: multi response: %w", err)
+		}
+		// The enclave-recorded sub-op queue is the ONLY trusted source
+		// of each result's interpretation: a tampering replica that
+		// relabels a result's op code (or reshapes the result array)
+		// must not steer a created path or a ciphertext length past the
+		// decryption/adjustment below.
+		if len(resp.Results) != len(pend.subs) {
+			return en.integrityReply(buf, hdr)
+		}
+		for i := range resp.Results {
+			mr := &resp.Results[i]
+			subOp := pend.subs[i]
+			if mr.Op != subOp {
+				return en.integrityReply(buf, hdr)
+			}
+			if mr.Err != wire.ErrOK {
+				continue
+			}
+			switch subOp {
+			case wire.OpCreate:
+				plain, err := codec.DecryptPath(mr.Path)
+				if err != nil {
+					return en.integrityReply(buf, hdr)
+				}
+				mr.Path = plain
+				if mr.Stat.DataLength >= int32(skcrypto.PayloadOverhead) {
+					mr.Stat.DataLength -= int32(skcrypto.PayloadOverhead)
+				}
+			case wire.OpSetData, wire.OpCheck:
+				// The untrusted store tracks ciphertext lengths (§5.2).
+				if mr.Stat.DataLength >= int32(skcrypto.PayloadOverhead) {
+					mr.Stat.DataLength -= int32(skcrypto.PayloadOverhead)
+				}
+			}
+		}
 		body = resp
 
 	default:

@@ -1,0 +1,183 @@
+package enclave
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"securekeeper/internal/skcrypto"
+	"securekeeper/internal/wire"
+)
+
+// TestEntryMultiRequestEncryptsEverySubOp: a multi leaves the enclave
+// with every sub-op's path encrypted and every create/set payload
+// encrypted and bound to its plaintext path.
+func TestEntryMultiRequestEncryptsEverySubOp(t *testing.T) {
+	_, entry, _, codec := testSetup(t)
+	msg := request(t, 1, wire.OpMulti, &wire.MultiRequest{Ops: []wire.MultiOp{
+		{Op: wire.OpCheck, Path: "/app/guard", Version: 3},
+		{Op: wire.OpCreate, Path: "/app/item", Data: []byte("secret-a")},
+		{Op: wire.OpSetData, Path: "/app/other", Data: []byte("secret-b"), Version: 1},
+		{Op: wire.OpDelete, Path: "/app/stale", Version: -1},
+	}})
+	out, err := entry.ProcessRequest(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req wire.MultiRequest
+	parseRequest(t, out, &req)
+	if len(req.Ops) != 4 {
+		t.Fatalf("ops = %d", len(req.Ops))
+	}
+	plains := []string{"/app/guard", "/app/item", "/app/other", "/app/stale"}
+	for i, op := range req.Ops {
+		if strings.Contains(op.Path, "app") || strings.Contains(op.Path, "guard") ||
+			strings.Contains(op.Path, "item") || strings.Contains(op.Path, "stale") {
+			t.Fatalf("sub %d path not encrypted: %q", i, op.Path)
+		}
+		plain, err := codec.DecryptPath(op.Path)
+		if err != nil || plain != plains[i] {
+			t.Fatalf("sub %d decrypt = %q, %v", i, plain, err)
+		}
+	}
+	if bytes.Contains(req.Ops[1].Data, []byte("secret-a")) || bytes.Contains(req.Ops[2].Data, []byte("secret-b")) {
+		t.Fatal("payloads not encrypted")
+	}
+	// Payloads decrypt only under their own path binding.
+	if got, err := codec.DecryptPayload("/app/item", req.Ops[1].Data); err != nil || !bytes.Equal(got, []byte("secret-a")) {
+		t.Fatalf("create payload = %q, %v", got, err)
+	}
+	if _, err := codec.DecryptPayload("/app/other", req.Ops[1].Data); err == nil {
+		t.Fatal("payload binding did not pin the sub-op path")
+	}
+	// Versions and flags pass through untouched.
+	if req.Ops[0].Version != 3 || req.Ops[2].Version != 1 || req.Ops[3].Version != -1 {
+		t.Fatalf("versions mangled: %+v", req.Ops)
+	}
+}
+
+// TestEntryMultiResponseDecryptsResults: created paths decrypt, stat
+// lengths surface plaintext sizes, and an aborted multi's error body
+// passes through for the client's per-op results.
+func TestEntryMultiResponseDecryptsResults(t *testing.T) {
+	_, entry, _, codec := testSetup(t)
+	// Arm the FIFO queue with the multi request.
+	msg := request(t, 2, wire.OpMulti, &wire.MultiRequest{Ops: []wire.MultiOp{
+		{Op: wire.OpCreate, Path: "/m/new", Data: []byte("v")},
+		{Op: wire.OpSetData, Path: "/m/old", Data: []byte("w"), Version: -1},
+	}})
+	if _, err := entry.ProcessRequest(msg); err != nil {
+		t.Fatal(err)
+	}
+	encPath, err := codec.EncryptPath("/m/new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctLen := int32(skcrypto.EncryptedPayloadLen(1))
+	resp := wire.MarshalPair(
+		&wire.ReplyHeader{Xid: 2, Zxid: 11, Err: wire.ErrOK},
+		&wire.MultiResponse{Results: []wire.MultiOpResult{
+			{Op: wire.OpCreate, Path: encPath, Stat: wire.Stat{DataLength: ctLen}},
+			{Op: wire.OpSetData, Stat: wire.Stat{Version: 4, DataLength: ctLen}},
+		}},
+	)
+	plainResp, err := entry.ProcessResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := wire.NewDecoder(plainResp)
+	var hdr wire.ReplyHeader
+	if err := hdr.Deserialize(d); err != nil {
+		t.Fatal(err)
+	}
+	var body wire.MultiResponse
+	if err := body.Deserialize(d); err != nil {
+		t.Fatal(err)
+	}
+	if body.Results[0].Path != "/m/new" {
+		t.Fatalf("created path = %q", body.Results[0].Path)
+	}
+	for i, r := range body.Results {
+		if r.Stat.DataLength != 1 {
+			t.Fatalf("result %d DataLength = %d, want plaintext 1", i, r.Stat.DataLength)
+		}
+	}
+
+	// Aborted multi: error header, error-only body, passes through.
+	msg = request(t, 3, wire.OpMulti, &wire.MultiRequest{Ops: []wire.MultiOp{
+		{Op: wire.OpCheck, Path: "/m/guard", Version: 9},
+	}})
+	if _, err := entry.ProcessRequest(msg); err != nil {
+		t.Fatal(err)
+	}
+	abort := wire.MarshalPair(
+		&wire.ReplyHeader{Xid: 3, Zxid: 12, Err: wire.ErrBadVersion},
+		&wire.MultiResponse{Results: []wire.MultiOpResult{{Op: wire.OpCheck, Err: wire.ErrBadVersion}}},
+	)
+	out, err := entry.ProcessResponse(abort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, abort) {
+		t.Fatal("aborted multi reply must pass through unchanged")
+	}
+	if entry.PendingDepth() != 0 {
+		t.Fatalf("pending depth = %d", entry.PendingDepth())
+	}
+}
+
+// TestEntryMultiResponseTamperDetected: a replica that relabels a
+// result's op code (to steer a ciphertext past decryption) or reshapes
+// the result array gets an integrity-violation reply — the enclave's
+// recorded sub-op queue is the only trusted interpretation.
+func TestEntryMultiResponseTamperDetected(t *testing.T) {
+	_, entry, _, codec := testSetup(t)
+	arm := func(xid int32) {
+		t.Helper()
+		msg := request(t, xid, wire.OpMulti, &wire.MultiRequest{Ops: []wire.MultiOp{
+			{Op: wire.OpCreate, Path: "/t/new", Data: []byte("v")},
+		}})
+		if _, err := entry.ProcessRequest(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	encPath, err := codec.EncryptPath("/t/new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectIntegrity := func(resp []byte) {
+		t.Helper()
+		out, err := entry.ProcessResponse(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := wire.NewDecoder(out)
+		var hdr wire.ReplyHeader
+		if err := hdr.Deserialize(d); err != nil {
+			t.Fatal(err)
+		}
+		if hdr.Err != wire.ErrIntegrity {
+			t.Fatalf("tampered multi surfaced %v, want INTEGRITY", hdr.Err)
+		}
+	}
+
+	// Relabelled op: the Create result claims to be a Delete, which
+	// would skip path decryption and leak ciphertext to the client.
+	arm(10)
+	expectIntegrity(wire.MarshalPair(
+		&wire.ReplyHeader{Xid: 10, Err: wire.ErrOK},
+		&wire.MultiResponse{Results: []wire.MultiOpResult{
+			{Op: wire.OpDelete, Path: encPath},
+		}},
+	))
+
+	// Reshaped result array: wrong cardinality.
+	arm(11)
+	expectIntegrity(wire.MarshalPair(
+		&wire.ReplyHeader{Xid: 11, Err: wire.ErrOK},
+		&wire.MultiResponse{Results: []wire.MultiOpResult{
+			{Op: wire.OpCreate, Path: encPath},
+			{Op: wire.OpCheck},
+		}},
+	))
+}

@@ -1,0 +1,7 @@
+package server
+
+import "context"
+
+// ctxbg is the background context shared by tests that exercise no
+// cancellation behaviour.
+var ctxbg = context.Background()

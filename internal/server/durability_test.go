@@ -56,7 +56,7 @@ func TestReplicaRestartRecoversState(t *testing.T) {
 	r1 := newDurableSingle(t, net1, dir)
 	cl := connectTo(t, r1)
 	for i := 0; i < 25; i++ {
-		if _, err := cl.Create(fmt.Sprintf("/d%02d", i), []byte{byte(i)}, 0); err != nil {
+		if _, err := cl.Create(ctxbg, fmt.Sprintf("/d%02d", i), []byte{byte(i)}, 0); err != nil {
 			t.Fatalf("create %d: %v", i, err)
 		}
 	}
@@ -84,11 +84,11 @@ func TestReplicaRestartRecoversState(t *testing.T) {
 	// higher zxids.
 	cl2 := connectTo(t, r2)
 	defer cl2.Close()
-	data, _, err := cl2.Get("/d07")
+	data, _, err := cl2.Get(ctxbg, "/d07")
 	if err != nil || !bytes.Equal(data, []byte{7}) {
 		t.Fatalf("recovered read = %v, %v", data, err)
 	}
-	if _, err := cl2.Create("/post-restart", []byte("new"), 0); err != nil {
+	if _, err := cl2.Create(ctxbg, "/post-restart", []byte("new"), 0); err != nil {
 		t.Fatalf("post-restart write: %v", err)
 	}
 }
@@ -141,7 +141,7 @@ func TestDurableFollowerSnapSyncPersists(t *testing.T) {
 	cl := connectTo(t, replicas[leaderIdx])
 	defer cl.Close()
 	for i := 0; i < 10; i++ {
-		if _, err := cl.Create(fmt.Sprintf("/s%02d", i), nil, 0); err != nil {
+		if _, err := cl.Create(ctxbg, fmt.Sprintf("/s%02d", i), nil, 0); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -516,12 +516,65 @@ func (r *Replica) prep(op wire.OpCode, body []byte, sessionID int64) (ztree.Txn,
 		}
 		return ztree.Txn{Type: ztree.TxnSync, Path: req.Path, Session: sessionID}, wire.ErrOK
 
+	case wire.OpMulti:
+		var req wire.MultiRequest
+		if err := wire.Unmarshal(body, &req); err != nil {
+			return ztree.Txn{}, wire.ErrMarshallingError
+		}
+		return r.prepMulti(&req, sessionID)
+
 	case wire.OpCloseSession:
 		return ztree.Txn{Type: ztree.TxnCloseSession, Session: sessionID}, wire.ErrOK
 
 	default:
 		return ztree.Txn{}, wire.ErrUnimplemented
 	}
+}
+
+// prepMulti resolves a MultiRequest into one TxnMulti: every sub-op is
+// statically validated and sequential-node names resolved here on the
+// leader, so the resulting transaction applies deterministically on
+// every replica. Per-sub static failures become TxnError sub-ops — the
+// tree aborts the whole multi on them, preserving per-op results and
+// the all-or-nothing contract.
+func (r *Replica) prepMulti(req *wire.MultiRequest, sessionID int64) (ztree.Txn, wire.ErrCode) {
+	if len(req.Ops) == 0 || len(req.Ops) > wire.MaxMultiOps {
+		return ztree.Txn{}, wire.ErrBadArguments
+	}
+	subs := make([]ztree.Txn, len(req.Ops))
+	for i := range req.Ops {
+		op := &req.Ops[i]
+		switch op.Op {
+		case wire.OpCheck:
+			subs[i] = ztree.Txn{Type: ztree.TxnCheck, Path: op.Path, Version: op.Version, Session: sessionID}
+		case wire.OpCreate:
+			// Path validity is checked by the tree's overlay validation
+			// at apply time (deterministic on every replica); only the
+			// sequence suffix must resolve here on the leader.
+			path := op.Path
+			if op.Flags&wire.FlagSequential != 0 && ztree.ValidatePath(path) == nil {
+				parent, _ := ztree.SplitPath(path)
+				newPath, err := r.cfg.SeqAppend(path, r.nextSeq(parent))
+				if err != nil {
+					// TxnError aborts the multi at apply; ReqOp keeps the
+					// original op code for the per-op result body.
+					subs[i] = ztree.Txn{Type: ztree.TxnError, Err: wire.ErrMarshallingError,
+						ReqOp: op.Op, Session: sessionID}
+					continue
+				}
+				path = newPath
+			}
+			subs[i] = ztree.Txn{Type: ztree.TxnCreate, Path: path, Data: op.Data, Flags: op.Flags, Session: sessionID}
+		case wire.OpDelete:
+			subs[i] = ztree.Txn{Type: ztree.TxnDelete, Path: op.Path, Version: op.Version, Session: sessionID}
+		case wire.OpSetData:
+			subs[i] = ztree.Txn{Type: ztree.TxnSetData, Path: op.Path, Data: op.Data, Version: op.Version, Session: sessionID}
+		default:
+			subs[i] = ztree.Txn{Type: ztree.TxnError, Err: wire.ErrUnimplemented,
+				ReqOp: op.Op, Session: sessionID}
+		}
+	}
+	return ztree.Txn{Type: ztree.TxnMulti, Session: sessionID, Subs: subs}, wire.ErrOK
 }
 
 // restoreFromSync installs a snapshot received from the leader during
@@ -563,7 +616,7 @@ func (r *Replica) deliver(c zab.Committed) {
 	if !ok {
 		return
 	}
-	entry.complete(buildWriteResponse(entry.op, c.Origin.Xid, res))
+	entry.complete(buildWriteResponse(&c.Txn, entry.op, c.Origin.Xid, res))
 	sess.kick()
 }
 
@@ -635,8 +688,17 @@ func (r *Replica) onRoleChange(role zab.Role, leader zab.PeerID) {
 }
 
 // buildWriteResponse renders the reply message for a completed write.
-func buildWriteResponse(op wire.OpCode, xid int32, res *ztree.TxnResult) []byte {
+// The committed transaction is consulted for multi responses, whose
+// per-op results must echo each sub-op's code even when the whole
+// transaction aborted.
+func buildWriteResponse(txn *ztree.Txn, op wire.OpCode, xid int32, res *ztree.TxnResult) []byte {
 	hdr := wire.ReplyHeader{Xid: xid, Zxid: res.Zxid, Err: res.Err}
+	if op == wire.OpMulti {
+		// Multi replies carry their per-op result body even on abort:
+		// the header's error is the failing sub-op's code and the body
+		// tells the client which sub-op failed.
+		return wire.MarshalPair(&hdr, buildMultiResponse(txn, res))
+	}
 	if res.Err != wire.ErrOK {
 		return wire.MarshalPair(&hdr, nil)
 	}
@@ -654,6 +716,44 @@ func buildWriteResponse(op wire.OpCode, xid int32, res *ztree.TxnResult) []byte 
 	default: // DELETE, CLOSE
 		return wire.MarshalPair(&hdr, nil)
 	}
+}
+
+// buildMultiResponse renders per-op results from a TxnMulti outcome.
+func buildMultiResponse(txn *ztree.Txn, res *ztree.TxnResult) *wire.MultiResponse {
+	out := &wire.MultiResponse{Results: make([]wire.MultiOpResult, len(res.Subs))}
+	for i := range res.Subs {
+		sr := &res.Subs[i]
+		mr := wire.MultiOpResult{Err: sr.Err}
+		if i < len(txn.Subs) {
+			switch txn.Subs[i].Type {
+			case ztree.TxnCheck:
+				mr.Op = wire.OpCheck
+			case ztree.TxnCreate:
+				mr.Op = wire.OpCreate
+			case ztree.TxnDelete:
+				mr.Op = wire.OpDelete
+			case ztree.TxnSetData:
+				mr.Op = wire.OpSetData
+			default:
+				// TxnError: prep recorded the original op in ReqOp.
+				mr.Op = txn.Subs[i].ReqOp
+				if mr.Op != wire.OpCheck && mr.Op != wire.OpCreate &&
+					mr.Op != wire.OpDelete && mr.Op != wire.OpSetData {
+					mr.Op = wire.OpCheck
+				}
+			}
+		}
+		if sr.Err == wire.ErrOK {
+			if mr.Op == wire.OpCreate {
+				mr.Path = sr.Path
+			}
+			if sr.Stat != nil {
+				mr.Stat = *sr.Stat
+			}
+		}
+		out.Results[i] = mr
+	}
+	return out
 }
 
 // --- read pipeline ---

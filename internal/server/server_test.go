@@ -88,17 +88,17 @@ func TestBasicOpsAgainstLeaderAndFollower(t *testing.T) {
 	for _, idx := range []int{leaderIdx, followerIdx} {
 		cl := tc.connect(idx, client.Options{})
 		path := fmt.Sprintf("/via-%d", idx)
-		if _, err := cl.Create(path, []byte("v"), 0); err != nil {
+		if _, err := cl.Create(ctxbg, path, []byte("v"), 0); err != nil {
 			t.Fatalf("create via %d: %v", idx, err)
 		}
-		data, stat, err := cl.Get(path)
+		data, stat, err := cl.Get(ctxbg, path)
 		if err != nil || !bytes.Equal(data, []byte("v")) {
 			t.Fatalf("get via %d: %q, %v", idx, data, err)
 		}
 		if stat.Version != 0 {
 			t.Fatalf("version = %d", stat.Version)
 		}
-		if err := cl.Delete(path, -1); err != nil {
+		if err := cl.Delete(ctxbg, path, -1); err != nil {
 			t.Fatal(err)
 		}
 		_ = cl.Close()
@@ -113,7 +113,7 @@ func TestSessionFIFOReadYourWrites(t *testing.T) {
 	cl := tc.connect(0, client.Options{})
 	defer cl.Close()
 
-	if _, err := cl.Create("/fifo", []byte("v0"), 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/fifo", []byte("v0"), 0); err != nil {
 		t.Fatal(err)
 	}
 	const rounds = 30
@@ -146,7 +146,7 @@ func TestSessionFIFOReadYourWrites(t *testing.T) {
 func TestSequentialNodesUniqueUnderContention(t *testing.T) {
 	tc := newTestCluster(t, 3)
 	setup := tc.connect(0, client.Options{})
-	if _, err := setup.Create("/seq", nil, 0); err != nil {
+	if _, err := setup.Create(ctxbg, "/seq", nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	_ = setup.Close()
@@ -161,7 +161,7 @@ func TestSequentialNodesUniqueUnderContention(t *testing.T) {
 			cl := tc.connect(w%3, client.Options{})
 			defer cl.Close()
 			for i := 0; i < each; i++ {
-				p, err := cl.Create("/seq/n-", nil, wire.FlagSequential)
+				p, err := cl.Create(ctxbg, "/seq/n-", nil, wire.FlagSequential)
 				if err != nil {
 					t.Errorf("worker %d: %v", w, err)
 					return
@@ -192,13 +192,13 @@ func TestWatchDeliveredAcrossReplicas(t *testing.T) {
 	writer := tc.connect(2, client.Options{})
 	defer writer.Close()
 
-	if _, err := writer.Create("/w", []byte("a"), 0); err != nil {
+	if _, err := writer.Create(ctxbg, "/w", []byte("a"), 0); err != nil {
 		t.Fatal(err)
 	}
 	// Watch may race the commit propagation to replica 1.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if _, _, err := watcher.GetW("/w"); err == nil {
+		if _, _, _, err := watcher.GetW(ctxbg, "/w"); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -206,7 +206,7 @@ func TestWatchDeliveredAcrossReplicas(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	if _, err := writer.Set("/w", []byte("b"), -1); err != nil {
+	if _, err := writer.Set(ctxbg, "/w", []byte("b"), -1); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -225,13 +225,13 @@ func TestEphemeralCleanupOnDisconnect(t *testing.T) {
 	observer := tc.connect(1, client.Options{})
 	defer observer.Close()
 
-	if _, err := owner.Create("/eph", []byte("x"), wire.FlagEphemeral); err != nil {
+	if _, err := owner.Create(ctxbg, "/eph", []byte("x"), wire.FlagEphemeral); err != nil {
 		t.Fatal(err)
 	}
 	// Visible from another replica.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if _, err := observer.Exists("/eph"); err == nil {
+		if _, err := observer.Exists(ctxbg, "/eph"); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -244,7 +244,7 @@ func TestEphemeralCleanupOnDisconnect(t *testing.T) {
 	// After the owner disconnects the node disappears everywhere.
 	deadline = time.Now().Add(5 * time.Second)
 	for {
-		if _, err := observer.Exists("/eph"); err != nil {
+		if _, err := observer.Exists(ctxbg, "/eph"); err != nil {
 			return // gone
 		}
 		if time.Now().After(deadline) {
@@ -258,16 +258,16 @@ func TestVersionConflictsSurface(t *testing.T) {
 	tc := newTestCluster(t, 3)
 	cl := tc.connect(0, client.Options{})
 	defer cl.Close()
-	if _, err := cl.Create("/v", []byte("a"), 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/v", []byte("a"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Set("/v", []byte("b"), 42); err == nil {
+	if _, err := cl.Set(ctxbg, "/v", []byte("b"), 42); err == nil {
 		t.Fatal("bad version SET must fail")
 	}
-	if err := cl.Delete("/v", 42); err == nil {
+	if err := cl.Delete(ctxbg, "/v", 42); err == nil {
 		t.Fatal("bad version DELETE must fail")
 	}
-	if _, err := cl.Set("/v", []byte("b"), 0); err != nil {
+	if _, err := cl.Set(ctxbg, "/v", []byte("b"), 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -277,22 +277,22 @@ func TestErrorReplies(t *testing.T) {
 	cl := tc.connect(0, client.Options{})
 	defer cl.Close()
 
-	if _, _, err := cl.Get("/missing"); err == nil {
+	if _, _, err := cl.Get(ctxbg, "/missing"); err == nil {
 		t.Fatal("GET missing must fail")
 	}
-	if _, err := cl.Create("/missing/child", nil, 0); err == nil {
+	if _, err := cl.Create(ctxbg, "/missing/child", nil, 0); err == nil {
 		t.Fatal("CREATE under missing parent must fail")
 	}
-	if _, err := cl.Create("/dup", nil, 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/dup", nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Create("/dup", nil, 0); err == nil {
+	if _, err := cl.Create(ctxbg, "/dup", nil, 0); err == nil {
 		t.Fatal("duplicate CREATE must fail")
 	}
-	if _, err := cl.Children("/missing"); err == nil {
+	if _, err := cl.Children(ctxbg, "/missing"); err == nil {
 		t.Fatal("LS missing must fail")
 	}
-	if _, err := cl.Create("bad-relative-path", nil, 0); err == nil {
+	if _, err := cl.Create(ctxbg, "bad-relative-path", nil, 0); err == nil {
 		t.Fatal("relative path must fail")
 	}
 }
@@ -301,7 +301,7 @@ func TestSyncOperation(t *testing.T) {
 	tc := newTestCluster(t, 3)
 	cl := tc.connect(1, client.Options{})
 	defer cl.Close()
-	if err := cl.Sync("/"); err != nil {
+	if err := cl.Sync(ctxbg, "/"); err != nil {
 		t.Fatalf("sync: %v", err)
 	}
 }
@@ -317,7 +317,7 @@ func TestReplicasConvergeUnderLoad(t *testing.T) {
 			defer cl.Close()
 			for i := 0; i < 30; i++ {
 				path := fmt.Sprintf("/load-%d-%d", w, i)
-				if _, err := cl.Create(path, []byte("x"), 0); err != nil {
+				if _, err := cl.Create(ctxbg, path, []byte("x"), 0); err != nil {
 					t.Errorf("create %s: %v", path, err)
 					return
 				}
@@ -346,10 +346,10 @@ func TestOpsCounters(t *testing.T) {
 	tc := newTestCluster(t, 1)
 	cl := tc.connect(0, client.Options{})
 	defer cl.Close()
-	if _, err := cl.Create("/ops", nil, 0); err != nil {
+	if _, err := cl.Create(ctxbg, "/ops", nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := cl.Get("/ops"); err != nil {
+	if _, _, err := cl.Get(ctxbg, "/ops"); err != nil {
 		t.Fatal(err)
 	}
 	reads, writes := tc.replicas[0].Ops()
@@ -376,7 +376,7 @@ func TestInterceptorErrorKillsSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, _, err := cl.Get("/x"); err == nil {
+	if _, _, err := cl.Get(ctxbg, "/x"); err == nil {
 		t.Fatal("request through rejecting interceptor must fail")
 	}
 	select {

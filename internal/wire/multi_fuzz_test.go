@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMultiRequestDecode hammers the multi-request decoder with
+// arbitrary frames: it must never panic, never allocate past the
+// MaxMultiOps bound, and everything it accepts must re-encode
+// canonically (decode∘encode is the identity on accepted frames).
+func FuzzMultiRequestDecode(f *testing.F) {
+	f.Add(Marshal(sampleMultiRequest()))
+	f.Add(Marshal(&MultiRequest{}))
+	f.Add(Marshal(&MultiRequest{Ops: []MultiOp{{Op: OpCheck, Path: "/", Version: -1}}}))
+	f.Add([]byte{0, 0, 0, 1})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req MultiRequest
+		if err := Unmarshal(data, &req); err != nil {
+			return
+		}
+		if len(req.Ops) > MaxMultiOps {
+			t.Fatalf("decoded %d ops past the bound", len(req.Ops))
+		}
+		re := Marshal(&req)
+		var again MultiRequest
+		if err := Unmarshal(re, &again); err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if !bytes.Equal(re, Marshal(&again)) {
+			t.Fatal("re-encoding is not canonical")
+		}
+	})
+}
+
+// FuzzMultiResponseDecode is the response-side twin.
+func FuzzMultiResponseDecode(f *testing.F) {
+	f.Add(Marshal(&MultiResponse{Results: []MultiOpResult{
+		{Op: OpCreate, Path: "/a", Stat: Stat{Version: 1}},
+		{Op: OpCheck, Err: ErrBadVersion},
+	}}))
+	f.Add(Marshal(&MultiResponse{}))
+	f.Add([]byte{0, 0, 0, 2, 0, 0, 0, 13})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var resp MultiResponse
+		if err := Unmarshal(data, &resp); err != nil {
+			return
+		}
+		if len(resp.Results) > MaxMultiOps {
+			t.Fatalf("decoded %d results past the bound", len(resp.Results))
+		}
+		re := Marshal(&resp)
+		var again MultiResponse
+		if err := Unmarshal(re, &again); err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+	})
+}

@@ -23,6 +23,8 @@ const (
 	OpGetChildren  OpCode = 8
 	OpSync         OpCode = 9
 	OpPing         OpCode = 11
+	OpCheck        OpCode = 13 // only valid as a sub-op inside a multi
+	OpMulti        OpCode = 14
 	OpCloseSession OpCode = -11
 	OpError        OpCode = -1
 )
@@ -48,6 +50,10 @@ func (op OpCode) String() string {
 		return "SYNC"
 	case OpPing:
 		return "PING"
+	case OpCheck:
+		return "CHECK"
+	case OpMulti:
+		return "MULTI"
 	case OpCloseSession:
 		return "CLOSE"
 	case OpError:
@@ -61,7 +67,7 @@ func (op OpCode) String() string {
 // therefore be agreed through the atomic broadcast protocol.
 func (op OpCode) IsWrite() bool {
 	switch op {
-	case OpCreate, OpDelete, OpSetData, OpCloseSession:
+	case OpCreate, OpDelete, OpSetData, OpMulti, OpCloseSession:
 		return true
 	default:
 		return false

@@ -502,6 +502,8 @@ func RequestBody(op OpCode) Record {
 		return &GetChildrenRequest{}
 	case OpSync:
 		return &SyncRequest{}
+	case OpMulti:
+		return &MultiRequest{}
 	default:
 		return nil
 	}
@@ -523,6 +525,8 @@ func ResponseBody(op OpCode) Record {
 		return &GetChildrenResponse{}
 	case OpSync:
 		return &SyncResponse{}
+	case OpMulti:
+		return &MultiResponse{}
 	default:
 		return nil
 	}

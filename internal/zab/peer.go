@@ -212,6 +212,9 @@ type Peer struct {
 	electionDue  time.Time
 	finalizeDue  time.Time // grace deadline for a quorum-but-not-unanimous tally
 	followTarget PeerID
+	// peerScratch is the reusable fan-out target list handed to
+	// SendToMany (loop-owned, rebuilt before every use).
+	peerScratch []PeerID
 	// leaderSynced records whether the followed leader has answered our
 	// FOLLOWERINFO with a sync. Until it does, the tick re-sends the
 	// FOLLOWERINFO: the first one races the leader's own activation (it
@@ -390,18 +393,36 @@ func (p *Peer) startElection() {
 	p.checkElection()
 }
 
-func (p *Peer) broadcastVote() {
+// otherPeers rebuilds the scratch list with every ensemble member but
+// this one.
+func (p *Peer) otherPeers() []PeerID {
+	p.peerScratch = p.peerScratch[:0]
 	for _, id := range p.cfg.Peers {
-		if id == p.cfg.ID {
-			continue
+		if id != p.cfg.ID {
+			p.peerScratch = append(p.peerScratch, id)
 		}
-		_ = p.cfg.Transport.Send(id, Message{
-			Kind:     KindVote,
-			Epoch:    p.myVote.round,
-			VoteFor:  p.myVote.for_,
-			VoteZxid: p.myVote.zxid,
-		})
 	}
+	return p.peerScratch
+}
+
+// syncedFollowers rebuilds the scratch list with every synced follower.
+func (p *Peer) syncedFollowers() []PeerID {
+	p.peerScratch = p.peerScratch[:0]
+	for id := range p.synced {
+		if id != p.cfg.ID {
+			p.peerScratch = append(p.peerScratch, id)
+		}
+	}
+	return p.peerScratch
+}
+
+func (p *Peer) broadcastVote() {
+	SendToMany(p.cfg.Transport, p.otherPeers(), Message{
+		Kind:     KindVote,
+		Epoch:    p.myVote.round,
+		VoteFor:  p.myVote.for_,
+		VoteZxid: p.myVote.zxid,
+	})
 }
 
 func (p *Peer) handleVote(msg Message) {
@@ -720,15 +741,11 @@ func (p *Peer) flushProposals() {
 	copy(frame, p.batch)
 	p.batch = p.batch[:0]
 	bound := p.lastCommitted()
-	frames := int64(0)
-	for id := range p.synced {
-		if id == p.cfg.ID {
-			continue
-		}
-		_ = p.cfg.Transport.Send(id, Message{Kind: KindProposeBatch, Epoch: p.epoch, Zxid: bound, Batch: frame})
-		frames++
-	}
-	if frames > 0 {
+	followers := p.syncedFollowers()
+	// Encode-once fan-out: a multicast-capable transport (the TCP mesh)
+	// serializes this frame a single time for all followers.
+	SendToMany(p.cfg.Transport, followers, Message{Kind: KindProposeBatch, Epoch: p.epoch, Zxid: bound, Batch: frame})
+	if frames := int64(len(followers)); frames > 0 {
 		p.statsMu.Lock()
 		p.stats.ProposeFrames += frames
 		p.statsMu.Unlock()
@@ -881,13 +898,7 @@ func (p *Peer) advanceCommits() {
 	if !committed {
 		return
 	}
-	bound := p.lastCommitted()
-	for id := range p.synced {
-		if id == p.cfg.ID {
-			continue
-		}
-		_ = p.cfg.Transport.Send(id, Message{Kind: KindCommit, Zxid: bound})
-	}
+	SendToMany(p.cfg.Transport, p.syncedFollowers(), Message{Kind: KindCommit, Zxid: p.lastCommitted()})
 }
 
 func (p *Peer) handleCommit(msg Message) {
@@ -963,13 +974,7 @@ func (p *Peer) tick(now time.Time) {
 	switch p.Role() {
 	case RoleLeading:
 		p.flushProposals() // defensive: no batch should survive a loop iteration
-		committed := p.lastCommitted()
-		for _, id := range p.cfg.Peers {
-			if id == p.cfg.ID {
-				continue
-			}
-			_ = p.cfg.Transport.Send(id, Message{Kind: KindPing, Epoch: p.epoch, Zxid: committed})
-		}
+		SendToMany(p.cfg.Transport, p.otherPeers(), Message{Kind: KindPing, Epoch: p.epoch, Zxid: p.lastCommitted()})
 		// Abdicate if a quorum has gone silent.
 		alive := 1
 		for id, t := range p.lastHeard {

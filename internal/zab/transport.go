@@ -19,6 +19,36 @@ type Transport interface {
 	Close() error
 }
 
+// MultiSender is an optional Transport capability: deliver the SAME
+// message to several peers with the encoding performed once. The TCP
+// mesh implements it (the leader's PROPOSE batches and snapshots are
+// serialized once and the shared immutable frame enqueued on every
+// link); transports without it fall back to per-peer Send. Delivery
+// stays best-effort and independent per peer — one unreachable peer
+// must not prevent delivery to the others.
+type MultiSender interface {
+	// SendMany delivers msg to every listed peer. The returned error
+	// reflects only total failure (e.g. the transport is closed);
+	// per-peer unreachability is not reported, matching Send's
+	// best-effort loss model.
+	SendMany(to []PeerID, msg Message) error
+}
+
+// SendToMany fans one message out: through the transport's MultiSender
+// fast path when available (encode once), per-peer Send otherwise.
+func SendToMany(t Transport, to []PeerID, msg Message) {
+	if len(to) == 0 {
+		return
+	}
+	if ms, ok := t.(MultiSender); ok {
+		_ = ms.SendMany(to, msg)
+		return
+	}
+	for _, id := range to {
+		_ = t.Send(id, msg)
+	}
+}
+
 // ErrPeerUnreachable indicates the destination is partitioned or down.
 var ErrPeerUnreachable = errors.New("zab: peer unreachable")
 

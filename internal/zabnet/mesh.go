@@ -141,7 +141,10 @@ type Mesh struct {
 	wg        sync.WaitGroup
 }
 
-var _ zab.Transport = (*Mesh)(nil)
+var (
+	_ zab.Transport   = (*Mesh)(nil)
+	_ zab.MultiSender = (*Mesh)(nil)
+)
 
 // link is one live TCP connection to a peer.
 type link struct {
@@ -221,12 +224,48 @@ func (m *Mesh) Send(to zab.PeerID, msg zab.Message) error {
 		return zab.ErrPeerUnreachable
 	}
 	msg.From = m.cfg.ID
-	frames := encodeFrames(&msg, m.cfg.ChunkBytes)
+	return l.enqueue(encodeFrames(&msg, m.cfg.ChunkBytes))
+}
+
+// SendMany implements zab.MultiSender: the message is serialized ONCE
+// and the resulting immutable frames are enqueued on every requested
+// link. Outboxed frames are never mutated (the writer goroutine only
+// reads them), so all links can share the same backing arrays — for a
+// PROPOSE batch or snapshot fan-out in an n-replica ensemble this
+// removes n-1 redundant encodings of the same payload. Per-peer
+// delivery stays best-effort and independent, exactly like Send.
+func (m *Mesh) SendMany(to []zab.PeerID, msg zab.Message) error {
+	select {
+	case <-m.closed:
+		return ErrMeshClosed
+	default:
+	}
+	msg.From = m.cfg.ID
+	var frames [][]byte // encoded lazily: the peer list may hold no live link
+	for _, id := range to {
+		if id == m.cfg.ID {
+			continue
+		}
+		l := m.link(id)
+		if l == nil {
+			continue
+		}
+		if frames == nil {
+			frames = encodeFrames(&msg, m.cfg.ChunkBytes)
+		}
+		_ = l.enqueue(frames)
+	}
+	return nil
+}
+
+// enqueue appends a message's frames to the link's outbox atomically:
+// either every fragment is queued or none is (the receiver's
+// reassembly depends on fragment contiguity, which sendMu guarantees).
+func (l *link) enqueue(frames [][]byte) error {
 	l.sendMu.Lock()
 	defer l.sendMu.Unlock()
 	// The outbox is only written under sendMu, so this capacity check
-	// makes the whole multi-frame enqueue atomic: either every fragment
-	// of a message is queued or none is.
+	// makes the whole multi-frame enqueue atomic.
 	if len(l.outbox)+len(frames) > cap(l.outbox) {
 		return zab.ErrPeerUnreachable
 	}

@@ -1,0 +1,95 @@
+package zabnet
+
+import (
+	"testing"
+	"time"
+
+	"securekeeper/internal/zab"
+	"securekeeper/internal/ztree"
+)
+
+// TestMeshSendMany: one SendMany call delivers the same message to
+// every listed peer; self and unknown ids are skipped silently, and
+// per-peer delivery is independent (a dead link does not prevent the
+// others' delivery).
+func TestMeshSendMany(t *testing.T) {
+	meshes := newTestMeshes(t, 4, nil)
+	waitFor(t, 5*time.Second, "full mesh", func() bool {
+		for _, m := range meshes {
+			for id := zab.PeerID(1); id <= 4; id++ {
+				if id != m.ID() && !m.Connected(id) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+
+	txn := &ztree.Txn{Zxid: 7, Type: ztree.TxnSetData, Path: "/fan", Data: []byte("out")}
+	msg := zab.Message{
+		Kind:  zab.KindProposeBatch,
+		Epoch: 1,
+		Zxid:  6,
+		Batch: []zab.ProposalRecord{{Txn: *txn}},
+	}
+	// Include self (1) and a bogus peer: both skipped without error.
+	if err := meshes[0].SendMany([]zab.PeerID{1, 2, 3, 4, 99}, msg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		select {
+		case got := <-meshes[i].Receive():
+			if got.Kind != zab.KindProposeBatch || got.From != 1 || len(got.Batch) != 1 ||
+				got.Batch[0].Txn.Path != "/fan" || string(got.Batch[0].Txn.Data) != "out" {
+				t.Fatalf("peer %d got %+v", i+1, got)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("peer %d never received the multicast", i+1)
+		}
+	}
+	select {
+	case got := <-meshes[0].Receive():
+		t.Fatalf("sender received its own multicast: %+v", got)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// SendToMany falls back to per-peer Send for plain transports and
+	// uses the mesh fast path here — both must deliver.
+	zab.SendToMany(meshes[1], []zab.PeerID{1, 3}, zab.Message{Kind: zab.KindPing, Zxid: 42})
+	for _, i := range []int{0, 2} {
+		select {
+		case got := <-meshes[i].Receive():
+			if got.Kind != zab.KindPing || got.From != 2 || got.Zxid != 42 {
+				t.Fatalf("peer %d got %+v", i+1, got)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("peer %d never received the ping", i+1)
+		}
+	}
+
+	// Closed mesh refuses.
+	_ = meshes[3].Close()
+	if err := meshes[3].SendMany([]zab.PeerID{1}, zab.Message{Kind: zab.KindPing}); err != ErrMeshClosed {
+		t.Fatalf("SendMany on closed mesh = %v", err)
+	}
+}
+
+// TestNetworkSendToManyFallback: the in-process transport has no
+// MultiSender; SendToMany must fan out per peer.
+func TestNetworkSendToManyFallback(t *testing.T) {
+	net := zab.NewNetwork()
+	e1 := net.Endpoint(1)
+	e2 := net.Endpoint(2)
+	e3 := net.Endpoint(3)
+	zab.SendToMany(e1, []zab.PeerID{2, 3}, zab.Message{Kind: zab.KindCommit, Zxid: 9})
+	for i, e := range []*zab.NetworkEndpoint{e2, e3} {
+		select {
+		case got := <-e.Receive():
+			if got.Kind != zab.KindCommit || got.Zxid != 9 || got.From != 1 {
+				t.Fatalf("endpoint %d got %+v", i+2, got)
+			}
+		default:
+			t.Fatalf("endpoint %d empty", i+2)
+		}
+	}
+}

@@ -221,7 +221,7 @@ func (t *Tree) Create(path string, data []byte, flags wire.CreateFlags, owner in
 	if path == "/" {
 		return nil, wire.ErrNodeExists.Error()
 	}
-	parentPath, name := SplitPath(path)
+	parentPath, _ := SplitPath(path)
 
 	parentShard, childShard, unlock := t.lockPair(parentPath, path)
 	parent, ok := parentShard.nodes[parentPath]
@@ -238,6 +238,20 @@ func (t *Tree) Create(path string, data []byte, flags wire.CreateFlags, owner in
 		return nil, wire.ErrNodeExists.Error()
 	}
 
+	stat := t.createNodeLocked(parent, path, data, flags, owner, zxid)
+	unlock()
+
+	t.watches.trigger(path, wire.EventNodeCreated)
+	t.watches.trigger(parentPath, wire.EventNodeChildrenChanged)
+	return stat, nil
+}
+
+// createNodeLocked performs the mutation core of Create: the caller
+// has validated the operation and holds write locks covering both the
+// path's and the parent's shards. Shared by Create and the multi-op
+// apply path so the two can never drift.
+func (t *Tree) createNodeLocked(parent *node, path string, data []byte, flags wire.CreateFlags, owner, zxid int64) *wire.Stat {
+	_, name := SplitPath(path)
 	now := t.timestamp()
 	n := &node{
 		data:     cloneBytes(data),
@@ -262,17 +276,13 @@ func (t *Tree) Create(path string, data []byte, flags wire.CreateFlags, owner in
 		set[path] = struct{}{}
 		t.ephMu.Unlock()
 	}
-	childShard.nodes[path] = n
+	t.shardFor(path).nodes[path] = n
 	parent.children[name] = struct{}{}
 	parent.stat.Cversion++
 	parent.stat.Pzxid = zxid
 	parent.stat.NumChildren = int32(len(parent.children))
 	stat := n.stat
-	unlock()
-
-	t.watches.trigger(path, wire.EventNodeCreated)
-	t.watches.trigger(parentPath, wire.EventNodeChildrenChanged)
-	return &stat, nil
+	return &stat
 }
 
 // Delete removes a znode if version matches (-1 matches any) and it has
@@ -284,9 +294,9 @@ func (t *Tree) Delete(path string, version int32, zxid int64) error {
 	if path == "/" {
 		return wire.ErrBadArguments.Error()
 	}
-	parentPath, name := SplitPath(path)
+	parentPath, _ := SplitPath(path)
 
-	parentShard, childShard, unlock := t.lockPair(parentPath, path)
+	_, childShard, unlock := t.lockPair(parentPath, path)
 	n, ok := childShard.nodes[path]
 	if !ok {
 		unlock()
@@ -300,7 +310,21 @@ func (t *Tree) Delete(path string, version int32, zxid int64) error {
 		unlock()
 		return wire.ErrNotEmpty.Error()
 	}
-	delete(childShard.nodes, path)
+	t.deleteNodeLocked(n, path, zxid)
+	unlock()
+
+	t.watches.trigger(path, wire.EventNodeDeleted)
+	t.watches.trigger(parentPath, wire.EventNodeChildrenChanged)
+	return nil
+}
+
+// deleteNodeLocked performs the mutation core of Delete: the caller
+// has validated the operation and holds write locks covering both the
+// path's and the parent's shards. Shared by Delete and the multi-op
+// apply path.
+func (t *Tree) deleteNodeLocked(n *node, path string, zxid int64) {
+	parentPath, name := SplitPath(path)
+	delete(t.shardFor(path).nodes, path)
 	if n.stat.EphemeralOwner != 0 {
 		t.ephMu.Lock()
 		if set, ok := t.ephemeral[n.stat.EphemeralOwner]; ok {
@@ -311,17 +335,12 @@ func (t *Tree) Delete(path string, version int32, zxid int64) error {
 		}
 		t.ephMu.Unlock()
 	}
-	if parent, ok := parentShard.nodes[parentPath]; ok {
+	if parent, ok := t.shardFor(parentPath).nodes[parentPath]; ok {
 		delete(parent.children, name)
 		parent.stat.Cversion++
 		parent.stat.Pzxid = zxid
 		parent.stat.NumChildren = int32(len(parent.children))
 	}
-	unlock()
-
-	t.watches.trigger(path, wire.EventNodeDeleted)
-	t.watches.trigger(parentPath, wire.EventNodeChildrenChanged)
-	return nil
 }
 
 // SetData replaces a znode's payload if version matches (-1 matches any).
@@ -340,16 +359,24 @@ func (t *Tree) SetData(path string, data []byte, version int32, zxid int64) (*wi
 		s.mu.Unlock()
 		return nil, wire.ErrBadVersion.Error()
 	}
+	stat := t.setNodeLocked(n, data, zxid)
+	s.mu.Unlock()
+
+	t.watches.trigger(path, wire.EventNodeDataChanged)
+	return stat, nil
+}
+
+// setNodeLocked performs the mutation core of SetData: the caller has
+// validated the operation and holds the node's shard write lock.
+// Shared by SetData and the multi-op apply path.
+func (t *Tree) setNodeLocked(n *node, data []byte, zxid int64) *wire.Stat {
 	n.data = cloneBytes(data)
 	n.stat.Version++
 	n.stat.Mzxid = zxid
 	n.stat.Mtime = t.timestamp()
 	n.stat.DataLength = int32(len(data))
 	stat := n.stat
-	s.mu.Unlock()
-
-	t.watches.trigger(path, wire.EventNodeDataChanged)
-	return &stat, nil
+	return &stat
 }
 
 // GetData returns a copy of the payload and the Stat.

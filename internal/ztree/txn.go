@@ -17,7 +17,25 @@ const (
 	TxnCloseSession
 	TxnSync  // no-op transaction giving SYNC its linearization point
 	TxnError // a write that failed validation; committed so FIFO order holds
+	TxnCheck // version assertion; only meaningful as a sub-op of TxnMulti
+	TxnMulti // atomic multi-op transaction: Subs applied all-or-nothing
 )
+
+// MaxMultiSubs bounds the sub-transactions of one TxnMulti on the
+// decode side. It IS wire.MaxMultiOps — the leader preps one sub-txn
+// per accepted multi op, so a second independent literal could drift
+// and make followers reject committed proposal frames.
+const MaxMultiSubs = wire.MaxMultiOps
+
+// validSubType reports whether a TxnType may appear inside a TxnMulti.
+func validSubType(t TxnType) bool {
+	switch t {
+	case TxnCreate, TxnDelete, TxnSetData, TxnCheck, TxnError:
+		return true
+	default:
+		return false
+	}
+}
 
 // Txn is a deterministic state-machine command. The leader validates
 // client requests, converts them to Txns (resolving sequential-node
@@ -32,10 +50,20 @@ type Txn struct {
 	Version int32
 	Session int64
 	Err     wire.ErrCode // for TxnError: the validation error to report
+	// ReqOp records the client op code a TxnError sub-transaction was
+	// prepped from, so the multi response can still label the per-op
+	// result correctly. Zero elsewhere.
+	ReqOp wire.OpCode
+	// Subs are the sub-transactions of a TxnMulti, applied atomically
+	// in order under the parent's Zxid. Sub-transactions must be flat:
+	// nesting is rejected structurally (their Subs never serialize).
+	Subs []Txn
 }
 
-// Serialize implements wire.Record.
-func (t *Txn) Serialize(e *wire.Encoder) {
+// serializeBase writes the flat fields shared by top-level and sub
+// transactions; Subs are handled only at the top level, which is what
+// makes nested multis unrepresentable on the wire.
+func (t *Txn) serializeBase(e *wire.Encoder) {
 	e.WriteInt64(t.Zxid)
 	e.WriteInt32(int32(t.Type))
 	e.WriteString(t.Path)
@@ -44,10 +72,10 @@ func (t *Txn) Serialize(e *wire.Encoder) {
 	e.WriteInt32(t.Version)
 	e.WriteInt64(t.Session)
 	e.WriteInt32(int32(t.Err))
+	e.WriteInt32(int32(t.ReqOp))
 }
 
-// Deserialize implements wire.Record.
-func (t *Txn) Deserialize(d *wire.Decoder) error {
+func (t *Txn) deserializeBase(d *wire.Decoder) error {
 	var err error
 	if t.Zxid, err = d.ReadInt64(); err != nil {
 		return err
@@ -79,6 +107,51 @@ func (t *Txn) Deserialize(d *wire.Decoder) error {
 		return err
 	}
 	t.Err = wire.ErrCode(code)
+	reqOp, err := d.ReadInt32()
+	if err != nil {
+		return err
+	}
+	t.ReqOp = wire.OpCode(reqOp)
+	return nil
+}
+
+// Serialize implements wire.Record.
+func (t *Txn) Serialize(e *wire.Encoder) {
+	t.serializeBase(e)
+	e.WriteInt32(int32(len(t.Subs)))
+	for i := range t.Subs {
+		t.Subs[i].serializeBase(e)
+	}
+}
+
+// Deserialize implements wire.Record.
+func (t *Txn) Deserialize(d *wire.Decoder) error {
+	if err := t.deserializeBase(d); err != nil {
+		return err
+	}
+	n, err := d.ReadInt32()
+	if err != nil {
+		return err
+	}
+	if n < 0 || n > MaxMultiSubs {
+		return fmt.Errorf("ztree: txn sub count %d out of range [0, %d]", n, MaxMultiSubs)
+	}
+	if n > 0 && t.Type != TxnMulti {
+		return fmt.Errorf("ztree: sub-transactions on non-multi txn type %d", t.Type)
+	}
+	t.Subs = nil
+	if n == 0 {
+		return nil
+	}
+	t.Subs = make([]Txn, n)
+	for i := range t.Subs {
+		if err := t.Subs[i].deserializeBase(d); err != nil {
+			return err
+		}
+		if !validSubType(t.Subs[i].Type) {
+			return fmt.Errorf("ztree: invalid multi sub-txn type %d", t.Subs[i].Type)
+		}
+	}
 	return nil
 }
 
@@ -89,6 +162,10 @@ type TxnResult struct {
 	Stat    *wire.Stat
 	Path    string   // created path for TxnCreate
 	Deleted []string // ephemeral paths removed by TxnCloseSession
+	// Subs carries one result per sub-transaction of a TxnMulti, in
+	// order. On an aborted multi every sub has a non-OK code: the
+	// failing sub its own, the rest ErrRuntimeInconsistency.
+	Subs []TxnResult
 }
 
 // Apply executes a committed transaction against the tree. Apply is
@@ -113,6 +190,12 @@ func (t *Tree) Apply(txn *Txn) *TxnResult {
 		// No state change; the commit itself is the synchronization.
 	case TxnError:
 		res.Err = txn.Err
+	case TxnCheck:
+		stat, err := t.Check(txn.Path, txn.Version)
+		res.Err = toErrCode(err)
+		res.Stat = stat
+	case TxnMulti:
+		return t.applyMulti(txn)
 	default:
 		res.Err = wire.ErrUnimplemented
 	}

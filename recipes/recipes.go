@@ -5,15 +5,23 @@
 // election, group membership, barriers and distributed locks", §2.1) —
 // and they run unchanged against all three cluster variants, including
 // SecureKeeper, because the recipes only use the public client API.
+//
+// The recipes are built on the v2 client API: every blocking primitive
+// takes a context.Context for cancellation/deadline, and waiting is
+// done on per-watch subscription handles (watching the predecessor
+// node, the herd-free ZooKeeper idiom) instead of polling. Multi-node
+// invariants that a single versioned op cannot guard belong in an
+// atomic client Txn (see the configstore example); the counter's
+// single-znode CAS stays a versioned Set.
 package recipes
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
-	"time"
 
 	"securekeeper/internal/client"
 	"securekeeper/internal/wire"
@@ -21,18 +29,13 @@ import (
 
 // Recipe errors.
 var (
-	ErrTimeout   = errors.New("recipes: timed out")
 	ErrNotLocked = errors.New("recipes: lock is not held")
 	ErrAbandoned = errors.New("recipes: election abandoned")
 )
 
-// pollInterval paces the wait loops. Recipes prefer watches where
-// possible and fall back to polling when a watch would race.
-const pollInterval = 2 * time.Millisecond
-
 // EnsurePath creates every element of path that does not yet exist
 // (like `mkdir -p`). Existing nodes are left untouched.
-func EnsurePath(cl *client.Client, path string) error {
+func EnsurePath(ctx context.Context, cl *client.Client, path string) error {
 	if path == "" || path[0] != '/' {
 		return fmt.Errorf("recipes: invalid path %q", path)
 	}
@@ -43,7 +46,7 @@ func EnsurePath(cl *client.Client, path string) error {
 	current := ""
 	for _, elem := range elems {
 		current += "/" + elem
-		if _, err := cl.Create(current, nil, 0); err != nil && !isCode(err, wire.ErrNodeExists) {
+		if _, err := cl.Create(ctx, current, nil, 0); err != nil && !isCode(err, wire.ErrNodeExists) {
 			return fmt.Errorf("recipes: ensure %s: %w", current, err)
 		}
 	}
@@ -55,11 +58,76 @@ func isCode(err error, code wire.ErrCode) bool {
 	return errors.As(err, &pe) && pe.Code == code
 }
 
+// waitWatch blocks until the subscription fires or ctx expires. A
+// closed channel (session over, watch cancelled) counts as a wake-up:
+// the caller re-examines the world either way.
+func waitWatch(ctx context.Context, w *client.Watch) error {
+	defer w.Cancel()
+	select {
+	case <-w.Events():
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// position reports whether node holds the lowest sequence under root
+// and names the immediate predecessor to wait on otherwise. missing is
+// returned when root is empty or node is gone (session expired,
+// resigned) — the sequential-candidate protocol shared by Lock and
+// Election.
+func position(ctx context.Context, cl *client.Client, root, node string, missing error) (first bool, pred string, err error) {
+	kids, err := cl.Children(ctx, root)
+	if err != nil {
+		return false, "", err
+	}
+	if len(kids) == 0 {
+		return false, "", missing
+	}
+	sort.Strings(kids)
+	mine := strings.TrimPrefix(node, root+"/")
+	idx := sort.SearchStrings(kids, mine)
+	if idx >= len(kids) || kids[idx] != mine {
+		return false, "", missing
+	}
+	if idx == 0 {
+		return true, "", nil
+	}
+	return false, root + "/" + kids[idx-1], nil
+}
+
+// awaitFirst blocks until node is the lowest candidate under root,
+// holding a single watch on the immediate predecessor between checks
+// (a release or session death wakes exactly one waiter — no herd).
+func awaitFirst(ctx context.Context, cl *client.Client, root, node string, missing error) error {
+	for {
+		first, pred, err := position(ctx, cl, root, node, missing)
+		if err != nil {
+			return err
+		}
+		if first {
+			return nil
+		}
+		_, w, err := cl.ExistsW(ctx, pred)
+		if err != nil {
+			w.Cancel()
+			if isCode(err, wire.ErrNoNode) {
+				continue // predecessor vanished between listing and watching
+			}
+			return err
+		}
+		if err := waitWatch(ctx, w); err != nil {
+			return err
+		}
+	}
+}
+
 // --- distributed lock ---
 
 // Lock is a distributed mutex built on ephemeral sequential nodes: the
 // holder of the lowest sequence owns the lock; crashing holders release
-// implicitly because their node is ephemeral. This is the recipe that
+// implicitly because their node is ephemeral. Waiters watch only their
+// immediate predecessor (no thundering herd). This is the recipe that
 // exercises SecureKeeper's counter enclave on every acquisition.
 type Lock struct {
 	cl   *client.Client
@@ -68,59 +136,63 @@ type Lock struct {
 }
 
 // NewLock creates a lock rooted at root (created if missing).
-func NewLock(cl *client.Client, root string) (*Lock, error) {
-	if err := EnsurePath(cl, root); err != nil {
+func NewLock(ctx context.Context, cl *client.Client, root string) (*Lock, error) {
+	if err := EnsurePath(ctx, cl, root); err != nil {
 		return nil, err
 	}
 	return &Lock{cl: cl, root: root}, nil
 }
 
+// errLockLost is the Lock recipe's "candidate gone" sentinel.
+var errLockLost = errors.New("recipes: lock candidate disappeared (session expired?)")
+
 // TryLock attempts a non-blocking acquisition.
-func (l *Lock) TryLock() (bool, error) {
-	if err := l.enqueue(); err != nil {
+func (l *Lock) TryLock(ctx context.Context) (bool, error) {
+	if err := l.enqueue(ctx); err != nil {
 		return false, err
 	}
-	first, err := l.amFirst()
+	first, _, err := position(ctx, l.cl, l.root, l.node, errLockLost)
 	if err != nil {
 		return false, err
 	}
 	if !first {
 		// Withdraw the candidacy.
-		_ = l.cl.Delete(l.node, -1)
+		_ = l.cl.Delete(ctx, l.node, -1)
 		l.node = ""
 	}
 	return first, nil
 }
 
-// Lock blocks until the lock is acquired or the timeout expires.
-func (l *Lock) Lock(timeout time.Duration) error {
-	if err := l.enqueue(); err != nil {
+// Lock blocks until the lock is acquired or ctx expires. While
+// waiting it holds a single watch on the immediate predecessor
+// candidate, so a release wakes exactly one waiter.
+func (l *Lock) Lock(ctx context.Context) error {
+	if err := l.enqueue(ctx); err != nil {
 		return err
 	}
-	deadline := time.Now().Add(timeout)
-	for {
-		first, err := l.amFirst()
-		if err != nil {
-			return err
-		}
-		if first {
-			return nil
-		}
-		if time.Now().After(deadline) {
-			_ = l.cl.Delete(l.node, -1)
-			l.node = ""
-			return ErrTimeout
-		}
-		time.Sleep(pollInterval)
+	if err := awaitFirst(ctx, l.cl, l.root, l.node, errLockLost); err != nil {
+		return l.abandon(err)
 	}
+	return nil
+}
+
+// abandon withdraws the candidacy on a failed acquisition. The delete
+// deliberately uses a background context: the candidate must not leak
+// even when the caller's ctx is already cancelled.
+func (l *Lock) abandon(cause error) error {
+	if l.node != "" {
+		_ = l.cl.Delete(context.Background(), l.node, -1)
+		l.node = ""
+	}
+	return cause
 }
 
 // Unlock releases the lock.
-func (l *Lock) Unlock() error {
+func (l *Lock) Unlock(ctx context.Context) error {
 	if l.node == "" {
 		return ErrNotLocked
 	}
-	err := l.cl.Delete(l.node, -1)
+	err := l.cl.Delete(ctx, l.node, -1)
 	l.node = ""
 	return err
 }
@@ -130,11 +202,11 @@ func (l *Lock) Unlock() error {
 // observes every candidate change agreed before the call (ZooKeeper's
 // sync-then-read idiom; a replica-local read may lag other sessions'
 // writes).
-func (l *Lock) Holder() (string, error) {
-	if err := l.cl.Sync(l.root); err != nil {
+func (l *Lock) Holder(ctx context.Context) (string, error) {
+	if err := l.cl.Sync(ctx, l.root); err != nil {
 		return "", err
 	}
-	kids, err := l.cl.Children(l.root)
+	kids, err := l.cl.Children(ctx, l.root)
 	if err != nil {
 		return "", err
 	}
@@ -145,11 +217,11 @@ func (l *Lock) Holder() (string, error) {
 	return kids[0], nil
 }
 
-func (l *Lock) enqueue() error {
+func (l *Lock) enqueue(ctx context.Context) error {
 	if l.node != "" {
 		return nil // already contending or holding
 	}
-	node, err := l.cl.Create(l.root+"/lock-", nil, wire.FlagSequential|wire.FlagEphemeral)
+	node, err := l.cl.Create(ctx, l.root+"/lock-", nil, wire.FlagSequential|wire.FlagEphemeral)
 	if err != nil {
 		return fmt.Errorf("recipes: enqueue lock candidate: %w", err)
 	}
@@ -157,22 +229,11 @@ func (l *Lock) enqueue() error {
 	return nil
 }
 
-func (l *Lock) amFirst() (bool, error) {
-	kids, err := l.cl.Children(l.root)
-	if err != nil {
-		return false, err
-	}
-	if len(kids) == 0 {
-		return false, fmt.Errorf("recipes: lock root emptied under us")
-	}
-	sort.Strings(kids)
-	return l.root+"/"+kids[0] == l.node, nil
-}
-
 // --- leader election ---
 
 // Election implements the leader-election recipe: candidates create
-// ephemeral sequential member nodes; the lowest sequence leads.
+// ephemeral sequential member nodes; the lowest sequence leads. Waiting
+// candidates watch only their immediate predecessor.
 type Election struct {
 	cl   *client.Client
 	root string
@@ -180,11 +241,11 @@ type Election struct {
 }
 
 // NewElection joins an election rooted at root.
-func NewElection(cl *client.Client, root string) (*Election, error) {
-	if err := EnsurePath(cl, root); err != nil {
+func NewElection(ctx context.Context, cl *client.Client, root string) (*Election, error) {
+	if err := EnsurePath(ctx, cl, root); err != nil {
 		return nil, err
 	}
-	node, err := cl.Create(root+"/member-", nil, wire.FlagSequential|wire.FlagEphemeral)
+	node, err := cl.Create(ctx, root+"/member-", nil, wire.FlagSequential|wire.FlagEphemeral)
 	if err != nil {
 		return nil, fmt.Errorf("recipes: volunteer: %w", err)
 	}
@@ -195,47 +256,28 @@ func NewElection(cl *client.Client, root string) (*Election, error) {
 func (e *Election) Node() string { return e.node }
 
 // IsLeader reports whether this candidate currently leads.
-func (e *Election) IsLeader() (bool, error) {
-	kids, err := e.cl.Children(e.root)
-	if err != nil {
-		return false, err
-	}
-	if len(kids) == 0 {
-		return false, ErrAbandoned
-	}
-	sort.Strings(kids)
-	return e.root+"/"+kids[0] == e.node, nil
+func (e *Election) IsLeader(ctx context.Context) (bool, error) {
+	first, _, err := position(ctx, e.cl, e.root, e.node, ErrAbandoned)
+	return first, err
 }
 
-// AwaitLeadership blocks until this candidate leads or the timeout
-// expires.
-func (e *Election) AwaitLeadership(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for {
-		lead, err := e.IsLeader()
-		if err != nil {
-			return err
-		}
-		if lead {
-			return nil
-		}
-		if time.Now().After(deadline) {
-			return ErrTimeout
-		}
-		time.Sleep(pollInterval)
-	}
+// AwaitLeadership blocks until this candidate leads or ctx expires,
+// watching the immediate predecessor rather than polling.
+func (e *Election) AwaitLeadership(ctx context.Context) error {
+	return awaitFirst(ctx, e.cl, e.root, e.node, ErrAbandoned)
 }
 
 // Resign withdraws from the election (a leader resigning hands over to
 // the next candidate).
-func (e *Election) Resign() error {
-	return e.cl.Delete(e.node, -1)
+func (e *Election) Resign(ctx context.Context) error {
+	return e.cl.Delete(ctx, e.node, -1)
 }
 
 // --- barrier ---
 
 // Barrier is a double barrier: participants enter and proceed together
 // once Size of them arrived; they leave together once all exited.
+// Waiting happens on child watches, not polling.
 type Barrier struct {
 	cl   *client.Client
 	root string
@@ -244,89 +286,89 @@ type Barrier struct {
 }
 
 // NewBarrier creates a barrier for size participants rooted at root.
-func NewBarrier(cl *client.Client, root string, size int) (*Barrier, error) {
+func NewBarrier(ctx context.Context, cl *client.Client, root string, size int) (*Barrier, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("recipes: barrier size %d", size)
 	}
-	if err := EnsurePath(cl, root); err != nil {
+	if err := EnsurePath(ctx, cl, root); err != nil {
 		return nil, err
 	}
 	return &Barrier{cl: cl, root: root, size: size}, nil
 }
 
 // Enter registers this participant and blocks until the barrier is
-// full or the timeout expires.
-func (b *Barrier) Enter(name string, timeout time.Duration) error {
+// full or ctx expires.
+func (b *Barrier) Enter(ctx context.Context, name string) error {
 	node := b.root + "/" + name
-	if _, err := b.cl.Create(node, nil, wire.FlagEphemeral); err != nil {
+	if _, err := b.cl.Create(ctx, node, nil, wire.FlagEphemeral); err != nil {
 		return fmt.Errorf("recipes: enter barrier: %w", err)
 	}
 	b.node = node
-	deadline := time.Now().Add(timeout)
 	for {
-		kids, err := b.cl.Children(b.root)
+		kids, w, err := b.cl.ChildrenW(ctx, b.root)
 		if err != nil {
 			return err
 		}
 		if len(kids) >= b.size {
+			w.Cancel()
 			return nil
 		}
-		if time.Now().After(deadline) {
-			_ = b.cl.Delete(node, -1)
-			return ErrTimeout
+		if err := waitWatch(ctx, w); err != nil {
+			_ = b.cl.Delete(context.Background(), node, -1)
+			return err
 		}
-		time.Sleep(pollInterval)
 	}
 }
 
 // Leave deregisters this participant and blocks until everyone left.
-func (b *Barrier) Leave(timeout time.Duration) error {
+func (b *Barrier) Leave(ctx context.Context) error {
 	if b.node != "" {
-		if err := b.cl.Delete(b.node, -1); err != nil && !isCode(err, wire.ErrNoNode) {
+		if err := b.cl.Delete(ctx, b.node, -1); err != nil && !isCode(err, wire.ErrNoNode) {
 			return err
 		}
 		b.node = ""
 	}
-	deadline := time.Now().Add(timeout)
 	for {
-		kids, err := b.cl.Children(b.root)
+		kids, w, err := b.cl.ChildrenW(ctx, b.root)
 		if err != nil {
 			return err
 		}
 		if len(kids) == 0 {
+			w.Cancel()
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return ErrTimeout
+		if err := waitWatch(ctx, w); err != nil {
+			return err
 		}
-		time.Sleep(pollInterval)
 	}
 }
 
 // --- distributed counter ---
 
 // Counter is a distributed counter using versioned compare-and-swap on
-// a single znode.
+// a single znode. A version-guarded Set is already an atomic CAS (one
+// proposal, one shard lock) — a Check+Set multi would be semantically
+// identical but write-lock every tree shard per increment.
 type Counter struct {
 	cl   *client.Client
 	path string
 }
 
 // NewCounter creates (or attaches to) a counter at path.
-func NewCounter(cl *client.Client, path string) (*Counter, error) {
+func NewCounter(ctx context.Context, cl *client.Client, path string) (*Counter, error) {
 	parent, _ := splitPath(path)
-	if err := EnsurePath(cl, parent); err != nil {
+	if err := EnsurePath(ctx, cl, parent); err != nil {
 		return nil, err
 	}
-	if _, err := cl.Create(path, []byte("0"), 0); err != nil && !isCode(err, wire.ErrNodeExists) {
+	if _, err := cl.Create(ctx, path, []byte("0"), 0); err != nil && !isCode(err, wire.ErrNodeExists) {
 		return nil, err
 	}
 	return &Counter{cl: cl, path: path}, nil
 }
 
 // Get returns the current value.
-func (c *Counter) Get() (int64, error) {
-	data, _, err := c.cl.Get(c.path)
+func (c *Counter) Get(ctx context.Context) (int64, error) {
+	data, _, err := c.cl.Get(ctx, c.path)
 	if err != nil {
 		return 0, err
 	}
@@ -335,9 +377,9 @@ func (c *Counter) Get() (int64, error) {
 
 // Add atomically adds delta and returns the new value, retrying on
 // version conflicts (optimistic concurrency).
-func (c *Counter) Add(delta int64) (int64, error) {
+func (c *Counter) Add(ctx context.Context, delta int64) (int64, error) {
 	for attempt := 0; attempt < 100; attempt++ {
-		data, stat, err := c.cl.Get(c.path)
+		data, stat, err := c.cl.Get(ctx, c.path)
 		if err != nil {
 			return 0, err
 		}
@@ -346,7 +388,7 @@ func (c *Counter) Add(delta int64) (int64, error) {
 			return 0, fmt.Errorf("recipes: counter holds %q: %w", data, err)
 		}
 		next := cur + delta
-		if _, err := c.cl.Set(c.path, []byte(strconv.FormatInt(next, 10)), stat.Version); err != nil {
+		if _, err := c.cl.Set(ctx, c.path, []byte(strconv.FormatInt(next, 10)), stat.Version); err != nil {
 			if isCode(err, wire.ErrBadVersion) {
 				continue // raced another increment, retry
 			}
@@ -367,12 +409,12 @@ type Group struct {
 }
 
 // JoinGroup registers this member under root with the given name.
-func JoinGroup(cl *client.Client, root, name string) (*Group, error) {
-	if err := EnsurePath(cl, root); err != nil {
+func JoinGroup(ctx context.Context, cl *client.Client, root, name string) (*Group, error) {
+	if err := EnsurePath(ctx, cl, root); err != nil {
 		return nil, err
 	}
 	node := root + "/" + name
-	if _, err := cl.Create(node, nil, wire.FlagEphemeral); err != nil {
+	if _, err := cl.Create(ctx, node, nil, wire.FlagEphemeral); err != nil {
 		return nil, fmt.Errorf("recipes: join group: %w", err)
 	}
 	return &Group{cl: cl, root: root, node: node}, nil
@@ -381,16 +423,16 @@ func JoinGroup(cl *client.Client, root, name string) (*Group, error) {
 // Members lists the current live members, sorted. Sync-then-read: the
 // membership view includes every join/leave agreed before the call even
 // when this client's replica lags other sessions' writes.
-func (g *Group) Members() ([]string, error) {
-	if err := g.cl.Sync(g.root); err != nil {
+func (g *Group) Members(ctx context.Context) ([]string, error) {
+	if err := g.cl.Sync(ctx, g.root); err != nil {
 		return nil, err
 	}
-	return g.cl.Children(g.root)
+	return g.cl.Children(ctx, g.root)
 }
 
 // Leave deregisters this member.
-func (g *Group) Leave() error {
-	return g.cl.Delete(g.node, -1)
+func (g *Group) Leave(ctx context.Context) error {
+	return g.cl.Delete(ctx, g.node, -1)
 }
 
 func splitPath(path string) (parent, name string) {

@@ -1,6 +1,8 @@
 package recipes
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -40,23 +42,25 @@ func connect(t *testing.T, c *core.Cluster, i int) *client.Client {
 	return cl
 }
 
+var bg = context.Background()
+
 func TestEnsurePath(t *testing.T) {
 	c := newCluster(t)
 	cl := connect(t, c, 0)
-	if err := EnsurePath(cl, "/a/b/c/d"); err != nil {
+	if err := EnsurePath(bg, cl, "/a/b/c/d"); err != nil {
 		t.Fatal(err)
 	}
 	// Idempotent.
-	if err := EnsurePath(cl, "/a/b/c/d"); err != nil {
+	if err := EnsurePath(bg, cl, "/a/b/c/d"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Exists("/a/b/c/d"); err != nil {
+	if _, err := cl.Exists(bg, "/a/b/c/d"); err != nil {
 		t.Fatal(err)
 	}
-	if err := EnsurePath(cl, "relative"); err == nil {
+	if err := EnsurePath(bg, cl, "relative"); err == nil {
 		t.Fatal("relative path must fail")
 	}
-	if err := EnsurePath(cl, "/"); err != nil {
+	if err := EnsurePath(bg, cl, "/"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -75,13 +79,16 @@ func TestLockMutualExclusion(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			cl := connect(t, c, w)
-			lock, err := NewLock(cl, "/locks/m")
+			lock, err := NewLock(bg, cl, "/locks/m")
 			if err != nil {
 				t.Error(err)
 				return
 			}
 			for round := 0; round < 3; round++ {
-				if err := lock.Lock(10 * time.Second); err != nil {
+				ctx, cancel := context.WithTimeout(bg, 10*time.Second)
+				err := lock.Lock(ctx)
+				cancel()
+				if err != nil {
 					t.Errorf("worker %d: %v", w, err)
 					return
 				}
@@ -96,7 +103,7 @@ func TestLockMutualExclusion(t *testing.T) {
 				mu.Lock()
 				inside--
 				mu.Unlock()
-				if err := lock.Unlock(); err != nil {
+				if err := lock.Unlock(bg); err != nil {
 					t.Errorf("worker %d unlock: %v", w, err)
 					return
 				}
@@ -117,59 +124,63 @@ func TestTryLock(t *testing.T) {
 	clA := connect(t, c, 0)
 	clB := connect(t, c, 1)
 
-	lockA, err := NewLock(clA, "/locks/try")
+	lockA, err := NewLock(bg, clA, "/locks/try")
 	if err != nil {
 		t.Fatal(err)
 	}
-	lockB, err := NewLock(clB, "/locks/try")
+	lockB, err := NewLock(bg, clB, "/locks/try")
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	got, err := lockA.TryLock()
+	got, err := lockA.TryLock(bg)
 	if err != nil || !got {
 		t.Fatalf("first TryLock = %v, %v", got, err)
 	}
-	got, err = lockB.TryLock()
+	got, err = lockB.TryLock(bg)
 	if err != nil || got {
 		t.Fatalf("contended TryLock = %v, %v (want false)", got, err)
 	}
-	if err := lockA.Unlock(); err != nil {
+	if err := lockA.Unlock(bg); err != nil {
 		t.Fatal(err)
 	}
-	got, err = lockB.TryLock()
+	got, err = lockB.TryLock(bg)
 	if err != nil || !got {
 		t.Fatalf("TryLock after release = %v, %v", got, err)
 	}
-	_ = lockB.Unlock()
-	if err := lockB.Unlock(); err != ErrNotLocked {
+	_ = lockB.Unlock(bg)
+	if err := lockB.Unlock(bg); err != ErrNotLocked {
 		t.Fatalf("double unlock = %v", err)
 	}
 }
 
-func TestLockTimeout(t *testing.T) {
+func TestLockContextExpiry(t *testing.T) {
 	c := newCluster(t)
 	clA := connect(t, c, 0)
 	clB := connect(t, c, 1)
-	lockA, _ := NewLock(clA, "/locks/to")
-	lockB, _ := NewLock(clB, "/locks/to")
-	if err := lockA.Lock(5 * time.Second); err != nil {
+	lockA, _ := NewLock(bg, clA, "/locks/to")
+	lockB, _ := NewLock(bg, clB, "/locks/to")
+	ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+	defer cancel()
+	if err := lockA.Lock(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := lockB.Lock(50 * time.Millisecond); err != ErrTimeout {
-		t.Fatalf("err = %v, want ErrTimeout", err)
+	shortCtx, shortCancel := context.WithTimeout(bg, 50*time.Millisecond)
+	defer shortCancel()
+	if err := lockB.Lock(shortCtx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}
 	// The timed-out candidate must have withdrawn: holder is still A.
-	holder, err := lockA.Holder()
+	holder, err := lockA.Holder(bg)
 	if err != nil || holder == "" {
 		t.Fatalf("holder = %q, %v", holder, err)
 	}
 	// Sync-then-read: B's withdrawal committed via B's session; A's
 	// replica-local view needs a sync to be guaranteed to include it.
-	if err := clA.Sync("/locks/to"); err != nil {
+	if err := clA.Sync(bg, "/locks/to"); err != nil {
 		t.Fatal(err)
 	}
-	kids, _ := clA.Children("/locks/to")
+	kids, _ := clA.Children(bg, "/locks/to")
 	if len(kids) != 1 {
 		t.Fatalf("stale candidates remain: %v", kids)
 	}
@@ -182,21 +193,25 @@ func TestLockReleasedOnSessionDeath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lockH, err := NewLock(holder, "/locks/death")
+	lockH, err := NewLock(bg, holder, "/locks/death")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := lockH.Lock(5 * time.Second); err != nil {
+	ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+	defer cancel()
+	if err := lockH.Lock(ctx); err != nil {
 		t.Fatal(err)
 	}
 	// The holder's process dies.
 	_ = holder.Close()
 
-	lockA, err := NewLock(clA, "/locks/death")
+	lockA, err := NewLock(bg, clA, "/locks/death")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := lockA.Lock(10 * time.Second); err != nil {
+	ctx2, cancel2 := context.WithTimeout(bg, 10*time.Second)
+	defer cancel2()
+	if err := lockA.Lock(ctx2); err != nil {
 		t.Fatalf("lock not released by session death: %v", err)
 	}
 }
@@ -206,7 +221,7 @@ func TestElection(t *testing.T) {
 	candidates := make([]*Election, 3)
 	for i := range candidates {
 		cl := connect(t, c, i)
-		e, err := NewElection(cl, "/election/svc")
+		e, err := NewElection(bg, cl, "/election/svc")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +231,7 @@ func TestElection(t *testing.T) {
 	leaders := 0
 	leaderIdx := -1
 	for i, e := range candidates {
-		lead, err := e.IsLeader()
+		lead, err := e.IsLeader(bg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -229,15 +244,19 @@ func TestElection(t *testing.T) {
 		t.Fatalf("leaders = %d", leaders)
 	}
 	// Leader resigns; someone else takes over.
-	if err := candidates[leaderIdx].Resign(); err != nil {
+	if err := candidates[leaderIdx].Resign(bg); err != nil {
 		t.Fatal(err)
 	}
 	next := candidates[(leaderIdx+1)%3]
-	if err := next.AwaitLeadership(10 * time.Second); err != nil {
+	ctx, cancel := context.WithTimeout(bg, 10*time.Second)
+	defer cancel()
+	if err := next.AwaitLeadership(ctx); err != nil {
 		// The successor is the lowest remaining sequence, which may be
 		// the other candidate. Try it too.
 		other := candidates[(leaderIdx+2)%3]
-		if err2 := other.AwaitLeadership(time.Second); err2 != nil {
+		ctx2, cancel2 := context.WithTimeout(bg, time.Second)
+		defer cancel2()
+		if err2 := other.AwaitLeadership(ctx2); err2 != nil {
 			t.Fatalf("no successor: %v / %v", err, err2)
 		}
 	}
@@ -252,15 +271,17 @@ func TestBarrier(t *testing.T) {
 	errCh := make(chan error, n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
+			ctx, cancel := context.WithTimeout(bg, 10*time.Second)
+			defer cancel()
 			cl := connect(t, c, i)
-			b, err := NewBarrier(cl, "/barrier/b1", n)
+			b, err := NewBarrier(ctx, cl, "/barrier/b1", n)
 			if err != nil {
 				errCh <- err
 				entered.Done()
 				left.Done()
 				return
 			}
-			if err := b.Enter(fmt.Sprintf("p%d", i), 10*time.Second); err != nil {
+			if err := b.Enter(ctx, fmt.Sprintf("p%d", i)); err != nil {
 				errCh <- err
 				entered.Done()
 				left.Done()
@@ -268,7 +289,7 @@ func TestBarrier(t *testing.T) {
 			}
 			entered.Done()
 			entered.Wait() // all must have passed Enter together
-			if err := b.Leave(10 * time.Second); err != nil {
+			if err := b.Leave(ctx); err != nil {
 				errCh <- err
 			}
 			left.Done()
@@ -281,17 +302,19 @@ func TestBarrier(t *testing.T) {
 	}
 }
 
-func TestBarrierTimeout(t *testing.T) {
+func TestBarrierContextExpiry(t *testing.T) {
 	c := newCluster(t)
 	cl := connect(t, c, 0)
-	b, err := NewBarrier(cl, "/barrier/short", 2)
+	b, err := NewBarrier(bg, cl, "/barrier/short", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Enter("lonely", 50*time.Millisecond); err != ErrTimeout {
-		t.Fatalf("err = %v, want ErrTimeout", err)
+	ctx, cancel := context.WithTimeout(bg, 50*time.Millisecond)
+	defer cancel()
+	if err := b.Enter(ctx, "lonely"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}
-	if _, err := NewBarrier(cl, "/barrier/short", 0); err == nil {
+	if _, err := NewBarrier(bg, cl, "/barrier/short", 0); err == nil {
 		t.Fatal("zero-size barrier must be rejected")
 	}
 }
@@ -299,17 +322,17 @@ func TestBarrierTimeout(t *testing.T) {
 func TestCounter(t *testing.T) {
 	c := newCluster(t)
 	cl := connect(t, c, 0)
-	ctr, err := NewCounter(cl, "/counters/hits")
+	ctr, err := NewCounter(bg, cl, "/counters/hits")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, err := ctr.Get(); err != nil || v != 0 {
+	if v, err := ctr.Get(bg); err != nil || v != 0 {
 		t.Fatalf("initial = %d, %v", v, err)
 	}
-	if v, err := ctr.Add(5); err != nil || v != 5 {
+	if v, err := ctr.Add(bg, 5); err != nil || v != 5 {
 		t.Fatalf("add = %d, %v", v, err)
 	}
-	if v, err := ctr.Add(-2); err != nil || v != 3 {
+	if v, err := ctr.Add(bg, -2); err != nil || v != 3 {
 		t.Fatalf("add = %d, %v", v, err)
 	}
 }
@@ -323,13 +346,13 @@ func TestCounterConcurrentIncrements(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			cl := connect(t, c, w)
-			ctr, err := NewCounter(cl, "/counters/conc")
+			ctr, err := NewCounter(bg, cl, "/counters/conc")
 			if err != nil {
 				t.Error(err)
 				return
 			}
 			for i := 0; i < each; i++ {
-				if _, err := ctr.Add(1); err != nil {
+				if _, err := ctr.Add(bg, 1); err != nil {
 					t.Errorf("worker %d: %v", w, err)
 					return
 				}
@@ -338,11 +361,11 @@ func TestCounterConcurrentIncrements(t *testing.T) {
 	}
 	wg.Wait()
 	cl := connect(t, c, 0)
-	ctr, err := NewCounter(cl, "/counters/conc")
+	ctr, err := NewCounter(bg, cl, "/counters/conc")
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := ctr.Get()
+	v, err := ctr.Get(bg)
 	if err != nil || v != workers*each {
 		t.Fatalf("final = %d, %v; want %d (lost updates?)", v, err, workers*each)
 	}
@@ -353,22 +376,22 @@ func TestGroupMembership(t *testing.T) {
 	clA := connect(t, c, 0)
 	clB := connect(t, c, 1)
 
-	gA, err := JoinGroup(clA, "/groups/web", "server-a")
+	gA, err := JoinGroup(bg, clA, "/groups/web", "server-a")
 	if err != nil {
 		t.Fatal(err)
 	}
-	gB, err := JoinGroup(clB, "/groups/web", "server-b")
+	gB, err := JoinGroup(bg, clB, "/groups/web", "server-b")
 	if err != nil {
 		t.Fatal(err)
 	}
-	members, err := gA.Members()
+	members, err := gA.Members(bg)
 	if err != nil || len(members) != 2 {
 		t.Fatalf("members = %v, %v", members, err)
 	}
-	if err := gB.Leave(); err != nil {
+	if err := gB.Leave(bg); err != nil {
 		t.Fatal(err)
 	}
-	members, err = gA.Members()
+	members, err = gA.Members(bg)
 	if err != nil || len(members) != 1 || members[0] != "server-a" {
 		t.Fatalf("members after leave = %v, %v", members, err)
 	}
@@ -383,10 +406,10 @@ func TestGroupMembershipSurvivesCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := JoinGroup(dying, "/groups/crashy", "victim"); err != nil {
+	if _, err := JoinGroup(bg, dying, "/groups/crashy", "victim"); err != nil {
 		t.Fatal(err)
 	}
-	g, err := JoinGroup(watcherCl, "/groups/crashy", "survivor")
+	g, err := JoinGroup(bg, watcherCl, "/groups/crashy", "survivor")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +417,7 @@ func TestGroupMembershipSurvivesCrash(t *testing.T) {
 
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		members, err := g.Members()
+		members, err := g.Members(bg)
 		if err != nil {
 			t.Fatal(err)
 		}

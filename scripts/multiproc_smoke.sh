@@ -1,18 +1,26 @@
 #!/usr/bin/env bash
 # Multi-process failover smoke: build skserver/skclient, launch a
 # 3-process ensemble connected over the zabnet TCP peer mesh, drive
-# create/get/set traffic with skclient, SIGKILL the leader process,
-# and assert the survivors re-elect and converge on post-failover
-# writes. This exercises the same binaries and flags an operator uses,
-# end to end, on top of what the in-test harness already covers.
+# create/get/set/cas (atomic multi) traffic with skclient, SIGKILL the
+# leader process, and assert the survivors re-elect and converge on
+# post-failover writes. This exercises the same binaries and flags an
+# operator uses, end to end, on top of what the in-test harness
+# already covers.
+#
+# SMOKE_DURABLE=1 additionally gives every node -data-dir and finishes
+# with a restart-from-disk pass: the WHOLE ensemble is killed and
+# restarted, so the recovered data can only have come from the durable
+# state on disk (no live leader exists to sync from).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 VARIANT="${SMOKE_VARIANT:-vanilla}"
 BASE="${SMOKE_PORT_BASE:-24180}"
+DURABLE="${SMOKE_DURABLE:-0}"
 BIN="$(mktemp -d)"
 LOGS="$(mktemp -d)"
+DATA="$(mktemp -d)"
 
 # SecureKeeper replicas must share one storage key (the key server's
 # released key) or they would replicate mutually undecryptable state.
@@ -46,11 +54,16 @@ skc() { "$BIN/skclient" -variant "$VARIANT" "$@"; }
 
 start_node() {
   local i="$1"
+  local extra=()
+  if [ "$DURABLE" = 1 ]; then
+    extra=(-data-dir "$DATA/node$i")
+  fi
   "$BIN/skserver" -variant "$VARIANT" -id "$i" -peers "$PEERS" \
     ${KEYFLAGS[@]+"${KEYFLAGS[@]}"} \
-    -listen "${CADDR[$i]}" >"$LOGS/node$i.log" 2>&1 &
+    ${extra[@]+"${extra[@]}"} \
+    -listen "${CADDR[$i]}" >>"$LOGS/node$i.log" 2>&1 &
   PIDS[$i]=$!
-  echo "== node $i started (pid ${PIDS[$i]}, clients ${CADDR[$i]})"
+  echo "== node $i started (pid ${PIDS[$i]}, clients ${CADDR[$i]}, durable=$DURABLE)"
 }
 
 # leader_id prints the id of the node whose LAST role transition is
@@ -101,6 +114,22 @@ for i in 1 2 3; do
 done
 retry skc -addr "${CADDR[1]},${CADDR[2]},${CADDR[3]}" set /smoke v2
 
+echo "== atomic multi (cas) traffic"
+retry skc -addr "${CADDR[1]}" create /multi m1
+# /multi was just created at version 0: the Check+Set multi commits...
+retry skc -addr "${CADDR[1]},${CADDR[2]},${CADDR[3]}" cas /multi 0 m2
+# ...and a stale-version cas must abort with a BADVERSION per-op
+# result (any other failure — e.g. a transiently unreachable node —
+# would mask a regression, so assert the reason).
+if out=$(skc -addr "${CADDR[1]}" cas /multi 0 m3 2>&1); then
+  echo "FAIL: stale-version cas succeeded" >&2; exit 1
+elif ! grep -q BADVERSION <<<"$out"; then
+  echo "FAIL: stale cas failed for the wrong reason: $out" >&2; exit 1
+fi
+retry skc -addr "${CADDR[1]}" sync /multi
+got=$(skc -addr "${CADDR[1]}" get /multi)
+[[ "$got" == m2* ]] || { echo "FAIL: cas result '$got', want m2" >&2; exit 1; }
+
 echo "== SIGKILL leader (node $LEADER)"
 kill -9 "${PIDS[$LEADER]}"
 unset "PIDS[$LEADER]"
@@ -127,5 +156,24 @@ start_node "$LEADER"
 retry skc -addr "${CADDR[$LEADER]}" sync /smoke
 got=$(skc -addr "${CADDR[$LEADER]}" get /smoke)
 [[ "$got" == v3* ]] || { echo "FAIL: restarted node read '$got', want v3" >&2; exit 1; }
+
+if [ "$DURABLE" = 1 ]; then
+  echo "== restart-from-disk: SIGKILL the WHOLE ensemble, restart, verify recovery"
+  for i in 1 2 3; do
+    kill -9 "${PIDS[$i]}" 2>/dev/null || true
+    unset "PIDS[$i]" || true
+  done
+  sleep 0.3
+  for i in 1 2 3; do start_node "$i"; done
+  wait_leader
+  retry skc -addr "${CADDR[1]},${CADDR[2]},${CADDR[3]}" sync /smoke
+  got=$(skc -addr "${CADDR[1]},${CADDR[2]},${CADDR[3]}" get /smoke)
+  [[ "$got" == v3* ]] || { echo "FAIL: disk recovery read '$got', want v3" >&2; exit 1; }
+  got=$(skc -addr "${CADDR[1]},${CADDR[2]},${CADDR[3]}" get /multi)
+  [[ "$got" == m2* ]] || { echo "FAIL: disk recovery read '$got', want m2" >&2; exit 1; }
+  # Recovered state accepts new writes.
+  retry skc -addr "${CADDR[1]},${CADDR[2]},${CADDR[3]}" set /smoke v4
+  echo "== restart-from-disk pass OK"
+fi
 
 echo "PASS: 3-process ensemble survived leader SIGKILL with re-election and convergence"
