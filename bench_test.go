@@ -333,6 +333,82 @@ func BenchmarkFig8SetContended(b *testing.B) {
 	}
 }
 
+// BenchmarkMixedReadWrite is the commit-processor-split workload: 8
+// concurrent sessions each pipeline a 90/10 GET/SET mix against their
+// own znode. Before the split, every read waited to reach the head of
+// its session's FIFO queue, so each write's commit round trip stalled
+// the nine reads pipelined behind it; with the split, reads execute on
+// the session reader (or the resume pool after the write commits) and
+// only the response *release* stays FIFO. Reads/sec is the headline
+// metric; it should scale with GOMAXPROCS instead of flatlining.
+func BenchmarkMixedReadWrite(b *testing.B) {
+	const (
+		sessions = 8
+		window   = 32
+	)
+	forEachVariant(b, func(b *testing.B, v core.Variant) {
+		cluster := newBenchCluster(b, v)
+		payload := make([]byte, 1024)
+		cls := make([]*client.Client, sessions)
+		for i := range cls {
+			cl, err := cluster.Connect(i%cluster.Size(), client.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			cls[i] = cl
+			if _, err := cl.Create(ctxbg, fmt.Sprintf("/mx%d", i), payload, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var reads atomic.Int64
+		per := b.N/sessions + 1
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(cl *client.Client, path string) {
+				defer wg.Done()
+				futures := make(chan *client.Future, window)
+				var drain sync.WaitGroup
+				drain.Add(1)
+				go func() {
+					defer drain.Done()
+					// Keep consuming after an error: returning early
+					// would leave the producer blocked on a full
+					// channel and hang the benchmark instead of
+					// failing it.
+					failed := false
+					for f := range futures {
+						if res := f.Wait(); res.Err != nil && !failed {
+							failed = true
+							b.Error(res.Err)
+						}
+					}
+				}()
+				for i := 0; i < per; i++ {
+					if i%10 == 9 {
+						futures <- cl.SetAsync(path, payload, -1)
+					} else {
+						futures <- cl.GetAsync(path, false)
+						reads.Add(1)
+					}
+				}
+				close(futures)
+				drain.Wait()
+			}(cls[s], fmt.Sprintf("/mx%d", s))
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		b.StopTimer()
+		if secs := elapsed.Seconds(); secs > 0 {
+			b.ReportMetric(float64(reads.Load())/secs, "reads/sec")
+		}
+	})
+}
+
 // BenchmarkMulti measures an N-op atomic transaction (one wire round
 // trip, one zab proposal, one zxid) against its classic equivalent of
 // N sequential Sets (BenchmarkMultiSequentialSets: N round trips, N

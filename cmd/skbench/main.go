@@ -7,6 +7,7 @@
 //	skbench fig4        in-enclave key-value store vs native
 //	skbench fig6a       sync 70:30 throughput vs client threads
 //	skbench fig6b       async 70:30 throughput vs client threads
+//	skbench mixedrw     90:10 pipelined mix, total + read-only throughput
 //	skbench fig7        GET throughput vs payload
 //	skbench fig8        SET throughput vs payload
 //	skbench fig9a       CREATE throughput (sync, regular+sequential)
@@ -48,7 +49,7 @@ func run(args []string) error {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("usage: skbench [-scale quick|paper] <fig2|fig3|fig4|fig6a|fig6b|fig7|fig8|fig9a|fig9b|fig10|fig11|fig12a|fig12b|table1|table2|table3|all>")
+		return fmt.Errorf("usage: skbench [-scale quick|paper] <fig2|fig3|fig4|fig6a|fig6b|mixedrw|fig7|fig8|fig9a|fig9b|fig10|fig11|fig12a|fig12b|table1|table2|table3|all>")
 	}
 
 	var scale bench.Scale
@@ -63,8 +64,8 @@ func run(args []string) error {
 
 	targets := fs.Args()
 	if len(targets) == 1 && targets[0] == "all" {
-		targets = []string{"fig2", "fig3", "fig4", "fig6a", "fig6b", "fig7", "fig8",
-			"fig9a", "fig9b", "fig10", "fig11", "fig12a", "fig12b",
+		targets = []string{"fig2", "fig3", "fig4", "fig6a", "fig6b", "mixedrw", "fig7",
+			"fig8", "fig9a", "fig9b", "fig10", "fig11", "fig12a", "fig12b",
 			"table1", "table2", "table3"}
 	}
 	for _, target := range targets {
@@ -96,6 +97,9 @@ func runOne(target string, scale bench.Scale) error {
 		return render(fig, err)
 	case "fig6b":
 		fig, err := bench.Fig6b(scale)
+		return render(fig, err)
+	case "mixedrw":
+		fig, err := bench.MixedRW(scale)
 		return render(fig, err)
 	case "fig7":
 		fig, err := bench.Fig7(scale)

@@ -118,7 +118,14 @@ type Result struct {
 	Errors     int64
 	Elapsed    time.Duration
 	Throughput float64 // requests per second
-	Latency    LatencySummary
+	// ReadOps counts the completed read operations (GET/LS) within Ops;
+	// ReadThroughput is their rate. For mixed workloads this is the
+	// number the commit-processor split moves: reads no longer serialize
+	// behind the session FIFO, so read throughput should scale with
+	// cores even while writes pay the agreement round trip.
+	ReadOps        int64
+	ReadThroughput float64
+	Latency        LatencySummary
 	// AllocsPerOp is the process-wide heap allocation count during the
 	// measured window divided by completed operations: client, replica,
 	// broadcast and enclave allocations all included, the same scope as
@@ -239,6 +246,7 @@ func (ev *Evaluator) Run(cfg RunConfig) (Result, error) {
 
 	var (
 		ops      atomic.Int64
+		readOps  atomic.Int64
 		errs     atomic.Int64
 		counting atomic.Bool
 	)
@@ -252,6 +260,7 @@ func (ev *Evaluator) Run(cfg RunConfig) (Result, error) {
 		go func(idx int, cl *client.Client) {
 			defer wg.Done()
 			w := newWorker(cl, idx, c, &ops, &errs, &counting, stop)
+			w.readOps = &readOps
 			w.tag = tag
 			w.lat = sampler
 			if c.Async {
@@ -283,12 +292,14 @@ func (ev *Evaluator) Run(cfg RunConfig) (Result, error) {
 		allocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total)
 	}
 	return Result{
-		Ops:         total,
-		Errors:      errs.Load(),
-		Elapsed:     elapsed,
-		Throughput:  float64(total) / elapsed.Seconds(),
-		Latency:     sampler.summary(),
-		AllocsPerOp: allocsPerOp,
+		Ops:            total,
+		Errors:         errs.Load(),
+		Elapsed:        elapsed,
+		Throughput:     float64(total) / elapsed.Seconds(),
+		ReadOps:        readOps.Load(),
+		ReadThroughput: float64(readOps.Load()) / elapsed.Seconds(),
+		Latency:        sampler.summary(),
+		AllocsPerOp:    allocsPerOp,
 	}, nil
 }
 
@@ -390,6 +401,7 @@ type worker struct {
 	cfg      RunConfig
 	rng      *rand.Rand
 	ops      *atomic.Int64
+	readOps  *atomic.Int64
 	errs     *atomic.Int64
 	counting *atomic.Bool
 	stop     chan struct{}
@@ -429,7 +441,7 @@ func (w *worker) stopped() bool {
 	}
 }
 
-func (w *worker) record(err error) {
+func (w *worker) record(err error, read bool) {
 	if err != nil {
 		w.errStreak.Add(1)
 	} else {
@@ -443,6 +455,9 @@ func (w *worker) record(err error) {
 		return
 	}
 	w.ops.Add(1)
+	if read && w.readOps != nil {
+		w.readOps.Add(1)
+	}
 }
 
 // throttle pauses the issue loop while errors are streaking.
@@ -453,37 +468,38 @@ func (w *worker) throttle() {
 }
 
 // issue starts one operation of the configured mode and returns its
-// future. DELETE mode interleaves an uncounted create.
-func (w *worker) issue() (*client.Future, bool) {
+// future plus whether it is a read. DELETE mode interleaves an
+// uncounted create.
+func (w *worker) issue() (f *client.Future, read, ok bool) {
 	switch w.cfg.Mode {
 	case ModeMixed:
 		if w.rng.Float64() < w.cfg.GetFraction {
-			return w.cl.GetAsync(w.path, false), true
+			return w.cl.GetAsync(w.path, false), true, true
 		}
-		return w.cl.SetAsync(w.path, w.payload, -1), true
+		return w.cl.SetAsync(w.path, w.payload, -1), false, true
 	case ModeGet:
-		return w.cl.GetAsync(w.path, false), true
+		return w.cl.GetAsync(w.path, false), true, true
 	case ModeSet:
-		return w.cl.SetAsync(w.path, w.payload, -1), true
+		return w.cl.SetAsync(w.path, w.payload, -1), false, true
 	case ModeCreate:
 		w.seq++
 		p := fmt.Sprintf("%s-r%03d-n%08d", w.path, w.tag, w.seq)
-		return w.cl.CreateAsync(p, w.payload, 0), true
+		return w.cl.CreateAsync(p, w.payload, 0), false, true
 	case ModeCreateSeq:
-		return w.cl.CreateAsync(w.path+"-s", w.payload, wire.FlagSequential), true
+		return w.cl.CreateAsync(w.path+"-s", w.payload, wire.FlagSequential), false, true
 	case ModeLs:
-		return w.cl.ChildrenAsync("/bench/ls", false), true
+		return w.cl.ChildrenAsync("/bench/ls", false), true, true
 	case ModeDelete:
 		// Create the victim first (uncounted), then delete (counted).
 		w.seq++
 		p := fmt.Sprintf("%s-r%03d-d%08d", w.path, w.tag, w.seq)
 		if res := w.cl.CreateAsync(p, nil, 0).Wait(); res.Err != nil {
-			w.record(res.Err)
-			return nil, false
+			w.record(res.Err, false)
+			return nil, false, false
 		}
-		return w.cl.DeleteAsync(p, -1), true
+		return w.cl.DeleteAsync(p, -1), false, true
 	default:
-		return nil, false
+		return nil, false, false
 	}
 }
 
@@ -492,7 +508,7 @@ func (w *worker) runSync() {
 	for !w.stopped() {
 		w.throttle()
 		start := time.Now()
-		f, ok := w.issue()
+		f, read, ok := w.issue()
 		if !ok {
 			continue
 		}
@@ -500,13 +516,16 @@ func (w *worker) runSync() {
 		if res.Err == nil && w.counting.Load() && w.lat != nil {
 			w.lat.observe(time.Since(start))
 		}
-		w.record(res.Err)
+		w.record(res.Err, read)
 	}
 }
 
 // runAsync keeps Window operations in flight.
 func (w *worker) runAsync() {
-	type slot struct{ f *client.Future }
+	type slot struct {
+		f    *client.Future
+		read bool
+	}
 	inflight := make(chan slot, w.cfg.Window)
 	done := make(chan struct{})
 
@@ -514,17 +533,17 @@ func (w *worker) runAsync() {
 		defer close(done)
 		for s := range inflight {
 			res := s.f.Wait()
-			w.record(res.Err)
+			w.record(res.Err, s.read)
 		}
 	}()
 
 	for !w.stopped() {
 		w.throttle()
-		f, ok := w.issue()
+		f, read, ok := w.issue()
 		if !ok {
 			continue
 		}
-		inflight <- slot{f: f}
+		inflight <- slot{f: f, read: read}
 	}
 	close(inflight)
 	<-done

@@ -186,6 +186,47 @@ func Fig6b(scale Scale) (*Figure, error) {
 	}, nil
 }
 
+// MixedRW measures the commit-processor split's target workload beyond
+// the paper's figures: a 90/10 GET/SET mix pipelined over concurrent
+// sessions, reporting total and read-only throughput per variant. The
+// read series is what the split scales out — reads execute off the
+// session FIFO while writes pay the agreement round trip (README
+// "Request pipeline"); BenchmarkMixedReadWrite is the CI-gated
+// fixed-shape cut of the same workload.
+func MixedRW(scale Scale) (*Figure, error) {
+	series, err := sweepOverVariants(scale, func(ev *Evaluator, v core.Variant) ([]Series, error) {
+		total := Series{Name: v.String() + " total"}
+		reads := Series{Name: v.String() + " reads"}
+		for _, n := range scale.ThreadSweep {
+			res, err := ev.Run(RunConfig{
+				Clients:     n,
+				Async:       true,
+				Window:      scale.AsyncWindow,
+				Duration:    scale.Duration,
+				Warmup:      scale.Warmup,
+				Payload:     1024,
+				GetFraction: 0.9,
+				Mode:        ModeMixed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			total.X = append(total.X, float64(n))
+			total.Y = append(total.Y, res.Throughput)
+			reads.X = append(reads.X, float64(n))
+			reads.Y = append(reads.Y, res.ReadThroughput)
+		}
+		return []Series{total, reads}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "mixedrw", Title: "90:10 GET/SET pipelined throughput (commit-processor split)",
+		XLabel: "client_sessions", YLabel: "requests/s", Series: series,
+	}, nil
+}
+
 // figPayload builds the shared structure of Figs 7, 8 and 10: per
 // variant, a sync and an async series over a payload sweep.
 func figPayload(id, title string, scale Scale, payloads []int, mode OpMode) (*Figure, error) {

@@ -57,6 +57,15 @@ var (
 // queue (§4.2): responses carry no operation type, but the per-client
 // FIFO ordering guarantees responses arrive in request order, so a
 // queue of (xid, op, plaintext path) suffices to interpret them.
+//
+// The server's commit-processor split executes reads concurrently with
+// pending writes, but it deliberately preserves this enclave's two
+// serialization points: OnRequest (ecRequest) is always called from the
+// session reader goroutine in submission order, and OnResponse
+// (ecResponse) from the session writer goroutine in release order,
+// which equals submission order. Execution order is decoupled; queue
+// order is not. TestEnclaveResponseMatchingUnderPipelinedMixedOps and
+// TestResponseXidOrder pin this contract.
 type pendingOp struct {
 	xid        int32
 	op         wire.OpCode

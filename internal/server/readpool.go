@@ -1,0 +1,112 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxResumeWorkers caps the parked-read resume pool: enough workers to
+// keep every core busy on wakeup bursts, small enough that a commit
+// storm cannot spawn unbounded goroutines.
+const maxResumeWorkers = 8
+
+// resumeWorkers sizes the pool to the host parallelism, bounded.
+func resumeWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxResumeWorkers {
+		n = maxResumeWorkers
+	}
+	return n
+}
+
+// resumePool executes parked reads once the write they trail commits.
+// Sessions (not individual reads) are the unit of work: a session is
+// enqueued at most once (its draining flag), and the worker that picks
+// it up drains all its eligible parked reads in submission order, so
+// same-session read execution never reorders while distinct sessions
+// resume in parallel.
+//
+// The queue is a slice guarded by a condition variable rather than a
+// channel so submit never blocks: writeDone runs on the zab delivery
+// goroutine, which must not stall behind slow readers. The queue is
+// naturally bounded by the session count.
+type resumePool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*session
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newResumePool(workers int) *resumePool {
+	p := &resumePool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// submit enqueues a session whose parked reads became eligible. Never
+// blocks. The caller must have set the session's draining flag.
+func (p *resumePool) submit(s *session) {
+	p.mu.Lock()
+	if p.closed {
+		// Replica shutting down: the session is being torn down too;
+		// its parked reads die with the connection. drainParked (a
+		// no-op on a closed session) still runs so the draining flag
+		// clears and awaitDrain cannot wedge.
+		p.mu.Unlock()
+		s.drainParked()
+		return
+	}
+	p.queue = append(p.queue, s)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+func (p *resumePool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		s := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		if len(p.queue) == 0 {
+			p.queue = nil
+		}
+		p.mu.Unlock()
+
+		s.drainParked()
+	}
+}
+
+// close stops the workers. Callers only close the pool while tearing
+// the replica (and thus every session) down, so still-queued sessions
+// are already shut; their drainParked call is a cheap no-op that
+// clears the draining flag — without it, a teardown path blocked in
+// awaitDrain would wait forever on a session the workers never
+// reached.
+func (p *resumePool) close() {
+	p.mu.Lock()
+	p.closed = true
+	queued := p.queue
+	p.queue = nil
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+	for _, s := range queued {
+		s.drainParked()
+	}
+}

@@ -111,6 +111,9 @@ type Replica struct {
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	forwarded chan forwardedReq
+	// resume re-executes parked reads when the write they trail
+	// commits (the commit-processor split's wakeup path).
+	resume *resumePool
 
 	// Counters for the evaluation harness.
 	readOps  atomic.Int64
@@ -177,6 +180,7 @@ func NewReplica(cfg Config) *Replica {
 		// each client session's writes ordered; a single worker drains
 		// the queue (buffered: the zab loop must never block).
 		forwarded: make(chan forwardedReq, 4096),
+		resume:    newResumePool(resumeWorkers()),
 	}
 	var recoveredZxid int64
 	if cfg.DataDir != "" {
@@ -302,6 +306,7 @@ func (r *Replica) Close() {
 		s.shutdown()
 	}
 	r.peer.Stop()
+	r.resume.close()
 	r.wg.Wait()
 	if r.persister != nil {
 		_ = r.persister.Close()
@@ -365,18 +370,27 @@ func (r *Replica) dropSession(s *session) {
 		return
 	}
 	delete(r.sessions, s.id)
-	// Fail this session's pending writes.
+	// Fail this session's pending writes (and, through writeDone, any
+	// reads parked behind them).
+	var failed []*inflightReq
 	for key, pw := range r.pending {
 		if key.session == s.id {
-			pw.entry.fail(wire.ErrConnectionLoss)
+			failed = append(failed, pw.entry)
 			delete(r.pending, key)
 			r.putPendingWrite(pw)
 		}
 	}
 	closed := r.closed
 	r.mu.Unlock()
+	for _, entry := range failed {
+		s.writeDone(entry, errorReply(entry.xid, 0, wire.ErrConnectionLoss), true)
+	}
 
 	s.shutdown()
+	// shutdown marks the session closed, which stops writeDone from
+	// scheduling new drains; wait out any in-flight one so no worker
+	// can re-register a watch after the deregistration below.
+	s.awaitDrain()
 	r.tree.Watches().RemoveWatcher(s)
 	if !closed {
 		// Clean up the session's ephemeral nodes through the agreed
@@ -591,7 +605,10 @@ func (r *Replica) restoreFromSync(snap *ztree.Snapshot) {
 }
 
 // deliver applies a committed transaction (zab loop goroutine) and
-// completes the originating client request if it belongs to us.
+// completes the originating client request if it belongs to us. The
+// completion advances the session's write watermark, which is what
+// wakes reads parked behind the write (commit notification -> resume
+// pool), independent of when the write's own response is released.
 func (r *Replica) deliver(c zab.Committed) {
 	res := r.tree.Apply(&c.Txn)
 	if r.persister != nil {
@@ -616,11 +633,11 @@ func (r *Replica) deliver(c zab.Committed) {
 	if !ok {
 		return
 	}
-	entry.complete(buildWriteResponse(&c.Txn, entry.op, c.Origin.Xid, res))
-	sess.kick()
+	sess.writeDone(entry, buildWriteResponse(&c.Txn, entry.op, c.Origin.Xid, res), false)
 }
 
-// failPending fails one pending write.
+// failPending aborts one pending write: its fate is unknown, so the
+// client gets an error reply and reads parked behind it fail too.
 func (r *Replica) failPending(origin zab.Origin, code wire.ErrCode) {
 	r.mu.Lock()
 	key := pendingKey{session: origin.Session, xid: origin.Xid}
@@ -634,9 +651,15 @@ func (r *Replica) failPending(origin zab.Origin, code wire.ErrCode) {
 	}
 	r.mu.Unlock()
 	if ok {
-		entry.fail(code)
-		sess.kick()
+		sess.writeDone(entry, errorReply(entry.xid, 0, code), true)
 	}
+}
+
+// scheduleResume hands a session with newly-eligible parked reads to
+// the resume pool. Non-blocking (called from the zab loop via
+// writeDone).
+func (r *Replica) scheduleResume(s *session) {
+	r.resume.submit(s)
 }
 
 // nextSeq allocates the next sequence number for a parent: the maximum
@@ -681,8 +704,9 @@ func (r *Replica) onRoleChange(role zab.Role, leader zab.PeerID) {
 		}
 		r.mu.Unlock()
 		for _, f := range pending {
-			f.entry.fail(wire.ErrConnectionLoss)
-			f.sess.kick()
+			// Aborted, not committed: reads parked behind the write get
+			// CONNECTIONLOSS instead of hanging across the failover.
+			f.sess.writeDone(f.entry, errorReply(f.entry.xid, 0, wire.ErrConnectionLoss), true)
 		}
 	}
 }
@@ -759,9 +783,14 @@ func buildMultiResponse(txn *ztree.Txn, res *ztree.TxnResult) *wire.MultiRespons
 // --- read pipeline ---
 
 // handleRead serves a read against the local tree. Called from the
-// session writer goroutine when the request reaches the head of the
-// session's FIFO queue (reads never overtake earlier writes of the
-// same session).
+// session reader goroutine (the common path: no same-session write in
+// flight) or from a resume-pool worker (a read that parked behind an
+// uncommitted write of its session, re-executed after that write's
+// commit). Several reads of *different* sessions run here in parallel;
+// same-session execution stays ordered (see session.drainParked). The
+// tree's GetDataRef contract holds under this concurrency: payload
+// slices are immutable once stored, and the serialization below is the
+// copy at the session boundary.
 func (r *Replica) handleRead(s *session, entry *inflightReq) []byte {
 	r.readOps.Add(1)
 	zxid := r.peer.LastCommitted()

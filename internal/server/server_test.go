@@ -209,13 +209,22 @@ func TestWatchDeliveredAcrossReplicas(t *testing.T) {
 	if _, err := writer.Set(ctxbg, "/w", []byte("b"), -1); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case ev := <-events:
-		if ev.Type != wire.EventNodeDataChanged || ev.Path != "/w" {
-			t.Fatalf("event = %+v", ev)
+	for {
+		select {
+		case ev := <-events:
+			// A GetW attempt that ran before the create reached this
+			// replica registered an exist watch; its NodeCreated firing
+			// is legitimate and may precede the data watch's event.
+			if ev.Type == wire.EventNodeCreated && ev.Path == "/w" {
+				continue
+			}
+			if ev.Type != wire.EventNodeDataChanged || ev.Path != "/w" {
+				t.Fatalf("event = %+v", ev)
+			}
+			return
+		case <-time.After(5 * time.Second):
+			t.Fatal("watch event not delivered")
 		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("watch event not delivered")
 	}
 }
 

@@ -10,24 +10,42 @@ import (
 	"securekeeper/internal/wire"
 )
 
-// inflightReq is one request in a session's FIFO queue.
+// reqState tracks a request through the split pipeline. Writes go
+// statePending -> stateDone (commit or abort). Reads either execute
+// immediately (statePending -> stateDone on the reader goroutine) or
+// park behind an uncommitted same-session write
+// (statePending -> stateParked -> stateDone via the resume pool).
+type reqState int32
+
+const (
+	statePending reqState = iota // submitted, not yet executed/committed
+	stateParked                  // read waiting on an earlier uncommitted write
+	stateDone                    // response ready for in-order release
+)
+
+// inflightReq is one request in a session's FIFO release queue.
 type inflightReq struct {
 	xid  int32
 	op   wire.OpCode
 	body []byte
+	// seq is the session write watermark attached to this request: for
+	// a write, its position in the session's write order (1-based); for
+	// a read, the seq of the last write submitted before it — the read
+	// may execute only once that write has completed (its barrier).
+	seq int64
 
-	mu   sync.Mutex
-	done bool
-	resp []byte
+	mu    sync.Mutex
+	state reqState
+	resp  []byte
 }
 
 func (e *inflightReq) complete(resp []byte) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.done {
+	if e.state == stateDone {
 		return
 	}
-	e.done = true
+	e.state = stateDone
 	e.resp = resp
 }
 
@@ -35,10 +53,18 @@ func (e *inflightReq) fail(code wire.ErrCode) {
 	e.complete(errorReply(e.xid, 0, code))
 }
 
+func (e *inflightReq) park() {
+	e.mu.Lock()
+	if e.state == statePending {
+		e.state = stateParked
+	}
+	e.mu.Unlock()
+}
+
 func (e *inflightReq) result() ([]byte, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.resp, e.done
+	return e.resp, e.state == stateDone
 }
 
 // watchEventBuffer bounds the out-of-band watch notification queue per
@@ -46,12 +72,28 @@ func (e *inflightReq) result() ([]byte, bool) {
 // and an unresponsive client must not stall the commit path).
 const watchEventBuffer = 1024
 
-// session serializes one client connection: a reader goroutine decodes
-// and dispatches requests; the writer goroutine releases responses
-// strictly in request order (ZooKeeper's per-session FIFO guarantee,
-// which the entry enclave's response-matching queue relies on, §4.2).
-// Reads never overtake earlier writes of the same session: a read is
-// executed only when it reaches the head of the queue.
+// session serializes one client connection with ZooKeeper's
+// commit-processor split: *execution order* and *release order* are
+// separate concerns.
+//
+//   - The reader goroutine decodes and classifies requests. A read
+//     executes immediately, on the reader goroutine, whenever the
+//     session has no earlier write still in flight (committedSeq ==
+//     writeSeq); only reads that genuinely trail an uncommitted write
+//     of this session park until that write completes, at which point
+//     the replica's resume pool drains them in submission order.
+//   - The writer goroutine is a pure in-order releaser: it sends
+//     responses strictly in request order (ZooKeeper's per-session FIFO
+//     guarantee, which the entry enclave's response-matching queue
+//     relies on, §4.2) and interleaves watch events. It never executes
+//     anything.
+//
+// The watermark rule: writeSeq counts writes submitted on the session,
+// committedSeq the writes whose fate is known (committed or aborted).
+// A read's barrier is the writeSeq at its submission; it may execute
+// once committedSeq has reached that barrier, which preserves
+// read-after-own-write without serializing reads behind the write's
+// response release.
 type session struct {
 	id    int64
 	rep   *Replica
@@ -59,8 +101,25 @@ type session struct {
 	icept Interceptor
 
 	mu     sync.Mutex
-	queue  []*inflightReq
-	closed bool
+	queue  []*inflightReq // release FIFO (all ops, submission order)
+	parked []*inflightReq // reads awaiting execution, submission order
+	// draining marks that a resume-pool worker is currently executing
+	// this session's eligible parked reads; at most one drains a given
+	// session at a time, keeping same-session read execution ordered.
+	// drainDone is broadcast whenever draining clears, so teardown can
+	// wait for an in-flight drain (see awaitDrain).
+	draining  bool
+	drainDone *sync.Cond
+	writeSeq  int64 // writes submitted on this session
+	// committedSeq is the CONTIGUOUS completion watermark: every write
+	// with seq <= committedSeq has a known fate. Writes can complete
+	// out of order (a later forwarded write may be rejected while an
+	// earlier one is still with the leader); those park in doneAhead
+	// until the gap closes — advancing past a still-pending write would
+	// let reads barriered on it run against pre-own-write state.
+	committedSeq int64
+	doneAhead    map[int64]struct{}
+	closed       bool
 
 	kickCh  chan struct{}
 	events  chan wire.WatcherEvent
@@ -69,7 +128,7 @@ type session struct {
 }
 
 func newSession(r *Replica, id int64, conn transport.Conn, icept Interceptor) *session {
-	return &session{
+	s := &session{
 		id:      id,
 		rep:     r,
 		conn:    conn,
@@ -79,6 +138,8 @@ func newSession(r *Replica, id int64, conn transport.Conn, icept Interceptor) *s
 		stopped: make(chan struct{}),
 		writerD: make(chan struct{}),
 	}
+	s.drainDone = sync.NewCond(&s.mu)
+	return s
 }
 
 // Notify implements ztree.Watcher: enqueue without blocking.
@@ -144,19 +205,40 @@ func (s *session) reader() error {
 		body := msg[d.Offset():]
 
 		entry := &inflightReq{xid: hdr.Xid, op: hdr.Op, body: body}
+		// SYNC is agreed like a write: its commit is the flush point.
+		isWrite := hdr.Op.IsWrite() || hdr.Op == wire.OpSync
+
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			return nil
 		}
 		s.queue = append(s.queue, entry)
+		var runNow bool
+		if isWrite {
+			s.writeSeq++
+			entry.seq = s.writeSeq
+		} else {
+			entry.seq = s.writeSeq
+			// Execute immediately unless an earlier write of this
+			// session is still uncommitted, or parked reads are still
+			// draining (the drain worker may be mid-execution of an
+			// earlier read even when parked is empty; overtaking it
+			// would reorder same-session read execution).
+			runNow = s.committedSeq == s.writeSeq && len(s.parked) == 0 && !s.draining
+			if !runNow {
+				entry.park()
+				s.parked = append(s.parked, entry)
+			}
+		}
 		s.mu.Unlock()
 
-		// SYNC is agreed like a write: its commit is the flush point.
-		if hdr.Op.IsWrite() || hdr.Op == wire.OpSync {
+		switch {
+		case isWrite:
 			s.rep.handleWrite(s, entry)
-		} else {
-			s.kick() // reads execute when they reach the queue head
+		case runNow:
+			entry.complete(s.rep.handleRead(s, entry))
+			s.kick()
 		}
 		if hdr.Op == wire.OpCloseSession {
 			// Stop reading; the writer drains the close response.
@@ -165,7 +247,117 @@ func (s *session) reader() error {
 	}
 }
 
-// writer releases responses in FIFO order and interleaves watch events.
+// writeDone records the fate of one of this session's writes: committed
+// (resp is the agreed reply, possibly an application-level error like
+// BADVERSION) or aborted (the write will never commit here — leader
+// change, forward rejection, shutdown — and resp carries the error
+// reply, typically CONNECTIONLOSS). It advances the commit watermark
+// and deals with parked reads: on a commit, eligible reads are handed
+// to the resume pool; on an abort, reads that trailed the aborted write
+// fail with CONNECTIONLOSS — their read-after-own-write baseline is
+// gone (the write's fate is unknown), so completing them with data
+// could silently violate the session guarantee.
+func (s *session) writeDone(entry *inflightReq, resp []byte, aborted bool) {
+	entry.complete(resp)
+
+	var failed []*inflightReq
+	schedule := false
+	s.mu.Lock()
+	// Advance the watermark contiguously: a completion above a gap
+	// (an earlier write still pending) parks in doneAhead so reads
+	// barriered on the pending write keep waiting for its real fate.
+	if entry.seq == s.committedSeq+1 {
+		s.committedSeq++
+		for len(s.doneAhead) > 0 {
+			if _, ok := s.doneAhead[s.committedSeq+1]; !ok {
+				break
+			}
+			delete(s.doneAhead, s.committedSeq+1)
+			s.committedSeq++
+		}
+	} else if entry.seq > s.committedSeq {
+		if s.doneAhead == nil {
+			s.doneAhead = make(map[int64]struct{})
+		}
+		s.doneAhead[entry.seq] = struct{}{}
+	}
+	if aborted && len(s.parked) > 0 {
+		// Fail exactly the reads whose barrier includes the aborted
+		// write (barrier >= its seq): their read-after-own-write
+		// baseline is gone. Reads behind earlier still-pending writes
+		// keep waiting for those writes' own fate.
+		kept := s.parked[:0]
+		for _, e := range s.parked {
+			if e.seq >= entry.seq {
+				failed = append(failed, e)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		for i := len(kept); i < len(s.parked); i++ {
+			s.parked[i] = nil
+		}
+		s.parked = kept
+	}
+	if !s.closed && !s.draining && len(s.parked) > 0 && s.parked[0].seq <= s.committedSeq {
+		s.draining = true
+		schedule = true
+	}
+	s.mu.Unlock()
+
+	for _, e := range failed {
+		e.fail(wire.ErrConnectionLoss)
+	}
+	if schedule {
+		s.rep.scheduleResume(s)
+	}
+	s.kick()
+}
+
+// drainParked executes this session's eligible parked reads in
+// submission order. Runs on a resume-pool worker; at most one worker
+// drains a session at a time (the draining flag), so same-session read
+// execution never reorders.
+func (s *session) drainParked() {
+	for {
+		s.mu.Lock()
+		if s.closed || len(s.parked) == 0 || s.parked[0].seq > s.committedSeq {
+			s.draining = false
+			s.drainDone.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		e := s.parked[0]
+		s.parked[0] = nil
+		s.parked = s.parked[1:]
+		if len(s.parked) == 0 {
+			s.parked = nil // let the backing array go
+		}
+		s.mu.Unlock()
+
+		e.complete(s.rep.handleRead(s, e))
+		s.kick()
+	}
+}
+
+// awaitDrain blocks until no resume-pool worker is executing this
+// session's parked reads. Teardown calls it (after shutdown, which
+// stops new drains from being scheduled) before deregistering the
+// session's watches: a worker mid-handleRead could otherwise
+// re-register a watch for the dead session after RemoveWatcher ran.
+func (s *session) awaitDrain() {
+	s.mu.Lock()
+	for s.draining {
+		s.drainDone.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// writer is the in-order releaser: it pops completed responses off the
+// head of the FIFO queue and sends them, interleaving watch events. It
+// executes nothing — execution happens on the reader goroutine or the
+// resume pool — so release order (which the entry enclave's
+// response-matching FIFO depends on) is decoupled from execution order.
 func (s *session) writer() {
 	defer close(s.writerD)
 	for {
@@ -181,18 +373,14 @@ func (s *session) writer() {
 
 			resp, done := head.result()
 			if !done {
-				if head.op.IsWrite() || head.op == wire.OpSync {
-					break // wait for commit
-				}
-				// Head-of-queue read: execute now against the tree.
-				resp = s.rep.handleRead(s, head)
-				head.complete(resp)
-			}
-			if resp == nil {
-				resp, _ = head.result()
+				break // head still executing or awaiting commit; wait for kick
 			}
 			s.mu.Lock()
+			s.queue[0] = nil
 			s.queue = s.queue[1:]
+			if len(s.queue) == 0 {
+				s.queue = nil
+			}
 			s.mu.Unlock()
 			if !s.send(resp) {
 				return

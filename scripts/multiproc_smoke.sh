@@ -100,6 +100,41 @@ retry() {
   return 1
 }
 
+# wait_dead PID... — bounded wait on the actual condition (process
+# gone) instead of a fixed settle sleep: SIGKILL delivery is async and
+# a fixed delay is either too slow or a flake under CI load.
+wait_dead() {
+  for _ in $(seq 1 100); do
+    local alive=0 pid
+    for pid in "$@"; do
+      if kill -0 "$pid" 2>/dev/null; then alive=1; break; fi
+    done
+    [ "$alive" = 0 ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: processes still alive after SIGKILL: $*" >&2
+  return 1
+}
+
+# wait_port_free HOST:PORT... — bounded wait until nothing accepts on
+# the addresses (a killed node's listener can linger briefly; a restart
+# on the same port must not race it).
+wait_port_free() {
+  for _ in $(seq 1 100); do
+    local busy=0 addr
+    for addr in "$@"; do
+      if (exec 3<>"/dev/tcp/${addr%%:*}/${addr##*:}") 2>/dev/null; then
+        busy=1
+        break
+      fi
+    done
+    [ "$busy" = 0 ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: ports still busy: $*" >&2
+  return 1
+}
+
 for i in 1 2 3; do start_node "$i"; done
 wait_leader
 LEADER=$(leader_id)
@@ -131,8 +166,10 @@ got=$(skc -addr "${CADDR[1]}" get /multi)
 [[ "$got" == m2* ]] || { echo "FAIL: cas result '$got', want m2" >&2; exit 1; }
 
 echo "== SIGKILL leader (node $LEADER)"
-kill -9 "${PIDS[$LEADER]}"
+LEADER_PID="${PIDS[$LEADER]}"
+kill -9 "$LEADER_PID"
 unset "PIDS[$LEADER]"
+wait_dead "$LEADER_PID"
 
 SURVIVORS=()
 for i in 1 2 3; do [ "$i" != "$LEADER" ] && SURVIVORS+=("$i"); done
@@ -152,6 +189,7 @@ for i in "${SURVIVORS[@]}"; do
 done
 
 echo "== restart node $LEADER and verify resync"
+wait_port_free "${MESH[$LEADER]}" "${CADDR[$LEADER]}"
 start_node "$LEADER"
 retry skc -addr "${CADDR[$LEADER]}" sync /smoke
 got=$(skc -addr "${CADDR[$LEADER]}" get /smoke)
@@ -159,11 +197,13 @@ got=$(skc -addr "${CADDR[$LEADER]}" get /smoke)
 
 if [ "$DURABLE" = 1 ]; then
   echo "== restart-from-disk: SIGKILL the WHOLE ensemble, restart, verify recovery"
+  OLD_PIDS=("${PIDS[@]}")
   for i in 1 2 3; do
     kill -9 "${PIDS[$i]}" 2>/dev/null || true
     unset "PIDS[$i]" || true
   done
-  sleep 0.3
+  wait_dead "${OLD_PIDS[@]}"
+  wait_port_free "${MESH[1]}" "${MESH[2]}" "${MESH[3]}" "${CADDR[1]}" "${CADDR[2]}" "${CADDR[3]}"
   for i in 1 2 3; do start_node "$i"; done
   wait_leader
   retry skc -addr "${CADDR[1]},${CADDR[2]},${CADDR[3]}" sync /smoke
