@@ -7,6 +7,15 @@
 //	skclient cas /a 3 world2     (atomic Check+Set multi: version guard)
 //	skclient delete /a
 //	skclient watch /a            (blocks until the watch handle fires)
+//	skclient digest /            (deterministic recursive tree digest)
+//	skclient verify < paths.txt  (assert every listed path exists)
+//	skclient burst /p 200 64     (write burst with an ACK-per-write ledger)
+//
+// digest, verify and burst are the crash-consistency harness's
+// instruments: burst emits a ledger of acknowledged writes while
+// replicas are being SIGKILLed, digest fingerprints a replica's tree
+// for recovered-vs-survivor comparison, and verify checks the ledger
+// against the recovered ensemble.
 //
 // -addr accepts a comma-separated list of replica addresses; the first
 // reachable one serves the session, so a command keeps working while
@@ -24,12 +33,15 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -53,7 +65,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		return fmt.Errorf("usage: skclient [-addr host:port[,host:port...]] [-variant v] [-timeout d] <create|get|set|cas|delete|ls|stat|sync|watch> [path] [args...]")
+		return fmt.Errorf("usage: skclient [-addr host:port[,host:port...]] [-variant v] [-timeout d] <create|get|set|cas|delete|ls|stat|sync|watch|digest|verify|burst> [path] [args...]")
 	}
 
 	ctx := context.Background()
@@ -61,6 +73,12 @@ func run() error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// burst manages its own connections (it survives replica crashes by
+	// redialing mid-run), so it bypasses the single-session setup.
+	if args[0] == "burst" {
+		return runBurst(ctx, strings.Split(*addr, ","), *variant, args[1:])
 	}
 
 	conn, err := dialAny(strings.Split(*addr, ","), *variant)
@@ -220,9 +238,198 @@ func execute(ctx context.Context, cl *client.Client, args []string) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		}
+	case "digest":
+		// Deterministic recursive tree digest: path, version and data of
+		// every node under <path>, visited in sorted order. Two replicas
+		// holding the same tree print the same line — the crash harness
+		// compares a recovered replica against a survivor with it.
+		h := fnv.New64a()
+		nodes := 0
+		var walk func(p string) error
+		walk = func(p string) error {
+			// The root predates any session (under SecureKeeper its
+			// empty data was never enclave-encrypted, so a Get would
+			// fail integrity); only its subtree carries state.
+			if p != "/" {
+				data, stat, err := cl.Get(ctx, p)
+				if err != nil {
+					if isNoNode(err) {
+						return nil // deleted between listing and visit
+					}
+					return err
+				}
+				nodes++
+				fmt.Fprintf(h, "%s|%d|", p, stat.Version)
+				h.Write(data)
+				h.Write([]byte{0})
+			}
+			kids, err := cl.Children(ctx, p)
+			if err != nil {
+				if isNoNode(err) {
+					return nil
+				}
+				return err
+			}
+			sort.Strings(kids)
+			for _, k := range kids {
+				child := p + "/" + k
+				if p == "/" {
+					child = "/" + k
+				}
+				if err := walk(child); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(path); err != nil {
+			return err
+		}
+		fmt.Printf("digest %016x nodes=%d\n", h.Sum64(), nodes)
+	case "verify":
+		// Read paths (one per line) from stdin and check each exists —
+		// the harness feeds it the burst's acknowledged-write ledger.
+		sc := bufio.NewScanner(os.Stdin)
+		checked, missing := 0, 0
+		for sc.Scan() {
+			p := strings.TrimSpace(sc.Text())
+			if p == "" {
+				continue
+			}
+			checked++
+			if _, err := cl.Exists(ctx, p); err != nil {
+				if isNoNode(err) {
+					fmt.Println("MISSING", p)
+					missing++
+					continue
+				}
+				return err
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("verified %d missing %d\n", checked, missing)
+		if missing > 0 {
+			return fmt.Errorf("%d acknowledged writes missing", missing)
+		}
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+	return nil
+}
+
+// runBurst writes <count> nodes under <prefix>, printing an "ACK
+// <path>" ledger line for every write the ensemble acknowledged. The
+// crash harness SIGKILLs replicas while this runs, so a failed op
+// redials (any surviving replica) and retries; a retried create that
+// finds its node already there commits as "MAYBE" — the original
+// attempt reached consensus but was never acknowledged to us, so the
+// durability contract does not cover it. Burst always exits 0 once
+// arguments parse: the ledger, not the exit code, is the result.
+func runBurst(ctx context.Context, addrs []string, variant string, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("burst needs <prefix> <count> [payload-bytes]")
+	}
+	prefix := strings.TrimSuffix(args[0], "/")
+	count, err := strconv.Atoi(args[1])
+	if err != nil || count <= 0 {
+		return fmt.Errorf("parse count: %v", args[1])
+	}
+	payload := 32
+	if len(args) > 2 {
+		if payload, err = strconv.Atoi(args[2]); err != nil || payload < 0 {
+			return fmt.Errorf("parse payload-bytes: %v", args[2])
+		}
+	}
+
+	var cl *client.Client
+	disconnect := func() {
+		if cl != nil {
+			_ = cl.Close()
+			cl = nil
+		}
+	}
+	defer disconnect()
+	connect := func() error {
+		disconnect()
+		conn, err := dialAny(addrs, variant)
+		if err != nil {
+			return err
+		}
+		c, err := client.Connect(conn, client.Options{})
+		if err != nil {
+			_ = conn.Close()
+			return err
+		}
+		cl = c
+		return nil
+	}
+
+	// tryOp runs one create with redial-retry; returns its ledger fate.
+	const attempts = 6
+	tryOp := func(path string, data []byte) string {
+		for a := 0; a < attempts; a++ {
+			if ctx.Err() != nil {
+				return "LOST"
+			}
+			if cl == nil {
+				if err := connect(); err != nil {
+					time.Sleep(200 * time.Millisecond)
+					continue
+				}
+			}
+			_, err := cl.Create(ctx, path, data, 0)
+			if err == nil {
+				return "ACK"
+			}
+			var pe *wire.ProtocolError
+			if errors.As(err, &pe) {
+				if pe.Code == wire.ErrNodeExists {
+					return "MAYBE" // an earlier unacknowledged attempt committed
+				}
+				return "LOST" // rejected for a structural reason; don't retry
+			}
+			// Transport-level failure: the session is toast, redial.
+			disconnect()
+			time.Sleep(200 * time.Millisecond)
+		}
+		return "LOST"
+	}
+
+	// The prefix node itself is not part of the ledger.
+	if prefix != "" {
+		_ = tryOp(prefix, nil)
+	}
+
+	acked, maybes, lost, failStreak := 0, 0, 0, 0
+	for i := 0; i < count && ctx.Err() == nil; i++ {
+		path := fmt.Sprintf("%s/b%06d", prefix, i)
+		data := make([]byte, payload)
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		switch tryOp(path, data) {
+		case "ACK":
+			fmt.Println("ACK", path)
+			acked++
+			failStreak = 0
+		case "MAYBE":
+			fmt.Println("MAYBE", path)
+			maybes++
+			failStreak = 0
+		default:
+			fmt.Println("LOST", path)
+			lost++
+			// The whole ensemble is probably down (the whole-ensemble
+			// crash leg): stop burning retry time.
+			if failStreak++; failStreak >= 3 {
+				fmt.Println("BURST aborting: ensemble unreachable")
+				i = count
+			}
+		}
+	}
+	fmt.Printf("BURST acked=%d maybe=%d lost=%d of %d\n", acked, maybes, lost, count)
 	return nil
 }
 

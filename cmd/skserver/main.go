@@ -59,6 +59,7 @@ func run() error {
 	storageKey := flag.String("storage-key", "", "shared storage key, hex (securekeeper multi-process ensembles)")
 	dataDir := flag.String("data-dir", "", "durable state directory (process-per-replica mode); empty = in-memory only")
 	snapshotEvery := flag.Int("snapshot-every", 0, "commits between durable snapshots (0 = storage default)")
+	logSegmentBytes := flag.Int64("log-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = storage default)")
 	flag.Parse()
 
 	v, err := parseVariant(*variant)
@@ -69,7 +70,7 @@ func run() error {
 		return fmt.Errorf("-id and -peers must be used together")
 	}
 	if *id != 0 {
-		return runNode(v, *id, *peersFlag, *listen, *storageKey, *dataDir, *snapshotEvery)
+		return runNode(v, *id, *peersFlag, *listen, *storageKey, *dataDir, *snapshotEvery, *logSegmentBytes)
 	}
 	if *dataDir != "" {
 		return fmt.Errorf("-data-dir requires process-per-replica mode (-id/-peers)")
@@ -81,7 +82,7 @@ func run() error {
 // With -data-dir the replica is durable: committed transactions are
 // logged and snapshotted there, and a restart recovers from disk
 // instead of relying on a live leader's snapshot/diff sync.
-func runNode(v core.Variant, id int64, peersFlag, listen, keyHex, dataDir string, snapshotEvery int) error {
+func runNode(v core.Variant, id int64, peersFlag, listen, keyHex, dataDir string, snapshotEvery int, logSegmentBytes int64) error {
 	peers, err := parsePeers(peersFlag)
 	if err != nil {
 		return err
@@ -96,12 +97,13 @@ func runNode(v core.Variant, id int64, peersFlag, listen, keyHex, dataDir string
 		}
 	}
 	node, err := core.NewNode(core.NodeConfig{
-		Variant:       v,
-		ID:            zab.PeerID(id),
-		Peers:         peers,
-		StorageKey:    key,
-		DataDir:       dataDir,
-		SnapshotEvery: snapshotEvery,
+		Variant:         v,
+		ID:              zab.PeerID(id),
+		Peers:           peers,
+		StorageKey:      key,
+		DataDir:         dataDir,
+		SnapshotEvery:   snapshotEvery,
+		LogSegmentBytes: logSegmentBytes,
 	})
 	if err != nil {
 		return err

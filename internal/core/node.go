@@ -39,6 +39,8 @@ type NodeConfig struct {
 	// DataDir, when set, makes the replica durable (see server.Config).
 	DataDir       string
 	SnapshotEvery int
+	// LogSegmentBytes is the WAL rotation threshold (0 = default).
+	LogSegmentBytes int64
 	// ApplySGXLatency and SGXCost mirror the Cluster knobs.
 	ApplySGXLatency bool
 	SGXCost         *sgx.CostModel
@@ -113,6 +115,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		ElectionTimeout: cfg.ElectionTimeout,
 		DataDir:         cfg.DataDir,
 		SnapshotEvery:   cfg.SnapshotEvery,
+		LogSegmentBytes: cfg.LogSegmentBytes,
+		Logf:            cfg.Logf,
 	})
 	if err != nil {
 		_ = mesh.Close()

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -90,6 +91,42 @@ func TestReplicaRestartRecoversState(t *testing.T) {
 	}
 	if _, err := cl2.Create(ctxbg, "/post-restart", []byte("new"), 0); err != nil {
 		t.Fatalf("post-restart write: %v", err)
+	}
+}
+
+// TestPersistFailureDegradesReplica: when the WAL dies, the replica
+// must stop acknowledging writes — loudly degraded and read-only —
+// instead of pretending commits are durable.
+func TestPersistFailureDegradesReplica(t *testing.T) {
+	net := zab.NewNetwork()
+	r := newDurableSingle(t, net, t.TempDir())
+	defer func() {
+		r.Close()
+		net.Close()
+	}()
+	cl := connectTo(t, r)
+	defer cl.Close()
+	if _, err := cl.Create(ctxbg, "/pre", []byte("ok"), 0); err != nil {
+		t.Fatalf("pre-failure write: %v", err)
+	}
+
+	// Kill the disk out from under the replica.
+	r.persister.Fail(errors.New("injected disk failure"))
+
+	// The in-flight commit path must fail the write, not ack it.
+	if _, err := cl.Create(ctxbg, "/lost", nil, 0); err == nil {
+		t.Fatal("write acknowledged after persistence failure")
+	}
+	if !r.Degraded() {
+		t.Fatal("replica not degraded after persistence failure")
+	}
+	// Subsequent writes are refused up front...
+	if _, err := cl.Set(ctxbg, "/pre", []byte("nope"), -1); err == nil {
+		t.Fatal("write accepted while degraded")
+	}
+	// ...but reads keep serving from the in-memory tree.
+	if data, _, err := cl.Get(ctxbg, "/pre"); err != nil || !bytes.Equal(data, []byte("ok")) {
+		t.Fatalf("degraded read = %q, %v", data, err)
 	}
 }
 

@@ -15,6 +15,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,11 +76,18 @@ type Config struct {
 	// SessionTimeout bounds client session liveness (informational).
 	SessionTimeout time.Duration
 	// DataDir, when set, makes the replica durable: committed
-	// transactions are logged and the tree snapshotted there, and a
-	// restart recovers from it. Empty means in-memory only.
+	// transactions are group-committed to the write-ahead log there,
+	// the tree snapshotted periodically, and a restart recovers from
+	// it. A client write is acknowledged only after the fsync covering
+	// its transaction returns. Empty means in-memory only.
 	DataDir string
 	// SnapshotEvery tunes how many commits separate snapshots.
 	SnapshotEvery int
+	// LogSegmentBytes is the WAL rotation threshold (0 = default).
+	LogSegmentBytes int64
+	// Logf, when set, receives replica diagnostics (defaults to the
+	// standard logger). Persistence failures are reported here.
+	Logf func(format string, args ...any)
 }
 
 // Replica is one coordination-service server.
@@ -118,6 +126,11 @@ type Replica struct {
 	// Counters for the evaluation harness.
 	readOps  atomic.Int64
 	writeOps atomic.Int64
+
+	// degraded latches when the persister reports a failure: the
+	// replica can no longer durably store what it acknowledges, so it
+	// stops accepting writes (reads keep serving from the tree).
+	degraded atomic.Bool
 }
 
 type pendingKey struct {
@@ -188,6 +201,7 @@ func NewReplica(cfg Config) *Replica {
 			Dir:           cfg.DataDir,
 			Tree:          r.tree,
 			SnapshotEvery: cfg.SnapshotEvery,
+			SegmentBytes:  cfg.LogSegmentBytes,
 		})
 		if err != nil {
 			// A replica that cannot read its durable state must not
@@ -271,6 +285,15 @@ func (r *Replica) IsLeader() bool { return r.peer.Role() == zab.RoleLeading }
 // Ops returns the cumulative read and write counts served.
 func (r *Replica) Ops() (reads, writes int64) {
 	return r.readOps.Load(), r.writeOps.Load()
+}
+
+// PersistStats returns the durability counters (zeros when the replica
+// is in-memory). Records/Fsyncs is the mean group-commit batch size.
+func (r *Replica) PersistStats() storage.PersistStats {
+	if r.persister == nil {
+		return storage.PersistStats{}
+	}
+	return r.persister.Stats()
 }
 
 // WaitForRole blocks until the replica assumes a non-looking role or
@@ -410,6 +433,12 @@ func (r *Replica) dropSession(s *session) {
 // goroutines.
 func (r *Replica) handleWrite(s *session, entry *inflightReq) {
 	r.writeOps.Add(1)
+	if r.degraded.Load() {
+		// Refuse up front: the reply still flows through writeDone so
+		// the session FIFO (and reads parked behind it) stay ordered.
+		s.writeDone(entry, errorReply(entry.xid, 0, wire.ErrConnectionLoss), true)
+		return
+	}
 	r.mu.Lock()
 	r.pending[pendingKey{session: s.id, xid: entry.xid}] = r.getPendingWrite(entry, s)
 	r.mu.Unlock()
@@ -598,8 +627,12 @@ func (r *Replica) restoreFromSync(snap *ztree.Snapshot) {
 	r.tree.Restore(snap)
 	if r.persister != nil {
 		// The peer updates its commit position before calling Restore.
+		// Failure to persist the synced snapshot means this replica's
+		// durable state is stale AND its disk is suspect: degrade
+		// rather than keep acknowledging (the sticky persister failure
+		// blocks later Records anyway).
 		if err := r.persister.Snapshot(r.peer.LastCommitted()); err != nil {
-			panic(fmt.Sprintf("server: persist synced snapshot: %v", err))
+			r.enterDegraded(err)
 		}
 	}
 }
@@ -609,31 +642,93 @@ func (r *Replica) restoreFromSync(snap *ztree.Snapshot) {
 // completion advances the session's write watermark, which is what
 // wakes reads parked behind the write (commit notification -> resume
 // pool), independent of when the write's own response is released.
+//
+// On a durable replica the completion is deferred past the WAL fsync:
+// the transaction is enqueued to the persister's commit-log goroutine
+// (this loop never blocks on disk, so consecutive deliveries pile into
+// one shared fsync) and the client sees "committed" only once it means
+// "on disk". A persistence failure drops the replica into degraded
+// mode and fails the write instead of acknowledging it.
 func (r *Replica) deliver(c zab.Committed) {
 	res := r.tree.Apply(&c.Txn)
-	if r.persister != nil {
-		if err := r.persister.Record(&c.Txn); err != nil {
-			panic(fmt.Sprintf("server: persist txn: %v", err))
-		}
-	}
-	if c.Origin.Peer != r.cfg.ID {
-		return
-	}
-	r.mu.Lock()
-	key := pendingKey{session: c.Origin.Session, xid: c.Origin.Xid}
-	pw, ok := r.pending[key]
 	var entry *inflightReq
 	var sess *session
-	if ok {
+	if c.Origin.Peer == r.cfg.ID {
+		r.mu.Lock()
+		key := pendingKey{session: c.Origin.Session, xid: c.Origin.Xid}
+		if pw, ok := r.pending[key]; ok {
+			delete(r.pending, key)
+			entry, sess = pw.entry, pw.sess
+			r.putPendingWrite(pw)
+		}
+		r.mu.Unlock()
+	}
+	if r.persister == nil {
+		if sess != nil {
+			sess.writeDone(entry, buildWriteResponse(&c.Txn, entry.op, c.Origin.Xid, res), false)
+		}
+		return
+	}
+	// Build the response now (it reads c.Txn and res, both owned by
+	// this goroutine); the fsync callback only releases it.
+	var resp []byte
+	if sess != nil {
+		resp = buildWriteResponse(&c.Txn, entry.op, c.Origin.Xid, res)
+	}
+	r.persister.Record(&c.Txn, func(err error) {
+		if err != nil {
+			r.enterDegraded(err)
+			if sess != nil {
+				sess.writeDone(entry, errorReply(entry.xid, 0, wire.ErrConnectionLoss), true)
+			}
+			return
+		}
+		if sess != nil {
+			sess.writeDone(entry, resp, false)
+		}
+	})
+}
+
+// enterDegraded latches the replica into read-only degraded mode after
+// a persistence failure: it must not acknowledge commits it can no
+// longer store, so new writes are refused up front and every write
+// still in flight is failed (its transaction may yet commit on the
+// ensemble, but this replica cannot vouch for it durably —
+// ConnectionLoss tells the client to retry elsewhere, exactly as on a
+// leader change). Reads keep serving from the in-memory tree.
+func (r *Replica) enterDegraded(cause error) {
+	if r.degraded.Swap(true) {
+		return
+	}
+	r.logf("server: replica %d: PERSISTENCE FAILURE, entering degraded read-only mode (writes refused): %v",
+		r.cfg.ID, cause)
+	type failed struct {
+		entry *inflightReq
+		sess  *session
+	}
+	r.mu.Lock()
+	pending := make([]failed, 0, len(r.pending))
+	for key, pw := range r.pending {
+		pending = append(pending, failed{entry: pw.entry, sess: pw.sess})
 		delete(r.pending, key)
-		entry, sess = pw.entry, pw.sess
 		r.putPendingWrite(pw)
 	}
 	r.mu.Unlock()
-	if !ok {
+	for _, f := range pending {
+		f.sess.writeDone(f.entry, errorReply(f.entry.xid, 0, wire.ErrConnectionLoss), true)
+	}
+}
+
+// Degraded reports whether the replica refused further writes after a
+// persistence failure.
+func (r *Replica) Degraded() bool { return r.degraded.Load() }
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
 		return
 	}
-	sess.writeDone(entry, buildWriteResponse(&c.Txn, entry.op, c.Origin.Xid, res), false)
+	log.Printf(format, args...)
 }
 
 // failPending aborts one pending write: its fate is unknown, so the

@@ -1,0 +1,407 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"securekeeper/internal/ztree"
+)
+
+// keepSnapshots is how many recovery points survive a purge: the
+// newest is the normal recovery point, the older ones are fallbacks
+// for the corrupt-newest case in LoadLatestSnapshot.
+const keepSnapshots = 3
+
+// PersisterConfig configures Recover.
+type PersisterConfig struct {
+	Dir  string
+	Tree *ztree.Tree
+	// SnapshotEvery triggers a snapshot after that many recorded
+	// transactions (0 = never snapshot automatically).
+	SnapshotEvery int
+	// SegmentBytes is the log rotation threshold (0 = default).
+	SegmentBytes int64
+}
+
+// PersistStats is a snapshot of the persister's counters. The
+// interesting derived figure is Records/Fsyncs — the mean group-commit
+// batch size, i.e. how many concurrent writers shared each fsync.
+type PersistStats struct {
+	Records   int64 // transactions made durable
+	Fsyncs    int64 // fsync calls that covered them
+	Batches   int64 // commit batches processed (== Fsyncs incl. barrier-only)
+	MaxBatch  int64 // largest single batch
+	Snapshots int64 // snapshots written
+	Rotations int64 // log segments sealed
+	Segments  int64 // log segments created
+}
+
+// commitReq is one unit of work queued for the commit-log goroutine.
+type commitReq struct {
+	txn    ztree.Txn
+	hasTxn bool
+	// done is invoked exactly once, after the fsync that made txn
+	// durable (or with the failure that prevented it). May be called
+	// from the commit-log goroutine; must not block.
+	done func(error)
+	// snap, when set, is a tree snapshot captured synchronously at
+	// enqueue time, consistent with exactly the records up to snapZxid.
+	snap     *ztree.Snapshot
+	snapZxid int64
+	// snapDone reports the snapshot's own outcome (forced snapshots).
+	snapDone func(error)
+}
+
+// Persister ties the tree, the segmented WAL and snapshots together
+// with ZooKeeper-style group commit: callers enqueue transactions and
+// a single commit-log goroutine coalesces everything that arrived
+// within one fsync window into one Append run + one Sync, completing
+// every waiter on the shared fsync. Under W concurrent writers the
+// per-transaction fsync cost approaches 1/W of a solo commit.
+//
+// Any persistence failure is sticky: the first error is reported to
+// its waiters and every subsequent Record fails fast with it. The
+// replica layer reacts by dropping into degraded read-only mode — it
+// must never acknowledge a commit it can no longer store.
+type Persister struct {
+	dir           string
+	log           *Log
+	tree          *ztree.Tree
+	snapshotEvery int
+
+	mu          sync.Mutex
+	queue       []commitReq
+	sinceSnap   int
+	lastApplied int64
+	failure     error
+	closed      bool
+
+	kick     chan struct{} // 1-buffered wakeup for the commit loop
+	loopDone chan struct{}
+
+	records   atomic.Int64
+	fsyncs    atomic.Int64
+	batches   atomic.Int64
+	maxBatch  atomic.Int64
+	snapshots atomic.Int64
+}
+
+// Recover restores state from dir — latest valid snapshot, then every
+// log record above it — into cfg.Tree, and returns a running Persister
+// plus the highest zxid recovered. A fresh directory recovers to zxid
+// 0. Replay is idempotent with respect to snapshots: records at or
+// below the snapshot's zxid are skipped.
+func Recover(cfg PersisterConfig) (*Persister, int64, error) {
+	var lastZxid int64
+	snap, zxid, err := LoadLatestSnapshot(cfg.Dir)
+	switch {
+	case err == nil:
+		cfg.Tree.Restore(snap)
+		lastZxid = zxid
+	case err == ErrNoSnapshot:
+		// fresh start
+	default:
+		return nil, 0, err
+	}
+	snapZxid := lastZxid
+	if err := ReplayLog(cfg.Dir, func(txn *ztree.Txn) error {
+		if txn.Zxid <= snapZxid {
+			return nil // already reflected in the snapshot
+		}
+		cfg.Tree.Apply(txn)
+		if txn.Zxid > lastZxid {
+			lastZxid = txn.Zxid
+		}
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	log, err := OpenLogSegmented(cfg.Dir, cfg.SegmentBytes)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := &Persister{
+		dir:           cfg.Dir,
+		log:           log,
+		tree:          cfg.Tree,
+		snapshotEvery: cfg.SnapshotEvery,
+		lastApplied:   lastZxid,
+		kick:          make(chan struct{}, 1),
+		loopDone:      make(chan struct{}),
+	}
+	go p.commitLoop()
+	return p, lastZxid, nil
+}
+
+// Record enqueues txn for durable storage. done (optional) fires
+// exactly once — possibly on the commit-log goroutine, so it must not
+// block — after the fsync covering txn returns, or with the error that
+// prevented durability. Record itself never blocks on I/O: the zab
+// delivery loop stays decoupled from disk latency, which is what lets
+// concurrent proposals pile into one fsync window.
+//
+// Must be called from the single apply goroutine, after txn has been
+// applied to the tree: automatic snapshots are captured here,
+// synchronously, so they are consistent with exactly the records
+// enqueued so far.
+func (p *Persister) Record(txn *ztree.Txn, done func(error)) {
+	p.mu.Lock()
+	if err := p.deadLocked(); err != nil {
+		p.mu.Unlock()
+		if done != nil {
+			done(err)
+		}
+		return
+	}
+	req := commitReq{txn: *txn, hasTxn: true, done: done}
+	if txn.Zxid > p.lastApplied {
+		p.lastApplied = txn.Zxid
+	}
+	p.sinceSnap++
+	if p.snapshotEvery > 0 && p.sinceSnap >= p.snapshotEvery {
+		req.snap = p.tree.Snapshot()
+		req.snapZxid = txn.Zxid
+		p.sinceSnap = 0
+	}
+	p.queue = append(p.queue, req)
+	p.mu.Unlock()
+	p.wake()
+}
+
+// RecordSync is Record + wait: it returns once txn is on disk. Handy
+// for tests and callers without a completion pipeline.
+func (p *Persister) RecordSync(txn *ztree.Txn) error {
+	ch := make(chan error, 1)
+	p.Record(txn, func(err error) { ch <- err })
+	return <-ch
+}
+
+// Flush blocks until everything enqueued before it is durable.
+func (p *Persister) Flush() error {
+	ch := make(chan error, 1)
+	p.mu.Lock()
+	if err := p.deadLocked(); err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	p.queue = append(p.queue, commitReq{done: func(err error) { ch <- err }})
+	p.mu.Unlock()
+	p.wake()
+	return <-ch
+}
+
+// Snapshot captures the tree now, labels it zxid, and blocks until it
+// is durably written (and superseded segments purged). Used after a
+// state transfer: the restored tree must be persisted even though its
+// transactions never traversed this replica's log.
+func (p *Persister) Snapshot(zxid int64) error {
+	snap := p.tree.Snapshot()
+	ch := make(chan error, 1)
+	p.mu.Lock()
+	if err := p.deadLocked(); err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	if zxid > p.lastApplied {
+		p.lastApplied = zxid
+	}
+	p.sinceSnap = 0
+	p.queue = append(p.queue, commitReq{
+		snap:     snap,
+		snapZxid: zxid,
+		snapDone: func(err error) { ch <- err },
+	})
+	p.mu.Unlock()
+	p.wake()
+	return <-ch
+}
+
+// LastApplied reports the highest zxid recorded or recovered.
+func (p *Persister) LastApplied() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastApplied
+}
+
+// Err reports the sticky persistence failure, nil while healthy.
+func (p *Persister) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failure
+}
+
+// Stats returns a snapshot of the persister's counters.
+func (p *Persister) Stats() PersistStats {
+	rot, segs := p.log.counters()
+	return PersistStats{
+		Records:   p.records.Load(),
+		Fsyncs:    p.fsyncs.Load(),
+		Batches:   p.batches.Load(),
+		MaxBatch:  p.maxBatch.Load(),
+		Snapshots: p.snapshots.Load(),
+		Rotations: rot,
+		Segments:  segs,
+	}
+}
+
+// Close drains the queue, seals the log, and stops the commit loop.
+func (p *Persister) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.loopDone
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.wake()
+	<-p.loopDone
+	err := p.Err()
+	if cerr := p.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (p *Persister) deadLocked() error {
+	if p.failure != nil {
+		return p.failure
+	}
+	if p.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// wake nudges the commit loop; the 1-buffered channel means a pending
+// wakeup is never lost and an already-pending one need not be doubled.
+func (p *Persister) wake() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// commitLoop is the commit-log goroutine: it repeatedly swaps out the
+// whole queue and commits it as one batch — every transaction that
+// arrived while the previous fsync was in flight shares the next one.
+func (p *Persister) commitLoop() {
+	defer close(p.loopDone)
+	for {
+		<-p.kick
+		for {
+			p.mu.Lock()
+			batch := p.queue
+			p.queue = nil
+			closed := p.closed
+			p.mu.Unlock()
+			if len(batch) == 0 {
+				if closed {
+					return
+				}
+				break // back to waiting on kick
+			}
+			p.commitBatch(batch)
+		}
+	}
+}
+
+func (p *Persister) commitBatch(batch []commitReq) {
+	err := p.Err() // sticky: fail queued work without touching the disk
+	txns := 0
+	if err == nil {
+		for i := range batch {
+			if !batch[i].hasTxn {
+				continue
+			}
+			txns++
+			if aerr := p.log.Append(&batch[i].txn); aerr != nil {
+				err = aerr
+				break
+			}
+		}
+		if err == nil {
+			err = p.log.Sync()
+		}
+	}
+	if err == nil {
+		p.records.Add(int64(txns))
+		p.fsyncs.Add(1)
+		p.batches.Add(1)
+		if n := int64(txns); n > p.maxBatch.Load() {
+			p.maxBatch.Store(n)
+		}
+	} else {
+		p.fail(err)
+	}
+	for i := range batch {
+		if batch[i].done != nil {
+			batch[i].done(err)
+		}
+	}
+
+	// Snapshot handling: only the LAST snapshot in the batch needs
+	// writing — recovery always prefers the newest — and it covers the
+	// intent of every earlier one.
+	var snap *ztree.Snapshot
+	var snapZxid int64
+	for i := range batch {
+		if batch[i].snap != nil {
+			snap = batch[i].snap
+			snapZxid = batch[i].snapZxid
+		}
+	}
+	var snapErr error
+	if err != nil {
+		snapErr = err
+	} else if snap != nil {
+		snapErr = p.writeSnapshotAndPurge(snap, snapZxid)
+		if snapErr != nil {
+			p.fail(snapErr)
+		}
+	}
+	for i := range batch {
+		if batch[i].snapDone != nil {
+			batch[i].snapDone(snapErr)
+		}
+	}
+}
+
+// writeSnapshotAndPurge publishes a snapshot and reclaims space: the
+// active log segment is sealed (so a later purge can remove it once a
+// snapshot covers it), snapshots beyond the retention window are
+// dropped, and every log segment fully below the OLDEST retained
+// snapshot goes with them — older segments can never be needed again,
+// because even the corrupt-newest fallback path starts at that
+// snapshot.
+func (p *Persister) writeSnapshotAndPurge(snap *ztree.Snapshot, zxid int64) error {
+	if err := WriteSnapshot(p.dir, snap, zxid); err != nil {
+		return err
+	}
+	p.snapshots.Add(1)
+	if err := p.log.Rotate(); err != nil {
+		return err
+	}
+	oldest, err := PurgeSnapshots(p.dir, keepSnapshots)
+	if err != nil {
+		return fmt.Errorf("storage: purge snapshots: %w", err)
+	}
+	if _, err := PurgeSegments(p.dir, oldest); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Fail injects a sticky persistence failure (fault injection for
+// tests and operators): every subsequent Record, Flush and Snapshot
+// fails fast with err, as if the disk had died.
+func (p *Persister) Fail(err error) { p.fail(err) }
+
+func (p *Persister) fail(err error) {
+	p.mu.Lock()
+	if p.failure == nil {
+		p.failure = err
+	}
+	p.mu.Unlock()
+}

@@ -1,8 +1,21 @@
 // Package storage implements the replica's durability layer, mirroring
-// ZooKeeper's on-disk format conceptually: an append-only transaction
-// log with per-record checksums, and periodic tree snapshots that allow
-// the log to be truncated. On restart a replica restores the latest
-// valid snapshot and replays the log suffix.
+// ZooKeeper's on-disk format: a segmented, CRC-checked write-ahead
+// transaction log and periodic tree snapshots that let old log
+// segments be purged. On restart a replica restores the latest valid
+// snapshot and replays the log records above it, in zxid order.
+//
+// Crash semantics:
+//
+//   - A record is durable once the group-commit fsync covering it has
+//     returned (see Persister); only then is the client acknowledged.
+//   - A truncated or CRC-broken record at the very tail of the final
+//     segment is a normal crash artifact (the write was torn mid-
+//     flight and never acknowledged); recovery drops it silently and
+//     truncates it away so new appends never land after garbage.
+//   - Corruption anywhere else — mid-segment, or in a sealed (non-
+//     final) segment, which was fsynced before the next segment was
+//     created — cannot be a torn write and is reported as a hard
+//     error rather than silently losing acknowledged state.
 //
 // Under SecureKeeper, everything written here is ciphertext already
 // (paths and payloads were encrypted by the entry enclaves before they
@@ -20,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -31,43 +45,189 @@ import (
 var (
 	ErrCorruptRecord = errors.New("storage: corrupt log record")
 	ErrNoSnapshot    = errors.New("storage: no snapshot found")
+	ErrClosed        = errors.New("storage: persister closed")
 )
 
 const (
-	logFileName    = "txnlog"
+	// legacyLogName is the pre-segmentation single-file log; OpenLog
+	// migrates it to segment 0 so rotation and purge treat it uniformly.
+	legacyLogName  = "txnlog"
+	segPrefix      = "log."
 	snapPrefix     = "snapshot."
-	recordHeader   = 8 // 4-byte length + 4-byte CRC32C
+	snapTmpName    = "snap.tmp" // deliberately NOT snapPrefix-matching
+	recordHeader   = 8          // 4-byte length + 4-byte CRC32C
 	maxRecordBytes = 16 << 20
+
+	// DefaultSegmentBytes is the rotation threshold when the caller
+	// does not set one.
+	DefaultSegmentBytes = 8 << 20
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// Log is an append-only transaction log. Safe for one appender and
-// concurrent readers of closed state; Append is internally serialized.
-type Log struct {
-	mu   sync.Mutex
-	dir  string
-	file *os.File
-	buf  []byte
+// segmentName renders the file name of the segment whose first record
+// carries zxid: fixed-width hex, so lexical order is zxid order.
+func segmentName(zxid int64) string {
+	return fmt.Sprintf("%s%016x", segPrefix, uint64(zxid))
 }
 
-// OpenLog opens (creating if needed) the transaction log in dir.
-func OpenLog(dir string) (*Log, error) {
+// segmentInfo is one on-disk log segment.
+type segmentInfo struct {
+	name      string
+	firstZxid int64
+}
+
+// listSegments returns dir's log segments in replay (zxid) order. A
+// not-yet-migrated legacy "txnlog" sorts first.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read dir: %w", err)
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if name == legacyLogName {
+			segs = append(segs, segmentInfo{name: name, firstZxid: -1})
+			continue
+		}
+		if !strings.HasPrefix(name, segPrefix) {
+			continue
+		}
+		z, err := strconv.ParseUint(strings.TrimPrefix(name, segPrefix), 16, 64)
+		if err != nil {
+			continue // not a segment name
+		}
+		segs = append(segs, segmentInfo{name: name, firstZxid: int64(z)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstZxid < segs[j].firstZxid })
+	return segs, nil
+}
+
+// fsyncDir flushes directory metadata so a just-created, renamed or
+// removed name survives a crash. Without it, a snapshot rename or a
+// fresh segment can exist in memory only: the file's data is durable
+// but the name pointing at it is not.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: open dir for fsync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("storage: fsync dir: %w", err)
+	}
+	return nil
+}
+
+// Log is the segmented append-only transaction log. Appends go to the
+// active segment; when it exceeds the rotation threshold (or Rotate is
+// called, e.g. after a snapshot) the segment is fsynced, sealed, and
+// the next append opens a new one named by its first record's zxid.
+// Safe for one appender and concurrent readers of sealed state; all
+// methods are internally serialized.
+type Log struct {
+	mu           sync.Mutex
+	dir          string
+	segmentBytes int64
+	file         *os.File // active segment; nil until the next Append opens one
+	size         int64
+	buf          []byte
+
+	rotations int64
+	segments  int64 // segments created by this instance
+}
+
+// OpenLog opens the log in dir with the default rotation threshold.
+func OpenLog(dir string) (*Log, error) { return OpenLogSegmented(dir, 0) }
+
+// OpenLogSegmented opens (creating dir if needed) the segmented log.
+// segmentBytes <= 0 selects DefaultSegmentBytes. A torn record at the
+// tail of the last segment — the only place a crash can leave one —
+// is truncated away so appends resume from the last durable record.
+func OpenLogSegmented(dir string, segmentBytes int64) (*Log, error) {
+	if segmentBytes <= 0 {
+		segmentBytes = DefaultSegmentBytes
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: mkdir: %w", err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, logFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("storage: open log: %w", err)
+	// Migrate a legacy single-file log into segment 0.
+	legacy := filepath.Join(dir, legacyLogName)
+	if _, err := os.Stat(legacy); err == nil {
+		if err := os.Rename(legacy, filepath.Join(dir, segmentName(0))); err != nil {
+			return nil, fmt.Errorf("storage: migrate legacy log: %w", err)
+		}
+		if err := fsyncDir(dir); err != nil {
+			return nil, err
+		}
 	}
-	return &Log{dir: dir, file: f}, nil
+	l := &Log{dir: dir, segmentBytes: segmentBytes}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return l, nil
+	}
+	// Repair the final segment: scan it, drop a torn tail, and keep
+	// appending to it. Mid-segment corruption is NOT repairable — it
+	// would mean acknowledged records are gone — so it fails the open.
+	last := filepath.Join(dir, segs[len(segs)-1].name)
+	valid, _, err := scanSegment(last, nil)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(last, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open segment: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("storage: stat segment: %w", err)
+	}
+	if info.Size() > valid {
+		if err := f.Truncate(valid); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("storage: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("storage: sync repaired segment: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("storage: seek segment end: %w", err)
+	}
+	l.file, l.size = f, valid
+	return l, nil
 }
 
-// Append durably records one committed transaction.
+// Append writes one committed transaction to the active segment,
+// rotating first if the segment is full. The record is NOT durable
+// until the next Sync returns.
 func (l *Log) Append(txn *ztree.Txn) error {
 	payload := wire.Marshal(txn)
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.file != nil && l.size >= l.segmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if l.file == nil {
+		if err := l.openSegmentLocked(txn.Zxid); err != nil {
+			return err
+		}
+	}
 	l.buf = l.buf[:0]
 	l.buf = binary.BigEndian.AppendUint32(l.buf, uint32(len(payload)))
 	l.buf = binary.BigEndian.AppendUint32(l.buf, crc32.Checksum(payload, crcTable))
@@ -75,99 +235,226 @@ func (l *Log) Append(txn *ztree.Txn) error {
 	if _, err := l.file.Write(l.buf); err != nil {
 		return fmt.Errorf("storage: append: %w", err)
 	}
+	l.size += int64(len(l.buf))
 	return nil
 }
 
-// Sync flushes the log to stable storage.
+// Sync flushes the active segment to stable storage. Records in
+// already-sealed segments were fsynced at rotation time.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
 	return l.file.Sync()
 }
 
-// Close closes the log file.
-func (l *Log) Close() error {
+// Rotate seals the active segment (fsync + close); the next Append
+// opens a new one. Called by the Persister after a snapshot so the
+// sealed segment becomes purgeable once a snapshot covers it.
+func (l *Log) Rotate() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.file.Close()
+	return l.rotateLocked()
 }
 
-// Truncate atomically replaces the log with an empty one; called after
-// a snapshot has captured the state the log reflects.
-func (l *Log) Truncate() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+func (l *Log) rotateLocked() error {
+	if l.file == nil {
+		return nil
+	}
+	// Seal: fsync before closing, establishing the invariant replay
+	// relies on — damage in a non-final segment is never a torn write.
+	if err := l.file.Sync(); err != nil {
+		return fmt.Errorf("storage: seal segment: %w", err)
+	}
 	if err := l.file.Close(); err != nil {
-		return err
+		return fmt.Errorf("storage: close segment: %w", err)
 	}
-	path := filepath.Join(l.dir, logFileName)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("storage: truncate: %w", err)
-	}
-	l.file = f
+	l.file = nil
+	l.size = 0
+	l.rotations++
 	return nil
 }
 
-// ReplayLog reads every valid record in dir's log in order. A torn or
-// corrupt tail record stops the replay without error (crash semantics:
-// the record was never acknowledged); corruption in the middle is
-// reported.
-func ReplayLog(dir string, fn func(txn *ztree.Txn) error) error {
-	f, err := os.Open(filepath.Join(dir, logFileName))
-	if errors.Is(err, os.ErrNotExist) {
+func (l *Log) openSegmentLocked(firstZxid int64) error {
+	path := filepath.Join(l.dir, segmentName(firstZxid))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: create segment: %w", err)
+	}
+	// The segment's NAME must be durable before records in it are
+	// acknowledged; the following record fsync does not cover the
+	// directory entry.
+	if err := fsyncDir(l.dir); err != nil {
+		_ = f.Close()
+		return err
+	}
+	l.file = f
+	l.size = 0
+	l.segments++
+	return nil
+}
+
+// Close seals and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
 		return nil
 	}
+	err := l.file.Sync()
+	if cerr := l.file.Close(); err == nil {
+		err = cerr
+	}
+	l.file = nil
+	return err
+}
+
+// counters reports (rotations, segments created) for observability.
+func (l *Log) counters() (int64, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rotations, l.segments
+}
+
+// scanSegment reads every whole, CRC-valid record of one segment file,
+// invoking fn (when non-nil) per record. It returns the byte offset
+// after the last valid record and whether the file ended cleanly
+// (clean=false means a torn tail followed: short header, short
+// payload, or a CRC mismatch with nothing after it). Corruption that
+// cannot be a torn tail — a bad record with more data following, an
+// impossible length, an undecodable valid-CRC payload — is an error.
+func scanSegment(path string, fn func(txn *ztree.Txn) error) (int64, bool, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, true, nil
+	}
 	if err != nil {
-		return fmt.Errorf("storage: open log for replay: %w", err)
+		return 0, false, fmt.Errorf("storage: open segment for replay: %w", err)
 	}
 	defer f.Close()
 
+	br := &countingReader{r: f}
 	header := make([]byte, recordHeader)
 	var payload []byte
+	var valid int64
 	for {
-		if _, err := io.ReadFull(f, header); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // clean end or torn header: stop
+		if _, err := io.ReadFull(br, header); err != nil {
+			if errors.Is(err, io.EOF) {
+				return valid, true, nil // clean end
 			}
-			return fmt.Errorf("storage: replay: %w", err)
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return valid, false, nil // torn header
+			}
+			return valid, false, fmt.Errorf("storage: replay: %w", err)
 		}
 		n := binary.BigEndian.Uint32(header[:4])
 		wantCRC := binary.BigEndian.Uint32(header[4:])
 		if n > maxRecordBytes {
-			return ErrCorruptRecord
+			return valid, false, fmt.Errorf("%w: impossible record length %d in %s", ErrCorruptRecord, n, filepath.Base(path))
 		}
 		if cap(payload) < int(n) {
 			payload = make([]byte, n)
 		}
 		payload = payload[:n]
-		if _, err := io.ReadFull(f, payload); err != nil {
-			return nil // torn tail record: treat as unwritten
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return valid, false, nil // torn payload: treat as unwritten
 		}
 		if crc32.Checksum(payload, crcTable) != wantCRC {
-			// A bad CRC on the last record is a torn write; detect by
-			// checking whether more data follows.
+			// A bad CRC on the final record is a torn write; anything
+			// followed by more data is real corruption.
 			var probe [1]byte
-			if _, err := f.Read(probe[:]); err != nil {
-				return nil
+			if _, err := br.Read(probe[:]); err != nil {
+				return valid, false, nil
 			}
-			return ErrCorruptRecord
+			return valid, false, fmt.Errorf("%w: CRC mismatch mid-segment in %s", ErrCorruptRecord, filepath.Base(path))
 		}
-		var txn ztree.Txn
-		if err := wire.Unmarshal(payload, &txn); err != nil {
-			return fmt.Errorf("storage: replay decode: %w", err)
+		if fn != nil {
+			var txn ztree.Txn
+			if err := wire.Unmarshal(payload, &txn); err != nil {
+				return valid, false, fmt.Errorf("storage: replay decode: %w", err)
+			}
+			if err := fn(&txn); err != nil {
+				return valid, false, err
+			}
 		}
-		if err := fn(&txn); err != nil {
+		valid = br.n
+	}
+}
+
+// countingReader tracks the number of bytes consumed.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReplayLog reads every valid record across dir's log segments in
+// zxid order. A torn record at the tail of the FINAL segment stops the
+// replay without error (crash semantics: the record was never
+// acknowledged); a torn record in any sealed segment, or corruption
+// mid-segment anywhere, is reported — sealed segments were fsynced
+// before their successor existed, so damage there means acknowledged
+// state is gone.
+func ReplayLog(dir string, fn func(txn *ztree.Txn) error) error {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for i, seg := range segs {
+		_, clean, err := scanSegment(filepath.Join(dir, seg.name), fn)
+		if err != nil {
 			return err
 		}
+		if !clean && i != len(segs)-1 {
+			return fmt.Errorf("%w: torn record in sealed segment %s", ErrCorruptRecord, seg.name)
+		}
 	}
+	return nil
+}
+
+// PurgeSegments removes log segments every record of which is covered
+// by a snapshot at uptoZxid. A segment qualifies when its successor's
+// first zxid is <= uptoZxid+1 (records never interleave across
+// segments, so everything in it precedes the successor's first
+// record); the final segment is never removed — it is the append
+// target. Returns the number of segments removed.
+func PurgeSegments(dir string, uptoZxid int64) (int, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].firstZxid > uptoZxid+1 {
+			break
+		}
+		if err := os.Remove(filepath.Join(dir, segs[i].name)); err != nil {
+			return removed, fmt.Errorf("storage: purge segment: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := fsyncDir(dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
 }
 
 // --- snapshots ---
 
 // WriteSnapshot durably stores a tree snapshot tagged with the last
-// zxid it reflects. Written to a temp file and renamed, so a crash
-// never leaves a half-written snapshot with a valid name.
+// zxid it reflects: the payload is written to a temp file, fsynced,
+// renamed into place, and the directory fsynced — so a crash can never
+// leave a half-written snapshot under a valid name, nor a valid
+// snapshot whose name evaporates with the page cache.
 func WriteSnapshot(dir string, snap *ztree.Snapshot, lastZxid int64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("storage: mkdir: %w", err)
@@ -178,46 +465,66 @@ func WriteSnapshot(dir string, snap *ztree.Snapshot, lastZxid int64) error {
 	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
 	buf = append(buf, payload...)
 
-	tmp := filepath.Join(dir, "snapshot.tmp")
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	tmp := filepath.Join(dir, snapTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: create snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
 		return fmt.Errorf("storage: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("storage: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: close snapshot: %w", err)
 	}
 	final := filepath.Join(dir, fmt.Sprintf("%s%016x", snapPrefix, uint64(lastZxid)))
 	if err := os.Rename(tmp, final); err != nil {
 		return fmt.Errorf("storage: publish snapshot: %w", err)
 	}
-	return nil
+	return fsyncDir(dir)
 }
 
 // LoadLatestSnapshot restores the newest valid snapshot in dir,
 // returning it and the zxid it reflects. ErrNoSnapshot if none exists.
 func LoadLatestSnapshot(dir string) (*ztree.Snapshot, int64, error) {
-	entries, err := os.ReadDir(dir)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, 0, ErrNoSnapshot
-	}
+	names, err := snapshotNames(dir)
 	if err != nil {
-		return nil, 0, fmt.Errorf("storage: read dir: %w", err)
+		return nil, 0, err
 	}
-	var candidates []string
-	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), snapPrefix) {
-			candidates = append(candidates, e.Name())
-		}
-	}
-	if len(candidates) == 0 {
+	if len(names) == 0 {
 		return nil, 0, ErrNoSnapshot
 	}
 	// Names embed the zxid in hex: lexical order is zxid order. Try
 	// newest first; skip corrupt ones (fall back to an older snapshot).
-	sort.Sort(sort.Reverse(sort.StringSlice(candidates)))
-	for _, name := range candidates {
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
 		snap, zxid, err := readSnapshotFile(filepath.Join(dir, name))
 		if err == nil {
 			return snap, zxid, nil
 		}
 	}
-	return nil, 0, fmt.Errorf("storage: all %d snapshots corrupt: %w", len(candidates), ErrCorruptRecord)
+	return nil, 0, fmt.Errorf("storage: all %d snapshots corrupt: %w", len(names), ErrCorruptRecord)
+}
+
+func snapshotNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), snapPrefix) {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
 }
 
 func readSnapshotFile(path string) (*ztree.Snapshot, int64, error) {
@@ -241,136 +548,33 @@ func readSnapshotFile(path string) (*ztree.Snapshot, int64, error) {
 	return &snap, zxid, nil
 }
 
-// PurgeSnapshots removes all but the newest keep snapshots.
-func PurgeSnapshots(dir string, keep int) error {
-	entries, err := os.ReadDir(dir)
+// PurgeSnapshots removes all but the newest keep snapshots and returns
+// the zxid of the OLDEST snapshot retained (0 when none): log segments
+// above that zxid must be kept so every retained snapshot stays a
+// usable recovery point.
+func PurgeSnapshots(dir string, keep int) (int64, error) {
+	names, err := snapshotNames(dir)
 	if err != nil {
-		return err
-	}
-	var names []string
-	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), snapPrefix) {
-			names = append(names, e.Name())
-		}
+		return 0, err
 	}
 	sort.Sort(sort.Reverse(sort.StringSlice(names)))
 	for i := keep; i < len(names); i++ {
 		if err := os.Remove(filepath.Join(dir, names[i])); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	return nil
-}
-
-// --- recovery orchestration ---
-
-// Persister wires a tree to its durable state: it appends every
-// committed transaction and snapshots every SnapshotEvery commits,
-// truncating the log afterwards.
-type Persister struct {
-	dir           string
-	log           *Log
-	tree          *ztree.Tree
-	snapshotEvery int
-
-	mu          sync.Mutex
-	sinceSnap   int
-	lastApplied int64
-}
-
-// PersisterConfig parameterizes a Persister.
-type PersisterConfig struct {
-	Dir           string
-	Tree          *ztree.Tree
-	SnapshotEvery int // default 10000
-}
-
-// Recover restores tree state from dir (snapshot + log replay) and
-// returns a Persister ready to record new commits, plus the highest
-// zxid recovered.
-func Recover(cfg PersisterConfig) (*Persister, int64, error) {
-	if cfg.SnapshotEvery <= 0 {
-		cfg.SnapshotEvery = 10000
+	if len(names) == 0 {
+		return 0, nil
 	}
-	var lastZxid int64
-	snap, zxid, err := LoadLatestSnapshot(cfg.Dir)
-	switch {
-	case err == nil:
-		cfg.Tree.Restore(snap)
-		lastZxid = zxid
-	case errors.Is(err, ErrNoSnapshot):
-		// Fresh directory.
-	default:
-		return nil, 0, err
+	oldestIdx := len(names) - 1
+	if keep > 0 && keep-1 < oldestIdx {
+		oldestIdx = keep - 1
 	}
-	if err := ReplayLog(cfg.Dir, func(txn *ztree.Txn) error {
-		if txn.Zxid <= lastZxid {
-			return nil // already reflected in the snapshot
-		}
-		cfg.Tree.Apply(txn)
-		lastZxid = txn.Zxid
-		return nil
-	}); err != nil {
-		return nil, 0, err
-	}
-	log, err := OpenLog(cfg.Dir)
+	z, err := strconv.ParseUint(strings.TrimPrefix(names[oldestIdx], snapPrefix), 16, 64)
 	if err != nil {
-		return nil, 0, err
+		return 0, nil // unparsable name: be conservative, purge nothing
 	}
-	return &Persister{
-		dir:           cfg.Dir,
-		log:           log,
-		tree:          cfg.Tree,
-		snapshotEvery: cfg.SnapshotEvery,
-		lastApplied:   lastZxid,
-	}, lastZxid, nil
-}
-
-// Record durably logs a committed transaction (call after applying it
-// to the tree) and snapshots when due.
-func (p *Persister) Record(txn *ztree.Txn) error {
-	if err := p.log.Append(txn); err != nil {
-		return err
-	}
-	p.mu.Lock()
-	p.lastApplied = txn.Zxid
-	p.sinceSnap++
-	due := p.sinceSnap >= p.snapshotEvery
-	if due {
-		p.sinceSnap = 0
-	}
-	zxid := p.lastApplied
-	p.mu.Unlock()
-	if due {
-		return p.Snapshot(zxid)
-	}
-	return nil
-}
-
-// Snapshot forces a snapshot reflecting zxid and truncates the log.
-func (p *Persister) Snapshot(zxid int64) error {
-	if err := WriteSnapshot(p.dir, p.tree.Snapshot(), zxid); err != nil {
-		return err
-	}
-	if err := p.log.Truncate(); err != nil {
-		return err
-	}
-	return PurgeSnapshots(p.dir, 3)
-}
-
-// LastApplied returns the highest durably recorded zxid.
-func (p *Persister) LastApplied() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.lastApplied
-}
-
-// Close flushes and closes the log.
-func (p *Persister) Close() error {
-	if err := p.log.Sync(); err != nil {
-		return err
-	}
-	return p.log.Close()
+	return int64(z), nil
 }
 
 // DirSize reports the bytes used under dir (observability).

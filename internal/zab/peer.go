@@ -198,8 +198,8 @@ type Peer struct {
 	votes        map[PeerID]vote
 	epoch        int64
 	counter      int64
-	lastZxid     int64 // highest zxid logged (proposed or applied)
-	lastCommit   int64 // highest zxid delivered
+	lastZxid     int64 // highest zxid seen (proposed or applied); NOT what votes advertise
+	lastCommit   int64 // highest zxid delivered; the frontier votes and FOLLOWERINFO claim
 	outstanding  []int64
 	batch        []ProposalRecord // leader: submissions awaiting one PROPOSE frame
 	proposals    map[int64]*pendingProposal
@@ -383,7 +383,15 @@ func (p *Peer) startElection() {
 	p.finalizeDue = time.Time{}
 	p.round++
 	p.votes = make(map[PeerID]vote, len(p.cfg.Peers))
-	p.myVote = vote{round: p.round, for_: p.cfg.ID, zxid: p.lastZxid}
+	// Votes advertise the COMMITTED frontier, the same rule PR'd into
+	// FOLLOWERINFO: lastZxid also counts buffered-but-uncommitted
+	// proposals (discarded on every role change) and the bare epoch
+	// marker a leader stamps at activation. Voting with those lets a
+	// peer with *stale committed state* outbid peers holding real
+	// history — each failed reign inflates its marker further, so it
+	// keeps winning elections it cannot serve, and its snapshot syncs
+	// would roll synced followers backward over committed transactions.
+	p.myVote = vote{round: p.round, for_: p.cfg.ID, zxid: p.lastCommitted()}
 	p.votes[p.cfg.ID] = p.myVote
 	p.synced = make(map[PeerID]struct{})
 	p.electionDue = time.Now().Add(p.cfg.ElectionTimeout)
@@ -437,7 +445,7 @@ func (p *Peer) handleVote(msg Message) {
 				Kind:      KindVote,
 				Epoch:     msg.Epoch,
 				VoteFor:   p.Leader(),
-				VoteZxid:  p.lastZxid,
+				VoteZxid:  p.lastCommitted(),
 				VoteReply: true,
 			})
 		}
@@ -447,7 +455,7 @@ func (p *Peer) handleVote(msg Message) {
 	case v.round > p.myVote.round:
 		// Join the newer round, adopting the better of the two votes.
 		p.round = v.round
-		mine := vote{round: v.round, for_: p.cfg.ID, zxid: p.lastZxid}
+		mine := vote{round: v.round, for_: p.cfg.ID, zxid: p.lastCommitted()}
 		if betterVote(v, mine) {
 			p.myVote = v
 		} else {
@@ -653,6 +661,47 @@ func (p *Peer) handleNewLeaderAck(msg Message) {
 	}
 	p.synced[msg.From] = struct{}{}
 	p.lastHeard[msg.From] = time.Now()
+	p.replayOutstanding(msg.From)
+}
+
+// replayOutstanding re-sends every uncommitted proposal to a follower
+// that just (re)synced. Sync transfers only committed history and
+// PROPOSE frames go to already-synced followers exactly once, so a
+// proposal whose only recipient shed it (or resynced, discarding its
+// in-flight buffer) would otherwise be held by no live follower. Such a
+// proposal can never reach quorum, and because commits advance strictly
+// in zxid order it head-of-line-blocks every later proposal too: the
+// leader keeps accepting writes that never commit — a stable-looking
+// but permanently wedged ensemble, which the SIGKILL crash harness
+// exposed after whole-ensemble restarts.
+func (p *Peer) replayOutstanding(to PeerID) {
+	if len(p.outstanding) == 0 {
+		return
+	}
+	bound := p.lastCommitted()
+	frames := int64(0)
+	for start := 0; start < len(p.outstanding); start += maxBatchRecords {
+		end := start + maxBatchRecords
+		if end > len(p.outstanding) {
+			end = len(p.outstanding)
+		}
+		batch := make([]ProposalRecord, 0, end-start)
+		for _, zxid := range p.outstanding[start:end] {
+			if prop, ok := p.proposals[zxid]; ok {
+				batch = append(batch, prop.rec)
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		_ = p.cfg.Transport.Send(to, Message{Kind: KindProposeBatch, Epoch: p.epoch, Zxid: bound, Batch: batch})
+		frames++
+	}
+	if frames > 0 {
+		p.statsMu.Lock()
+		p.stats.ProposeFrames += frames
+		p.statsMu.Unlock()
+	}
 }
 
 // --- broadcast ---

@@ -11,6 +11,17 @@
 # with a restart-from-disk pass: the WHOLE ensemble is killed and
 # restarted, so the recovered data can only have come from the durable
 # state on disk (no live leader exists to sync from).
+#
+# SMOKE_CRASH=1 runs the crash-consistency harness instead of the
+# normal flow (durability is implied): SMOKE_CRASH_ITERS iterations
+# each of two legs. Leg A SIGKILLs one random replica at a random point
+# inside a client write-burst, restarts it, and checks (1) every
+# client-acknowledged write exists on the recovered replica and (2) its
+# recursive tree digest matches a surviving replica's. Leg B SIGKILLs
+# the WHOLE ensemble mid-burst, restarts it from disk alone, and checks
+# the acknowledged-write ledger against the recovered tree plus digest
+# convergence across all replicas. "Committed" must mean "on disk": any
+# acked-but-lost write fails the run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,6 +29,11 @@ cd "$(dirname "$0")/.."
 VARIANT="${SMOKE_VARIANT:-vanilla}"
 BASE="${SMOKE_PORT_BASE:-24180}"
 DURABLE="${SMOKE_DURABLE:-0}"
+CRASH="${SMOKE_CRASH:-0}"
+CRASH_ITERS="${SMOKE_CRASH_ITERS:-10}"
+if [ "$CRASH" = 1 ]; then
+  DURABLE=1
+fi
 BIN="$(mktemp -d)"
 LOGS="$(mktemp -d)"
 DATA="$(mktemp -d)"
@@ -139,6 +155,101 @@ for i in 1 2 3; do start_node "$i"; done
 wait_leader
 LEADER=$(leader_id)
 echo "== leader is node $LEADER"
+
+ALL_ADDRS="${CADDR[1]},${CADDR[2]},${CADDR[3]}"
+
+# tree_digest ADDR — the replica's deterministic recursive tree digest.
+tree_digest() {
+  skc -addr "$1" digest / | awk '/^digest /{print $2, $3}'
+}
+
+# acked_paths LEDGER — the paths of acknowledged writes (may be empty).
+acked_paths() {
+  (grep '^ACK ' "$1" || true) | awk '{print $2}'
+}
+
+if [ "$CRASH" = 1 ]; then
+  echo "== crash-consistency harness: $CRASH_ITERS iterations per leg"
+
+  echo "== leg A: SIGKILL one random replica at a random point mid-burst"
+  for k in $(seq 1 "$CRASH_ITERS"); do
+    LEDGER="$LOGS/ledgerA$k.txt"
+    skc -timeout 120s -addr "$ALL_ADDRS" burst "/crashA$k" 800 32 >"$LEDGER" &
+    BURST=$!
+    sleep "0.$((RANDOM % 5 + 1))"
+    VICTIM=$((RANDOM % 3 + 1))
+    VICTIM_PID="${PIDS[$VICTIM]}"
+    echo "== [A$k] SIGKILL node $VICTIM mid-burst"
+    kill -9 "$VICTIM_PID"
+    unset "PIDS[$VICTIM]"
+    wait_dead "$VICTIM_PID"
+    wait "$BURST" || { echo "FAIL: burst client crashed (leg A iter $k)" >&2; exit 1; }
+    ACKED=$(acked_paths "$LEDGER" | wc -l)
+    echo "== [A$k] $(tail -n 1 "$LEDGER")"
+    # The survivors kept a quorum: the burst must have kept landing
+    # acknowledged writes through the crash.
+    [ "$ACKED" -gt 0 ] || { echo "FAIL: no acknowledged writes (leg A iter $k)" >&2; exit 1; }
+
+    wait_port_free "${MESH[$VICTIM]}" "${CADDR[$VICTIM]}"
+    start_node "$VICTIM"
+    wait_leader
+    retry skc -addr "${CADDR[$VICTIM]}" sync /
+    # Recovery must not lose a single acknowledged write...
+    acked_paths "$LEDGER" | skc -addr "${CADDR[$VICTIM]}" verify >/dev/null \
+      || { echo "FAIL: recovered node $VICTIM lost acknowledged writes (leg A iter $k)" >&2; exit 1; }
+    # ...nor diverge from a surviving replica (no resurrected or
+    # corrupted state beyond what the ensemble agreed on).
+    SURV=$(( VICTIM % 3 + 1 ))
+    retry skc -addr "${CADDR[$SURV]}" sync /
+    DV=$(tree_digest "${CADDR[$VICTIM]}")
+    DS=$(tree_digest "${CADDR[$SURV]}")
+    [ "$DV" = "$DS" ] \
+      || { echo "FAIL: victim($VICTIM)=$DV != survivor($SURV)=$DS (leg A iter $k)" >&2; exit 1; }
+    echo "== [A$k] OK: $ACKED acked writes survived, digests converged ($DV)"
+  done
+
+  echo "== leg B: SIGKILL the WHOLE ensemble at a random point mid-burst"
+  for k in $(seq 1 "$CRASH_ITERS"); do
+    LEDGER="$LOGS/ledgerB$k.txt"
+    skc -timeout 120s -addr "$ALL_ADDRS" burst "/crashB$k" 800 32 >"$LEDGER" &
+    BURST=$!
+    sleep "0.$((RANDOM % 5 + 1))"
+    echo "== [B$k] SIGKILL whole ensemble mid-burst"
+    OLD_PIDS=("${PIDS[@]}")
+    for i in 1 2 3; do
+      kill -9 "${PIDS[$i]}" 2>/dev/null || true
+      unset "PIDS[$i]" || true
+    done
+    wait_dead "${OLD_PIDS[@]}"
+    wait "$BURST" || { echo "FAIL: burst client crashed (leg B iter $k)" >&2; exit 1; }
+    ACKED=$(acked_paths "$LEDGER" | wc -l)
+    echo "== [B$k] $(tail -n 1 "$LEDGER")"
+
+    wait_port_free "${MESH[1]}" "${MESH[2]}" "${MESH[3]}" "${CADDR[1]}" "${CADDR[2]}" "${CADDR[3]}"
+    for i in 1 2 3; do start_node "$i"; done
+    wait_leader
+    # No live peer survived: everything below can only have come from
+    # the write-ahead logs and snapshots on disk.
+    retry skc -addr "$ALL_ADDRS" sync /
+    acked_paths "$LEDGER" | skc -addr "$ALL_ADDRS" verify >/dev/null \
+      || { echo "FAIL: ensemble recovery lost acknowledged writes (leg B iter $k)" >&2; exit 1; }
+    D1=""
+    for i in 1 2 3; do
+      retry skc -addr "${CADDR[$i]}" sync /
+      D=$(tree_digest "${CADDR[$i]}")
+      if [ -z "$D1" ]; then
+        D1="$D"
+      elif [ "$D" != "$D1" ]; then
+        echo "FAIL: replica $i digest $D != $D1 after ensemble recovery (leg B iter $k)" >&2
+        exit 1
+      fi
+    done
+    echo "== [B$k] OK: $ACKED acked writes survived the full-ensemble crash, digests converged ($D1)"
+  done
+
+  echo "PASS: crash-consistency harness green ($CRASH_ITERS iterations x 2 legs, acked writes never lost)"
+  exit 0
+fi
 
 echo "== client traffic across all replicas"
 retry skc -addr "${CADDR[1]}" create /smoke v1
