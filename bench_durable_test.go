@@ -45,7 +45,7 @@ func connectBench(b *testing.B, r *server.Replica) *client.Client {
 	b.Helper()
 	a, sEnd := transport.NewChanPipe()
 	go func() { _ = r.ServeConn(sEnd, nil) }()
-	cl, err := client.Connect(a, client.Options{})
+	cl, err := client.NewSession(a, client.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -409,6 +409,161 @@ func BenchmarkMixedReadWrite(b *testing.B) {
 	})
 }
 
+// BenchmarkObserverReadFanout measures what observer replicas buy on
+// the read path. A fixed-rate write load runs against the leader while
+// read sessions — a fixed number per ensemble member — pipeline GETs.
+// The 3 voters stay fixed; only the observer count grows 0 -> 1 -> 2,
+// so added read throughput (the reads/sec metric) is attributable to
+// observers fanning reads out beyond the voting quorum — the ZooKeeper
+// observer pitch: scale reads without deepening the commit quorum.
+//
+// Reads are served under the SecureKeeper entry-enclave cost model
+// with latency applied and the crossing fee raised into sleepable
+// territory, so every request pays a wall-clock service fee on its
+// serving member instead of a busy-wait. That puts per-session
+// throughput in the service-time-bound regime — the one observers are
+// deployed for: each member sustains a bounded request rate, and every
+// observer added is serving capacity the voters no longer provide.
+func BenchmarkObserverReadFanout(b *testing.B) {
+	const (
+		voters            = 3
+		sessionsPerMember = 2
+		window            = 32
+		writeEvery        = 5 * time.Millisecond
+	)
+	cost := sgx.DefaultCostModel()
+	// Large enough that the meter sleeps the crossing off instead of
+	// spinning: the fee must not consume CPU, or read capacity would be
+	// core-bound and adding observers could never show up on 1-2 cores.
+	cost.CrossingNs = 150_000
+	for _, nObs := range []int{0, 1, 2} {
+		nObs := nObs
+		b.Run(fmt.Sprintf("observers=%d", nObs), func(b *testing.B) {
+			cluster, err := core.NewCluster(core.Config{
+				Variant:         core.SecureKeeper,
+				Replicas:        voters,
+				Observers:       nObs,
+				SGXCost:         &cost,
+				ApplySGXLatency: true,
+				TickInterval:    25 * time.Millisecond,
+				ElectionTimeout: 500 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(cluster.Close)
+			leader, err := cluster.WaitForLeader(10 * time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			payload := make([]byte, 1024)
+			wcl, err := cluster.Connect(leader, client.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer wcl.Close()
+			if _, err := wcl.Create(ctxbg, "/fan", payload, 0); err != nil {
+				b.Fatal(err)
+			}
+
+			// A fixed quota of read sessions per member, covering voters
+			// AND observers, so serving capacity — not session count per
+			// member — is what grows with the observer count. A Sync
+			// barrier per session guarantees the serving member
+			// (observers included) has replayed /fan before the clock
+			// starts.
+			readSessions := sessionsPerMember * cluster.Size()
+			cls := make([]*client.Client, readSessions)
+			for i := range cls {
+				cl, err := cluster.Connect(i%cluster.Size(), client.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cl.Close()
+				// A just-started observer rejects forwarded Syncs until
+				// it adopts the leader; retry rather than measure a cold
+				// start.
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					if err = cl.Sync(ctxbg, "/fan"); err == nil {
+						if _, _, err = cl.Get(ctxbg, "/fan"); err == nil {
+							break
+						}
+					}
+					if time.Now().After(deadline) {
+						b.Fatalf("replica %d never served /fan: %v", i%cluster.Size(), err)
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				cls[i] = cl
+			}
+
+			// Fixed-rate write load, identical across observer counts
+			// (a free-running writer would self-throttle and vary the
+			// interference between runs).
+			writerStop := make(chan struct{})
+			var writerDone sync.WaitGroup
+			writerDone.Add(1)
+			go func() {
+				defer writerDone.Done()
+				tick := time.NewTicker(writeEvery)
+				defer tick.Stop()
+				for {
+					select {
+					case <-writerStop:
+						return
+					case <-tick.C:
+					}
+					if _, err := wcl.Set(ctxbg, "/fan", payload, -1); err != nil {
+						return
+					}
+				}
+			}()
+
+			var reads atomic.Int64
+			per := b.N/readSessions + 1
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for s := 0; s < readSessions; s++ {
+				wg.Add(1)
+				go func(cl *client.Client) {
+					defer wg.Done()
+					futures := make(chan *client.Future, window)
+					var drain sync.WaitGroup
+					drain.Add(1)
+					go func() {
+						defer drain.Done()
+						failed := false
+						for f := range futures {
+							if res := f.Wait(); res.Err != nil && !failed {
+								failed = true
+								b.Error(res.Err)
+							}
+						}
+					}()
+					for i := 0; i < per; i++ {
+						futures <- cl.GetAsync("/fan", false)
+						reads.Add(1)
+					}
+					close(futures)
+					drain.Wait()
+				}(cls[s])
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			close(writerStop)
+			writerDone.Wait()
+			if secs := elapsed.Seconds(); secs > 0 {
+				b.ReportMetric(float64(reads.Load())/secs, "reads/sec")
+			}
+		})
+	}
+}
+
 // BenchmarkMulti measures an N-op atomic transaction (one wire round
 // trip, one zab proposal, one zxid) against its classic equivalent of
 // N sequential Sets (BenchmarkMultiSequentialSets: N round trips, N

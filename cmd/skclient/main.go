@@ -7,6 +7,7 @@
 //	skclient cas /a 3 world2     (atomic Check+Set multi: version guard)
 //	skclient delete /a
 //	skclient watch /a            (blocks until the watch handle fires)
+//	skclient info                (serving replica: role, leader, zxid, load)
 //	skclient digest /            (deterministic recursive tree digest)
 //	skclient verify < paths.txt  (assert every listed path exists)
 //	skclient burst /p 200 64     (write burst with an ACK-per-write ledger)
@@ -17,11 +18,14 @@
 // for recovered-vs-survivor comparison, and verify checks the ledger
 // against the recovered ensemble.
 //
-// -addr accepts a comma-separated list of replica addresses; the first
-// reachable one serves the session, so a command keeps working while
-// part of a multi-process ensemble is down:
+// -addr accepts a comma-separated list of replica addresses, tried in
+// shuffled order with failover, so a command keeps working while part
+// of a multi-process ensemble is down. -prefer steers which member
+// serves the session: "nearest" (default) takes the first reachable
+// one, "leader" insists on the leader, "observer" insists on a
+// non-voting observer:
 //
-//	skclient -addr 127.0.0.1:2181,127.0.0.1:2182,127.0.0.1:2183 get /a
+//	skclient -addr 127.0.0.1:2181,127.0.0.1:2182,127.0.0.1:2183 -prefer leader get /a
 //
 // -timeout bounds the whole command through the client API's
 // context.Context plumbing; an unreachable ensemble fails the command
@@ -39,7 +43,6 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
-	"net"
 	"os"
 	"sort"
 	"strconv"
@@ -47,7 +50,6 @@ import (
 	"time"
 
 	"securekeeper/internal/client"
-	"securekeeper/internal/transport"
 	"securekeeper/internal/wire"
 )
 
@@ -59,13 +61,19 @@ func main() {
 }
 
 func run() error {
-	addr := flag.String("addr", "127.0.0.1:2181", "replica address, or a comma-separated list tried in order")
+	addr := flag.String("addr", "127.0.0.1:2181", "replica address, or a comma-separated list tried with failover")
 	variant := flag.String("variant", "securekeeper", "vanilla, tls or securekeeper (must match the server)")
+	prefer := flag.String("prefer", "nearest", "session placement: nearest, leader or observer")
 	timeout := flag.Duration("timeout", 30*time.Second, "deadline for the whole command (0 = none)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		return fmt.Errorf("usage: skclient [-addr host:port[,host:port...]] [-variant v] [-timeout d] <create|get|set|cas|delete|ls|stat|sync|watch|digest|verify|burst> [path] [args...]")
+		return fmt.Errorf("usage: skclient [-addr host:port[,host:port...]] [-variant v] [-prefer p] [-timeout d] <create|get|set|cas|delete|ls|stat|info|sync|watch|digest|verify|burst> [path] [args...]")
+	}
+
+	opts, err := dialOptions(*variant, *prefer)
+	if err != nil {
+		return err
 	}
 
 	ctx := context.Background()
@@ -78,60 +86,34 @@ func run() error {
 	// burst manages its own connections (it survives replica crashes by
 	// redialing mid-run), so it bypasses the single-session setup.
 	if args[0] == "burst" {
-		return runBurst(ctx, strings.Split(*addr, ","), *variant, args[1:])
+		return runBurst(ctx, strings.Split(*addr, ","), opts, args[1:])
 	}
 
-	conn, err := dialAny(strings.Split(*addr, ","), *variant)
+	cl, err := client.Dial(ctx, strings.Split(*addr, ","), opts)
 	if err != nil {
 		return err
-	}
-	defer conn.Close()
-
-	cl, err := client.Connect(conn, client.Options{})
-	if err != nil {
-		return fmt.Errorf("connect: %w", err)
 	}
 	defer cl.Close()
 
 	return execute(ctx, cl, args)
 }
 
-// dialAny connects (and, for secure variants, handshakes) against the
-// first reachable replica in addrs. With a multi-process ensemble this
-// lets one command line name every replica and survive partial
-// outages.
-func dialAny(addrs []string, variant string) (transport.Conn, error) {
-	var lastErr error
-	for _, a := range addrs {
-		a = strings.TrimSpace(a)
-		if a == "" {
-			continue
-		}
-		tcp, err := net.DialTimeout("tcp", a, 5*time.Second)
-		if err != nil {
-			lastErr = fmt.Errorf("dial %s: %w", a, err)
-			continue
-		}
-		var conn transport.Conn = transport.NewFramedConn(tcp)
-		if variant != "vanilla" {
-			id, err := transport.NewIdentity()
-			if err != nil {
-				tcp.Close()
-				return nil, err
-			}
-			conn, err = transport.Handshake(conn, id, true, transport.VerifyAny())
-			if err != nil {
-				tcp.Close()
-				lastErr = fmt.Errorf("secure handshake with %s: %w", a, err)
-				continue
-			}
-		}
-		return conn, nil
+// dialOptions maps the -variant and -prefer flags onto the client
+// library's Dial options. The demo accepts any server identity; a
+// production client sets VerifyPeer to pin the enclave key (§4.1).
+func dialOptions(variant, prefer string) (client.Options, error) {
+	opts := client.Options{Secure: variant != "vanilla"}
+	switch prefer {
+	case "nearest", "":
+		opts.ReadPreference = client.Nearest
+	case "leader":
+		opts.ReadPreference = client.Leader
+	case "observer":
+		opts.ReadPreference = client.ObserverOnly
+	default:
+		return opts, fmt.Errorf("unknown -prefer %q (want nearest, leader or observer)", prefer)
 	}
-	if lastErr == nil {
-		lastErr = fmt.Errorf("no replica address given")
-	}
-	return nil, lastErr
+	return opts, nil
 }
 
 func execute(ctx context.Context, cl *client.Client, args []string) error {
@@ -218,6 +200,15 @@ func execute(ctx context.Context, cl *client.Client, args []string) error {
 		fmt.Printf("version=%d cversion=%d children=%d bytes=%d ephemeralOwner=%s\n",
 			stat.Version, stat.Cversion, stat.NumChildren, stat.DataLength,
 			strconv.FormatInt(stat.EphemeralOwner, 16))
+	case "info":
+		// Machine-readable replica stats: smoke scripts parse this line
+		// instead of grepping server logs for role transitions.
+		st, err := cl.ServerStats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("role=%s leader=%d zxid=%d sessions=%d watches=%d outstanding=%d\n",
+			st.Role, st.Leader, st.Zxid, st.Sessions, st.Watches, st.Outstanding)
 	case "sync":
 		if err := cl.Sync(ctx, path); err != nil {
 			return err
@@ -327,7 +318,7 @@ func execute(ctx context.Context, cl *client.Client, args []string) error {
 // attempt reached consensus but was never acknowledged to us, so the
 // durability contract does not cover it. Burst always exits 0 once
 // arguments parse: the ledger, not the exit code, is the result.
-func runBurst(ctx context.Context, addrs []string, variant string, args []string) error {
+func runBurst(ctx context.Context, addrs []string, opts client.Options, args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("burst needs <prefix> <count> [payload-bytes]")
 	}
@@ -353,13 +344,8 @@ func runBurst(ctx context.Context, addrs []string, variant string, args []string
 	defer disconnect()
 	connect := func() error {
 		disconnect()
-		conn, err := dialAny(addrs, variant)
+		c, err := client.Dial(ctx, addrs, opts)
 		if err != nil {
-			return err
-		}
-		c, err := client.Connect(conn, client.Options{})
-		if err != nil {
-			_ = conn.Close()
 			return err
 		}
 		cl = c

@@ -7,14 +7,22 @@
 //
 //	skserver -variant securekeeper -replicas 3 -listen 127.0.0.1:2181
 //
-// Process-per-replica (-id/-peers): this process runs ONE replica,
+// Process-per-replica (-id/-topology): this process runs ONE replica,
 // connected to its peers over the zabnet TCP mesh — the paper's
-// deployment shape, one replica per machine. Each process serves
-// clients on its own -listen address:
+// deployment shape, one replica per machine. The topology spec names
+// every ensemble member, voters and observers alike, so all processes
+// share one spec string. Each process serves clients on its own
+// -listen address:
 //
-//	skserver -id 1 -peers 1=127.0.0.1:2888,2=127.0.0.1:2889,3=127.0.0.1:2890 -listen 127.0.0.1:2181
-//	skserver -id 2 -peers 1=127.0.0.1:2888,2=127.0.0.1:2889,3=127.0.0.1:2890 -listen 127.0.0.1:2182
-//	skserver -id 3 -peers 1=127.0.0.1:2888,2=127.0.0.1:2889,3=127.0.0.1:2890 -listen 127.0.0.1:2183
+//	skserver -id 1 -topology '1@127.0.0.1:2888;2@127.0.0.1:2889;3@127.0.0.1:2890;4@127.0.0.1:2891:observer' -listen 127.0.0.1:2181
+//	skserver -id 2 -topology '1@127.0.0.1:2888;2@127.0.0.1:2889;3@127.0.0.1:2890;4@127.0.0.1:2891:observer' -listen 127.0.0.1:2182
+//	...
+//	skserver -id 4 -topology '1@127.0.0.1:2888;2@127.0.0.1:2889;3@127.0.0.1:2890;4@127.0.0.1:2891:observer' -listen 127.0.0.1:2184
+//
+// Replica 4 above joins as a non-voting observer: it replays the
+// leader's commit stream and serves reads, but never votes or counts
+// toward quorum. The older -peers flag (comma-separated id=host:port,
+// voters only) is still accepted as a shim.
 //
 // For -variant securekeeper in multi-process mode every replica must
 // share one storage key: pass the same -storage-key (32 hex chars) to
@@ -54,8 +62,9 @@ func run() error {
 	variant := flag.String("variant", "securekeeper", "vanilla, tls or securekeeper")
 	replicas := flag.Int("replicas", 3, "ensemble size (in-process mode)")
 	listen := flag.String("listen", "127.0.0.1:2181", "client address; in-process mode gives replica i port+i")
-	id := flag.Int64("id", 0, "replica id: enables process-per-replica mode (requires -peers)")
-	peersFlag := flag.String("peers", "", "ensemble mesh addresses, id=host:port comma-separated (process-per-replica mode)")
+	id := flag.Int64("id", 0, "replica id: enables process-per-replica mode (requires -topology or -peers)")
+	topologyFlag := flag.String("topology", "", "ensemble spec, id@host:port[:observer] semicolon-separated (process-per-replica mode)")
+	peersFlag := flag.String("peers", "", "legacy ensemble spec, id=host:port comma-separated, voters only (prefer -topology)")
 	storageKey := flag.String("storage-key", "", "shared storage key, hex (securekeeper multi-process ensembles)")
 	dataDir := flag.String("data-dir", "", "durable state directory (process-per-replica mode); empty = in-memory only")
 	snapshotEvery := flag.Int("snapshot-every", 0, "commits between durable snapshots (0 = storage default)")
@@ -66,11 +75,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if (*id != 0) != (*peersFlag != "") {
-		return fmt.Errorf("-id and -peers must be used together")
+	if *topologyFlag != "" && *peersFlag != "" {
+		return fmt.Errorf("-topology and -peers are mutually exclusive")
+	}
+	if (*id != 0) != (*topologyFlag != "" || *peersFlag != "") {
+		return fmt.Errorf("-id and -topology (or legacy -peers) must be used together")
 	}
 	if *id != 0 {
-		return runNode(v, *id, *peersFlag, *listen, *storageKey, *dataDir, *snapshotEvery, *logSegmentBytes)
+		topo, err := parseTopologyFlags(*topologyFlag, *peersFlag)
+		if err != nil {
+			return err
+		}
+		return runNode(v, *id, topo, *listen, *storageKey, *dataDir, *snapshotEvery, *logSegmentBytes)
 	}
 	if *dataDir != "" {
 		return fmt.Errorf("-data-dir requires process-per-replica mode (-id/-peers)")
@@ -82,15 +98,12 @@ func run() error {
 // With -data-dir the replica is durable: committed transactions are
 // logged and snapshotted there, and a restart recovers from disk
 // instead of relying on a live leader's snapshot/diff sync.
-func runNode(v core.Variant, id int64, peersFlag, listen, keyHex, dataDir string, snapshotEvery int, logSegmentBytes int64) error {
-	peers, err := parsePeers(peersFlag)
-	if err != nil {
-		return err
-	}
-	if _, ok := peers[zab.PeerID(id)]; !ok {
-		return fmt.Errorf("-peers has no entry for own id %d", id)
+func runNode(v core.Variant, id int64, topo core.Topology, listen, keyHex, dataDir string, snapshotEvery int, logSegmentBytes int64) error {
+	if !topo.Has(zab.PeerID(id)) {
+		return fmt.Errorf("topology has no entry for own id %d", id)
 	}
 	var key []byte
+	var err error
 	if keyHex != "" {
 		if key, err = hex.DecodeString(keyHex); err != nil {
 			return fmt.Errorf("parse -storage-key: %w", err)
@@ -99,7 +112,7 @@ func runNode(v core.Variant, id int64, peersFlag, listen, keyHex, dataDir string
 	node, err := core.NewNode(core.NodeConfig{
 		Variant:         v,
 		ID:              zab.PeerID(id),
-		Peers:           peers,
+		Topology:        topo,
 		StorageKey:      key,
 		DataDir:         dataDir,
 		SnapshotEvery:   snapshotEvery,
@@ -115,8 +128,12 @@ func runNode(v core.Variant, id int64, peersFlag, listen, keyHex, dataDir string
 		return fmt.Errorf("listen %s: %w", listen, err)
 	}
 	defer ln.Close()
-	fmt.Printf("skserver: id=%d variant=%s mesh=%s clients=%s peers=%d\n",
-		id, v, node.Mesh().Addr(), ln.Addr(), len(peers))
+	role := "voter"
+	if topo.IsObserver(zab.PeerID(id)) {
+		role = "observer"
+	}
+	fmt.Printf("skserver: id=%d variant=%s mesh=%s clients=%s voters=%d observers=%d member=%s\n",
+		id, v, node.Mesh().Addr(), ln.Addr(), len(topo.Voters), len(topo.Observers), role)
 
 	go watchRole(node)
 	go func() {
@@ -156,7 +173,25 @@ func watchRole(node *core.Node) {
 	}
 }
 
-// parsePeers parses "1=host:port,2=host:port,...".
+// parseTopologyFlags resolves the ensemble spec from whichever flag the
+// user passed: -topology (canonical, observer-aware) or the legacy
+// all-voter -peers shim.
+func parseTopologyFlags(topologyFlag, peersFlag string) (core.Topology, error) {
+	if topologyFlag != "" {
+		topo, err := core.ParseTopology(topologyFlag)
+		if err != nil {
+			return core.Topology{}, fmt.Errorf("parse -topology: %w", err)
+		}
+		return topo, nil
+	}
+	peers, err := parsePeers(peersFlag)
+	if err != nil {
+		return core.Topology{}, err
+	}
+	return core.VoterTopology(peers), nil
+}
+
+// parsePeers parses "1=host:port,2=host:port,..." (legacy -peers).
 func parsePeers(s string) (map[zab.PeerID]string, error) {
 	peers := make(map[zab.PeerID]string)
 	for _, part := range strings.Split(s, ",") {

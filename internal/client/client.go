@@ -21,6 +21,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"securekeeper/internal/transport"
 	"securekeeper/internal/wire"
@@ -35,10 +36,56 @@ var (
 // EventHandler receives watch notifications.
 type EventHandler func(ev wire.WatcherEvent)
 
+// ReadPreference selects which ensemble member Dial settles on. Writes
+// always reach the leader (replicas forward them over the broadcast
+// mesh); the preference decides where this session's READS are served.
+type ReadPreference int32
+
+// Read preferences.
+const (
+	// Nearest accepts the first reachable member — voter or observer.
+	// The default: reads scale across whatever is closest.
+	Nearest ReadPreference = iota
+	// Leader insists on the current leader: reads observe every commit
+	// the moment it is acknowledged, with no replication lag.
+	Leader
+	// ObserverOnly insists on a non-voting observer: read load stays
+	// entirely off the voting quorum.
+	ObserverOnly
+)
+
+// String returns the mnemonic used in errors and logs.
+func (p ReadPreference) String() string {
+	switch p {
+	case Nearest:
+		return "nearest"
+	case Leader:
+		return "leader"
+	case ObserverOnly:
+		return "observer-only"
+	default:
+		return fmt.Sprintf("ReadPreference(%d)", int32(p))
+	}
+}
+
 // Options configure a client session.
 type Options struct {
 	// SessionTimeoutMillis is requested from the server.
 	SessionTimeoutMillis int32
+	// ReadPreference steers Dial's choice of ensemble member (see the
+	// constants). Ignored by NewSession, which serves whatever single
+	// connection it is handed.
+	ReadPreference ReadPreference
+	// Secure runs the secure-channel handshake after Dial connects
+	// (the tls and securekeeper server variants require it).
+	Secure bool
+	// VerifyPeer pins the server identity for Secure dials; nil
+	// accepts any peer (demo mode — production clients pin the
+	// enclave key received out of band, §4.1).
+	VerifyPeer transport.PeerVerifier
+	// DialTimeout bounds each single address attempt inside Dial
+	// (default 5s); the ctx bounds the whole call.
+	DialTimeout time.Duration
 	// OnEvent handles every watch notification (optional).
 	//
 	// Deprecated: OnEvent is the v1 global callback, kept as a shim. It
@@ -55,11 +102,12 @@ type Result struct {
 	Err  error
 
 	// Populated per operation type.
-	Data     []byte
-	Stat     wire.Stat
-	Path     string
-	Children []string
-	Multi    []wire.MultiOpResult
+	Data        []byte
+	Stat        wire.Stat
+	Path        string
+	Children    []string
+	Multi       []wire.MultiOpResult
+	ServerStats wire.ServerStatsResponse
 }
 
 // Future resolves to a Result when the response arrives.
@@ -111,7 +159,18 @@ type Client struct {
 }
 
 // Connect establishes a session over an already-connected transport.
+//
+// Deprecated: Connect is the v1 entry point, kept as a shim. Use
+// NewSession (same semantics, clearer name) for a pre-established
+// connection, or Dial to connect to an ensemble by address list with
+// failover and read-preference routing.
 func Connect(conn transport.Conn, opts Options) (*Client, error) {
+	return NewSession(conn, opts)
+}
+
+// NewSession establishes a session over an already-connected transport.
+// Callers who hold addresses rather than a connection should use Dial.
+func NewSession(conn transport.Conn, opts Options) (*Client, error) {
 	if opts.SessionTimeoutMillis <= 0 {
 		opts.SessionTimeoutMillis = 10000
 	}
@@ -257,6 +316,8 @@ func decodeResult(op wire.OpCode, hdr wire.ReplyHeader, body []byte) Result {
 		res.Path = resp.Path
 	case *wire.MultiResponse:
 		res.Multi = resp.Results
+	case *wire.ServerStatsResponse:
+		res.ServerStats = *resp
 	}
 	return res
 }
@@ -506,6 +567,17 @@ func (c *Client) Sync(ctx context.Context, path string) error {
 func (c *Client) Multi(ctx context.Context, ops []wire.MultiOp) ([]wire.MultiOpResult, error) {
 	res := c.do(ctx, wire.OpMulti, &wire.MultiRequest{Ops: ops})
 	return res.Multi, res.Err
+}
+
+// ServerStats reports the serving replica's identity and load: its
+// ensemble role, the leader it follows, its committed zxid, and its
+// session/watch/outstanding-proposal counts. The snapshot describes the
+// replica this session happens to be connected to, not the ensemble as
+// a whole — that is the point: orchestration asks each member directly
+// instead of grepping process logs.
+func (c *Client) ServerStats(ctx context.Context) (wire.ServerStatsResponse, error) {
+	res := c.do(ctx, wire.OpServerStats, nil)
+	return res.ServerStats, res.Err
 }
 
 // isProtocolErr reports whether err is a server-side protocol error

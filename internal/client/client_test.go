@@ -41,7 +41,7 @@ func newFakePairConn(t *testing.T, opts Options) (*Client, *fakeServer) {
 		defer srv.wg.Done()
 		srv.serve()
 	}()
-	cl, err := Connect(a, opts)
+	cl, err := NewSession(a, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestClientWatchCallback(t *testing.T) {
 	go func() { defer srv.wg.Done(); srv.serve() }()
 
 	events := make(chan wire.WatcherEvent, 1)
-	cl, err := Connect(a, Options{OnEvent: func(ev wire.WatcherEvent) { events <- ev }})
+	cl, err := NewSession(a, Options{OnEvent: func(ev wire.WatcherEvent) { events <- ev }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestClientServerDisconnectFailsPending(t *testing.T) {
 		_, _ = srv.conn.RecvFrame() // swallow the request
 		_ = srv.conn.Close()
 	}()
-	cl, err := Connect(a, Options{})
+	cl, err := NewSession(a, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,8 +60,12 @@ func (v Variant) String() string {
 type Config struct {
 	// Variant selects Vanilla, TLS or SecureKeeper.
 	Variant Variant
-	// Replicas is the ensemble size (default 3).
+	// Replicas is the voting-ensemble size (default 3).
 	Replicas int
+	// Observers adds that many non-voting replicas (ids after the
+	// voters): they replay the committed stream and serve reads and
+	// watches without widening the quorum.
+	Observers int
 	// TickInterval and ElectionTimeout tune the broadcast protocol.
 	TickInterval    time.Duration
 	ElectionTimeout time.Duration
@@ -228,6 +232,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	for i := range peers {
 		peers[i] = zab.PeerID(i + 1)
 	}
+	observers := make([]zab.PeerID, cfg.Observers)
+	for i := range observers {
+		observers[i] = zab.PeerID(cfg.Replicas + i + 1)
+	}
 
 	// SecureKeeper: one storage key shared by all enclaves, released
 	// only after attestation.
@@ -239,8 +247,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.keyServer = ks
 	}
 
-	for i := 0; i < cfg.Replicas; i++ {
-		host, err := c.newHost(peers, zab.PeerID(i+1))
+	for i := 0; i < cfg.Replicas+cfg.Observers; i++ {
+		host, err := c.newHost(peers, observers, zab.PeerID(i+1))
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -260,10 +268,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	return nil, ErrNoLeader
 }
 
-func (c *Cluster) newHost(peers []zab.PeerID, id zab.PeerID) (*replicaHost, error) {
+func (c *Cluster) newHost(peers, observers []zab.PeerID, id zab.PeerID) (*replicaHost, error) {
 	return buildHost(c.cfg.Variant, c.keyServer, c.cfg.SGXCost, c.cfg.ApplySGXLatency, server.Config{
 		ID:              id,
 		Peers:           peers,
+		Observers:       observers,
 		Transport:       c.net.Endpoint(id),
 		TickInterval:    c.cfg.TickInterval,
 		ElectionTimeout: c.cfg.ElectionTimeout,
@@ -273,8 +282,15 @@ func (c *Cluster) newHost(peers []zab.PeerID, id zab.PeerID) (*replicaHost, erro
 // Variant returns the cluster's configuration variant.
 func (c *Cluster) Variant() Variant { return c.cfg.Variant }
 
-// Size returns the ensemble size.
+// Size returns the total member count (voters plus observers).
 func (c *Cluster) Size() int { return len(c.hosts) }
+
+// Voters returns the voting-ensemble size; hosts with index >= Voters()
+// are observers.
+func (c *Cluster) Voters() int { return c.cfg.Replicas }
+
+// IsObserver reports whether replica i is a non-voting member.
+func (c *Cluster) IsObserver(i int) bool { return i >= c.cfg.Replicas }
 
 // Replica returns the i-th replica (tests and experiments).
 func (c *Cluster) Replica(i int) *server.Replica { return c.hosts[i].replica }
@@ -370,7 +386,7 @@ func (c *Cluster) Connect(i int, opts client.Options) (*client.Client, error) {
 	switch c.cfg.Variant {
 	case Vanilla:
 		c.serve(host, serverEnd, server.NopInterceptor{})
-		return client.Connect(clientEnd, opts)
+		return client.NewSession(clientEnd, opts)
 
 	case TLS:
 		c.serveTLS(host, serverEnd, nil)
@@ -436,7 +452,7 @@ func (c *Cluster) connectSecure(conn transport.Conn, host *replicaHost, opts cli
 	if err != nil {
 		return nil, err
 	}
-	return client.Connect(sc, opts)
+	return client.NewSession(sc, opts)
 }
 
 // ServeExternal serves an externally accepted (e.g. TCP) connection

@@ -45,22 +45,14 @@ func runNodeHelper() {
 	if err != nil {
 		fail(fmt.Errorf("SK_NODE_ID: %w", err))
 	}
-	peers := make(map[zab.PeerID]string)
-	for _, part := range strings.Split(os.Getenv("SK_NODE_PEERS"), ",") {
-		idStr, addr, ok := strings.Cut(part, "=")
-		if !ok {
-			fail(fmt.Errorf("SK_NODE_PEERS entry %q", part))
-		}
-		pid, err := strconv.ParseInt(idStr, 10, 64)
-		if err != nil {
-			fail(err)
-		}
-		peers[zab.PeerID(pid)] = addr
+	topo, err := ParseTopology(os.Getenv("SK_NODE_TOPOLOGY"))
+	if err != nil {
+		fail(err)
 	}
 	node, err := NewNode(NodeConfig{
-		Variant: Vanilla,
-		ID:      zab.PeerID(id),
-		Peers:   peers,
+		Variant:  Vanilla,
+		ID:       zab.PeerID(id),
+		Topology: topo,
 		// Fast failover so the harness (and CI) does not stall: these
 		// mirror the in-process test cluster's settings.
 		TickInterval:    5 * time.Millisecond,
@@ -100,7 +92,8 @@ func runNodeHelper() {
 // procEnsemble manages the child replica processes.
 type procEnsemble struct {
 	t           *testing.T
-	peers       map[zab.PeerID]string // mesh addresses
+	topo        Topology              // mesh addresses + roles
+	peers       map[zab.PeerID]string // mesh addresses (all members)
 	clientAddrs map[zab.PeerID]string
 
 	mu    sync.Mutex
@@ -132,10 +125,22 @@ func freePorts(t *testing.T, n int) []string {
 }
 
 func newProcEnsemble(t *testing.T, n int) *procEnsemble {
+	return newProcObserverEnsemble(t, n, 0)
+}
+
+// newProcObserverEnsemble spawns nVoters voting replicas (ids
+// 1..nVoters) plus nObs observer replicas (the ids after the voters),
+// each its own OS process.
+func newProcObserverEnsemble(t *testing.T, nVoters, nObs int) *procEnsemble {
 	t.Helper()
+	n := nVoters + nObs
 	addrs := freePorts(t, 2*n)
 	pe := &procEnsemble{
-		t:           t,
+		t: t,
+		topo: Topology{
+			Voters:    make(map[zab.PeerID]string, nVoters),
+			Observers: make(map[zab.PeerID]string, nObs),
+		},
 		peers:       make(map[zab.PeerID]string, n),
 		clientAddrs: make(map[zab.PeerID]string, n),
 		procs:       make(map[zab.PeerID]*exec.Cmd, n),
@@ -144,6 +149,11 @@ func newProcEnsemble(t *testing.T, n int) *procEnsemble {
 	}
 	for i := 0; i < n; i++ {
 		id := zab.PeerID(i + 1)
+		if i < nVoters {
+			pe.topo.Voters[id] = addrs[i]
+		} else {
+			pe.topo.Observers[id] = addrs[i]
+		}
 		pe.peers[id] = addrs[i]
 		pe.clientAddrs[id] = addrs[n+i]
 	}
@@ -157,15 +167,11 @@ func newProcEnsemble(t *testing.T, n int) *procEnsemble {
 // start spawns (or respawns) replica id as a child process.
 func (pe *procEnsemble) start(id zab.PeerID) {
 	pe.t.Helper()
-	peerList := make([]string, 0, len(pe.peers))
-	for pid, addr := range pe.peers {
-		peerList = append(peerList, fmt.Sprintf("%d=%s", pid, addr))
-	}
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(),
 		"SK_NODE_HELPER=1",
 		fmt.Sprintf("SK_NODE_ID=%d", id),
-		"SK_NODE_PEERS="+strings.Join(peerList, ","),
+		"SK_NODE_TOPOLOGY="+pe.topo.String(),
 		"SK_NODE_CLIENT_ADDR="+pe.clientAddrs[id],
 	)
 	stdout, err := cmd.StdoutPipe()
@@ -212,6 +218,8 @@ func (pe *procEnsemble) scanRoles(id zab.PeerID, r interface{ Read([]byte) (int,
 			role = zab.RoleFollowing
 		case "LEADING":
 			role = zab.RoleLeading
+		case "OBSERVING":
+			role = zab.RoleObserving
 		default:
 			continue
 		}
@@ -273,7 +281,7 @@ func (pe *procEnsemble) connect(id zab.PeerID) (*client.Client, error) {
 			time.Sleep(20 * time.Millisecond)
 			continue
 		}
-		cl, err := client.Connect(transport.NewFramedConn(tcp), client.Options{})
+		cl, err := client.NewSession(transport.NewFramedConn(tcp), client.Options{})
 		if err != nil {
 			_ = tcp.Close()
 			lastErr = err
@@ -456,7 +464,7 @@ func newTCPNodeEnsemble(t *testing.T, n int, v Variant) []*Node {
 		node, err := NewNode(NodeConfig{
 			Variant:         v,
 			ID:              zab.PeerID(i + 1),
-			Peers:           peers,
+			Topology:        VoterTopology(peers),
 			MeshListener:    listeners[i],
 			StorageKey:      key,
 			TickInterval:    5 * time.Millisecond,
@@ -599,4 +607,59 @@ func TestTCPMeshBatchingContended(t *testing.T) {
 	if ratio > 0.5 {
 		t.Fatalf("propose-frames/txn = %.3f, want <= 0.5 (batching regressed over the TCP mesh)", ratio)
 	}
+}
+
+// TestMultiProcessObserverCrash: a 3-voter + 1-observer ensemble of
+// real OS processes. The observer settles into OBSERVING, serves a
+// replicated read, and its SIGKILL neither blocks further commits nor
+// disturbs the voters' leadership (it was never part of quorum).
+func TestMultiProcessObserverCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process harness in -short mode")
+	}
+	pe := newProcObserverEnsemble(t, 3, 1)
+	voters := []zab.PeerID{1, 2, 3}
+	const obs = zab.PeerID(4)
+
+	var leader zab.PeerID
+	waitForCond(t, 15*time.Second, "initial leader", func() bool {
+		l, ok := pe.leaderAmong(voters)
+		leader = l
+		return ok
+	})
+	waitForCond(t, 15*time.Second, "observer to settle", func() bool {
+		return pe.role(obs) == zab.RoleObserving
+	})
+
+	cl, err := pe.connect(leader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retryWrite(t, "create", func() error {
+		_, err := cl.Create(ctxbg, "/oc", []byte("v1"), 0)
+		return err
+	})
+
+	// The observer process replays the commit and serves the read.
+	ocl, err := pe.connect(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data []byte
+	waitForCond(t, 15*time.Second, "observer to serve the write", func() bool {
+		data, err = syncGet(ocl, "/oc")
+		return err == nil && bytes.Equal(data, []byte("v1"))
+	})
+	_ = ocl.Close()
+
+	// Hard-kill the observer: commits keep flowing and leadership holds.
+	pe.sigkill(obs)
+	retryWrite(t, "write after observer crash", func() error {
+		_, err := cl.Set(ctxbg, "/oc", []byte("v2"), -1)
+		return err
+	})
+	if l, ok := pe.leaderAmong(voters); !ok || l != leader {
+		t.Fatalf("leadership moved after observer crash: leader %d -> %d (ok=%v)", leader, l, ok)
+	}
+	_ = cl.Close()
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
@@ -20,10 +19,12 @@ import (
 type NodeConfig struct {
 	// Variant selects Vanilla, TLS or SecureKeeper.
 	Variant Variant
-	// ID is this replica's ensemble identity; Peers maps every member
-	// (including ID) to its peer-mesh TCP address.
-	ID    zab.PeerID
-	Peers map[zab.PeerID]string
+	// ID is this replica's ensemble identity; Topology describes every
+	// member (including ID) — voter/observer role and peer-mesh TCP
+	// address. Parse one with ParseTopology or build one with
+	// VoterTopology.
+	ID       zab.PeerID
+	Topology Topology
 	// MeshListener optionally provides a pre-bound peer listener
 	// (tests use ephemeral ports); nil listens on Peers[ID].
 	MeshListener net.Listener
@@ -74,13 +75,19 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.ID <= 0 {
 		return nil, fmt.Errorf("core: node id %d must be positive", cfg.ID)
 	}
-	if _, ok := cfg.Peers[cfg.ID]; !ok && cfg.MeshListener == nil {
-		return nil, fmt.Errorf("core: peer map has no address for node %d", cfg.ID)
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Topology.Has(cfg.ID) {
+		return nil, fmt.Errorf("core: topology has no entry for node %d", cfg.ID)
+	}
+	if cfg.Topology.Addr(cfg.ID) == "" && cfg.MeshListener == nil {
+		return nil, fmt.Errorf("core: topology has no address for node %d", cfg.ID)
 	}
 
 	n := &Node{cfg: cfg}
 	if cfg.Variant == SecureKeeper {
-		if cfg.StorageKey == nil && len(cfg.Peers) > 1 {
+		if cfg.StorageKey == nil && cfg.Topology.Size() > 1 {
 			return nil, fmt.Errorf("core: a multi-replica SecureKeeper ensemble needs a shared storage key")
 		}
 		ks, err := newKeyServer(cfg.StorageKey)
@@ -91,25 +98,21 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 
 	mesh, err := zabnet.NewMesh(zabnet.Config{
-		ID:       cfg.ID,
-		Peers:    cfg.Peers,
-		Listener: cfg.MeshListener,
-		Logf:     cfg.Logf,
+		ID:        cfg.ID,
+		Peers:     cfg.Topology.Addrs(),
+		Observers: cfg.Topology.ObserverSet(),
+		Listener:  cfg.MeshListener,
+		Logf:      cfg.Logf,
 	})
 	if err != nil {
 		return nil, err
 	}
 	n.mesh = mesh
 
-	ids := make([]zab.PeerID, 0, len(cfg.Peers))
-	for id := range cfg.Peers {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
 	host, err := buildHost(cfg.Variant, n.keyServer, cfg.SGXCost, cfg.ApplySGXLatency, server.Config{
 		ID:              cfg.ID,
-		Peers:           ids,
+		Peers:           cfg.Topology.VoterIDs(),
+		Observers:       cfg.Topology.ObserverIDs(),
 		Transport:       mesh,
 		TickInterval:    cfg.TickInterval,
 		ElectionTimeout: cfg.ElectionTimeout,
@@ -196,7 +199,7 @@ func (n *Node) Connect(opts client.Options) (*client.Client, error) {
 		return nil, err
 	}
 	if n.cfg.Variant == Vanilla {
-		cl, err := client.Connect(clientEnd, opts)
+		cl, err := client.NewSession(clientEnd, opts)
 		if err != nil {
 			return fail(err)
 		}
@@ -210,7 +213,7 @@ func (n *Node) Connect(opts client.Options) (*client.Client, error) {
 	if err != nil {
 		return fail(err)
 	}
-	cl, err := client.Connect(sc, opts)
+	cl, err := client.NewSession(sc, opts)
 	if err != nil {
 		return fail(err)
 	}

@@ -55,7 +55,7 @@ func TestServeExternalOverTCP(t *testing.T) {
 					t.Fatalf("handshake: %v", err)
 				}
 			}
-			cl, err := client.Connect(conn, client.Options{})
+			cl, err := client.NewSession(conn, client.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -342,11 +342,11 @@ func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 		}
 		body = req
 
-	case wire.OpPing, wire.OpCloseSession:
-		// No sensitive fields; forward verbatim and skip the queue
-		// (pings use the reserved xid and never reach ecResponse's
-		// FIFO matching).
-		if hdr.Op == wire.OpCloseSession {
+	case wire.OpPing, wire.OpCloseSession, wire.OpServerStats:
+		// No sensitive fields; forward verbatim. Close and stats use
+		// regular xids, so their replies pop ecResponse's FIFO and
+		// must be queued here; pings use the reserved xid and skip it.
+		if hdr.Op != wire.OpPing {
 			en.mu.Lock()
 			en.queue = append(en.queue, pend)
 			en.mu.Unlock()
@@ -545,7 +545,8 @@ func (en *Entry) ecResponse(buf []byte, msgLen int) (int, error) {
 		body = resp
 
 	default:
-		// DELETE and CLOSE responses carry no body.
+		// DELETE and CLOSE responses carry no body; STAT's body has no
+		// encrypted fields. All forward verbatim.
 		return msgLen, nil
 	}
 

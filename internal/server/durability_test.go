@@ -38,7 +38,7 @@ func connectTo(t *testing.T, r *Replica) *client.Client {
 	t.Helper()
 	a, b := transport.NewChanPipe()
 	go func() { _ = r.ServeConn(b, nil) }()
-	cl, err := client.Connect(a, client.Options{})
+	cl, err := client.NewSession(a, client.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

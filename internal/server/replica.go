@@ -63,9 +63,14 @@ func PlainSequenceAppender(path string, seq int32) (string, error) {
 
 // Config parameterizes a replica.
 type Config struct {
-	// ID identifies the replica; Peers lists the ensemble.
-	ID    zab.PeerID
-	Peers []zab.PeerID
+	// ID identifies the replica; Peers lists the ensemble's VOTING
+	// members, Observers its non-voting members (each including ID for
+	// the respective role of this replica). An observer replica serves
+	// reads and watches from its replayed tree and forwards writes to
+	// the leader, but never votes or counts toward quorum.
+	ID        zab.PeerID
+	Peers     []zab.PeerID
+	Observers []zab.PeerID
 	// Transport connects the replica to its peers.
 	Transport zab.Transport
 	// SeqAppend customizes sequential-node naming (counter enclave).
@@ -215,6 +220,7 @@ func NewReplica(cfg Config) *Replica {
 	r.peer = zab.NewPeer(zab.Config{
 		ID:              cfg.ID,
 		Peers:           cfg.Peers,
+		Observers:       cfg.Observers,
 		Transport:       cfg.Transport,
 		Deliver:         r.deliver,
 		Snapshot:        r.tree.Snapshot,
@@ -296,12 +302,16 @@ func (r *Replica) PersistStats() storage.PersistStats {
 	return r.persister.Stats()
 }
 
-// WaitForRole blocks until the replica assumes a non-looking role or
-// the timeout expires.
+// WaitForRole blocks until the replica assumes a settled ensemble role
+// (leading, following, or observing with a known leader) or the timeout
+// expires.
 func (r *Replica) WaitForRole(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		if role := r.peer.Role(); role == zab.RoleLeading || role == zab.RoleFollowing {
+		switch role := r.peer.Role(); {
+		case role == zab.RoleLeading || role == zab.RoleFollowing:
+			return nil
+		case role == zab.RoleObserving && r.peer.Leader() >= 0:
 			return nil
 		}
 		time.Sleep(time.Millisecond)
@@ -780,7 +790,9 @@ func (r *Replica) nextSeq(parent string) int32 {
 // fate is unknown (the new leader may or may not have committed them),
 // so clients get ConnectionLoss, matching ZooKeeper semantics.
 func (r *Replica) onRoleChange(role zab.Role, leader zab.PeerID) {
-	if role == zab.RoleLooking {
+	// An observer that loses its leader is in the same boat as a looking
+	// voter: forwarded writes in flight have an unknown fate.
+	if role == zab.RoleLooking || (role == zab.RoleObserving && leader < 0) {
 		// Drop the sequence hints: a future leadership term re-derives
 		// them from the applied tree.
 		r.seqMu.Lock()
@@ -947,6 +959,20 @@ func (r *Replica) handleRead(s *session, entry *inflightReq) []byte {
 	case wire.OpPing:
 		hdr := wire.ReplyHeader{Xid: wire.PingXid, Zxid: zxid, Err: wire.ErrOK}
 		return wire.MarshalPair(&hdr, nil)
+
+	case wire.OpServerStats:
+		r.mu.Lock()
+		sessions := len(r.sessions)
+		r.mu.Unlock()
+		hdr := wire.ReplyHeader{Xid: entry.xid, Zxid: zxid, Err: wire.ErrOK}
+		return wire.MarshalPair(&hdr, &wire.ServerStatsResponse{
+			Role:        r.peer.Role().String(),
+			Leader:      int64(r.peer.Leader()),
+			Zxid:        zxid,
+			Sessions:    int32(sessions),
+			Watches:     int32(r.tree.Watches().Count()),
+			Outstanding: int32(r.peer.OutstandingDepth()),
+		})
 
 	default:
 		return errorReply(entry.xid, zxid, wire.ErrUnimplemented)

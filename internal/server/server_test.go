@@ -72,7 +72,7 @@ func (tc *testCluster) connect(i int, opts client.Options) *client.Client {
 		defer tc.wg.Done()
 		_ = tc.replicas[i].ServeConn(b, nil)
 	}()
-	cl, err := client.Connect(a, opts)
+	cl, err := client.NewSession(a, opts)
 	if err != nil {
 		tc.t.Fatalf("connect to replica %d: %v", i, err)
 	}
@@ -380,7 +380,7 @@ func TestInterceptorErrorKillsSession(t *testing.T) {
 	rejecting := rejectingInterceptor{}
 	done := make(chan error, 1)
 	go func() { done <- tc.replicas[0].ServeConn(b, rejecting) }()
-	cl, err := client.Connect(a, client.Options{})
+	cl, err := client.NewSession(a, client.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,7 @@ const (
 	OpPing         OpCode = 11
 	OpCheck        OpCode = 13 // only valid as a sub-op inside a multi
 	OpMulti        OpCode = 14
+	OpServerStats  OpCode = 21 // admin: role, leader, zxid, load counters
 	OpCloseSession OpCode = -11
 	OpError        OpCode = -1
 )
@@ -54,6 +55,8 @@ func (op OpCode) String() string {
 		return "CHECK"
 	case OpMulti:
 		return "MULTI"
+	case OpServerStats:
+		return "STAT"
 	case OpCloseSession:
 		return "CLOSE"
 	case OpError:

@@ -449,6 +449,51 @@ func (r *SyncResponse) Deserialize(d *Decoder) error {
 	return err
 }
 
+// ServerStatsResponse answers OpServerStats (which has no request
+// body): a machine-readable snapshot of the serving replica's identity
+// and load, so orchestration and smoke scripts query role and leader
+// over the client port instead of grepping process logs.
+type ServerStatsResponse struct {
+	Role        string // zab role mnemonic: LEADING, FOLLOWING, OBSERVING, ...
+	Leader      int64  // known leader id, -1 while unknown
+	Zxid        int64  // committed frontier of the serving replica
+	Sessions    int32  // live client sessions on this replica
+	Watches     int32  // registered watches on this replica
+	Outstanding int32  // leader-side proposals awaiting quorum (0 off-leader)
+}
+
+// Serialize implements Record.
+func (r *ServerStatsResponse) Serialize(e *Encoder) {
+	e.WriteString(r.Role)
+	e.WriteInt64(r.Leader)
+	e.WriteInt64(r.Zxid)
+	e.WriteInt32(r.Sessions)
+	e.WriteInt32(r.Watches)
+	e.WriteInt32(r.Outstanding)
+}
+
+// Deserialize implements Record.
+func (r *ServerStatsResponse) Deserialize(d *Decoder) error {
+	var err error
+	if r.Role, err = d.ReadString(); err != nil {
+		return err
+	}
+	if r.Leader, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	if r.Zxid, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	if r.Sessions, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	if r.Watches, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	r.Outstanding, err = d.ReadInt32()
+	return err
+}
+
 // WatcherEvent notifies a client of a triggered watch. It is sent with
 // the reserved Xid -1.
 type WatcherEvent struct {
@@ -527,6 +572,8 @@ func ResponseBody(op OpCode) Record {
 		return &SyncResponse{}
 	case OpMulti:
 		return &MultiResponse{}
+	case OpServerStats:
+		return &ServerStatsResponse{}
 	default:
 		return nil
 	}

@@ -42,6 +42,16 @@ const (
 	// Application-level messages tunneled over the peer transport
 	// (e.g. the server layer's write-request forwarding to the leader).
 	KindApp
+	// Observer log shipping. KindObserverInfo is an observer announcing
+	// its committed frontier to the leader (the non-voting analogue of
+	// KindFollowerInfo); KindObserverCommit is the leader streaming
+	// already-committed records to synced observers — Batch carries the
+	// records, Zxid the commit bound, and no ACK is ever expected, so
+	// observers stay entirely off the write path's quorum accounting.
+	// Appended after KindApp to preserve the wire values of every
+	// pre-observer kind.
+	KindObserverInfo
+	KindObserverCommit
 )
 
 // String returns the mnemonic for a message kind.
@@ -71,6 +81,10 @@ func (k Kind) String() string {
 		return "PONG"
 	case KindApp:
 		return "APP"
+	case KindObserverInfo:
+		return "OBSERVERINFO"
+	case KindObserverCommit:
+		return "OBSERVERCOMMIT"
 	default:
 		return fmt.Sprintf("KIND(%d)", int32(k))
 	}

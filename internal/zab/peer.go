@@ -20,6 +20,10 @@ const (
 	RoleLooking Role = iota + 1
 	RoleFollowing
 	RoleLeading
+	// RoleObserving marks a non-voting replica: it replays the leader's
+	// committed stream and serves reads, but never votes, never counts
+	// toward any quorum, and never leads.
+	RoleObserving
 )
 
 // String returns the mnemonic for a role.
@@ -31,6 +35,8 @@ func (r Role) String() string {
 		return "FOLLOWING"
 	case RoleLeading:
 		return "LEADING"
+	case RoleObserving:
+		return "OBSERVING"
 	default:
 		return fmt.Sprintf("ROLE(%d)", int32(r))
 	}
@@ -44,10 +50,16 @@ var (
 
 // Config parameterizes a Peer.
 type Config struct {
-	// ID is this replica's identity; Peers lists the whole ensemble
-	// including ID.
+	// ID is this replica's identity; Peers lists the VOTING members of
+	// the ensemble (including ID when this peer votes). Quorum size and
+	// election fan-out derive from Peers alone.
 	ID    PeerID
 	Peers []PeerID
+	// Observers lists the non-voting members (including ID when this
+	// peer is an observer). Observers receive the leader's heartbeats
+	// and committed stream but are excluded from vote tallies, quorum
+	// counts, and outstanding-proposal replay.
+	Observers []PeerID
 	// Transport connects this peer to the ensemble.
 	Transport Transport
 	// Deliver is invoked from the peer's loop goroutine for every
@@ -193,21 +205,33 @@ type Peer struct {
 	submit chan submitReq
 
 	// Loop-owned state (no locking needed inside the loop).
-	round        int64
-	myVote       vote
-	votes        map[PeerID]vote
-	epoch        int64
-	counter      int64
-	lastZxid     int64 // highest zxid seen (proposed or applied); NOT what votes advertise
-	lastCommit   int64 // highest zxid delivered; the frontier votes and FOLLOWERINFO claim
-	outstanding  []int64
-	batch        []ProposalRecord // leader: submissions awaiting one PROPOSE frame
-	proposals    map[int64]*pendingProposal
-	ppFree       *pendingProposal         // freelist of recycled pendingProposals
-	inflight     map[int64]ProposalRecord // follower: proposals awaiting commit
-	commitLog    []ProposalRecord
-	logBase      int64 // zxid preceding commitLog[0]
-	synced       map[PeerID]struct{}
+	round       int64
+	myVote      vote
+	votes       map[PeerID]vote
+	epoch       int64
+	counter     int64
+	lastZxid    int64 // highest zxid seen (proposed or applied); NOT what votes advertise
+	lastCommit  int64 // highest zxid delivered; the frontier votes and FOLLOWERINFO claim
+	outstanding []int64
+	batch       []ProposalRecord // leader: submissions awaiting one PROPOSE frame
+	proposals   map[int64]*pendingProposal
+	ppFree      *pendingProposal         // freelist of recycled pendingProposals
+	inflight    map[int64]ProposalRecord // follower: proposals awaiting commit
+	commitLog   []ProposalRecord
+	logBase     int64 // zxid preceding commitLog[0]
+	synced      map[PeerID]struct{}
+	// obsSynced tracks observers that completed the snapshot/diff sync
+	// handshake and now receive the committed stream. Deliberately
+	// separate from synced: nothing in quorum math, handleSubmit's
+	// activation gate, or replayOutstanding may ever see an observer.
+	obsSynced map[PeerID]struct{}
+	// isObserver marks this peer itself as a non-voting member; voters
+	// is the voting-member set used to classify message senders.
+	isObserver bool
+	voters     map[PeerID]struct{}
+	// obsRun accumulates the records committed in one advanceCommits
+	// run for the observer stream (loop-owned, reset per run).
+	obsRun       []ProposalRecord
 	lastHeard    map[PeerID]time.Time
 	electionDue  time.Time
 	finalizeDue  time.Time // grace deadline for a quorum-but-not-unanimous tally
@@ -225,6 +249,10 @@ type Peer struct {
 	leaderSynced bool
 	nextSyncAsk  time.Time
 
+	// outDepth mirrors len(outstanding) for lock-free observability
+	// (the admin/stats API reads it off the loop goroutine).
+	outDepth atomic.Int32
+
 	statsMu sync.Mutex
 	stats   Stats
 }
@@ -240,6 +268,9 @@ type Stats struct {
 	// below the follower count under concurrent load; the contended
 	// benchmarks assert on that ratio.
 	ProposeFrames int64
+	// ObserverFrames counts OBSERVERCOMMIT frames streamed to synced
+	// observers (leader side).
+	ObserverFrames int64
 }
 
 // NewPeer constructs a peer; call Start to run it.
@@ -254,7 +285,17 @@ func NewPeer(cfg Config) *Peer {
 		proposals: make(map[int64]*pendingProposal),
 		inflight:  make(map[int64]ProposalRecord),
 		synced:    make(map[PeerID]struct{}),
+		obsSynced: make(map[PeerID]struct{}),
+		voters:    make(map[PeerID]struct{}, len(c.Peers)),
 		lastHeard: make(map[PeerID]time.Time),
+	}
+	for _, id := range c.Peers {
+		p.voters[id] = struct{}{}
+	}
+	for _, id := range c.Observers {
+		if id == c.ID {
+			p.isObserver = true
+		}
 	}
 	p.role.Store(int32(RoleLooking))
 	p.leader.Store(int64(-1))
@@ -290,6 +331,10 @@ func (p *Peer) ID() PeerID { return p.cfg.ID }
 // LastCommitted returns the highest delivered zxid. Only meaningful for
 // observability; read from the loop's perspective it may lag.
 func (p *Peer) LastCommitted() int64 { return atomic.LoadInt64(&p.lastCommit) }
+
+// OutstandingDepth returns the number of proposals awaiting quorum on
+// this peer. Non-zero only while leading; exposed for the stats API.
+func (p *Peer) OutstandingDepth() int { return int(p.outDepth.Load()) }
 
 // StatsSnapshot returns a copy of the protocol counters.
 func (p *Peer) StatsSnapshot() Stats {
@@ -352,7 +397,11 @@ func (p *Peer) run() {
 	ticker := time.NewTicker(p.cfg.TickInterval)
 	defer ticker.Stop()
 
-	p.startElection()
+	if p.isObserver {
+		p.startObserving()
+	} else {
+		p.startElection()
+	}
 
 	for {
 		select {
@@ -371,15 +420,56 @@ func (p *Peer) run() {
 	}
 }
 
+// isVoter reports whether id is a voting member of the ensemble.
+func (p *Peer) isVoter(id PeerID) bool {
+	_, ok := p.voters[id]
+	return ok
+}
+
+// --- observer lifecycle ---
+
+// startObserving (re)enters the leaderless observing state: the peer
+// waits for a leader's heartbeat to adopt it. Also used when the
+// followed leader goes silent — the observer NEVER elects; it reports
+// leader -1 (failing pending forwarded writes at the server layer) and
+// waits for the voters to sort it out.
+func (p *Peer) startObserving() {
+	p.followTarget = -1
+	p.leaderSynced = false
+	p.inflight = make(map[int64]ProposalRecord)
+	p.setRole(RoleObserving, -1)
+}
+
+// adoptLeader points the observer at a (possibly new) leader and asks
+// to be synced from the committed frontier, exactly like a lagging
+// follower — except via OBSERVERINFO, so the leader never confuses the
+// sender with a quorum participant.
+func (p *Peer) adoptLeader(leader PeerID) {
+	p.followTarget = leader
+	p.leaderSynced = false
+	p.nextSyncAsk = time.Now().Add(p.syncAskInterval())
+	p.inflight = make(map[int64]ProposalRecord)
+	p.lastHeard[leader] = time.Now()
+	p.setRole(RoleObserving, leader)
+	_ = p.cfg.Transport.Send(leader, Message{Kind: KindObserverInfo, Zxid: p.lastCommitted()})
+}
+
 // --- election ---
 
 func (p *Peer) startElection() {
+	if p.isObserver {
+		// Defensive: no code path should route an observer here, but if
+		// one ever does, detaching beats campaigning.
+		p.startObserving()
+		return
+	}
 	p.statsMu.Lock()
 	p.stats.Elections++
 	p.statsMu.Unlock()
 
 	p.setRole(RoleLooking, -1)
 	p.batch = nil // unsent proposals die with the leadership term
+	p.outDepth.Store(0)
 	p.finalizeDue = time.Time{}
 	p.round++
 	p.votes = make(map[PeerID]vote, len(p.cfg.Peers))
@@ -401,14 +491,41 @@ func (p *Peer) startElection() {
 	p.checkElection()
 }
 
-// otherPeers rebuilds the scratch list with every ensemble member but
-// this one.
+// otherPeers rebuilds the scratch list with every VOTING member but
+// this one (election fan-out: observers receive no votes).
 func (p *Peer) otherPeers() []PeerID {
 	p.peerScratch = p.peerScratch[:0]
 	for _, id := range p.cfg.Peers {
 		if id != p.cfg.ID {
 			p.peerScratch = append(p.peerScratch, id)
 		}
+	}
+	return p.peerScratch
+}
+
+// allOtherPeers rebuilds the scratch list with every ensemble member —
+// voters and observers — but this one (the leader's heartbeat fan-out,
+// which is how observers discover the leader).
+func (p *Peer) allOtherPeers() []PeerID {
+	p.peerScratch = p.peerScratch[:0]
+	for _, id := range p.cfg.Peers {
+		if id != p.cfg.ID {
+			p.peerScratch = append(p.peerScratch, id)
+		}
+	}
+	for _, id := range p.cfg.Observers {
+		if id != p.cfg.ID {
+			p.peerScratch = append(p.peerScratch, id)
+		}
+	}
+	return p.peerScratch
+}
+
+// syncedObservers rebuilds the scratch list with every synced observer.
+func (p *Peer) syncedObservers() []PeerID {
+	p.peerScratch = p.peerScratch[:0]
+	for id := range p.obsSynced {
+		p.peerScratch = append(p.peerScratch, id)
 	}
 	return p.peerScratch
 }
@@ -434,13 +551,27 @@ func (p *Peer) broadcastVote() {
 }
 
 func (p *Peer) handleVote(msg Message) {
+	// Observers are silent in elections, in both directions: an observer
+	// never tallies or answers votes, and a vote claimed by a non-voting
+	// peer (buggy or malicious) must never enter a voter's tally.
+	if p.isObserver || !p.isVoter(msg.From) {
+		return
+	}
 	v := vote{round: msg.Epoch, for_: msg.VoteFor, zxid: msg.VoteZxid}
 	if p.Role() != RoleLooking {
 		// A settled peer answers only genuine vote broadcasts, with a
 		// reply naming the current leader, echoing the asker's round so
 		// it counts in the asker's tally. Replies to replies would
 		// ping-pong forever between two settled peers.
-		if !msg.VoteReply {
+		//
+		// A follower only answers once the leader has acknowledged its
+		// sync this term (leaderSynced): electing a leader is not
+		// evidence it is alive. Without this, two survivors of a dead
+		// high-id leader can resurrect it in turns — the settled one
+		// advertises it, the looking one re-elects it on the id
+		// tie-break, each re-follow restarting the silence clock — and
+		// livelock for many election timeouts.
+		if !msg.VoteReply && (p.Role() == RoleLeading || p.leaderSynced) {
 			_ = p.cfg.Transport.Send(msg.From, Message{
 				Kind:      KindVote,
 				Epoch:     msg.Epoch,
@@ -544,8 +675,12 @@ func (p *Peer) becomeLeader() {
 	p.lastZxid = MakeZxid(p.epoch, 0)
 	p.proposals = make(map[int64]*pendingProposal)
 	p.outstanding = nil
+	p.outDepth.Store(0)
 	p.batch = nil
 	p.synced = map[PeerID]struct{}{p.cfg.ID: {}}
+	// Observers re-handshake with every new leader (their OBSERVERINFO
+	// answers our first ping); until then they get no stream.
+	p.obsSynced = make(map[PeerID]struct{})
 	now := time.Now()
 	for _, id := range p.cfg.Peers {
 		p.lastHeard[id] = now
@@ -578,9 +713,34 @@ func (p *Peer) handleFollowerInfo(msg Message) {
 	if p.Role() != RoleLeading {
 		return
 	}
+	if !p.isVoter(msg.From) {
+		// A non-voter claiming FOLLOWERINFO is synced like an observer:
+		// it gets the state transfer but can never enter the voter
+		// handshake, no matter what it sends.
+		p.handleObserverInfo(msg)
+		return
+	}
 	p.lastHeard[msg.From] = time.Now()
-	if diff, ok := p.diffSince(msg.Zxid); ok {
-		_ = p.cfg.Transport.Send(msg.From, Message{
+	p.sendSync(msg.From, msg.Zxid)
+}
+
+// handleObserverInfo syncs a joining (or resyncing) observer from its
+// committed frontier, exactly like a lagging follower. The observer's
+// NEWLEADERACK after the transfer lands in obsSynced (see
+// handleNewLeaderAck), switching it onto the committed stream.
+func (p *Peer) handleObserverInfo(msg Message) {
+	if p.Role() != RoleLeading || p.isVoter(msg.From) {
+		return
+	}
+	p.lastHeard[msg.From] = time.Now()
+	p.sendSync(msg.From, msg.Zxid)
+}
+
+// sendSync transfers committed history to a peer whose frontier is
+// zxid: a diff when the log still covers it, a full snapshot otherwise.
+func (p *Peer) sendSync(to PeerID, zxid int64) {
+	if diff, ok := p.diffSince(zxid); ok {
+		_ = p.cfg.Transport.Send(to, Message{
 			Kind:  KindSyncDiff,
 			Epoch: p.epoch,
 			Zxid:  p.lastCommitted(),
@@ -589,7 +749,7 @@ func (p *Peer) handleFollowerInfo(msg Message) {
 		return
 	}
 	snap := p.cfg.Snapshot()
-	_ = p.cfg.Transport.Send(msg.From, Message{
+	_ = p.cfg.Transport.Send(to, Message{
 		Kind:     KindSyncSnap,
 		Epoch:    p.epoch,
 		Zxid:     p.lastCommitted(),
@@ -621,7 +781,7 @@ func (p *Peer) diffSince(zxid int64) ([]ProposalRecord, bool) {
 }
 
 func (p *Peer) handleSync(msg Message) {
-	if p.Role() != RoleFollowing || msg.From != p.followTarget {
+	if role := p.Role(); (role != RoleFollowing && role != RoleObserving) || msg.From != p.followTarget {
 		return
 	}
 	p.statsMu.Lock()
@@ -659,8 +819,16 @@ func (p *Peer) handleNewLeaderAck(msg Message) {
 	if p.Role() != RoleLeading {
 		return
 	}
-	p.synced[msg.From] = struct{}{}
 	p.lastHeard[msg.From] = time.Now()
+	if !p.isVoter(msg.From) {
+		// An observer completing its sync joins the committed stream and
+		// NOTHING else: not the synced set (quorum, activation gate, the
+		// propose fan-out) and not replayOutstanding — uncommitted
+		// proposals are a voter concern only.
+		p.obsSynced[msg.From] = struct{}{}
+		return
+	}
+	p.synced[msg.From] = struct{}{}
 	p.replayOutstanding(msg.From)
 }
 
@@ -729,6 +897,7 @@ func (p *Peer) handleSubmit(req submitReq) {
 	pp.ack(p.cfg.ID)
 	p.proposals[zxid] = pp
 	p.outstanding = append(p.outstanding, zxid)
+	p.outDepth.Store(int32(len(p.outstanding)))
 	p.batch = append(p.batch, rec)
 	p.statsMu.Lock()
 	p.stats.Proposals++
@@ -892,22 +1061,30 @@ func (p *Peer) ackFrontier() int64 {
 }
 
 func (p *Peer) resync() {
-	if p.Role() != RoleFollowing {
+	role := p.Role()
+	if role != RoleFollowing && role != RoleObserving {
 		return
 	}
 	// Until the sync lands, the tick keeps re-requesting (the request
-	// itself may be shed on a flapping link).
+	// itself may be shed on a flapping link). Observers ask via
+	// OBSERVERINFO so the leader never mistakes them for voters.
 	p.leaderSynced = false
 	p.nextSyncAsk = time.Now().Add(p.syncAskInterval())
 	p.inflight = make(map[int64]ProposalRecord)
-	_ = p.cfg.Transport.Send(p.followTarget, Message{Kind: KindFollowerInfo, Zxid: p.lastCommitted()})
+	kind := KindFollowerInfo
+	if role == RoleObserving {
+		kind = KindObserverInfo
+	}
+	_ = p.cfg.Transport.Send(p.followTarget, Message{Kind: kind, Zxid: p.lastCommitted()})
 }
 
 // handleAck records a cumulative acknowledgement: an ACK for zxid Z
 // asserts the follower holds every outstanding proposal up to Z, so
 // batches are acknowledged as units.
 func (p *Peer) handleAck(msg Message) {
-	if p.Role() != RoleLeading {
+	if p.Role() != RoleLeading || !p.isVoter(msg.From) {
+		// The voter check is defense in depth: observers never send ACKs,
+		// but a non-voter's ACK entering the tally would forge quorum.
 		return
 	}
 	p.lastHeard[msg.From] = time.Now()
@@ -932,6 +1109,7 @@ func (p *Peer) handleAck(msg Message) {
 // PROPOSE frame piggybacks the same bound).
 func (p *Peer) advanceCommits() {
 	committed := false
+	p.obsRun = p.obsRun[:0]
 	for len(p.outstanding) > 0 {
 		zxid := p.outstanding[0]
 		prop, ok := p.proposals[zxid]
@@ -940,14 +1118,47 @@ func (p *Peer) advanceCommits() {
 		}
 		p.outstanding = p.outstanding[1:]
 		delete(p.proposals, zxid)
-		p.deliver(Committed{Txn: prop.rec.Txn, Origin: prop.rec.Origin})
+		rec := prop.rec
+		p.deliver(Committed{Txn: rec.Txn, Origin: rec.Origin})
 		p.putPendingProposal(prop)
+		if len(p.obsSynced) > 0 {
+			p.obsRun = append(p.obsRun, rec)
+		}
 		committed = true
 	}
 	if !committed {
 		return
 	}
-	SendToMany(p.cfg.Transport, p.syncedFollowers(), Message{Kind: KindCommit, Zxid: p.lastCommitted()})
+	p.outDepth.Store(int32(len(p.outstanding)))
+	bound := p.lastCommitted()
+	SendToMany(p.cfg.Transport, p.syncedFollowers(), Message{Kind: KindCommit, Zxid: bound})
+	if len(p.obsRun) > 0 {
+		p.streamToObservers(bound)
+	}
+}
+
+// streamToObservers ships one run's committed records to every synced
+// observer: encode-once fan-out, chunked at the frame cap, no ACK ever
+// expected — the write path never waits on an observer.
+func (p *Peer) streamToObservers(bound int64) {
+	targets := p.syncedObservers()
+	if len(targets) == 0 {
+		return
+	}
+	frames := int64(0)
+	for start := 0; start < len(p.obsRun); start += maxBatchRecords {
+		end := start + maxBatchRecords
+		if end > len(p.obsRun) {
+			end = len(p.obsRun)
+		}
+		batch := make([]ProposalRecord, end-start)
+		copy(batch, p.obsRun[start:end])
+		SendToMany(p.cfg.Transport, targets, Message{Kind: KindObserverCommit, Epoch: p.epoch, Zxid: bound, Batch: batch})
+		frames += int64(len(targets))
+	}
+	p.statsMu.Lock()
+	p.stats.ObserverFrames += frames
+	p.statsMu.Unlock()
 }
 
 func (p *Peer) handleCommit(msg Message) {
@@ -955,6 +1166,44 @@ func (p *Peer) handleCommit(msg Message) {
 		return
 	}
 	p.lastHeard[msg.From] = time.Now()
+	p.commitUpTo(msg.Zxid)
+}
+
+// handleObserverCommit applies a leader-streamed run of already-committed
+// records: buffer them like proposals, then commit to the bound. No ACK is
+// sent — observers are invisible to quorum accounting. A hole (shed frame)
+// falls through commitUpTo's resync, which re-announces via OBSERVERINFO.
+func (p *Peer) handleObserverCommit(msg Message) {
+	if p.Role() != RoleObserving || msg.From != p.followTarget || len(msg.Batch) == 0 {
+		return
+	}
+	p.lastHeard[msg.From] = time.Now()
+	if msg.Epoch > p.epoch {
+		// The stream carries only records committed during the sending
+		// leader's reign, so adopting its epoch keeps the successor walk
+		// in commitUpTo correct across the boundary.
+		p.epoch = msg.Epoch
+	}
+	committed := p.lastCommitted()
+	var prev int64
+	for i := range msg.Batch {
+		rec := &msg.Batch[i]
+		zxid := rec.Txn.Zxid
+		if i > 0 && zxid <= prev {
+			break // malformed frame: ignore the out-of-order tail
+		}
+		prev = zxid
+		if zxid <= committed {
+			continue // duplicate of an already-committed record
+		}
+		p.inflight[zxid] = *rec
+		if zxid > p.lastZxid {
+			p.lastZxid = zxid
+		}
+	}
+	p.statsMu.Lock()
+	p.stats.ObserverFrames++
+	p.statsMu.Unlock()
 	p.commitUpTo(msg.Zxid)
 }
 
@@ -1023,11 +1272,13 @@ func (p *Peer) tick(now time.Time) {
 	switch p.Role() {
 	case RoleLeading:
 		p.flushProposals() // defensive: no batch should survive a loop iteration
-		SendToMany(p.cfg.Transport, p.otherPeers(), Message{Kind: KindPing, Epoch: p.epoch, Zxid: p.lastCommitted()})
-		// Abdicate if a quorum has gone silent.
+		SendToMany(p.cfg.Transport, p.allOtherPeers(), Message{Kind: KindPing, Epoch: p.epoch, Zxid: p.lastCommitted()})
+		// Abdicate if a quorum has gone silent. Observers never count:
+		// an ensemble of live observers with no voter quorum is not a
+		// functioning ensemble.
 		alive := 1
 		for id, t := range p.lastHeard {
-			if id == p.cfg.ID {
+			if id == p.cfg.ID || !p.isVoter(id) {
 				continue
 			}
 			if now.Sub(t) < p.cfg.ElectionTimeout {
@@ -1062,19 +1313,51 @@ func (p *Peer) tick(now time.Time) {
 		if now.After(p.electionDue) {
 			p.startElection()
 		}
+	case RoleObserving:
+		if p.followTarget < 0 {
+			return // waiting for a leader ping to adopt
+		}
+		if now.Sub(p.lastHeard[p.followTarget]) > p.cfg.ElectionTimeout {
+			// Leader gone: never start an election — detach and wait
+			// for the voters' next leader to ping us.
+			p.startObserving()
+			return
+		}
+		if !p.leaderSynced && now.After(p.nextSyncAsk) {
+			// Same pacing rationale as the follower case above, but the
+			// non-voting announce kind.
+			p.nextSyncAsk = now.Add(p.syncAskInterval())
+			_ = p.cfg.Transport.Send(p.followTarget, Message{Kind: KindObserverInfo, Zxid: p.lastCommitted()})
+		}
 	}
 }
 
 func (p *Peer) handlePing(msg Message) {
-	if p.Role() == RoleFollowing && msg.From == p.followTarget {
-		p.lastHeard[msg.From] = time.Now()
-		p.commitUpTo(msg.Zxid)
-		_ = p.cfg.Transport.Send(msg.From, Message{Kind: KindPong, Zxid: p.lastCommitted()})
-		return
-	}
-	if p.Role() == RoleLooking {
+	switch p.Role() {
+	case RoleFollowing:
+		if msg.From == p.followTarget {
+			p.lastHeard[msg.From] = time.Now()
+			p.commitUpTo(msg.Zxid)
+			_ = p.cfg.Transport.Send(msg.From, Message{Kind: KindPong, Zxid: p.lastCommitted()})
+		}
+	case RoleLooking:
 		// A leader exists; join it.
 		p.becomeFollower(msg.From)
+	case RoleObserving:
+		if !p.isVoter(msg.From) {
+			return // only voters can lead
+		}
+		if msg.From == p.followTarget {
+			p.lastHeard[msg.From] = time.Now()
+			p.commitUpTo(msg.Zxid)
+			_ = p.cfg.Transport.Send(msg.From, Message{Kind: KindPong, Zxid: p.lastCommitted()})
+			return
+		}
+		// A leader we are not attached to: adopt it if we have none, or
+		// if it is at least as recent as the one we lost track of.
+		if p.followTarget < 0 || msg.Epoch >= p.epoch {
+			p.adoptLeader(msg.From)
+		}
 	}
 }
 
@@ -1112,5 +1395,9 @@ func (p *Peer) handle(msg Message) {
 		if p.cfg.OnApp != nil {
 			p.cfg.OnApp(msg.From, msg.App)
 		}
+	case KindObserverInfo:
+		p.handleObserverInfo(msg)
+	case KindObserverCommit:
+		p.handleObserverCommit(msg)
 	}
 }

@@ -91,6 +91,9 @@ func TestVotesAdvertiseCommittedFrontier(t *testing.T) {
 	p2.lastZxid = MakeZxid(7, 0)
 	p2.lastCommit = committed
 	p2.setRole(RoleFollowing, 3)
+	// Only a follower whose leader answered its sync this term may
+	// answer votes at all (see TestSurvivorsDoNotResurrectDeadLeader).
+	p2.leaderSynced = true
 	p2.handleVote(Message{Kind: KindVote, From: 1, Epoch: 9, VoteFor: 1, VoteZxid: 0})
 	replies := tr2.byKind(KindVote)
 	if len(replies) != 1 || !replies[0].VoteReply {

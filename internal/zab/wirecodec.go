@@ -38,7 +38,7 @@ func (m *Message) Serialize(e *wire.Encoder) {
 		e.WriteInt64(int64(m.VoteFor))
 		e.WriteInt64(m.VoteZxid)
 		e.WriteBool(m.VoteReply)
-	case KindFollowerInfo, KindNewLeaderAck, KindAck, KindCommit, KindPing, KindPong:
+	case KindFollowerInfo, KindNewLeaderAck, KindAck, KindCommit, KindPing, KindPong, KindObserverInfo:
 		// Header only: the zxid field carries the payload.
 	case KindPropose:
 		e.WriteBool(m.Txn != nil)
@@ -46,7 +46,7 @@ func (m *Message) Serialize(e *wire.Encoder) {
 			m.Txn.Serialize(e)
 		}
 		serializeOrigin(e, m.Origin)
-	case KindProposeBatch:
+	case KindProposeBatch, KindObserverCommit:
 		e.WriteInt32(int32(len(m.Batch)))
 		for i := range m.Batch {
 			m.Batch[i].Serialize(e)
@@ -92,7 +92,7 @@ func (m *Message) Deserialize(d *wire.Decoder) error {
 		if m.VoteReply, err = d.ReadBool(); err != nil {
 			return err
 		}
-	case KindFollowerInfo, KindNewLeaderAck, KindAck, KindCommit, KindPing, KindPong:
+	case KindFollowerInfo, KindNewLeaderAck, KindAck, KindCommit, KindPing, KindPong, KindObserverInfo:
 		// Header only.
 	case KindPropose:
 		present, err := d.ReadBool()
@@ -109,7 +109,7 @@ func (m *Message) Deserialize(d *wire.Decoder) error {
 		if m.Origin, err = deserializeOrigin(d); err != nil {
 			return err
 		}
-	case KindProposeBatch:
+	case KindProposeBatch, KindObserverCommit:
 		if m.Batch, err = deserializeRecords(d, maxBatchRecords, "batch"); err != nil {
 			return err
 		}

@@ -13,28 +13,40 @@ import (
 // harness runs an ensemble of peers over an in-process network, each
 // applying committed txns to its own tree.
 type harness struct {
-	t     *testing.T
-	net   *Network
-	ids   []PeerID
-	peers map[PeerID]*Peer
-	trees map[PeerID]*ztree.Tree
+	t      *testing.T
+	net    *Network
+	ids    []PeerID // every member: voters then observers
+	voters []PeerID
+	obs    []PeerID
+	peers  map[PeerID]*Peer
+	trees  map[PeerID]*ztree.Tree
 
 	mu        sync.Mutex
 	delivered map[PeerID][]int64 // zxids in delivery order
 }
 
 func newHarness(t *testing.T, n int) *harness {
+	return newObserverHarness(t, n, 0)
+}
+
+// newObserverHarness builds an ensemble of nVoters voting members (ids
+// 1..nVoters) plus nObs observers (the ids after the voters).
+func newObserverHarness(t *testing.T, nVoters, nObs int) *harness {
 	t.Helper()
 	h := &harness{
 		t:         t,
 		net:       NewNetwork(),
-		peers:     make(map[PeerID]*Peer, n),
-		trees:     make(map[PeerID]*ztree.Tree, n),
-		delivered: make(map[PeerID][]int64, n),
+		peers:     make(map[PeerID]*Peer, nVoters+nObs),
+		trees:     make(map[PeerID]*ztree.Tree, nVoters+nObs),
+		delivered: make(map[PeerID][]int64, nVoters+nObs),
 	}
-	for i := 0; i < n; i++ {
-		h.ids = append(h.ids, PeerID(i+1))
+	for i := 0; i < nVoters; i++ {
+		h.voters = append(h.voters, PeerID(i+1))
 	}
+	for i := 0; i < nObs; i++ {
+		h.obs = append(h.obs, PeerID(nVoters+i+1))
+	}
+	h.ids = append(append([]PeerID(nil), h.voters...), h.obs...)
 	for _, id := range h.ids {
 		h.startPeer(id)
 	}
@@ -47,7 +59,8 @@ func (h *harness) startPeer(id PeerID) {
 	h.trees[id] = tree
 	peer := NewPeer(Config{
 		ID:        id,
-		Peers:     h.ids,
+		Peers:     h.voters,
+		Observers: h.obs,
 		Transport: h.net.Endpoint(id),
 		Deliver: func(c Committed) {
 			tree.Apply(&c.Txn)
@@ -452,5 +465,110 @@ func TestPendingProposalAckOverflow(t *testing.T) {
 	}
 	if len(pp.overflow) != peers-maxInlineAcks {
 		t.Fatalf("overflow holds %d, want %d", len(pp.overflow), peers-maxInlineAcks)
+	}
+}
+
+// TestSurvivorsDoNotResurrectDeadLeader pins the vote-answering rule in
+// handleVote: a settled peer may only advertise its leader in a vote
+// reply once that leader has answered its sync request this term
+// (leaderSynced). Without the gate, two survivors that adopted a leader
+// which died before syncing them can livelock: the settled one answers
+// the looking one's vote broadcast naming the dead peer, the looking
+// one re-adopts it on the equal-zxid id tie-break, and each re-follow
+// restarts the silence clock, keeping the survivors' timeout windows
+// offset for many election rounds.
+//
+// The test plays the doomed leader (id 3) from a bare endpoint: it
+// pings peers 1 and 2 into following it, never answers their
+// FOLLOWERINFO, and falls silent — the in-process version of a freshly
+// elected process being SIGKILLed. The survivors must elect one of
+// themselves, and once a survivor has given up on 3 (gone LOOKING) it
+// must never be observed following 3 again.
+func TestSurvivorsDoNotResurrectDeadLeader(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	voters := []PeerID{1, 2, 3}
+	dead := net.Endpoint(3)
+
+	// Pre-load the doomed leader's pings so the survivors adopt it on
+	// their very first receive, before their election timers can fire.
+	for _, id := range []PeerID{1, 2} {
+		_ = dead.Send(id, Message{Kind: KindPing, Epoch: 1})
+	}
+
+	peers := map[PeerID]*Peer{}
+	for _, id := range []PeerID{1, 2} {
+		tree := ztree.New()
+		p := NewPeer(Config{
+			ID:              id,
+			Peers:           voters,
+			Transport:       net.Endpoint(id),
+			Deliver:         func(c Committed) { tree.Apply(&c.Txn) },
+			Snapshot:        tree.Snapshot,
+			Restore:         tree.Restore,
+			TickInterval:    5 * time.Millisecond,
+			ElectionTimeout: 80 * time.Millisecond,
+		})
+		peers[id] = p
+		p.Start()
+		defer p.Stop()
+	}
+
+	adopted := func() bool {
+		for _, p := range peers {
+			if p.Role() != RoleFollowing || p.Leader() != 3 {
+				return false
+			}
+		}
+		return true
+	}
+	for start := time.Now(); !adopted(); {
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("survivors never adopted the fake leader")
+		}
+		for _, id := range []PeerID{1, 2} {
+			_ = dead.Send(id, Message{Kind: KindPing, Epoch: 1})
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Keep only peer 2's heartbeat alive for another half election
+	// timeout before full silence: the survivors' timeout windows must
+	// be offset for the resurrection cycle to arise (simultaneous
+	// timeouts elect a replacement immediately and prove nothing). In
+	// the wild the offset comes from the survivors having adopted the
+	// doomed leader at different moments.
+	for i := 0; i < 8; i++ {
+		_ = dead.Send(2, Message{Kind: KindPing, Epoch: 1})
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The fake leader now falls silent. Both survivors follow id 3
+	// with leaderSynced unset: their FOLLOWERINFO was never answered,
+	// exactly like followers of a leader that died as it was elected.
+	wasLooking := map[PeerID]bool{}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("survivors never elected a replacement (1=%v leader=%d, 2=%v leader=%d)",
+				peers[1].Role(), peers[1].Leader(), peers[2].Role(), peers[2].Leader())
+		}
+		elected := false
+		for id, p := range peers {
+			role, leader := p.Role(), p.Leader()
+			if role == RoleLooking {
+				wasLooking[id] = true
+			}
+			if wasLooking[id] && role == RoleFollowing && leader == 3 {
+				t.Fatalf("peer %d re-adopted the dead leader after looking", id)
+			}
+			if role == RoleLeading {
+				elected = true
+			}
+		}
+		if elected {
+			return
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

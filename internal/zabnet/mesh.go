@@ -56,7 +56,18 @@ const (
 const helloMagic int32 = 0x5a424e31 // "ZBN1"
 
 // protoVersion is bumped on incompatible frame-layout changes.
-const protoVersion int32 = 1
+// v2 added the role byte to the hello frame (observer-aware meshes).
+const protoVersion int32 = 2
+
+// Hello role bytes: each side declares whether it is a voting member or
+// an observer, and the receiver validates the claim against its own
+// topology — a replica misconfigured about its role (or a voter list
+// that disagrees between hosts) fails loudly at connect time instead of
+// silently corrupting quorum accounting.
+const (
+	roleVoter    byte = 0x00
+	roleObserver byte = 0x01
+)
 
 // maxReassembledBytes bounds a fragmented message (snapshot transfer)
 // on the receive side; the claimed total is peer-controlled.
@@ -71,9 +82,15 @@ var (
 // Config parameterizes a Mesh.
 type Config struct {
 	// ID is this replica's identity; Peers maps every ensemble member
-	// (including ID, unless Listener is provided) to its mesh address.
+	// — voters AND observers — (including ID, unless Listener is
+	// provided) to its mesh address.
 	ID    zab.PeerID
 	Peers map[zab.PeerID]string
+	// Observers marks which Peers entries are non-voting members. Each
+	// hello declares its sender's role and the receiver validates it
+	// against this set, so the whole ensemble must agree on who
+	// observes.
+	Observers map[zab.PeerID]bool
 	// Listener optionally provides a pre-bound listener (tests use
 	// ephemeral ports); when nil the mesh listens on Peers[ID].
 	Listener net.Listener
@@ -349,7 +366,7 @@ func (m *Mesh) acceptLoop() {
 func (m *Mesh) acceptPeer(conn net.Conn) (*link, error) {
 	fc := transport.NewFramedConn(conn)
 	_ = fc.SetDeadline(time.Now().Add(m.cfg.HandshakeTimeout))
-	peer, err := recvHello(fc)
+	peer, obs, err := recvHello(fc)
 	if err != nil {
 		return nil, err
 	}
@@ -359,7 +376,10 @@ func (m *Mesh) acceptPeer(conn net.Conn) (*link, error) {
 	if _, ok := m.cfg.Peers[peer]; !ok {
 		return nil, fmt.Errorf("%w: unknown peer %d", errBadHello, peer)
 	}
-	if err := sendHello(fc, m.cfg.ID); err != nil {
+	if obs != m.cfg.Observers[peer] {
+		return nil, fmt.Errorf("%w: peer %d claims observer=%v, topology says %v", errBadHello, peer, obs, m.cfg.Observers[peer])
+	}
+	if err := sendHello(fc, m.cfg.ID, m.cfg.Observers[m.cfg.ID]); err != nil {
 		return nil, err
 	}
 	_ = fc.SetDeadline(time.Time{})
@@ -409,11 +429,11 @@ func (m *Mesh) dialPeer(peer zab.PeerID, addr string) (*link, error) {
 	}
 	fc := transport.NewFramedConn(conn)
 	_ = fc.SetDeadline(time.Now().Add(m.cfg.HandshakeTimeout))
-	if err := sendHello(fc, m.cfg.ID); err != nil {
+	if err := sendHello(fc, m.cfg.ID, m.cfg.Observers[m.cfg.ID]); err != nil {
 		_ = fc.Close()
 		return nil, err
 	}
-	got, err := recvHello(fc)
+	got, obs, err := recvHello(fc)
 	if err != nil {
 		_ = fc.Close()
 		return nil, err
@@ -421,6 +441,10 @@ func (m *Mesh) dialPeer(peer zab.PeerID, addr string) (*link, error) {
 	if got != peer {
 		_ = fc.Close()
 		return nil, fmt.Errorf("%w: dialed peer %d but %d answered", errBadHello, peer, got)
+	}
+	if obs != m.cfg.Observers[peer] {
+		_ = fc.Close()
+		return nil, fmt.Errorf("%w: peer %d claims observer=%v, topology says %v", errBadHello, peer, obs, m.cfg.Observers[peer])
 	}
 	_ = fc.SetDeadline(time.Time{})
 	return m.newLink(peer, fc), nil
@@ -567,42 +591,51 @@ func (m *Mesh) deliverEncoded(l *link, body []byte) {
 
 // --- wire helpers ---
 
-func sendHello(fc *transport.FramedConn, id zab.PeerID) error {
+func sendHello(fc *transport.FramedConn, id zab.PeerID, observer bool) error {
 	e := wire.GetEncoder()
 	_ = e.WriteByte(frameHello)
 	e.WriteInt32(helloMagic)
 	e.WriteInt32(protoVersion)
 	e.WriteInt64(int64(id))
+	role := roleVoter
+	if observer {
+		role = roleObserver
+	}
+	_ = e.WriteByte(role)
 	err := fc.SendFrame(e.Bytes())
 	wire.PutEncoder(e)
 	return err
 }
 
-func recvHello(fc *transport.FramedConn) (zab.PeerID, error) {
+func recvHello(fc *transport.FramedConn) (zab.PeerID, bool, error) {
 	payload, err := fc.RecvFrame()
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", errBadHello, err)
+		return 0, false, fmt.Errorf("%w: %v", errBadHello, err)
 	}
 	var d wire.Decoder
 	d.Reset(payload)
 	d.SetZeroCopy(true)
 	t, err := d.ReadByte()
 	if err != nil || t != frameHello {
-		return 0, errBadHello
+		return 0, false, errBadHello
 	}
 	magic, err := d.ReadInt32()
 	if err != nil || magic != helloMagic {
-		return 0, errBadHello
+		return 0, false, errBadHello
 	}
 	version, err := d.ReadInt32()
 	if err != nil || version != protoVersion {
-		return 0, fmt.Errorf("%w: protocol version %d (want %d)", errBadHello, version, protoVersion)
+		return 0, false, fmt.Errorf("%w: protocol version %d (want %d)", errBadHello, version, protoVersion)
 	}
 	id, err := d.ReadInt64()
-	if err != nil || d.Remaining() != 0 || id <= 0 {
-		return 0, errBadHello
+	if err != nil || id <= 0 {
+		return 0, false, errBadHello
 	}
-	return zab.PeerID(id), nil
+	role, err := d.ReadByte()
+	if err != nil || d.Remaining() != 0 || (role != roleVoter && role != roleObserver) {
+		return 0, false, errBadHello
+	}
+	return zab.PeerID(id), role == roleObserver, nil
 }
 
 // encodeFrames serializes a message into one frameMsg frame, or a

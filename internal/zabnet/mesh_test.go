@@ -143,15 +143,19 @@ func TestMeshSendToUnknownOrSelf(t *testing.T) {
 // higher-id peer violates the dedup rule and must be rejected, as must
 // unknown ids and garbage handshakes.
 func TestMeshRejectsWrongDialDirection(t *testing.T) {
-	meshes := newTestMeshes(t, 2, nil)
+	meshes := newTestMeshes(t, 3, nil)
 	waitConnected(t, meshes)
 
 	cases := map[string]func(fc *transport.FramedConn) error{
 		"lower id dialing higher": func(fc *transport.FramedConn) error {
-			return sendHello(fc, 1) // mesh 2 only accepts ids > 2
+			return sendHello(fc, 1, false) // mesh 2 only accepts ids > 2
 		},
 		"unknown id": func(fc *transport.FramedConn) error {
-			return sendHello(fc, 7)
+			return sendHello(fc, 7, false)
+		},
+		"role mismatch": func(fc *transport.FramedConn) error {
+			// Peer 3 is a voter in the topology but claims observer.
+			return sendHello(fc, 3, true)
 		},
 		"bad magic": func(fc *transport.FramedConn) error {
 			e := wire.NewEncoder(32)
@@ -178,6 +182,25 @@ func TestMeshRejectsWrongDialDirection(t *testing.T) {
 				t.Fatal("mesh must close a connection with an invalid handshake")
 			}
 		})
+	}
+}
+
+// TestMeshObserverHello: a topology that marks a member as observer
+// still reaches full connectivity — the role byte round-trips on both
+// the dial and accept sides and validates consistently.
+func TestMeshObserverHello(t *testing.T) {
+	meshes := newTestMeshes(t, 3, func(cfg *Config) {
+		cfg.Observers = map[zab.PeerID]bool{3: true}
+	})
+	waitConnected(t, meshes)
+
+	// Traffic flows to and from the observer exactly like any peer.
+	if err := meshes[2].Send(1, zab.Message{Kind: zab.KindObserverInfo, Zxid: 5}); err != nil {
+		t.Fatal(err)
+	}
+	got := recvMsg(t, meshes[0], 2*time.Second)
+	if got.Kind != zab.KindObserverInfo || got.Zxid != 5 || got.From != 3 {
+		t.Fatalf("got %+v", got)
 	}
 }
 

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Multi-process failover smoke: build skserver/skclient, launch a
-# 3-process ensemble connected over the zabnet TCP peer mesh, drive
-# create/get/set/cas (atomic multi) traffic with skclient, SIGKILL the
-# leader process, and assert the survivors re-elect and converge on
-# post-failover writes. This exercises the same binaries and flags an
-# operator uses, end to end, on top of what the in-test harness
-# already covers.
+# 3-voter ensemble connected over the zabnet TCP peer mesh, drive
+# create/get/set/cas (atomic multi) traffic with skclient, join a 4th
+# process as a non-voting observer (it must snapshot-sync, digest-
+# converge with the leader, forward writes, and keep serving reads
+# while the leader is down), SIGKILL the leader process, and assert
+# the survivors re-elect and converge on post-failover writes. This
+# exercises the same binaries and flags an operator uses, end to end,
+# on top of what the in-test harness already covers.
 #
 # SMOKE_DURABLE=1 additionally gives every node -data-dir and finishes
 # with a restart-from-disk pass: the WHOLE ensemble is killed and
@@ -45,14 +47,19 @@ if [ "$VARIANT" = securekeeper ]; then
   KEYFLAGS=(-storage-key "00112233445566778899aabbccddeeff")
 fi
 
+# Node 4 is a non-voting observer. Every process gets the full
+# topology (voters validate an observer's claimed role against it at
+# mesh handshake); the observer process itself only runs in the
+# normal flow — the crash harness drives voters alone.
 MESH=()
 CADDR=()
-PEERS=""
-for i in 1 2 3; do
+TOPO=""
+for i in 1 2 3 4; do
   MESH[$i]="127.0.0.1:$((BASE + i))"
   CADDR[$i]="127.0.0.1:$((BASE + 10 + i))"
-  PEERS="${PEERS:+$PEERS,}$i=${MESH[$i]}"
+  TOPO="${TOPO:+$TOPO;}$i@${MESH[$i]}"
 done
+TOPO="$TOPO:observer"
 
 declare -A PIDS=()
 cleanup() {
@@ -74,7 +81,7 @@ start_node() {
   if [ "$DURABLE" = 1 ]; then
     extra=(-data-dir "$DATA/node$i")
   fi
-  "$BIN/skserver" -variant "$VARIANT" -id "$i" -peers "$PEERS" \
+  "$BIN/skserver" -variant "$VARIANT" -id "$i" -topology "$TOPO" \
     ${KEYFLAGS[@]+"${KEYFLAGS[@]}"} \
     ${extra[@]+"${extra[@]}"} \
     -listen "${CADDR[$i]}" >>"$LOGS/node$i.log" 2>&1 &
@@ -82,14 +89,20 @@ start_node() {
   echo "== node $i started (pid ${PIDS[$i]}, clients ${CADDR[$i]}, durable=$DURABLE)"
 }
 
-# leader_id prints the id of the node whose LAST role transition is
-# LEADING, among the still-running nodes.
+# node_role prints "role=... leader=... zxid=..." from node $1's
+# machine-readable stat op (skclient info) instead of grepping logs.
+node_role() {
+  skc -timeout 2s -addr "${CADDR[$1]}" info 2>/dev/null
+}
+
+# leader_id prints the id of the voter currently reporting LEADING
+# through the stat op, among the still-running nodes.
 leader_id() {
   for i in 1 2 3; do
     [ -n "${PIDS[$i]:-}" ] || continue
-    local last
-    last=$(grep 'role=' "$LOGS/node$i.log" 2>/dev/null | tail -n 1 || true)
-    if [[ "$last" == *"role=LEADING"* ]]; then
+    local out
+    out=$(node_role "$i") || continue
+    if [[ "$out" == role=LEADING* ]]; then
       echo "$i"
       return 0
     fi
@@ -276,6 +289,28 @@ retry skc -addr "${CADDR[1]}" sync /multi
 got=$(skc -addr "${CADDR[1]}" get /multi)
 [[ "$got" == m2* ]] || { echo "FAIL: cas result '$got', want m2" >&2; exit 1; }
 
+echo "== observer leg: node 4 joins as a non-voting observer"
+start_node 4
+observer_observing() { [[ "$(node_role 4)" == role=OBSERVING* ]]; }
+retry observer_observing
+# Snapshot-sync: state written before the observer existed is readable
+# through it after a sync barrier.
+retry skc -addr "${CADDR[4]}" sync /smoke
+got=$(skc -addr "${CADDR[4]}" get /smoke)
+[[ "$got" == v2* ]] || { echo "FAIL: observer read '$got', want v2" >&2; exit 1; }
+# Write forwarding: a create issued through the observer lands on the
+# voting ensemble.
+retry skc -addr "${CADDR[4]}" create /obs o1
+retry skc -addr "${CADDR[1]}" sync /obs
+got=$(skc -addr "${CADDR[1]}" get /obs)
+[[ "$got" == o1* ]] || { echo "FAIL: forwarded write read back '$got', want o1" >&2; exit 1; }
+# Digest convergence: the observer's replayed tree matches the leader's.
+retry skc -addr "${CADDR[4]}" sync /
+DO=$(tree_digest "${CADDR[4]}")
+DL=$(tree_digest "${CADDR[$LEADER]}")
+[ "$DO" = "$DL" ] || { echo "FAIL: observer digest $DO != leader digest $DL" >&2; exit 1; }
+echo "== observer synced, forwards writes, digest converged ($DO)"
+
 echo "== SIGKILL leader (node $LEADER)"
 LEADER_PID="${PIDS[$LEADER]}"
 kill -9 "$LEADER_PID"
@@ -285,6 +320,10 @@ wait_dead "$LEADER_PID"
 SURVIVORS=()
 for i in 1 2 3; do [ "$i" != "$LEADER" ] && SURVIVORS+=("$i"); done
 SURV_ADDRS="${CADDR[${SURVIVORS[0]}]},${CADDR[${SURVIVORS[1]}]}"
+
+echo "== observer keeps serving reads while the leader is down"
+observer_reads_v2() { [[ "$(skc -timeout 2s -addr "${CADDR[4]}" get /smoke)" == v2* ]]; }
+retry observer_reads_v2
 
 wait_leader
 NEW_LEADER=$(leader_id)
@@ -299,6 +338,12 @@ for i in "${SURVIVORS[@]}"; do
   [[ "$got" == v3* ]] || { echo "FAIL: survivor $i read '$got', want v3" >&2; exit 1; }
 done
 
+echo "== observer re-adopts the new leader and tails post-failover writes"
+retry observer_observing
+retry skc -addr "${CADDR[4]}" sync /smoke
+got=$(skc -addr "${CADDR[4]}" get /smoke)
+[[ "$got" == v3* ]] || { echo "FAIL: observer read '$got' after failover, want v3" >&2; exit 1; }
+
 echo "== restart node $LEADER and verify resync"
 wait_port_free "${MESH[$LEADER]}" "${CADDR[$LEADER]}"
 start_node "$LEADER"
@@ -307,9 +352,12 @@ got=$(skc -addr "${CADDR[$LEADER]}" get /smoke)
 [[ "$got" == v3* ]] || { echo "FAIL: restarted node read '$got', want v3" >&2; exit 1; }
 
 if [ "$DURABLE" = 1 ]; then
-  echo "== restart-from-disk: SIGKILL the WHOLE ensemble, restart, verify recovery"
-  OLD_PIDS=("${PIDS[@]}")
+  echo "== restart-from-disk: SIGKILL the WHOLE voting ensemble, restart, verify recovery"
+  # Voters only: the observer (node 4) stays up and must ride out the
+  # total loss of the voting ensemble, re-adopting the recovered leader.
+  OLD_PIDS=()
   for i in 1 2 3; do
+    OLD_PIDS+=("${PIDS[$i]}")
     kill -9 "${PIDS[$i]}" 2>/dev/null || true
     unset "PIDS[$i]" || true
   done
@@ -324,7 +372,12 @@ if [ "$DURABLE" = 1 ]; then
   [[ "$got" == m2* ]] || { echo "FAIL: disk recovery read '$got', want m2" >&2; exit 1; }
   # Recovered state accepts new writes.
   retry skc -addr "${CADDR[1]},${CADDR[2]},${CADDR[3]}" set /smoke v4
-  echo "== restart-from-disk pass OK"
+  # The observer survived the total voter outage: it re-adopts the
+  # recovered leader and tails writes committed after the restart.
+  retry observer_observing
+  observer_reads_v4() { skc -addr "${CADDR[4]}" sync /smoke && [[ "$(skc -addr "${CADDR[4]}" get /smoke)" == v4* ]]; }
+  retry observer_reads_v4
+  echo "== restart-from-disk pass OK (observer re-adopted the recovered leader)"
 fi
 
 echo "PASS: 3-process ensemble survived leader SIGKILL with re-election and convergence"
