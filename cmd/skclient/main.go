@@ -7,7 +7,8 @@
 //	skclient cas /a 3 world2     (atomic Check+Set multi: version guard)
 //	skclient delete /a
 //	skclient watch /a            (blocks until the watch handle fires)
-//	skclient info                (serving replica: role, leader, zxid, load)
+//	skclient info                (serving replica: role, leader, zxid, load, lag)
+//	skclient mntr                (ZooKeeper-style metrics dump, key<TAB>value)
 //	skclient digest /            (deterministic recursive tree digest)
 //	skclient verify < paths.txt  (assert every listed path exists)
 //	skclient burst /p 200 64     (write burst with an ACK-per-write ledger)
@@ -68,7 +69,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		return fmt.Errorf("usage: skclient [-addr host:port[,host:port...]] [-variant v] [-prefer p] [-timeout d] <create|get|set|cas|delete|ls|stat|info|sync|watch|digest|verify|burst> [path] [args...]")
+		return fmt.Errorf("usage: skclient [-addr host:port[,host:port...]] [-variant v] [-prefer p] [-timeout d] <create|get|set|cas|delete|ls|stat|info|mntr|sync|watch|digest|verify|burst> [path] [args...]")
 	}
 
 	opts, err := dialOptions(*variant, *prefer)
@@ -207,8 +208,26 @@ func execute(ctx context.Context, cl *client.Client, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("role=%s leader=%d zxid=%d sessions=%d watches=%d outstanding=%d\n",
-			st.Role, st.Leader, st.Zxid, st.Sessions, st.Watches, st.Outstanding)
+		fmt.Printf("role=%s leader=%d zxid=%d sessions=%d watches=%d outstanding=%d uptime=%ds lag=%d\n",
+			st.Role, st.Leader, st.Zxid, st.Sessions, st.Watches, st.Outstanding,
+			st.UptimeSeconds, st.CommitLag)
+	case "mntr":
+		// ZooKeeper-style four-letter-word dump: one key<TAB>value line
+		// per metric, rendered from the replica's own registry snapshot
+		// carried in the stats response. Works against any member, voter
+		// or observer.
+		st, err := cl.ServerStats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sk_role\t%s\n", st.Role)
+		fmt.Printf("sk_leader\t%d\n", st.Leader)
+		fmt.Printf("sk_zxid\t%d\n", st.Zxid)
+		fmt.Printf("sk_uptime_seconds\t%d\n", st.UptimeSeconds)
+		fmt.Printf("sk_commit_lag\t%d\n", st.CommitLag)
+		for _, kv := range st.Metrics {
+			fmt.Printf("%s\t%d\n", kv.Key, kv.Value)
+		}
 	case "sync":
 		if err := cl.Sync(ctx, path); err != nil {
 			return err

@@ -39,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	"securekeeper/internal/core"
+	"securekeeper/internal/obs"
 	"securekeeper/internal/transport"
 	"securekeeper/internal/zab"
 )
@@ -69,6 +71,7 @@ func run() error {
 	dataDir := flag.String("data-dir", "", "durable state directory (process-per-replica mode); empty = in-memory only")
 	snapshotEvery := flag.Int("snapshot-every", 0, "commits between durable snapshots (0 = storage default)")
 	logSegmentBytes := flag.Int64("log-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = storage default)")
+	metricsAddr := flag.String("metrics-addr", "", "admin HTTP address serving /metrics (Prometheus text) and /metrics.json; in-process mode gives replica i port+i; empty disables")
 	flag.Parse()
 
 	v, err := parseVariant(*variant)
@@ -86,19 +89,42 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return runNode(v, *id, topo, *listen, *storageKey, *dataDir, *snapshotEvery, *logSegmentBytes)
+		return runNode(v, *id, topo, *listen, *storageKey, *dataDir, *snapshotEvery, *logSegmentBytes, *metricsAddr)
 	}
 	if *dataDir != "" {
 		return fmt.Errorf("-data-dir requires process-per-replica mode (-id/-peers)")
 	}
-	return runCluster(v, *replicas, *listen)
+	return runCluster(v, *replicas, *listen, *metricsAddr)
+}
+
+// serveMetrics starts the opt-in admin HTTP listener: GET /metrics
+// serves Prometheus text exposition, GET /metrics.json a debug dump of
+// the same snapshot. Returns the listener so the caller can close it
+// and report the bound address.
+func serveMetrics(addr string, reg *obs.Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
 }
 
 // runNode is the process-per-replica mode: one replica, TCP peer mesh.
 // With -data-dir the replica is durable: committed transactions are
 // logged and snapshotted there, and a restart recovers from disk
 // instead of relying on a live leader's snapshot/diff sync.
-func runNode(v core.Variant, id int64, topo core.Topology, listen, keyHex, dataDir string, snapshotEvery int, logSegmentBytes int64) error {
+func runNode(v core.Variant, id int64, topo core.Topology, listen, keyHex, dataDir string, snapshotEvery int, logSegmentBytes int64, metricsAddr string) error {
 	if !topo.Has(zab.PeerID(id)) {
 		return fmt.Errorf("topology has no entry for own id %d", id)
 	}
@@ -134,6 +160,14 @@ func runNode(v core.Variant, id int64, topo core.Topology, listen, keyHex, dataD
 	}
 	fmt.Printf("skserver: id=%d variant=%s mesh=%s clients=%s voters=%d observers=%d member=%s\n",
 		id, v, node.Mesh().Addr(), ln.Addr(), len(topo.Voters), len(topo.Observers), role)
+	if metricsAddr != "" {
+		mln, err := serveMetrics(metricsAddr, node.Obs())
+		if err != nil {
+			return err
+		}
+		defer mln.Close()
+		fmt.Printf("skserver: id=%d metrics=%s\n", id, mln.Addr())
+	}
 
 	go watchRole(node)
 	go func() {
@@ -222,8 +256,9 @@ func parsePeers(s string) (map[zab.PeerID]string, error) {
 }
 
 // runCluster is the legacy in-process mode: the whole ensemble in this
-// process, replica i serving clients on port+i.
-func runCluster(v core.Variant, replicas int, listen string) error {
+// process, replica i serving clients on port+i (and, with
+// -metrics-addr, exposing its registry on metrics-port+i).
+func runCluster(v core.Variant, replicas int, listen, metricsAddr string) error {
 	cluster, err := core.NewCluster(core.Config{Variant: v, Replicas: replicas})
 	if err != nil {
 		return err
@@ -249,6 +284,17 @@ func runCluster(v core.Variant, replicas int, listen string) error {
 			_ = ln.Close()
 		}
 	}()
+	var mHost string
+	var mBase int
+	if metricsAddr != "" {
+		var portStr string
+		if mHost, portStr, err = net.SplitHostPort(metricsAddr); err != nil {
+			return fmt.Errorf("parse -metrics-addr: %w", err)
+		}
+		if mBase, err = strconv.Atoi(portStr); err != nil {
+			return fmt.Errorf("parse -metrics-addr port: %w", err)
+		}
+	}
 	for i := 0; i < replicas; i++ {
 		addr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
 		ln, err := net.Listen("tcp", addr)
@@ -258,6 +304,14 @@ func runCluster(v core.Variant, replicas int, listen string) error {
 		listeners = append(listeners, ln)
 		fmt.Printf("replica %d (%s) listening on %s\n", i, roleName(i, leader), addr)
 		go acceptLoop(cluster, i, ln)
+		if metricsAddr != "" {
+			mln, err := serveMetrics(net.JoinHostPort(mHost, strconv.Itoa(mBase+i)), cluster.Obs(i))
+			if err != nil {
+				return err
+			}
+			listeners = append(listeners, mln)
+			fmt.Printf("replica %d metrics on %s\n", i, mln.Addr())
+		}
 	}
 
 	fmt.Printf("%s ensemble up, leader is replica %d — Ctrl-C to stop\n", v, leader)

@@ -86,6 +86,12 @@ type Options struct {
 	// DialTimeout bounds each single address attempt inside Dial
 	// (default 5s); the ctx bounds the whole call.
 	DialTimeout time.Duration
+	// MaxCommitLag, when positive, makes a Nearest Dial probe each
+	// candidate's stats and skip members whose applied state trails the
+	// leader's commit bound by more than this many transactions — a
+	// badly-lagged observer would serve arbitrarily stale reads. Zero
+	// keeps the zero-round-trip Nearest behaviour (any member will do).
+	MaxCommitLag int64
 	// OnEvent handles every watch notification (optional).
 	//
 	// Deprecated: OnEvent is the v1 global callback, kept as a shim. It

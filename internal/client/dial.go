@@ -58,7 +58,7 @@ func Dial(ctx context.Context, addrs []string, opts Options) (*Client, error) {
 			errs = append(errs, err)
 			continue
 		}
-		ok, err := matchesPreference(ctx, cl, opts.ReadPreference)
+		ok, err := matchesPreference(ctx, cl, opts.ReadPreference, opts.MaxCommitLag)
 		if err != nil {
 			_ = cl.Close()
 			errs = append(errs, fmt.Errorf("probe %s: %w", addr, err))
@@ -114,18 +114,27 @@ func dialOne(ctx context.Context, addr string, opts Options) (*Client, error) {
 	return cl, nil
 }
 
-// matchesPreference reports whether the connected member's role
-// satisfies pref. Nearest skips the probe entirely: any member will do,
-// and an extra round-trip per dial would be pure overhead.
-func matchesPreference(ctx context.Context, cl *Client, pref ReadPreference) (bool, error) {
-	if pref == Nearest {
+// matchesPreference reports whether the connected member's role (and
+// commit lag, when a bound is set) satisfies pref. Nearest without a
+// lag bound skips the probe entirely: any member will do, and an extra
+// round-trip per dial would be pure overhead.
+func matchesPreference(ctx context.Context, cl *Client, pref ReadPreference, maxLag int64) (bool, error) {
+	if pref == Nearest && maxLag <= 0 {
 		return true, nil
 	}
 	stats, err := cl.ServerStats(ctx)
 	if err != nil {
 		return false, err
 	}
+	if maxLag > 0 && stats.CommitLag > maxLag {
+		// The member is alive but its applied state trails the leader's
+		// commit bound too far (a stalled or resyncing observer): reads
+		// here would be arbitrarily stale, so keep looking.
+		return false, nil
+	}
 	switch pref {
+	case Nearest:
+		return true, nil
 	case Leader:
 		return stats.Role == zab.RoleLeading.String(), nil
 	case ObserverOnly:

@@ -24,6 +24,7 @@ import (
 
 	"securekeeper/internal/client"
 	"securekeeper/internal/enclave"
+	"securekeeper/internal/obs"
 	"securekeeper/internal/server"
 	"securekeeper/internal/sgx"
 	"securekeeper/internal/skcrypto"
@@ -90,6 +91,7 @@ type replicaHost struct {
 	runtime  *sgx.Runtime // nil except SecureKeeper
 	counter  *enclave.Counter
 	sealed   *enclave.SealedKeyStore
+	obs      *obs.Registry
 	stopped  bool
 	// provMu guards entryProvisioned, which records whether the initial
 	// remote attestation for the entry-enclave measurement has happened
@@ -117,9 +119,11 @@ func newKeyServer(storageKey []byte) (*enclave.KeyServer, error) {
 // buildHost assembles one replica host: channel identity, the SGX
 // runtime and counter enclave for SecureKeeper, and the replica itself
 // on the given peer transport. Shared by the in-process Cluster and the
-// process-per-replica Node.
-func buildHost(variant Variant, ks *enclave.KeyServer, cost *sgx.CostModel, applyLatency bool, scfg server.Config) (*replicaHost, error) {
-	host := &replicaHost{}
+// process-per-replica Node. reg is the host's metrics registry (one per
+// host, like production; instrumentation is always on — exposition is
+// what's opt-in).
+func buildHost(variant Variant, ks *enclave.KeyServer, cost *sgx.CostModel, applyLatency bool, reg *obs.Registry, scfg server.Config) (*replicaHost, error) {
+	host := &replicaHost{obs: reg}
 	identity, err := transport.NewIdentity()
 	if err != nil {
 		return nil, err
@@ -127,12 +131,14 @@ func buildHost(variant Variant, ks *enclave.KeyServer, cost *sgx.CostModel, appl
 	host.identity = identity
 
 	scfg.SeqAppend = server.PlainSequenceAppender
+	scfg.Obs = reg
 	if variant == SecureKeeper {
 		c := sgx.DefaultCostModel()
 		if cost != nil {
 			c = *cost
 		}
 		host.runtime = sgx.NewRuntime(sgx.EPCUsableBytes, c, applyLatency)
+		registerEcallMetrics(reg, host.runtime)
 		host.sealed = enclave.NewSealedKeyStore()
 		ks.TrustPlatform(host.runtime.QuoteVerificationKey())
 
@@ -149,6 +155,44 @@ func buildHost(variant Variant, ks *enclave.KeyServer, cost *sgx.CostModel, appl
 
 	host.replica = server.NewReplica(scfg)
 	return host, nil
+}
+
+// registerEcallMetrics hooks the SGX runtime's ecall observer into the
+// host registry: one crossing counter and one latency histogram per
+// ecall kind (entry request/response, counter sequence). The observer
+// fires on every enclave crossing, so the lookup is a prebuilt map hit
+// — no registry scan on the hot path.
+func registerEcallMetrics(reg *obs.Registry, rt *sgx.Runtime) {
+	if reg == nil {
+		return
+	}
+	type pair struct {
+		count *obs.Counter
+		lat   *obs.Histogram
+	}
+	instrument := func(op string) pair {
+		labels := fmt.Sprintf("op=%q", op)
+		return pair{
+			count: reg.Counter("enclave_ecalls_total", labels,
+				"Enclave crossings by ecall kind."),
+			lat: reg.Histogram("enclave_ecall_seconds", labels,
+				"Full ecall crossing latency, simulated SGX transition costs included."),
+		}
+	}
+	byName := map[string]pair{
+		enclave.EcallRequest:  instrument(enclave.EcallRequest),
+		enclave.EcallResponse: instrument(enclave.EcallResponse),
+		enclave.EcallSequence: instrument(enclave.EcallSequence),
+	}
+	other := instrument("other")
+	rt.SetEcallObserver(func(name string, durNs int64) {
+		p, ok := byName[name]
+		if !ok {
+			p = other
+		}
+		p.count.Inc()
+		p.lat.Observe(durNs)
+	})
 }
 
 // hostEntryEnclave instantiates and provisions a per-client entry
@@ -269,7 +313,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 }
 
 func (c *Cluster) newHost(peers, observers []zab.PeerID, id zab.PeerID) (*replicaHost, error) {
-	return buildHost(c.cfg.Variant, c.keyServer, c.cfg.SGXCost, c.cfg.ApplySGXLatency, server.Config{
+	return buildHost(c.cfg.Variant, c.keyServer, c.cfg.SGXCost, c.cfg.ApplySGXLatency, obs.NewRegistry(), server.Config{
 		ID:              id,
 		Peers:           peers,
 		Observers:       observers,
@@ -297,6 +341,9 @@ func (c *Cluster) Replica(i int) *server.Replica { return c.hosts[i].replica }
 
 // Runtime returns the i-th replica's SGX runtime (nil for baselines).
 func (c *Cluster) Runtime(i int) *sgx.Runtime { return c.hosts[i].runtime }
+
+// Obs returns the i-th replica's metrics registry.
+func (c *Cluster) Obs(i int) *obs.Registry { return c.hosts[i].obs }
 
 // LeaderIndex returns the index of the current leader, or -1.
 func (c *Cluster) LeaderIndex() int {

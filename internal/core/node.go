@@ -8,6 +8,7 @@ import (
 
 	"securekeeper/internal/client"
 	"securekeeper/internal/enclave"
+	"securekeeper/internal/obs"
 	"securekeeper/internal/server"
 	"securekeeper/internal/sgx"
 	"securekeeper/internal/transport"
@@ -97,19 +98,24 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		n.keyServer = ks
 	}
 
+	// One registry per node process: the mesh, broadcast, storage and
+	// server layers all register into it, so a single scrape covers the
+	// whole replica.
+	reg := obs.NewRegistry()
 	mesh, err := zabnet.NewMesh(zabnet.Config{
 		ID:        cfg.ID,
 		Peers:     cfg.Topology.Addrs(),
 		Observers: cfg.Topology.ObserverSet(),
 		Listener:  cfg.MeshListener,
 		Logf:      cfg.Logf,
+		Obs:       reg,
 	})
 	if err != nil {
 		return nil, err
 	}
 	n.mesh = mesh
 
-	host, err := buildHost(cfg.Variant, n.keyServer, cfg.SGXCost, cfg.ApplySGXLatency, server.Config{
+	host, err := buildHost(cfg.Variant, n.keyServer, cfg.SGXCost, cfg.ApplySGXLatency, reg, server.Config{
 		ID:              cfg.ID,
 		Peers:           cfg.Topology.VoterIDs(),
 		Observers:       cfg.Topology.ObserverIDs(),
@@ -140,6 +146,9 @@ func (n *Node) Replica() *server.Replica { return n.host.replica }
 
 // Mesh exposes the peer transport (tests and fault injection).
 func (n *Node) Mesh() *zabnet.Mesh { return n.mesh }
+
+// Obs returns the node's metrics registry (the scrape target).
+func (n *Node) Obs() *obs.Registry { return n.host.obs }
 
 // IsLeader reports whether this node currently leads the ensemble.
 func (n *Node) IsLeader() bool { return n.host.replica.IsLeader() }

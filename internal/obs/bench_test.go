@@ -1,0 +1,48 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsHistogram gates the hot-path contract the whole
+// instrumentation layer rests on: Observe is allocation-free and a
+// handful of nanoseconds, so stamping every request through half a
+// dozen histograms cannot move the Fig7/Fig8 baselines. Gated at
+// 0 allocs/op in both bench baselines.
+func BenchmarkObsHistogram(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "", "benchmark histogram")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v = (v * 2654435761) % (1 << 30) // scatter across buckets
+		}
+	})
+	if s := h.Snapshot(); s.Count != int64(b.N) {
+		b.Fatalf("count = %d, want %d", s.Count, b.N)
+	}
+}
+
+// BenchmarkObsCounter keeps the cheaper instruments honest too.
+func BenchmarkObsCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "", "benchmark counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkObsNow pins the timestamp cost the stamps pay.
+func BenchmarkObsNow(b *testing.B) {
+	b.ReportAllocs()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink = Now()
+	}
+	_ = sink
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4), hand-rolled — the repo takes no dependency
+// for this. HELP and TYPE are emitted once per metric family, at the
+// family's first registered instrument; histograms render cumulative
+// `_bucket{le=...}` lines plus `_sum` and `_count`, with time
+// histograms scaled from recorded nanoseconds to seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool)
+	for _, m := range r.snapshotMetrics() {
+		if !seen[m.name] {
+			seen[m.name] = true
+			bw.WriteString("# HELP ")
+			bw.WriteString(m.name)
+			bw.WriteByte(' ')
+			bw.WriteString(m.help)
+			bw.WriteByte('\n')
+			bw.WriteString("# TYPE ")
+			bw.WriteString(m.name)
+			bw.WriteByte(' ')
+			bw.WriteString(promType(m.kind))
+			bw.WriteByte('\n')
+		}
+		switch m.kind {
+		case kindCounter:
+			writeSample(bw, m.name, "", m.labels, strconv.FormatInt(m.counter.Value(), 10))
+		case kindGauge:
+			writeSample(bw, m.name, "", m.labels, strconv.FormatInt(m.gauge.Value(), 10))
+		case kindCounterFunc, kindGaugeFunc:
+			writeSample(bw, m.name, "", m.labels, strconv.FormatInt(m.fn(), 10))
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			var cum int64
+			for i, n := range s.Buckets {
+				cum += n
+				bound := float64(histUpper(i)) * m.scale
+				writeSample(bw, m.name, "_bucket", joinLabels(m.labels, `le="`+formatFloat(bound)+`"`), strconv.FormatInt(cum, 10))
+			}
+			writeSample(bw, m.name, "_bucket", joinLabels(m.labels, `le="+Inf"`), strconv.FormatInt(s.Count, 10))
+			writeSample(bw, m.name, "_sum", m.labels, formatFloat(float64(s.Sum)*m.scale))
+			writeSample(bw, m.name, "_count", m.labels, strconv.FormatInt(s.Count, 10))
+		}
+	}
+	return bw.Flush()
+}
+
+func promType(k metricKind) string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// writeSample emits one `name[suffix]{labels} value` line.
+func writeSample(bw *bufio.Writer, name, suffix, labels, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// formatFloat renders bounds and sums the shortest way that
+// round-trips; integral values come out bare ("7", not "7.0").
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonMetric is the debug-dump shape: one object per instrument, in
+// registration order.
+type jsonMetric struct {
+	Name   string       `json:"name"`
+	Labels string       `json:"labels,omitempty"`
+	Kind   string       `json:"kind"`
+	Value  *int64       `json:"value,omitempty"`
+	Count  *int64       `json:"count,omitempty"`
+	Sum    *float64     `json:"sum,omitempty"`
+	P50    *float64     `json:"p50,omitempty"`
+	P99    *float64     `json:"p99,omitempty"`
+	Bucket []jsonBucket `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	Le float64 `json:"le"`
+	N  int64   `json:"n"` // per-bucket count, not cumulative
+}
+
+// WriteJSON renders a JSON array debug dump of every instrument.
+// Histogram buckets are per-bucket counts (not cumulative) and empty
+// buckets are omitted, so the dump stays readable.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var out []jsonMetric
+	for _, m := range r.snapshotMetrics() {
+		jm := jsonMetric{Name: m.name, Labels: m.labels, Kind: promType(m.kind)}
+		switch m.kind {
+		case kindCounter:
+			v := m.counter.Value()
+			jm.Value = &v
+		case kindGauge:
+			v := m.gauge.Value()
+			jm.Value = &v
+		case kindCounterFunc, kindGaugeFunc:
+			v := m.fn()
+			jm.Value = &v
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			sum := float64(s.Sum) * m.scale
+			p50 := float64(s.Quantile(0.50)) * m.scale
+			p99 := float64(s.Quantile(0.99)) * m.scale
+			jm.Count, jm.Sum, jm.P50, jm.P99 = &s.Count, &sum, &p50, &p99
+			for i, n := range s.Buckets {
+				if n != 0 {
+					jm.Bucket = append(jm.Bucket, jsonBucket{Le: float64(histUpper(i)) * m.scale, N: n})
+				}
+			}
+		}
+		out = append(out, jm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// KV is one mntr line: a flattened key and an integer value.
+type KV struct {
+	Key   string
+	Value int64
+}
+
+// Mntr flattens the registry into ZooKeeper-mntr-style key/value
+// pairs: counters and gauges become one line keyed by name plus any
+// label values; histograms become `_count`, `_avg`, `_p50` and `_p99`
+// lines, with time histograms reported in microseconds (`_us`
+// suffix). Keys are unique and sorted.
+func (r *Registry) Mntr() []KV {
+	var kvs []KV
+	for _, m := range r.snapshotMetrics() {
+		key := mntrKey(m.name, m.labels)
+		switch m.kind {
+		case kindCounter:
+			kvs = append(kvs, KV{key, m.counter.Value()})
+		case kindGauge:
+			kvs = append(kvs, KV{key, m.gauge.Value()})
+		case kindCounterFunc, kindGaugeFunc:
+			kvs = append(kvs, KV{key, m.fn()})
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			suffix := ""
+			div := int64(1)
+			if m.unit == "us" {
+				suffix = "_us"
+				div = 1000 // recorded ns → reported µs
+			}
+			var avg int64
+			if s.Count > 0 {
+				avg = s.Sum / s.Count / div
+			}
+			kvs = append(kvs,
+				KV{key + "_count", s.Count},
+				KV{key + "_avg" + suffix, avg},
+				KV{key + "_p50" + suffix, s.Quantile(0.50) / div},
+				KV{key + "_p99" + suffix, s.Quantile(0.99) / div},
+			)
+		}
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	return kvs
+}
+
+// mntrKey flattens `name` + `op="ec_request"` into
+// `name_ec_request`: label values (not names) join the key, sanitized
+// to [a-z0-9_].
+func mntrKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, pair := range strings.Split(labels, ",") {
+		if _, v, ok := strings.Cut(pair, "="); ok {
+			v = strings.Trim(v, `"`)
+			b.WriteByte('_')
+			for _, c := range v {
+				switch {
+				case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+					b.WriteRune(c)
+				case c >= 'A' && c <= 'Z':
+					b.WriteRune(c + ('a' - 'A'))
+				default:
+					b.WriteByte('_')
+				}
+			}
+		}
+	}
+	return b.String()
+}

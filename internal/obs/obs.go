@@ -1,0 +1,300 @@
+// Package obs is the reproduction's low-overhead metrics and tracing
+// layer: lock-free counters, gauges and fixed-bucket latency
+// histograms behind a registry that snapshots consistently and renders
+// Prometheus text exposition, a JSON debug dump, and a ZooKeeper-style
+// mntr key-value list.
+//
+// Everything on the record side is built for the commit pipeline's hot
+// path: instruments are plain atomics padded out to their own cache
+// lines, Observe/Add/Set never allocate, and every method is nil-safe
+// so call sites stay unconditional — a component handed no registry
+// gets nil instruments and the calls collapse to a branch.
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// processStart anchors Now(). time.Since reads the monotonic clock, so
+// stamps are immune to wall-clock steps and cost one VDSO call.
+var processStart = time.Now()
+
+// Now returns a monotonic timestamp in nanoseconds since process
+// start, suitable for stamping into pooled pipeline objects and
+// differencing later with another Now().
+func Now() int64 { return int64(time.Since(processStart)) }
+
+// Uptime returns whole seconds since process start.
+func Uptime() int64 { return int64(time.Since(processStart) / time.Second) }
+
+// pad is a cache-line spacer. 64 bytes covers x86; instruments pad on
+// both sides of their word so two instruments registered back to back
+// never share a line even on 128-byte-fetch parts.
+type pad [64]byte
+
+// Counter is a monotonically increasing (modulo int64 wrap) counter.
+type Counter struct {
+	_ pad
+	v atomic.Int64
+	_ pad
+}
+
+// Add increments the counter. Nil-safe no-op.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. Nil-safe (returns 0).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	_ pad
+	v atomic.Int64
+	_ pad
+}
+
+// Set stores the gauge value. Nil-safe no-op.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta. Nil-safe no-op.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current gauge value. Nil-safe (returns 0).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count. Bucket i holds values whose
+// bit length is i: bucket 0 is exactly {0}, bucket i covers
+// [2^(i-1), 2^i - 1]. 40 buckets span 0 .. 2^39-1, which in
+// nanoseconds is ~9 minutes — far past any per-stage latency this
+// system produces; larger values clamp into the last bucket.
+const histBuckets = 40
+
+// histUpper returns the inclusive upper bound of bucket i: 2^i - 1.
+func histUpper(i int) int64 { return int64(1)<<uint(i) - 1 }
+
+// Histogram is a fixed power-of-two-bucket histogram. Observe is two
+// atomic adds and a bit-length computation: no locks, no allocations.
+// The struct is padded front and back; the bucket array itself is
+// shared-write, which is fine — the hot path typically lands on the
+// same few buckets, and those words are written, never read, until a
+// snapshot.
+type Histogram struct {
+	_       pad
+	sum     atomic.Int64
+	_       pad
+	buckets [histBuckets]atomic.Int64
+	_       pad
+}
+
+// Observe records a value. Negative values clamp to 0. Nil-safe no-op.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	idx := bits.Len64(uint64(v))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Count is
+// derived from the bucket sums, so Count == sum(Buckets) always holds
+// within one snapshot even while writers race the copy.
+type HistogramSnapshot struct {
+	Buckets [histBuckets]int64
+	Count   int64
+	Sum     int64
+}
+
+// Snapshot copies the histogram. Nil-safe (returns zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1):
+// the upper bound of the bucket the target rank falls in. Good to a
+// factor of two, which is what power-of-two buckets buy.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			return histUpper(i)
+		}
+	}
+	return histUpper(histBuckets - 1)
+}
+
+// metricKind tags a registered metric for the exposition writers.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindCounterFunc
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered instrument. labels is the pre-rendered
+// inner Prometheus label list without braces (`op="get"`), or "" —
+// rendering happens once at registration, and histogram exposition
+// can splice an `le` pair onto the end.
+type metric struct {
+	kind   metricKind
+	name   string
+	labels string
+	help   string
+	scale  float64 // histogram value→exposition unit factor (1e-9 for ns→s)
+	unit   string  // mntr suffix unit hint: "us" for time histograms, "" for counts
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() int64
+	hist    *Histogram
+}
+
+// Registry holds registered instruments in registration order and
+// renders them. All Registry methods are nil-safe: a nil registry
+// hands out nil instruments whose methods are no-ops, so components
+// take a possibly-nil *Registry and instrument unconditionally.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(m *metric) {
+	r.mu.Lock()
+	r.metrics = append(r.metrics, m)
+	r.mu.Unlock()
+}
+
+// Counter registers and returns a counter. labels is a pre-rendered
+// inner Prometheus label list (`k="v"`) or "".
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.add(&metric{kind: kindCounter, name: name, labels: labels, help: help, counter: c})
+	return c
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.add(&metric{kind: kindGauge, name: name, labels: labels, help: help, gauge: g})
+	return g
+}
+
+// CounterFunc registers a counter whose value is sampled by calling fn
+// at snapshot time — for monotonic totals maintained elsewhere (e.g. a
+// package-level recovery counter).
+func (r *Registry) CounterFunc(name, labels, help string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.add(&metric{kind: kindCounterFunc, name: name, labels: labels, help: help, fn: fn})
+}
+
+// GaugeFunc registers a gauge sampled by calling fn at snapshot time —
+// queue depths and table sizes come from here so the hot path never
+// maintains a shadow counter.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.add(&metric{kind: kindGaugeFunc, name: name, labels: labels, help: help, fn: fn})
+}
+
+// Histogram registers a latency histogram. Observed values are
+// nanoseconds; exposition renders bucket bounds in seconds.
+func (r *Registry) Histogram(name, labels, help string) *Histogram {
+	return r.histogram(name, labels, help, 1e-9, "us")
+}
+
+// CountHistogram registers a histogram over dimensionless values
+// (batch sizes, fan-out counts); exposition renders raw bounds.
+func (r *Registry) CountHistogram(name, labels, help string) *Histogram {
+	return r.histogram(name, labels, help, 1, "")
+}
+
+func (r *Registry) histogram(name, labels, help string, scale float64, unit string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{}
+	r.add(&metric{kind: kindHistogram, name: name, labels: labels, help: help, scale: scale, unit: unit, hist: h})
+	return h
+}
+
+// snapshotMetrics copies the metric list under the lock; instrument
+// values are read lock-free afterwards.
+func (r *Registry) snapshotMetrics() []*metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := make([]*metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	return ms
+}

@@ -1,0 +1,404 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", "a counter")
+	g := r.Gauge("g", "", "a gauge")
+	c.Inc()
+	c.Add(41)
+	g.Set(7)
+	g.Add(-2)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+// TestNilSafety: every instrument method and registry constructor must
+// be a no-op on nil receivers — components instrument unconditionally
+// against a possibly-nil registry.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "", "")
+	g := r.Gauge("g", "", "")
+	h := r.Histogram("h", "", "")
+	r.GaugeFunc("f", "", "", func() int64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(100)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry rendered %q", buf.String())
+	}
+	if kvs := r.Mntr(); len(kvs) != 0 {
+		t.Fatalf("nil registry mntr = %v", kvs)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucketing rule: bucket i
+// holds exactly the values of bit length i, so the inclusive upper
+// bound of bucket i is 2^i - 1 and 2^i lands in bucket i+1.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", "")
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4},
+		{(1 << 20) - 1, 20},
+		{1 << 20, 21},
+		{-5, 0},                          // negative clamps to zero
+		{math.MaxInt64, histBuckets - 1}, // clamps into the last bucket
+		{histUpper(histBuckets - 1), histBuckets - 1},
+		{histUpper(histBuckets-1) + 1, histBuckets - 1}, // first clamped value
+	}
+	for _, c := range cases {
+		before := h.Snapshot()
+		h.Observe(c.v)
+		after := h.Snapshot()
+		if after.Buckets[c.bucket] != before.Buckets[c.bucket]+1 {
+			t.Errorf("Observe(%d): bucket %d did not advance", c.v, c.bucket)
+		}
+		if after.Count != before.Count+1 {
+			t.Errorf("Observe(%d): count %d -> %d", c.v, before.Count, after.Count)
+		}
+	}
+}
+
+// TestCounterOverflowWrap: counters are int64 two's-complement; at
+// MaxInt64 another Add wraps negative rather than panicking or
+// saturating, and the snapshot reflects the wrapped value.
+func TestCounterOverflowWrap(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "", "")
+	c.Add(math.MaxInt64)
+	c.Inc()
+	if got := c.Value(); got != math.MinInt64 {
+		t.Fatalf("wrapped counter = %d, want %d", got, int64(math.MinInt64))
+	}
+	c.Inc()
+	if got := c.Value(); got != math.MinInt64+1 {
+		t.Fatalf("post-wrap counter = %d, want %d", got, int64(math.MinInt64+1))
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from several goroutines
+// while snapshots run, under -race in CI. Every snapshot must be
+// internally consistent: Count equals the bucket sum by construction,
+// and successive snapshot counts never go backwards.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", "")
+	const writers = 4
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // snapshot loop racing the writers
+		defer wg.Done()
+		var last int64
+		for {
+			s := h.Snapshot()
+			var sum int64
+			for _, n := range s.Buckets {
+				sum += n
+			}
+			if sum != s.Count {
+				t.Errorf("inconsistent snapshot: bucket sum %d != count %d", sum, s.Count)
+				return
+			}
+			if s.Count < last {
+				t.Errorf("count went backwards: %d -> %d", last, s.Count)
+				return
+			}
+			last = s.Count
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			defer writersWG.Done()
+			for i := int64(0); i < perWriter; i++ {
+				h.Observe(seed*1000 + i)
+			}
+		}(int64(w))
+	}
+	// Writers drain first, then the snapshotter is told to stop so it
+	// races live Observes for the whole run.
+	writersWG.Wait()
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("final count = %d, want %d", s.Count, writers*perWriter)
+	}
+}
+
+// TestQuantile sanity-checks the bucket-upper-bound quantile estimate.
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", "")
+	for i := 0; i < 99; i++ {
+		h.Observe(10) // bit length 4 → bucket upper bound 15
+	}
+	h.Observe(1 << 30)
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 != 15 {
+		t.Fatalf("p50 = %d, want 15", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 1<<30 {
+		t.Fatalf("p99 = %d, want >= 2^30", p99)
+	}
+	empty := (&HistogramSnapshot{}).Quantile(0.5)
+	if empty != 0 {
+		t.Fatalf("empty quantile = %d", empty)
+	}
+}
+
+// TestPrometheusGolden pins the exact exposition bytes for a small
+// registry: HELP/TYPE once per family, label splicing, cumulative
+// buckets, scaled sums.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("req_total", `op="get"`, "requests served")
+	c2 := r.Counter("req_total", `op="set"`, "requests served")
+	g := r.Gauge("depth", "", "queue depth")
+	r.GaugeFunc("table_size", "", "live entries", func() int64 { return 12 })
+	h := r.CountHistogram("batch", "", "txns per batch")
+	c.Add(3)
+	c2.Add(1)
+	g.Set(-4)
+	h.Observe(1) // bucket 1 (le 1)
+	h.Observe(3) // bucket 2 (le 3)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	want := []string{
+		"# HELP req_total requests served",
+		"# TYPE req_total counter",
+		`req_total{op="get"} 3`,
+		`req_total{op="set"} 1`,
+		"# HELP depth queue depth",
+		"# TYPE depth gauge",
+		"depth -4",
+		"# HELP table_size live entries",
+		"# TYPE table_size gauge",
+		"table_size 12",
+		"# HELP batch txns per batch",
+		"# TYPE batch histogram",
+		`batch_bucket{le="0"} 0`,
+		`batch_bucket{le="1"} 1`,
+		`batch_bucket{le="3"} 3`,
+		`batch_bucket{le="7"} 3`,
+	}
+	for i, w := range want {
+		if i >= len(lines) || lines[i] != w {
+			got := "<missing>"
+			if i < len(lines) {
+				got = lines[i]
+			}
+			t.Fatalf("line %d:\n got  %s\n want %s", i, got, w)
+		}
+	}
+	// The histogram tail: all remaining buckets stay cumulative at 3,
+	// then +Inf, _sum, _count.
+	tail := lines[len(lines)-3:]
+	wantTail := []string{
+		`batch_bucket{le="+Inf"} 3`,
+		"batch_sum 7",
+		"batch_count 3",
+	}
+	for i, w := range wantTail {
+		if tail[i] != w {
+			t.Fatalf("tail line %d:\n got  %s\n want %s", i, tail[i], w)
+		}
+	}
+	if n := len(lines); n != len(want)+(histBuckets-4)+3 {
+		t.Fatalf("total lines = %d, want %d", n, len(want)+(histBuckets-4)+3)
+	}
+}
+
+// TestPrometheusTimeHistogramScaling: time histograms record ns and
+// expose seconds.
+func TestPrometheusTimeHistogramScaling(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", `stage="fsync"`, "latency")
+	h.Observe(1_500_000) // 1.5ms → bucket 21 (upper 2^21-1 ns)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `lat_bucket{stage="fsync",le="+Inf"} 1`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_sum{stage="fsync"} 0.0015`) {
+		t.Fatalf("sum not scaled to seconds:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_count{stage="fsync"} 1`) {
+		t.Fatalf("missing count:\n%s", out)
+	}
+}
+
+// TestPrometheusLineFormat is the strict-format check from the issue:
+// every emitted line must be a comment or match the sample-line
+// grammar, metric names must be legal, and HELP/TYPE must appear
+// exactly once per family, before any sample of that family.
+func TestPrometheusLineFormat(t *testing.T) {
+	r := buildKitchenSink()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN)$`)
+	comment := regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	helpSeen := map[string]int{}
+	typeSeen := map[string]int{}
+	sampled := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !comment.MatchString(line) {
+				t.Fatalf("line %d: bad comment %q", i, line)
+			}
+			fields := strings.Fields(line)
+			name := fields[2]
+			if sampled[name] {
+				t.Fatalf("line %d: %s after samples of %s", i, fields[1], name)
+			}
+			if fields[1] == "HELP" {
+				helpSeen[name]++
+			} else {
+				typeSeen[name]++
+			}
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Fatalf("line %d: bad sample %q", i, line)
+		}
+		name := line
+		if j := strings.IndexAny(name, "{ "); j >= 0 {
+			name = name[:j]
+		}
+		// _bucket/_sum/_count samples belong to the base family.
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if typeSeen[base] == 0 && typeSeen[name] == 0 {
+			t.Fatalf("line %d: sample %q before TYPE", i, line)
+		}
+		sampled[base] = true
+	}
+	for name, n := range helpSeen {
+		if n != 1 || typeSeen[name] != 1 {
+			t.Fatalf("family %s: HELP x%d TYPE x%d", name, n, typeSeen[name])
+		}
+	}
+}
+
+func buildKitchenSink() *Registry {
+	r := NewRegistry()
+	r.Counter("a_total", "", "a").Add(5)
+	r.Counter("b_total", `op="ec_request"`, "b").Add(2)
+	r.Counter("b_total", `op="ec_response"`, "b").Add(9)
+	r.Gauge("c", `mode="readonly"`, "c").Set(1)
+	r.GaugeFunc("d", "", "d", func() int64 { return -3 })
+	h := r.Histogram("e_seconds", "", "e")
+	h.Observe(0)
+	h.Observe(999)
+	h.Observe(123456789)
+	r.CountHistogram("f", `peer="2"`, "f").Observe(17)
+	return r
+}
+
+// TestMntr checks flattening, sorting, label sanitation and the
+// microsecond scaling of time histograms.
+func TestMntr(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "", "").Add(1)
+	r.Counter("ecalls_total", `op="ec_request"`, "").Add(4)
+	h := r.Histogram("lat", "", "")
+	for i := 0; i < 10; i++ {
+		h.Observe(2_000_000) // 2ms
+	}
+	kvs := r.Mntr()
+	got := map[string]int64{}
+	for i, kv := range kvs {
+		got[kv.Key] = kv.Value
+		if i > 0 && kvs[i-1].Key >= kv.Key {
+			t.Fatalf("mntr keys not sorted: %q then %q", kvs[i-1].Key, kv.Key)
+		}
+	}
+	if got["ecalls_total_ec_request"] != 4 {
+		t.Fatalf("label flattening: %v", got)
+	}
+	if got["zz_total"] != 1 {
+		t.Fatalf("plain counter: %v", got)
+	}
+	if got["lat_count"] != 10 {
+		t.Fatalf("hist count: %v", got)
+	}
+	if avg := got["lat_avg_us"]; avg != 2000 {
+		t.Fatalf("avg = %dus, want 2000", avg)
+	}
+	// p50 upper bound for 2e6 ns: bit length 21 → (2^21-1)/1000 µs.
+	if p50 := got["lat_p50_us"]; p50 != (1<<21-1)/1000 {
+		t.Fatalf("p50 = %dus", p50)
+	}
+}
+
+// TestWriteJSON round-trips the debug dump through encoding/json.
+func TestWriteJSON(t *testing.T) {
+	r := buildKitchenSink()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 7 {
+		t.Fatalf("dump has %d entries, want 7", len(out))
+	}
+	if out[0]["name"] != "a_total" || out[0]["value"].(float64) != 5 {
+		t.Fatalf("first entry: %v", out[0])
+	}
+}

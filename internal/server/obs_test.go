@@ -1,0 +1,139 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/obs"
+	"securekeeper/internal/zab"
+)
+
+// mntrValue reads one flattened metric from a registry's mntr dump.
+func mntrValue(t *testing.T, reg *obs.Registry, key string) int64 {
+	t.Helper()
+	for _, kv := range reg.Mntr() {
+		if kv.Key == key {
+			return kv.Value
+		}
+	}
+	t.Fatalf("metric %q not in mntr dump", key)
+	return 0
+}
+
+// TestServerStatsCarriesUptimeLagAndMetrics covers the ServerStats v2
+// fields: uptime, commit lag (zero on a converged leader, clamped
+// non-negative everywhere), and the embedded metrics snapshot that
+// `skclient mntr` renders.
+func TestServerStatsCarriesUptimeLagAndMetrics(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	leader := tc.waitLeader(5 * time.Second)
+	leaderIdx := 0
+	for i, r := range tc.replicas {
+		if r == leader {
+			leaderIdx = i
+		}
+	}
+	cl := tc.connect(leaderIdx, client.Options{})
+	defer cl.Close()
+
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Create(ctxbg, fmt.Sprintf("/stats-%d", i), nil, 0); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+	}
+
+	st, err := cl.ServerStats(ctxbg)
+	if err != nil {
+		t.Fatalf("server stats: %v", err)
+	}
+	if st.UptimeSeconds < 0 {
+		t.Fatalf("uptime = %d, want >= 0", st.UptimeSeconds)
+	}
+	// The leader is its own commit bound: lag must be exactly zero.
+	if st.CommitLag != 0 {
+		t.Fatalf("leader commit lag = %d, want 0", st.CommitLag)
+	}
+	if len(st.Metrics) == 0 {
+		t.Fatal("stats carried no metrics snapshot")
+	}
+	byKey := make(map[string]int64, len(st.Metrics))
+	for _, kv := range st.Metrics {
+		byKey[kv.Key] = kv.Value
+	}
+	if v, ok := byKey["server_sessions"]; !ok || v < 1 {
+		t.Fatalf("server_sessions = %d (present=%v), want >= 1", v, ok)
+	}
+	if v, ok := byKey["zab_committed_zxid"]; !ok || v < 5 {
+		t.Fatalf("zab_committed_zxid = %d (present=%v), want >= 5", v, ok)
+	}
+	if v, ok := byKey["server_writes_total"]; !ok || v < 5 {
+		t.Fatalf("server_writes_total = %d (present=%v), want >= 5", v, ok)
+	}
+	if _, ok := byKey["server_submit_to_commit_seconds_count"]; !ok {
+		t.Fatal("commit-pipeline histogram missing from mntr snapshot")
+	}
+
+	// A follower's stats flow over the same wire op; lag is clamped
+	// non-negative no matter how the bound and applied zxid interleave.
+	fIdx := (leaderIdx + 1) % len(tc.replicas)
+	fcl := tc.connect(fIdx, client.Options{})
+	defer fcl.Close()
+	fst, err := fcl.ServerStats(ctxbg)
+	if err != nil {
+		t.Fatalf("follower stats: %v", err)
+	}
+	if fst.CommitLag < 0 {
+		t.Fatalf("follower commit lag = %d, want >= 0", fst.CommitLag)
+	}
+}
+
+// TestDegradedGaugeFlipsOnPersistFailure: the server_degraded gauge is
+// the scrape-visible form of the read-only latch — 0 while healthy, 1
+// the moment the sticky persister failure trips.
+func TestDegradedGaugeFlipsOnPersistFailure(t *testing.T) {
+	reg := obs.NewRegistry()
+	net := zab.NewNetwork()
+	r := NewReplica(Config{
+		ID:              1,
+		Peers:           []zab.PeerID{1},
+		Transport:       net.Endpoint(1),
+		TickInterval:    5 * time.Millisecond,
+		ElectionTimeout: 60 * time.Millisecond,
+		DataDir:         t.TempDir(),
+		Obs:             reg,
+	})
+	defer func() {
+		r.Close()
+		net.Close()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for !r.IsLeader() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !r.IsLeader() {
+		t.Fatal("single replica did not lead")
+	}
+	cl := connectTo(t, r)
+	defer cl.Close()
+
+	if _, err := cl.Create(ctxbg, "/healthy", nil, 0); err != nil {
+		t.Fatalf("healthy write: %v", err)
+	}
+	if v := mntrValue(t, reg, "server_degraded_readonly"); v != 0 {
+		t.Fatalf("degraded gauge = %d before failure, want 0", v)
+	}
+
+	r.persister.Fail(errors.New("injected disk failure"))
+	if _, err := cl.Create(ctxbg, "/lost", nil, 0); err == nil {
+		t.Fatal("write acknowledged after persistence failure")
+	}
+	if !r.Degraded() {
+		t.Fatal("replica not degraded after persistence failure")
+	}
+	if v := mntrValue(t, reg, "server_degraded_readonly"); v != 1 {
+		t.Fatalf("degraded gauge = %d after failure, want 1", v)
+	}
+}

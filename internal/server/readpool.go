@@ -69,6 +69,13 @@ func (p *resumePool) submit(s *session) {
 	p.cond.Signal()
 }
 
+// depth reports the number of sessions queued for resume (metrics).
+func (p *resumePool) depth() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(len(p.queue))
+}
+
 func (p *resumePool) worker() {
 	defer p.wg.Done()
 	for {

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"securekeeper/internal/obs"
 	"securekeeper/internal/storage"
 	"securekeeper/internal/transport"
 	"securekeeper/internal/wire"
@@ -93,6 +94,13 @@ type Config struct {
 	// Logf, when set, receives replica diagnostics (defaults to the
 	// standard logger). Persistence failures are reported here.
 	Logf func(format string, args ...any)
+	// Obs, when set, receives the replica's metrics: commit-pipeline
+	// stage latencies, queue depths, session/watch gauges. The same
+	// registry is threaded into the broadcast (zab) and durability
+	// (storage) layers so one scrape covers the whole replica. Nil
+	// disables instrument registration; the stamped timestamps still
+	// flow but every Observe is a nil-receiver no-op.
+	Obs *obs.Registry
 }
 
 // Replica is one coordination-service server.
@@ -136,6 +144,16 @@ type Replica struct {
 	// replica can no longer durably store what it acknowledges, so it
 	// stops accepting writes (reads keep serving from the tree).
 	degraded atomic.Bool
+
+	// Commit-pipeline instruments (nil-safe no-ops when cfg.Obs is
+	// nil): per-stage latencies plus the degraded-mode flag gauge.
+	obsReg          *obs.Registry
+	submitToCommit  *obs.Histogram
+	applyHist       *obs.Histogram
+	commitToRelease *obs.Histogram
+	degradedGauge   *obs.Gauge
+	watchDispatch   *obs.Counter
+	watchFanout     *obs.Histogram
 }
 
 type pendingKey struct {
@@ -207,6 +225,7 @@ func NewReplica(cfg Config) *Replica {
 			Tree:          r.tree,
 			SnapshotEvery: cfg.SnapshotEvery,
 			SegmentBytes:  cfg.LogSegmentBytes,
+			Obs:           cfg.Obs,
 		})
 		if err != nil {
 			// A replica that cannot read its durable state must not
@@ -230,11 +249,55 @@ func NewReplica(cfg Config) *Replica {
 		TickInterval:    cfg.TickInterval,
 		ElectionTimeout: cfg.ElectionTimeout,
 		LastZxid:        recoveredZxid,
+		Obs:             cfg.Obs,
 	})
+	r.registerMetrics(cfg.Obs)
 	r.peer.Start()
 	r.wg.Add(1)
 	go r.forwardWorker()
 	return r
+}
+
+// registerMetrics wires the replica's instruments into the registry.
+// Every instrument handle is nil when reg is nil, making each hot-path
+// Observe/Inc a no-op without conditionals at the call sites.
+func (r *Replica) registerMetrics(reg *obs.Registry) {
+	r.obsReg = reg
+	r.submitToCommit = reg.Histogram("server_submit_to_commit_seconds", "",
+		"Client write submission to known fate (quorum commit; fsync included on durable replicas).")
+	r.applyHist = reg.Histogram("server_apply_seconds", "",
+		"Tree apply latency per committed transaction.")
+	r.commitToRelease = reg.Histogram("server_commit_to_release_seconds", "",
+		"Commit completion to in-order response release (session FIFO wait).")
+	r.degradedGauge = reg.Gauge("server_degraded", `mode="readonly"`,
+		"1 once the replica latched read-only after a persistence failure.")
+	r.watchDispatch = reg.Counter("server_watch_dispatch_total", "",
+		"Watch dispatches (one per event that fired at least one watcher).")
+	r.watchFanout = reg.CountHistogram("server_watch_fanout", "",
+		"Watchers fired per dispatched watch event.")
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("server_reads_total", "", "Client read operations served.", r.readOps.Load)
+	reg.CounterFunc("server_writes_total", "", "Client write operations accepted into the pipeline.", r.writeOps.Load)
+	reg.GaugeFunc("server_sessions", "", "Live client sessions.", func() int64 {
+		r.mu.Lock()
+		n := len(r.sessions)
+		r.mu.Unlock()
+		return int64(n)
+	})
+	reg.GaugeFunc("server_watches", "", "Registered (path, watcher) pairs.", func() int64 {
+		return int64(r.tree.Watches().Count())
+	})
+	reg.GaugeFunc("server_forward_queue_depth", "", "Forwarded writes queued for leader prep.", func() int64 {
+		return int64(len(r.forwarded))
+	})
+	reg.GaugeFunc("server_resume_queue_depth", "", "Sessions queued for parked-read resume.", r.resume.depth)
+	reg.GaugeFunc("server_uptime_seconds", "", "Process uptime.", obs.Uptime)
+	r.tree.Watches().SetDispatchObserver(func(fired int) {
+		r.watchDispatch.Inc()
+		r.watchFanout.Observe(int64(fired))
+	})
 }
 
 // forwardWorker preps and proposes forwarded writes strictly in arrival
@@ -660,7 +723,9 @@ func (r *Replica) restoreFromSync(snap *ztree.Snapshot) {
 // "on disk". A persistence failure drops the replica into degraded
 // mode and fails the write instead of acknowledging it.
 func (r *Replica) deliver(c zab.Committed) {
+	applyStart := obs.Now()
 	res := r.tree.Apply(&c.Txn)
+	r.applyHist.Observe(obs.Now() - applyStart)
 	var entry *inflightReq
 	var sess *session
 	if c.Origin.Peer == r.cfg.ID {
@@ -710,6 +775,7 @@ func (r *Replica) enterDegraded(cause error) {
 	if r.degraded.Swap(true) {
 		return
 	}
+	r.degradedGauge.Set(1)
 	r.logf("server: replica %d: PERSISTENCE FAILURE, entering degraded read-only mode (writes refused): %v",
 		r.cfg.ID, cause)
 	type failed struct {
@@ -964,14 +1030,33 @@ func (r *Replica) handleRead(s *session, entry *inflightReq) []byte {
 		r.mu.Lock()
 		sessions := len(r.sessions)
 		r.mu.Unlock()
+		// Commit lag: how far the leader's commit bound has run ahead of
+		// what this replica applied. Zero on the leader; on a stalled
+		// observer it grows with every commit it misses, which is the
+		// signal the client's Nearest routing avoids.
+		lag := r.peer.LeaderCommitted() - zxid
+		if lag < 0 {
+			lag = 0
+		}
+		var kvs []wire.KV
+		if r.obsReg != nil {
+			snap := r.obsReg.Mntr()
+			kvs = make([]wire.KV, len(snap))
+			for i, kv := range snap {
+				kvs[i] = wire.KV{Key: kv.Key, Value: kv.Value}
+			}
+		}
 		hdr := wire.ReplyHeader{Xid: entry.xid, Zxid: zxid, Err: wire.ErrOK}
 		return wire.MarshalPair(&hdr, &wire.ServerStatsResponse{
-			Role:        r.peer.Role().String(),
-			Leader:      int64(r.peer.Leader()),
-			Zxid:        zxid,
-			Sessions:    int32(sessions),
-			Watches:     int32(r.tree.Watches().Count()),
-			Outstanding: int32(r.peer.OutstandingDepth()),
+			Role:          r.peer.Role().String(),
+			Leader:        int64(r.peer.Leader()),
+			Zxid:          zxid,
+			Sessions:      int32(sessions),
+			Watches:       int32(r.tree.Watches().Count()),
+			Outstanding:   int32(r.peer.OutstandingDepth()),
+			UptimeSeconds: obs.Uptime(),
+			CommitLag:     lag,
+			Metrics:       kvs,
 		})
 
 	default:

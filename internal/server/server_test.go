@@ -8,16 +8,20 @@ import (
 	"time"
 
 	"securekeeper/internal/client"
+	"securekeeper/internal/obs"
 	"securekeeper/internal/transport"
 	"securekeeper/internal/wire"
 	"securekeeper/internal/zab"
 )
 
-// testCluster boots n replicas over an in-process network.
+// testCluster boots n replicas over an in-process network. Every
+// replica gets its own metrics registry (as in production, one per
+// host), so the whole suite doubles as instrumentation coverage.
 type testCluster struct {
 	t        *testing.T
 	net      *zab.Network
 	replicas []*Replica
+	regs     []*obs.Registry
 	wg       sync.WaitGroup
 }
 
@@ -29,12 +33,15 @@ func newTestCluster(t *testing.T, n int) *testCluster {
 		ids[i] = zab.PeerID(i + 1)
 	}
 	for i := 0; i < n; i++ {
+		reg := obs.NewRegistry()
+		tc.regs = append(tc.regs, reg)
 		tc.replicas = append(tc.replicas, NewReplica(Config{
 			ID:              ids[i],
 			Peers:           ids,
 			Transport:       tc.net.Endpoint(ids[i]),
 			TickInterval:    5 * time.Millisecond,
 			ElectionTimeout: 80 * time.Millisecond,
+			Obs:             reg,
 		}))
 	}
 	t.Cleanup(func() {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 
+	"securekeeper/internal/obs"
 	"securekeeper/internal/transport"
 	"securekeeper/internal/wire"
 )
@@ -33,6 +34,14 @@ type inflightReq struct {
 	// a read, the seq of the last write submitted before it — the read
 	// may execute only once that write has completed (its barrier).
 	seq int64
+
+	// Pipeline-stage timestamps (obs.Now ns), stamped for writes only.
+	// submitNs is set once by the reader goroutine before the entry is
+	// shared; commitNs is written by the single writeDone call before
+	// complete() and read by the writer goroutine after result(), both
+	// under e.mu, so the accesses are ordered.
+	submitNs int64
+	commitNs int64
 
 	mu    sync.Mutex
 	state reqState
@@ -207,6 +216,9 @@ func (s *session) reader() error {
 		entry := &inflightReq{xid: hdr.Xid, op: hdr.Op, body: body}
 		// SYNC is agreed like a write: its commit is the flush point.
 		isWrite := hdr.Op.IsWrite() || hdr.Op == wire.OpSync
+		if isWrite {
+			entry.submitNs = obs.Now()
+		}
 
 		s.mu.Lock()
 		if s.closed {
@@ -258,6 +270,13 @@ func (s *session) reader() error {
 // gone (the write's fate is unknown), so completing them with data
 // could silently violate the session guarantee.
 func (s *session) writeDone(entry *inflightReq, resp []byte, aborted bool) {
+	if entry.submitNs > 0 {
+		now := obs.Now()
+		entry.commitNs = now
+		if !aborted {
+			s.rep.submitToCommit.Observe(now - entry.submitNs)
+		}
+	}
 	entry.complete(resp)
 
 	var failed []*inflightReq
@@ -382,6 +401,9 @@ func (s *session) writer() {
 				s.queue = nil
 			}
 			s.mu.Unlock()
+			if head.commitNs > 0 {
+				s.rep.commitToRelease.Observe(obs.Now() - head.commitNs)
+			}
 			if !s.send(resp) {
 				return
 			}

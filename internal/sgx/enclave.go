@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Enclave runtime errors.
@@ -60,6 +61,25 @@ type Runtime struct {
 	enclaves map[uint64]*Enclave
 	cpuKey   [32]byte // per-CPU sealing root, never leaves the runtime
 	qeKey    *quoteKey
+	onEcall  atomic.Pointer[EcallObserver]
+}
+
+// EcallObserver is a per-runtime hook invoked after every enclave
+// entry with the trusted function's name and the wall-time duration of
+// the whole crossing in nanoseconds. Entry enclaves are created per
+// client connection, so metrics hang off the shared runtime rather
+// than individual enclaves.
+type EcallObserver func(name string, durNs int64)
+
+// SetEcallObserver installs (or, with nil, removes) the runtime's
+// ecall hook. The observer runs on the calling goroutine inside the
+// request path and must be cheap and non-blocking.
+func (r *Runtime) SetEcallObserver(ob EcallObserver) {
+	if ob == nil {
+		r.onEcall.Store(nil)
+		return
+	}
+	r.onEcall.Store(&ob)
 }
 
 // NewRuntime creates an SGX runtime with the given EPC capacity and
@@ -177,6 +197,18 @@ func (e *Enclave) EcallCount() int64 { return e.ecallCount.Load() }
 // pre-sizes the buffer for the expected expansion, per §5.1). Returns
 // the new message length.
 func (e *Enclave) Ecall(name string, buf []byte, msgLen int) (int, error) {
+	if ob := e.runtime.onEcall.Load(); ob != nil {
+		start := time.Now()
+		n, err := e.ecall(name, buf, msgLen)
+		// Duration covers the full crossing — copy-in, trusted function
+		// and copy-out — including any applied virtual SGX latency.
+		(*ob)(name, time.Since(start).Nanoseconds())
+		return n, err
+	}
+	return e.ecall(name, buf, msgLen)
+}
+
+func (e *Enclave) ecall(name string, buf []byte, msgLen int) (int, error) {
 	if e.destroyed.Load() {
 		return 0, ErrEnclaveDestroyed
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"securekeeper/internal/obs"
 	"securekeeper/internal/ztree"
 )
 
@@ -22,6 +23,9 @@ type PersisterConfig struct {
 	SnapshotEvery int
 	// SegmentBytes is the log rotation threshold (0 = default).
 	SegmentBytes int64
+	// Obs, when set, receives the persister's live metrics: fsync
+	// latency, txns per fsync, commit-wait latency and queue depth.
+	Obs *obs.Registry
 }
 
 // PersistStats is a snapshot of the persister's counters. The
@@ -51,6 +55,9 @@ type commitReq struct {
 	snapZxid int64
 	// snapDone reports the snapshot's own outcome (forced snapshots).
 	snapDone func(error)
+	// enqNs is the obs.Now() stamp taken at enqueue, for the
+	// commit-wait histogram (Record → covering fsync returned).
+	enqNs int64
 }
 
 // Persister ties the tree, the segmented WAL and snapshots together
@@ -85,6 +92,11 @@ type Persister struct {
 	batches   atomic.Int64
 	maxBatch  atomic.Int64
 	snapshots atomic.Int64
+
+	// Live metrics (nil instruments are no-ops when no registry is wired).
+	fsyncHist  *obs.Histogram // storage_fsync_seconds
+	txnsHist   *obs.Histogram // storage_txns_per_fsync
+	commitWait *obs.Histogram // storage_commit_wait_seconds
 }
 
 // Recover restores state from dir — latest valid snapshot, then every
@@ -130,6 +142,18 @@ func Recover(cfg PersisterConfig) (*Persister, int64, error) {
 		kick:          make(chan struct{}, 1),
 		loopDone:      make(chan struct{}),
 	}
+	if cfg.Obs != nil {
+		p.fsyncHist = cfg.Obs.Histogram("storage_fsync_seconds", "", "group-commit fsync latency")
+		p.txnsHist = cfg.Obs.CountHistogram("storage_txns_per_fsync", "", "transactions covered by each fsync")
+		p.commitWait = cfg.Obs.Histogram("storage_commit_wait_seconds", "", "Record enqueue to covering fsync return")
+		cfg.Obs.GaugeFunc("storage_commit_queue_depth", "", "commit requests awaiting the group fsync", func() int64 {
+			p.mu.Lock()
+			n := len(p.queue)
+			p.mu.Unlock()
+			return int64(n)
+		})
+		cfg.Obs.CounterFunc("storage_corrupt_records_total", "", "tolerated corruption events: torn tails dropped, corrupt snapshots skipped (process-wide)", CorruptRecords)
+	}
 	go p.commitLoop()
 	return p, lastZxid, nil
 }
@@ -154,7 +178,7 @@ func (p *Persister) Record(txn *ztree.Txn, done func(error)) {
 		}
 		return
 	}
-	req := commitReq{txn: *txn, hasTxn: true, done: done}
+	req := commitReq{txn: *txn, hasTxn: true, done: done, enqNs: obs.Now()}
 	if txn.Zxid > p.lastApplied {
 		p.lastApplied = txn.Zxid
 	}
@@ -322,21 +346,28 @@ func (p *Persister) commitBatch(batch []commitReq) {
 			}
 		}
 		if err == nil {
+			syncStart := obs.Now()
 			err = p.log.Sync()
+			p.fsyncHist.Observe(obs.Now() - syncStart)
 		}
 	}
 	if err == nil {
 		p.records.Add(int64(txns))
 		p.fsyncs.Add(1)
 		p.batches.Add(1)
+		p.txnsHist.Observe(int64(txns))
 		if n := int64(txns); n > p.maxBatch.Load() {
 			p.maxBatch.Store(n)
 		}
 	} else {
 		p.fail(err)
 	}
+	durableNs := obs.Now()
 	for i := range batch {
 		if batch[i].done != nil {
+			if batch[i].hasTxn {
+				p.commitWait.Observe(durableNs - batch[i].enqNs)
+			}
 			batch[i].done(err)
 		}
 	}

@@ -36,6 +36,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"securekeeper/internal/wire"
 	"securekeeper/internal/ztree"
@@ -64,6 +65,19 @@ const (
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// corruptRecords counts tolerated corruption events — torn final-
+// segment tails dropped by replay and corrupt snapshots skipped during
+// restore. It is package-level (recovery runs through package
+// functions before any Persister exists) and process-wide; a non-zero
+// value during a run that saw no crash means silent data damage, which
+// the smoke harness turns into a failure. Hard corruption errors are
+// not counted here: they already fail the open loudly.
+var corruptRecords atomic.Int64
+
+// CorruptRecords reports the tolerated-corruption events seen by this
+// process (exposed as storage_corrupt_records_total).
+func CorruptRecords() int64 { return corruptRecords.Load() }
 
 // segmentName renders the file name of the segment whose first record
 // carries zxid: fixed-width hex, so lexical order is zxid order.
@@ -412,8 +426,11 @@ func ReplayLog(dir string, fn func(txn *ztree.Txn) error) error {
 		if err != nil {
 			return err
 		}
-		if !clean && i != len(segs)-1 {
-			return fmt.Errorf("%w: torn record in sealed segment %s", ErrCorruptRecord, seg.name)
+		if !clean {
+			if i != len(segs)-1 {
+				return fmt.Errorf("%w: torn record in sealed segment %s", ErrCorruptRecord, seg.name)
+			}
+			corruptRecords.Add(1) // tolerated torn tail on the final segment
 		}
 	}
 	return nil
@@ -506,6 +523,7 @@ func LoadLatestSnapshot(dir string) (*ztree.Snapshot, int64, error) {
 		if err == nil {
 			return snap, zxid, nil
 		}
+		corruptRecords.Add(1) // corrupt snapshot skipped; older one tried
 	}
 	return nil, 0, fmt.Errorf("storage: all %d snapshots corrupt: %w", len(names), ErrCorruptRecord)
 }

@@ -454,13 +454,28 @@ func (r *SyncResponse) Deserialize(d *Decoder) error {
 // and load, so orchestration and smoke scripts query role and leader
 // over the client port instead of grepping process logs.
 type ServerStatsResponse struct {
-	Role        string // zab role mnemonic: LEADING, FOLLOWING, OBSERVING, ...
-	Leader      int64  // known leader id, -1 while unknown
-	Zxid        int64  // committed frontier of the serving replica
-	Sessions    int32  // live client sessions on this replica
-	Watches     int32  // registered watches on this replica
-	Outstanding int32  // leader-side proposals awaiting quorum (0 off-leader)
+	Role          string // zab role mnemonic: LEADING, FOLLOWING, OBSERVING, ...
+	Leader        int64  // known leader id, -1 while unknown
+	Zxid          int64  // committed frontier of the serving replica
+	Sessions      int32  // live client sessions on this replica
+	Watches       int32  // registered watches on this replica
+	Outstanding   int32  // leader-side proposals awaiting quorum (0 off-leader)
+	UptimeSeconds int64  // seconds since the serving process started
+	CommitLag     int64  // leader committed zxid minus locally applied zxid
+	Metrics       []KV   // full mntr-style counter snapshot (may be empty)
 }
+
+// KV is one metrics line in a ServerStatsResponse: a flattened metric
+// key and its integer value, mirroring internal/obs's mntr dump so
+// `skclient mntr` works against any replica over the client port.
+type KV struct {
+	Key   string
+	Value int64
+}
+
+// maxStatsMetrics bounds the metrics vector a peer can make us
+// allocate; real registries are well under a thousand lines.
+const maxStatsMetrics = 1 << 14
 
 // Serialize implements Record.
 func (r *ServerStatsResponse) Serialize(e *Encoder) {
@@ -470,6 +485,13 @@ func (r *ServerStatsResponse) Serialize(e *Encoder) {
 	e.WriteInt32(r.Sessions)
 	e.WriteInt32(r.Watches)
 	e.WriteInt32(r.Outstanding)
+	e.WriteInt64(r.UptimeSeconds)
+	e.WriteInt64(r.CommitLag)
+	e.WriteInt32(int32(len(r.Metrics)))
+	for _, kv := range r.Metrics {
+		e.WriteString(kv.Key)
+		e.WriteInt64(kv.Value)
+	}
 }
 
 // Deserialize implements Record.
@@ -490,8 +512,38 @@ func (r *ServerStatsResponse) Deserialize(d *Decoder) error {
 	if r.Watches, err = d.ReadInt32(); err != nil {
 		return err
 	}
-	r.Outstanding, err = d.ReadInt32()
-	return err
+	if r.Outstanding, err = d.ReadInt32(); err != nil {
+		return err
+	}
+	if r.UptimeSeconds, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	if r.CommitLag, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	n, err := d.ReadInt32()
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		return ErrNegativeLen
+	}
+	if n > maxStatsMetrics {
+		return ErrBufferTooLarge
+	}
+	r.Metrics = nil
+	if n > 0 {
+		r.Metrics = make([]KV, n)
+		for i := range r.Metrics {
+			if r.Metrics[i].Key, err = d.ReadString(); err != nil {
+				return err
+			}
+			if r.Metrics[i].Value, err = d.ReadInt64(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // WatcherEvent notifies a client of a triggered watch. It is sent with

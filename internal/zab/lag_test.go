@@ -1,0 +1,48 @@
+package zab
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLeaderCommittedLagOnStalledObserver exercises the commit-lag
+// signal exported through ServerStats: LeaderCommitted tracks the
+// leader's commit bound even when the local peer cannot apply that far
+// yet, and never reports less than what was applied locally.
+func TestLeaderCommittedLagOnStalledObserver(t *testing.T) {
+	h := newObserverHarness(t, 3, 1)
+	obs := h.obs[0]
+	leader := h.leader(5 * time.Second)
+
+	for i := 0; i < 5; i++ {
+		h.submit(leader, createTxn(i), Origin{Peer: leader.ID()})
+	}
+	h.waitCommitted(5, h.ids, 5*time.Second)
+
+	op := h.peers[obs]
+	applied := op.LastCommitted()
+	// Converged: the observer's lag signal is zero.
+	if got := op.LeaderCommitted(); got != applied {
+		t.Fatalf("converged observer: LeaderCommitted = %d, want %d", got, applied)
+	}
+
+	// Stall: the leader's piggybacked commit bound runs ahead of what
+	// the observer has applied — the state commitUpTo latches while the
+	// observer still waits for the payload or a resync. LeaderCommitted
+	// must surface the bound; the difference is the CommitLag that
+	// steers Nearest read routing away from this replica.
+	op.leaderBound.Store(applied + 42)
+	if got := op.LeaderCommitted(); got != applied+42 {
+		t.Fatalf("stalled observer: LeaderCommitted = %d, want %d", got, applied+42)
+	}
+	if got := op.LastCommitted(); got != applied {
+		t.Fatalf("LastCommitted moved to %d, want %d", got, applied)
+	}
+
+	// A stale (lower) bound must never drag the signal below what was
+	// applied locally: lag clamps at zero, it never goes negative.
+	op.leaderBound.Store(applied - 3)
+	if got := op.LeaderCommitted(); got != applied {
+		t.Fatalf("stale bound: LeaderCommitted = %d, want %d", got, applied)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"securekeeper/internal/obs"
 	"securekeeper/internal/ztree"
 )
 
@@ -85,6 +86,10 @@ type Config struct {
 	// LastZxid seeds the peer's history position after a restart that
 	// recovered state from disk.
 	LastZxid int64
+	// Obs, when set, receives the peer's protocol metrics: the
+	// propose→quorum-ack latency histogram, queue-depth gauges, zxid
+	// frontier gauges, and the Stats counters.
+	Obs *obs.Registry
 }
 
 func (c *Config) withDefaults() Config {
@@ -131,6 +136,10 @@ type pendingProposal struct {
 	// meaningful only while the entry is recycled) — the same scheme as
 	// the replica's pendingWrite freelist.
 	next *pendingProposal
+	// proposedNs is the obs.Now() stamp taken when the leader accepted
+	// the submission; the propose→quorum-ack histogram reads it when
+	// the proposal commits.
+	proposedNs int64
 }
 
 // maxInlineAcks bounds the inline ack set, sized for the 3-7 replica
@@ -183,6 +192,7 @@ func (p *Peer) putPendingProposal(pp *pendingProposal) {
 	pp.rec = ProposalRecord{}
 	pp.nacks = 0
 	pp.overflow = nil
+	pp.proposedNs = 0
 	pp.next = p.ppFree
 	p.ppFree = pp
 }
@@ -252,6 +262,19 @@ type Peer struct {
 	// outDepth mirrors len(outstanding) for lock-free observability
 	// (the admin/stats API reads it off the loop goroutine).
 	outDepth atomic.Int32
+	// submitWaiting counts goroutines currently blocked handing a
+	// submission to the loop — the live depth of the (unbuffered)
+	// submit queue.
+	submitWaiting atomic.Int32
+	// leaderBound is the highest committed bound the leader has
+	// announced to us (COMMIT frames, piggybacked PROPOSE/PING bounds,
+	// OBSERVERCOMMIT). Written only by the loop goroutine; read by the
+	// stats API to compute commit lag.
+	leaderBound atomic.Int64
+
+	// proposeToAck is the propose→quorum-ack latency histogram (nil
+	// no-op without a registry).
+	proposeToAck *obs.Histogram
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -301,7 +324,37 @@ func NewPeer(cfg Config) *Peer {
 	p.leader.Store(int64(-1))
 	p.lastZxid = c.LastZxid
 	atomic.StoreInt64(&p.lastCommit, c.LastZxid)
+	p.registerMetrics(c.Obs)
 	return p
+}
+
+// registerMetrics wires the peer's instruments into reg (nil = no-op).
+func (p *Peer) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.proposeToAck = reg.Histogram("zab_propose_to_ack_seconds", "", "leader accept to quorum ack, per proposal")
+	reg.GaugeFunc("zab_outstanding_depth", "", "leader proposals awaiting quorum", func() int64 {
+		return int64(p.outDepth.Load())
+	})
+	reg.GaugeFunc("zab_submit_queue_depth", "", "goroutines blocked handing a submission to the zab loop", func() int64 {
+		return int64(p.submitWaiting.Load())
+	})
+	reg.GaugeFunc("zab_committed_zxid", "", "highest locally delivered zxid", p.LastCommitted)
+	reg.GaugeFunc("zab_leader_committed_zxid", "", "highest committed bound announced by the leader", p.LeaderCommitted)
+	stat := func(f func(Stats) int64) func() int64 {
+		return func() int64 {
+			p.statsMu.Lock()
+			defer p.statsMu.Unlock()
+			return f(p.stats)
+		}
+	}
+	reg.CounterFunc("zab_elections_total", "", "elections started", stat(func(s Stats) int64 { return s.Elections }))
+	reg.CounterFunc("zab_proposals_total", "", "proposals accepted while leading", stat(func(s Stats) int64 { return s.Proposals }))
+	reg.CounterFunc("zab_commits_total", "", "transactions delivered", stat(func(s Stats) int64 { return s.Commits }))
+	reg.CounterFunc("zab_resyncs_total", "", "follower resyncs after detected holes", stat(func(s Stats) int64 { return s.Resyncs }))
+	reg.CounterFunc("zab_propose_frames_total", "", "PROPOSE frames sent", stat(func(s Stats) int64 { return s.ProposeFrames }))
+	reg.CounterFunc("zab_observer_frames_total", "", "OBSERVERCOMMIT frames sent or received", stat(func(s Stats) int64 { return s.ObserverFrames }))
 }
 
 // Start launches the peer's loop goroutine.
@@ -336,6 +389,19 @@ func (p *Peer) LastCommitted() int64 { return atomic.LoadInt64(&p.lastCommit) }
 // this peer. Non-zero only while leading; exposed for the stats API.
 func (p *Peer) OutstandingDepth() int { return int(p.outDepth.Load()) }
 
+// LeaderCommitted returns the highest committed bound this peer knows
+// the leader reached: its own frontier while leading, otherwise the
+// latest bound announced over COMMIT/PROPOSE/PING/OBSERVERCOMMIT
+// frames. LeaderCommitted() - LastCommitted() is this peer's commit
+// lag, never negative.
+func (p *Peer) LeaderCommitted() int64 {
+	bound := p.leaderBound.Load()
+	if own := p.LastCommitted(); own > bound {
+		return own
+	}
+	return bound
+}
+
 // StatsSnapshot returns a copy of the protocol counters.
 func (p *Peer) StatsSnapshot() Stats {
 	p.statsMu.Lock()
@@ -359,9 +425,12 @@ func (p *Peer) Submit(txn ztree.Txn, origin Origin) error {
 	}
 	errCh := submitErrChPool.Get().(chan error)
 	req := submitReq{txn: txn, origin: origin, errCh: errCh}
+	p.submitWaiting.Add(1)
 	select {
 	case p.submit <- req:
+		p.submitWaiting.Add(-1)
 	case <-p.stop:
+		p.submitWaiting.Add(-1)
 		if len(errCh) == 0 {
 			submitErrChPool.Put(errCh) // never handed to the loop
 		}
@@ -894,6 +963,7 @@ func (p *Peer) handleSubmit(req submitReq) {
 	rec := ProposalRecord{Txn: req.txn, Origin: req.origin}
 	pp := p.getPendingProposal()
 	pp.rec = rec
+	pp.proposedNs = obs.Now()
 	pp.ack(p.cfg.ID)
 	p.proposals[zxid] = pp
 	p.outstanding = append(p.outstanding, zxid)
@@ -1119,6 +1189,9 @@ func (p *Peer) advanceCommits() {
 		p.outstanding = p.outstanding[1:]
 		delete(p.proposals, zxid)
 		rec := prop.rec
+		if prop.proposedNs > 0 {
+			p.proposeToAck.Observe(obs.Now() - prop.proposedNs)
+		}
 		p.deliver(Committed{Txn: rec.Txn, Origin: rec.Origin})
 		p.putPendingProposal(prop)
 		if len(p.obsSynced) > 0 {
@@ -1213,6 +1286,12 @@ func (p *Peer) handleObserverCommit(msg Message) {
 // batch quadratic. A hole below the bound means we missed a proposal
 // (shed mailbox, transient partition) and must recover from the leader.
 func (p *Peer) commitUpTo(bound int64) {
+	// Every bound that reaches here is the leader's announced committed
+	// frontier; remember the highest for commit-lag reporting even when
+	// we cannot apply up to it yet.
+	if bound > p.leaderBound.Load() {
+		p.leaderBound.Store(bound)
+	}
 	for p.lastCommitted() < bound {
 		rec, ok := p.nextInflightCommit()
 		if !ok {

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"securekeeper/internal/obs"
 	"securekeeper/internal/transport"
 	"securekeeper/internal/wire"
 	"securekeeper/internal/zab"
@@ -77,6 +78,9 @@ const maxReassembledBytes = 256 << 20
 var (
 	ErrMeshClosed = errors.New("zabnet: mesh closed")
 	errBadHello   = errors.New("zabnet: bad handshake")
+	// errOutboxFull is enqueue's internal capacity-shed signal; callers
+	// surface it as zab.ErrPeerUnreachable after counting the shed.
+	errOutboxFull = errors.New("zabnet: outbox full")
 )
 
 // Config parameterizes a Mesh.
@@ -111,6 +115,9 @@ type Config struct {
 	ChunkBytes int
 	// Logf, when set, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
+	// Obs, when set, receives the mesh's metrics: per-peer outbox
+	// depth gauges and shed/drop counters.
+	Obs *obs.Registry
 }
 
 func (c *Config) withDefaults() Config {
@@ -152,6 +159,16 @@ type Mesh struct {
 
 	mu    sync.Mutex
 	links map[zab.PeerID]*link
+
+	// Shed accounting (nil instruments no-op without a registry).
+	// outboxShed counts messages dropped because a peer's outbox was
+	// full — ZERO in a healthy run, which the smoke harness asserts.
+	// unreachable counts sends to peers with no live link (normal
+	// during connect/reconnect windows). inboxShed counts received
+	// messages dropped because the shared inbox was full.
+	outboxShed  *obs.Counter
+	unreachable *obs.Counter
+	inboxShed   *obs.Counter
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -206,6 +223,23 @@ func NewMesh(cfg Config) (*Mesh, error) {
 		links:  make(map[zab.PeerID]*link),
 		closed: make(chan struct{}),
 	}
+	if c.Obs != nil {
+		m.outboxShed = c.Obs.Counter("zabnet_outbox_shed_total", "", "messages dropped on a full peer outbox (zero in a healthy run)")
+		m.unreachable = c.Obs.Counter("zabnet_unreachable_total", "", "sends to peers with no live link")
+		m.inboxShed = c.Obs.Counter("zabnet_inbox_shed_total", "", "received messages dropped on a full inbox")
+		for id := range c.Peers {
+			if id == c.ID {
+				continue
+			}
+			peer := id
+			c.Obs.GaugeFunc("zabnet_outbox_depth", fmt.Sprintf(`peer="%d"`, peer), "frames queued toward this peer", func() int64 {
+				if l := m.link(peer); l != nil {
+					return int64(len(l.outbox))
+				}
+				return 0
+			})
+		}
+	}
 	m.wg.Add(1)
 	go m.acceptLoop()
 	for id, addr := range c.Peers {
@@ -238,10 +272,26 @@ func (m *Mesh) Send(to zab.PeerID, msg zab.Message) error {
 	}
 	l := m.link(to)
 	if l == nil {
+		m.unreachable.Inc()
 		return zab.ErrPeerUnreachable
 	}
 	msg.From = m.cfg.ID
-	return l.enqueue(encodeFrames(&msg, m.cfg.ChunkBytes))
+	return m.countEnqueue(l.enqueue(encodeFrames(&msg, m.cfg.ChunkBytes)))
+}
+
+// countEnqueue attributes an enqueue failure to the right counter and
+// maps the internal capacity signal onto the transport's loss error.
+func (m *Mesh) countEnqueue(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, errOutboxFull):
+		m.outboxShed.Inc()
+		return zab.ErrPeerUnreachable
+	default:
+		m.unreachable.Inc()
+		return err
+	}
 }
 
 // SendMany implements zab.MultiSender: the message is serialized ONCE
@@ -265,12 +315,13 @@ func (m *Mesh) SendMany(to []zab.PeerID, msg zab.Message) error {
 		}
 		l := m.link(id)
 		if l == nil {
+			m.unreachable.Inc()
 			continue
 		}
 		if frames == nil {
 			frames = encodeFrames(&msg, m.cfg.ChunkBytes)
 		}
-		_ = l.enqueue(frames)
+		_ = m.countEnqueue(l.enqueue(frames))
 	}
 	return nil
 }
@@ -284,7 +335,7 @@ func (l *link) enqueue(frames [][]byte) error {
 	// The outbox is only written under sendMu, so this capacity check
 	// makes the whole multi-frame enqueue atomic.
 	if len(l.outbox)+len(frames) > cap(l.outbox) {
-		return zab.ErrPeerUnreachable
+		return errOutboxFull
 	}
 	for _, f := range frames {
 		select {
@@ -586,6 +637,7 @@ func (m *Mesh) deliverEncoded(l *link, body []byte) {
 	case m.inbox <- msg:
 	default:
 		// Inbox overflow: shed; the protocol re-syncs.
+		m.inboxShed.Inc()
 	}
 }
 

@@ -35,6 +35,10 @@ type WatchManager struct {
 	data  map[string]map[Watcher]struct{}
 	exist map[string]map[Watcher]struct{}
 	child map[string]map[Watcher]struct{}
+	// onDispatch, when set, observes each non-empty dispatch with its
+	// fan-out (watchers fired by one event). Called outside the lock,
+	// on the mutating goroutine; must be cheap and non-blocking.
+	onDispatch func(fired int)
 }
 
 // NewWatchManager returns an empty watch manager.
@@ -44,6 +48,14 @@ func NewWatchManager() *WatchManager {
 		exist: make(map[string]map[Watcher]struct{}),
 		child: make(map[string]map[Watcher]struct{}),
 	}
+}
+
+// SetDispatchObserver installs a hook observing every non-empty watch
+// dispatch with the number of watchers it fired — the watch fan-out
+// signal for the metrics layer. Install before traffic starts; the
+// field is read without synchronization on the trigger path.
+func (m *WatchManager) SetDispatchObserver(fn func(fired int)) {
+	m.onDispatch = fn
 }
 
 // Add registers a one-shot watch of the given kind on path.
@@ -122,6 +134,9 @@ func (m *WatchManager) trigger(path string, typ wire.EventType) {
 	}
 	m.mu.Unlock()
 
+	if len(fired) > 0 && m.onDispatch != nil {
+		m.onDispatch(len(fired))
+	}
 	for _, w := range fired {
 		w.Notify(ev)
 	}

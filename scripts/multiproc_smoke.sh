@@ -7,7 +7,10 @@
 # while the leader is down), SIGKILL the leader process, and assert
 # the survivors re-elect and converge on post-failover writes. This
 # exercises the same binaries and flags an operator uses, end to end,
-# on top of what the in-test harness already covers.
+# on top of what the in-test harness already covers. Every node also
+# serves the admin metrics endpoint (-metrics-addr); after the clean
+# legs the script scrapes /metrics on all four processes and asserts
+# zero outbox sheds and zero corrupt storage records.
 #
 # SMOKE_DURABLE=1 additionally gives every node -data-dir and finishes
 # with a restart-from-disk pass: the WHOLE ensemble is killed and
@@ -53,10 +56,12 @@ fi
 # normal flow — the crash harness drives voters alone.
 MESH=()
 CADDR=()
+MADDR=()
 TOPO=""
 for i in 1 2 3 4; do
   MESH[$i]="127.0.0.1:$((BASE + i))"
   CADDR[$i]="127.0.0.1:$((BASE + 10 + i))"
+  MADDR[$i]="127.0.0.1:$((BASE + 20 + i))"
   TOPO="${TOPO:+$TOPO;}$i@${MESH[$i]}"
 done
 TOPO="$TOPO:observer"
@@ -84,6 +89,7 @@ start_node() {
   "$BIN/skserver" -variant "$VARIANT" -id "$i" -topology "$TOPO" \
     ${KEYFLAGS[@]+"${KEYFLAGS[@]}"} \
     ${extra[@]+"${extra[@]}"} \
+    -metrics-addr "${MADDR[$i]}" \
     -listen "${CADDR[$i]}" >>"$LOGS/node$i.log" 2>&1 &
   PIDS[$i]=$!
   echo "== node $i started (pid ${PIDS[$i]}, clients ${CADDR[$i]}, durable=$DURABLE)"
@@ -181,6 +187,18 @@ acked_paths() {
   (grep '^ACK ' "$1" || true) | awk '{print $2}'
 }
 
+# metric_sum HOST:PORT NAME — scrape the node's /metrics endpoint and
+# sum the family's samples across label sets. An absent family prints
+# 0: counters only appear once incremented... except that every node
+# here registers these families at boot, so absence would itself be a
+# wiring bug — which the metrics smoke (scripts/metrics_smoke.sh)
+# catches; this helper only needs "never fired" and "not yet scraped"
+# to both read as zero.
+metric_sum() {
+  curl -sf --max-time 5 "http://$1/metrics" \
+    | awk -v name="$2" 'index($1, name) == 1 { s += $NF } END { printf "%.0f\n", s }'
+}
+
 if [ "$CRASH" = 1 ]; then
   echo "== crash-consistency harness: $CRASH_ITERS iterations per leg"
 
@@ -203,7 +221,7 @@ if [ "$CRASH" = 1 ]; then
     # acknowledged writes through the crash.
     [ "$ACKED" -gt 0 ] || { echo "FAIL: no acknowledged writes (leg A iter $k)" >&2; exit 1; }
 
-    wait_port_free "${MESH[$VICTIM]}" "${CADDR[$VICTIM]}"
+    wait_port_free "${MESH[$VICTIM]}" "${CADDR[$VICTIM]}" "${MADDR[$VICTIM]}"
     start_node "$VICTIM"
     wait_leader
     retry skc -addr "${CADDR[$VICTIM]}" sync /
@@ -238,7 +256,9 @@ if [ "$CRASH" = 1 ]; then
     ACKED=$(acked_paths "$LEDGER" | wc -l)
     echo "== [B$k] $(tail -n 1 "$LEDGER")"
 
-    wait_port_free "${MESH[1]}" "${MESH[2]}" "${MESH[3]}" "${CADDR[1]}" "${CADDR[2]}" "${CADDR[3]}"
+    wait_port_free "${MESH[1]}" "${MESH[2]}" "${MESH[3]}" \
+      "${CADDR[1]}" "${CADDR[2]}" "${CADDR[3]}" \
+      "${MADDR[1]}" "${MADDR[2]}" "${MADDR[3]}"
     for i in 1 2 3; do start_node "$i"; done
     wait_leader
     # No live peer survived: everything below can only have come from
@@ -311,6 +331,21 @@ DL=$(tree_digest "${CADDR[$LEADER]}")
 [ "$DO" = "$DL" ] || { echo "FAIL: observer digest $DO != leader digest $DL" >&2; exit 1; }
 echo "== observer synced, forwards writes, digest converged ($DO)"
 
+# Clean-run metrics invariants, checked BEFORE any SIGKILL: a healthy
+# ensemble must never shed peer-mesh messages (sheds mean an outbox hit
+# capacity and silently dropped — only acceptable under real overload)
+# and must never count a corrupt storage record (corruption counters
+# firing on a clean run would mean the WAL/snapshot codecs are
+# quietly eating state).
+echo "== metrics: clean-run scrape across all 4 processes"
+for i in 1 2 3 4; do
+  shed=$(metric_sum "${MADDR[$i]}" zabnet_outbox_shed_total)
+  corrupt=$(metric_sum "${MADDR[$i]}" storage_corrupt_records_total)
+  [ "$shed" = 0 ] || { echo "FAIL: node $i shed $shed outbox messages on a clean run" >&2; exit 1; }
+  [ "$corrupt" = 0 ] || { echo "FAIL: node $i counted $corrupt corrupt storage records on a clean run" >&2; exit 1; }
+done
+echo "== metrics clean: zero outbox sheds, zero corrupt records"
+
 echo "== SIGKILL leader (node $LEADER)"
 LEADER_PID="${PIDS[$LEADER]}"
 kill -9 "$LEADER_PID"
@@ -345,7 +380,7 @@ got=$(skc -addr "${CADDR[4]}" get /smoke)
 [[ "$got" == v3* ]] || { echo "FAIL: observer read '$got' after failover, want v3" >&2; exit 1; }
 
 echo "== restart node $LEADER and verify resync"
-wait_port_free "${MESH[$LEADER]}" "${CADDR[$LEADER]}"
+wait_port_free "${MESH[$LEADER]}" "${CADDR[$LEADER]}" "${MADDR[$LEADER]}"
 start_node "$LEADER"
 retry skc -addr "${CADDR[$LEADER]}" sync /smoke
 got=$(skc -addr "${CADDR[$LEADER]}" get /smoke)
@@ -362,7 +397,9 @@ if [ "$DURABLE" = 1 ]; then
     unset "PIDS[$i]" || true
   done
   wait_dead "${OLD_PIDS[@]}"
-  wait_port_free "${MESH[1]}" "${MESH[2]}" "${MESH[3]}" "${CADDR[1]}" "${CADDR[2]}" "${CADDR[3]}"
+  wait_port_free "${MESH[1]}" "${MESH[2]}" "${MESH[3]}" \
+    "${CADDR[1]}" "${CADDR[2]}" "${CADDR[3]}" \
+    "${MADDR[1]}" "${MADDR[2]}" "${MADDR[3]}"
   for i in 1 2 3; do start_node "$i"; done
   wait_leader
   retry skc -addr "${CADDR[1]},${CADDR[2]},${CADDR[3]}" sync /smoke
