@@ -1,0 +1,163 @@
+// Command skchaos runs the chaos harness: a recipe workload (fenced
+// lock, work queue, rate limiter, config cache) driven through a
+// deterministic, seed-replayable fault schedule (message drops,
+// latency, symmetric and asymmetric partitions, leader churn, fsync
+// stalls), with per-recipe safety checkers verifying the recorded
+// client history afterwards.
+//
+//	skchaos -list                         show scenarios
+//	skchaos -scenario lock -seed 7        run one scenario
+//	skchaos -scenario queue -plan         print the fault schedule only
+//	skchaos -scenario all                 run every scenario
+//
+// The fault schedule is a pure function of (-seed, -scenario,
+// -duration, -replicas): rerunning with the same flags replays the
+// identical schedule, which is how a violating run is reproduced.
+// A safety violation prints the offending history events and the exact
+// replay command, and exits non-zero.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"securekeeper/internal/chaos"
+	"securekeeper/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "skchaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("skchaos", flag.ContinueOnError)
+	scenario := fs.String("scenario", "", "scenario to run (or 'all')")
+	seed := fs.Int64("seed", 1, "fault-schedule seed (same seed = same schedule)")
+	duration := fs.Duration("duration", 5*time.Second, "fault-phase duration")
+	replicas := fs.Int("replicas", 3, "voting replicas")
+	workers := fs.Int("workers", 4, "workload goroutines")
+	variantName := fs.String("variant", "vanilla", "cluster variant: vanilla, tls or securekeeper")
+	dataDir := fs.String("datadir", "", "enable durable replicas (and storage faults) under this directory")
+	list := fs.Bool("list", false, "list scenarios and exit")
+	plan := fs.Bool("plan", false, "print the planned fault schedule and exit")
+	verbose := fs.Bool("v", false, "log controller actions as they fire")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range chaos.Scenarios() {
+			fmt.Printf("%-12s %s\n", name, chaos.ScenarioAbout(name))
+		}
+		return nil
+	}
+	if *scenario == "" {
+		return fmt.Errorf("usage: skchaos -scenario <%s|all> [-seed N] [-duration D] [-plan]", strings.Join(chaos.Scenarios(), "|"))
+	}
+
+	variant, err := parseVariant(*variantName)
+	if err != nil {
+		return err
+	}
+	names := []string{*scenario}
+	if *scenario == "all" {
+		names = chaos.Scenarios()
+	}
+
+	failed := 0
+	for _, name := range names {
+		cfg := chaos.ScenarioConfig{
+			Scenario: name,
+			Seed:     *seed,
+			Duration: *duration,
+			Replicas: *replicas,
+			Workers:  *workers,
+			Variant:  variant,
+		}
+		if *dataDir != "" {
+			cfg.DataDir = fmt.Sprintf("%s/%s", *dataDir, name)
+		}
+		if *verbose {
+			cfg.Logf = func(format string, a ...any) {
+				fmt.Printf("  [ctl] "+format+"\n", a...)
+			}
+		}
+		if *plan {
+			sched, err := chaos.PlanScenario(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("# %s seed=%d duration=%v replicas=%d\n%s\n", name, *seed, *duration, *replicas, sched)
+			continue
+		}
+		rep, err := runOne(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if !rep.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d scenario(s) reported safety violations", failed)
+	}
+	return nil
+}
+
+func runOne(cfg chaos.ScenarioConfig) (*chaos.Report, error) {
+	fmt.Printf("=== %s seed=%d duration=%v replicas=%d workers=%d variant=%s\n",
+		cfg.Scenario, cfg.Seed, cfg.Duration, cfg.Replicas, cfg.Workers, cfg.Variant)
+	start := time.Now()
+	rep, err := chaos.RunScenario(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("schedule:\n%s\n", indent(rep.Schedule.String()))
+	fmt.Printf("executed:\n%s\n", indent(strings.Join(rep.Executed, "\n")))
+	fmt.Printf("history: %d ops | faults: dropped=%d cut=%d delayed=%d | %.1fs\n",
+		rep.Ops, rep.Stats.Dropped, rep.Stats.Cut, rep.Stats.Delayed, time.Since(start).Seconds())
+	if rep.Passed() {
+		fmt.Printf("PASS %s\n\n", cfg.Scenario)
+		return rep, nil
+	}
+	fmt.Printf("FAIL %s: %d violation(s)\n", cfg.Scenario, len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Printf("  VIOLATION: %s\n", v)
+	}
+	if cfg.Logf != nil {
+		fmt.Println("history:")
+		for _, op := range rep.History {
+			fmt.Printf("  %s\n", op)
+		}
+	}
+	fmt.Printf("replay: skchaos -scenario %s -seed %d -duration %v -replicas %d -workers %d\n\n",
+		cfg.Scenario, cfg.Seed, cfg.Duration, cfg.Replicas, cfg.Workers)
+	return rep, nil
+}
+
+func parseVariant(name string) (core.Variant, error) {
+	switch strings.ToLower(name) {
+	case "vanilla":
+		return core.Vanilla, nil
+	case "tls":
+		return core.TLS, nil
+	case "securekeeper", "sk":
+		return core.SecureKeeper, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q (vanilla, tls, securekeeper)", name)
+	}
+}
+
+func indent(s string) string {
+	if s == "" {
+		return "  (none)"
+	}
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}

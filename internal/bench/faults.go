@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"securekeeper/internal/chaos"
 	"securekeeper/internal/client"
 	"securekeeper/internal/core"
 )
@@ -126,19 +127,18 @@ func runFaultRun(v core.Variant, c FaultConfig) (Series, error) {
 		}(i)
 	}
 
-	// Fault injection at the configured bucket boundary. If an
-	// election happens to be in flight, wait for it so the intended
-	// role is actually killed.
-	killAt := start.Add(time.Duration(c.KillBucket) * c.BucketDur)
-	time.Sleep(time.Until(killAt))
-	victim := pickVictim(cluster, c.KillLeader)
-	for retry := 0; victim < 0 && retry < 100; retry++ {
-		time.Sleep(10 * time.Millisecond)
-		victim = pickVictim(cluster, c.KillLeader)
+	// Fault injection at the configured bucket boundary, driven through
+	// the chaos controller: it resolves the victim at fire time (waiting
+	// out an in-flight election so the intended role is actually killed)
+	// and logs what it did, the same machinery the scenario harness uses.
+	act := chaos.ActKillFollower
+	if c.KillLeader {
+		act = chaos.ActKillLeader
 	}
-	if victim >= 0 {
-		cluster.StopReplica(victim)
-	}
+	ctl := &chaos.Controller{Target: chaos.ClusterTarget{C: cluster}}
+	_ = ctl.Run(context.Background(), chaos.Schedule{
+		{At: time.Duration(c.KillBucket)*c.BucketDur - time.Since(start), Act: act},
+	})
 
 	end := start.Add(time.Duration(c.Buckets) * c.BucketDur)
 	time.Sleep(time.Until(end))
@@ -152,19 +152,6 @@ func runFaultRun(v core.Variant, c FaultConfig) (Series, error) {
 		s.Y = append(s.Y, float64(buckets[i].Load())*perSec)
 	}
 	return s, nil
-}
-
-func pickVictim(cluster *core.Cluster, leader bool) int {
-	li := cluster.LeaderIndex()
-	if leader {
-		return li
-	}
-	for i := 0; i < cluster.Size(); i++ {
-		if i != li && !cluster.Stopped(i) {
-			return i
-		}
-	}
-	return -1
 }
 
 // faultWorker keeps a windowed async 70:30 load running, reconnecting

@@ -1,0 +1,172 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The checkers below verify recipe safety properties over a recorded
+// History. Each returns a (possibly empty) list of human-readable
+// violations; an empty list means the history is consistent with the
+// property. They are pure functions of their inputs so the same
+// history always yields the same verdict — and so the tests can feed
+// them hand-seeded violating histories and prove they reject them.
+
+// CheckLockFencing verifies fencing-token monotonicity for the fenced
+// lock: in acquisition order, tokens must be strictly increasing and
+// never repeat. A stale holder resurfacing after a partition would
+// appear as a token at or below one already seen — exactly the failure
+// fencing tokens exist to make detectable.
+func CheckLockFencing(ops []Op) []string {
+	var violations []string
+	last := int64(-1)
+	var lastOp Op
+	for _, op := range ops {
+		if op.Kind != OpLockAcquired {
+			continue
+		}
+		if op.Token <= 0 {
+			violations = append(violations, fmt.Sprintf("lock acquired with unset fencing token: %s", op))
+		}
+		if last >= 0 && op.Token <= last {
+			violations = append(violations, fmt.Sprintf("fencing token not strictly increasing: %s after %s", op, lastOp))
+		}
+		if op.Token > last {
+			last = op.Token
+			lastOp = op
+		}
+	}
+	return violations
+}
+
+// CheckQueue verifies the work queue's exactly-once contract over a
+// drained run: no job is claimed twice (double-claim), and every
+// ACKed put is either processed or still visibly pending (lost-job).
+// done and pending are the queue's final child lists after the drain.
+func CheckQueue(ops []Op, done, pending []string) []string {
+	var violations []string
+	// First pass: collect every put the history knows about. Put and
+	// take records are appended concurrently by different workers, so
+	// a take may legitimately precede its put's ack in append order —
+	// existence checks must span the whole history, not a prefix.
+	acked := make(map[string]Op)
+	// An unconfirmed put is identified by payload, not name: the
+	// producer lost the connection before learning the queue-assigned
+	// name, so a take matches it through the job's data.
+	maybePayload := make(map[string]bool)
+	for _, op := range ops {
+		switch op.Kind {
+		case OpQueuePutAck:
+			acked[op.Name] = op
+		case OpQueuePutMaybe:
+			maybePayload[op.Name] = true
+		}
+	}
+	takenBy := make(map[string]Op)
+	for _, op := range ops {
+		if op.Kind != OpQueueTake {
+			continue
+		}
+		if prev, dup := takenBy[op.Name]; dup {
+			violations = append(violations, fmt.Sprintf("job claimed twice: %s and %s", prev, op))
+			continue
+		}
+		takenBy[op.Name] = op
+		if _, ok := acked[op.Name]; !ok && !maybePayload[op.Data] {
+			violations = append(violations, fmt.Sprintf("job taken but never put: %s", op))
+		}
+	}
+	inDone := make(map[string]bool, len(done))
+	for _, name := range done {
+		inDone[name] = true
+	}
+	inPending := make(map[string]bool, len(pending))
+	for _, name := range pending {
+		inPending[name] = true
+	}
+	names := make([]string, 0, len(acked))
+	for name := range acked {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		// A take's Txn can commit while the consumer's connection dies
+		// before the ACK, so the job lands in done/ with no recorded
+		// take op — processed, not lost. Lost means ACKed yet absent
+		// from every place it could legally be.
+		if _, taken := takenBy[name]; !taken && !inPending[name] && !inDone[name] {
+			violations = append(violations, fmt.Sprintf("job lost: %s ACKed but not taken, pending, or done", acked[name]))
+		}
+		if _, taken := takenBy[name]; taken && !inDone[name] {
+			violations = append(violations, fmt.Sprintf("job taken but missing from done/: %s", takenBy[name]))
+		}
+	}
+	return violations
+}
+
+// CheckRateLimit verifies the token bucket's hard bound: within any
+// one refill epoch, the number of admitted requests never exceeds the
+// bucket capacity — regardless of how many clients raced, retried or
+// reconnected while faults fired.
+func CheckRateLimit(ops []Op, capacity int64) []string {
+	var violations []string
+	perEpoch := make(map[int64]int64)
+	var epochs []int64
+	for _, op := range ops {
+		if op.Kind != OpRateAdmit {
+			continue
+		}
+		if perEpoch[op.Epoch] == 0 {
+			epochs = append(epochs, op.Epoch)
+		}
+		perEpoch[op.Epoch]++
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	for _, e := range epochs {
+		if perEpoch[e] > capacity {
+			violations = append(violations, fmt.Sprintf("epoch %d admitted %d > capacity %d", e, perEpoch[e], capacity))
+		}
+	}
+	return violations
+}
+
+// CheckConfigCache verifies the hot-reload cache's staleness bounds:
+// each client's observed config version never goes backwards, no
+// client observes a version that was never published, and — after the
+// run's final publish-and-settle drain — every observing client has
+// converged to the last published version.
+func CheckConfigCache(ops []Op) []string {
+	var violations []string
+	published := make(map[int64]bool)
+	var maxPublished int64
+	lastSeen := make(map[int]Op)
+	for _, op := range ops {
+		switch op.Kind {
+		case OpCachePublish:
+			published[op.Ver] = true
+			if op.Ver > maxPublished {
+				maxPublished = op.Ver
+			}
+		case OpCacheObserve:
+			if prev, ok := lastSeen[op.Client]; ok && op.Ver < prev.Ver {
+				violations = append(violations, fmt.Sprintf("cache went backwards: %s after %s", op, prev))
+			}
+			lastSeen[op.Client] = op
+		}
+	}
+	clients := make([]int, 0, len(lastSeen))
+	for c := range lastSeen {
+		clients = append(clients, c)
+	}
+	sort.Ints(clients)
+	for _, c := range clients {
+		op := lastSeen[c]
+		if !published[op.Ver] && op.Ver != 0 {
+			violations = append(violations, fmt.Sprintf("cache observed unpublished version: %s", op))
+		}
+		if maxPublished > 0 && op.Ver != maxPublished {
+			violations = append(violations, fmt.Sprintf("cache failed to converge: %s, final published ver=%d", op, maxPublished))
+		}
+	}
+	return violations
+}

@@ -1,0 +1,135 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every checker test follows the same shape: a clean history passes,
+// and a history seeded with the specific violation the checker exists
+// to catch is provably rejected — the guarantee that a PASS from the
+// harness means the property actually held.
+
+func TestCheckLockFencing(t *testing.T) {
+	clean := []Op{
+		{Kind: OpLockAcquired, Client: 0, Token: 5},
+		{Kind: OpLockReleased, Client: 0, Token: 5},
+		{Kind: OpLockAcquired, Client: 1, Token: 9},
+	}
+	if v := CheckLockFencing(clean); len(v) != 0 {
+		t.Fatalf("clean history rejected: %v", v)
+	}
+	stale := append(clean, Op{Kind: OpLockAcquired, Client: 0, Token: 7})
+	if v := CheckLockFencing(stale); len(v) != 1 || !strings.Contains(v[0], "not strictly increasing") {
+		t.Fatalf("stale-holder token 7 after 9 not flagged: %v", v)
+	}
+	unset := []Op{{Kind: OpLockAcquired, Client: 0, Token: 0}}
+	if v := CheckLockFencing(unset); len(v) != 1 || !strings.Contains(v[0], "unset fencing token") {
+		t.Fatalf("zero token not flagged: %v", v)
+	}
+}
+
+func TestCheckQueue(t *testing.T) {
+	clean := []Op{
+		{Kind: OpQueuePutAck, Client: 0, Name: "job-1"},
+		{Kind: OpQueuePutAck, Client: 0, Name: "job-2"},
+		{Kind: OpQueueTake, Client: 1, Name: "job-1", Data: "a"},
+	}
+	if v := CheckQueue(clean, []string{"job-1"}, []string{"job-2"}); len(v) != 0 {
+		t.Fatalf("clean history rejected: %v", v)
+	}
+
+	double := append(clean, Op{Kind: OpQueueTake, Client: 2, Name: "job-1", Data: "a"})
+	if v := CheckQueue(double, []string{"job-1"}, []string{"job-2"}); len(v) != 1 || !strings.Contains(v[0], "claimed twice") {
+		t.Fatalf("double claim not flagged: %v", v)
+	}
+
+	phantom := append(clean, Op{Kind: OpQueueTake, Client: 2, Name: "job-9", Data: "x"})
+	if v := CheckQueue(phantom, []string{"job-1", "job-9"}, []string{"job-2"}); len(v) != 1 || !strings.Contains(v[0], "never put") {
+		t.Fatalf("phantom take not flagged: %v", v)
+	}
+
+	// ACKed, then gone from every legal place: the lost-job violation.
+	lost := []Op{{Kind: OpQueuePutAck, Client: 0, Name: "job-1"}}
+	if v := CheckQueue(lost, nil, nil); len(v) != 1 || !strings.Contains(v[0], "job lost") {
+		t.Fatalf("lost job not flagged: %v", v)
+	}
+
+	// Taken, but the Txn's done/ node is missing from the drain.
+	vanished := []Op{
+		{Kind: OpQueuePutAck, Client: 0, Name: "job-1"},
+		{Kind: OpQueueTake, Client: 1, Name: "job-1", Data: "a"},
+	}
+	if v := CheckQueue(vanished, nil, nil); len(v) != 1 || !strings.Contains(v[0], "missing from done/") {
+		t.Fatalf("vanished done node not flagged: %v", v)
+	}
+}
+
+// TestCheckQueueOrderInsensitive is the regression for concurrent
+// append order: a take recorded BEFORE its put's ack (both workers
+// append racing) is legal — existence checks span the whole history.
+func TestCheckQueueOrderInsensitive(t *testing.T) {
+	ops := []Op{
+		{Kind: OpQueueTake, Client: 1, Name: "job-1", Data: "a"},
+		{Kind: OpQueuePutAck, Client: 0, Name: "job-1"},
+	}
+	if v := CheckQueue(ops, []string{"job-1"}, nil); len(v) != 0 {
+		t.Fatalf("take appended before its put-ack rejected: %v", v)
+	}
+	// An unconfirmed put is matched by payload: the producer never
+	// learned the queue-assigned name.
+	maybe := []Op{
+		{Kind: OpQueueTake, Client: 1, Name: "job-7", Data: "payload-x"},
+		{Kind: OpQueuePutMaybe, Client: 0, Name: "payload-x"},
+	}
+	if v := CheckQueue(maybe, []string{"job-7"}, nil); len(v) != 0 {
+		t.Fatalf("take of an unconfirmed put rejected: %v", v)
+	}
+}
+
+func TestCheckRateLimit(t *testing.T) {
+	var clean []Op
+	for i := 0; i < 4; i++ {
+		clean = append(clean, Op{Kind: OpRateAdmit, Client: i, Epoch: 1})
+		clean = append(clean, Op{Kind: OpRateAdmit, Client: i, Epoch: 2})
+	}
+	if v := CheckRateLimit(clean, 4); len(v) != 0 {
+		t.Fatalf("clean history rejected: %v", v)
+	}
+	over := append(clean, Op{Kind: OpRateAdmit, Client: 9, Epoch: 2})
+	v := CheckRateLimit(over, 4)
+	if len(v) != 1 || !strings.Contains(v[0], "epoch 2 admitted 5 > capacity 4") {
+		t.Fatalf("over-admission not flagged: %v", v)
+	}
+}
+
+func TestCheckConfigCache(t *testing.T) {
+	clean := []Op{
+		{Kind: OpCachePublish, Client: -1, Ver: 1},
+		{Kind: OpCacheObserve, Client: 0, Ver: 1},
+		{Kind: OpCachePublish, Client: -1, Ver: 2},
+		{Kind: OpCacheObserve, Client: 0, Ver: 2},
+		{Kind: OpCacheObserve, Client: 1, Ver: 2},
+	}
+	if v := CheckConfigCache(clean); len(v) != 0 {
+		t.Fatalf("clean history rejected: %v", v)
+	}
+
+	backwards := append(clean, Op{Kind: OpCacheObserve, Client: 0, Ver: 1}, Op{Kind: OpCacheObserve, Client: 0, Ver: 2})
+	if v := CheckConfigCache(backwards); len(v) != 1 || !strings.Contains(v[0], "went backwards") {
+		t.Fatalf("backwards observation not flagged: %v", v)
+	}
+
+	phantom := append(clean, Op{Kind: OpCacheObserve, Client: 1, Ver: 7})
+	v := CheckConfigCache(phantom)
+	if len(v) != 2 || !strings.Contains(v[0], "unpublished") || !strings.Contains(v[1], "failed to converge") {
+		t.Fatalf("unpublished observation not flagged: %v", v)
+	}
+
+	stale := append(clean, Op{Kind: OpCachePublish, Client: -1, Ver: 3}, Op{Kind: OpCacheObserve, Client: 1, Ver: 3})
+	// Client 0 never saw ver 3: convergence violation for it alone.
+	v = CheckConfigCache(stale)
+	if len(v) != 1 || !strings.Contains(v[0], "failed to converge") || !strings.Contains(v[0], "client=0") {
+		t.Fatalf("stale client not flagged: %v", v)
+	}
+}

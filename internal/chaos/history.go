@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+)
+
+// OpKind tags one recorded client-visible operation.
+type OpKind int
+
+const (
+	// OpLockAcquired: Client holds the lock with fencing Token.
+	OpLockAcquired OpKind = iota
+	// OpLockReleased: Client gave the lock up (Token as acquired).
+	OpLockReleased
+	// OpQueuePutAck: a producer's put of job Name was ACKed — the job
+	// must eventually be processed exactly once.
+	OpQueuePutAck
+	// OpQueuePutMaybe: the put's outcome is unknown (connection loss
+	// mid-op); the job MAY exist, so a later take of it is legal but
+	// not required.
+	OpQueuePutMaybe
+	// OpQueueTake: Client claimed and completed job Name.
+	OpQueueTake
+	// OpRateAdmit: Client was admitted by the rate limiter in Epoch.
+	OpRateAdmit
+	// OpCachePublish: config Version was published (writer side).
+	OpCachePublish
+	// OpCacheObserve: Client's cache served config Version.
+	OpCacheObserve
+)
+
+// String names the op kind for violation reports.
+func (k OpKind) String() string {
+	switch k {
+	case OpLockAcquired:
+		return "lock-acquired"
+	case OpLockReleased:
+		return "lock-released"
+	case OpQueuePutAck:
+		return "queue-put-ack"
+	case OpQueuePutMaybe:
+		return "queue-put-maybe"
+	case OpQueueTake:
+		return "queue-take"
+	case OpRateAdmit:
+		return "rate-admit"
+	case OpCachePublish:
+		return "cache-publish"
+	case OpCacheObserve:
+		return "cache-observe"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one client-visible event in a recorded run history. Which
+// fields are meaningful depends on Kind; unused fields are zero.
+type Op struct {
+	Kind   OpKind
+	Client int    // worker index that observed the event
+	Token  int64  // lock fencing token (zxid)
+	Name   string // queue job name (put-maybe: the payload, the only identity the producer learned)
+	Data   string // queue job payload as taken (matches put-maybe ops by payload)
+	Epoch  int64  // rate-limiter refill epoch
+	Ver    int64  // config version
+	Seq    int    // append order, assigned by the history
+}
+
+// String renders the op for violation reports.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpLockAcquired, OpLockReleased:
+		return fmt.Sprintf("#%d %s client=%d token=%d", o.Seq, o.Kind, o.Client, o.Token)
+	case OpQueueTake:
+		return fmt.Sprintf("#%d %s client=%d name=%s data=%s", o.Seq, o.Kind, o.Client, o.Name, o.Data)
+	case OpQueuePutAck, OpQueuePutMaybe:
+		return fmt.Sprintf("#%d %s client=%d name=%s", o.Seq, o.Kind, o.Client, o.Name)
+	case OpRateAdmit:
+		return fmt.Sprintf("#%d %s client=%d epoch=%d", o.Seq, o.Kind, o.Client, o.Epoch)
+	case OpCachePublish, OpCacheObserve:
+		return fmt.Sprintf("#%d %s client=%d ver=%d", o.Seq, o.Kind, o.Client, o.Ver)
+	default:
+		return fmt.Sprintf("#%d %s", o.Seq, o.Kind)
+	}
+}
+
+// History is the append-only record of client-visible events a
+// scenario's workers produce while faults fire; the safety checkers
+// consume it after the run. Appends are cheap (one mutex) so recording
+// does not distort the workload being tested.
+type History struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+// Append records one op, stamping its append order.
+func (h *History) Append(op Op) {
+	h.mu.Lock()
+	op.Seq = len(h.ops)
+	h.ops = append(h.ops, op)
+	h.mu.Unlock()
+}
+
+// Ops snapshots the recorded history in append order.
+func (h *History) Ops() []Op {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Op(nil), h.ops...)
+}
+
+// Len reports the number of recorded ops.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.ops)
+}

@@ -154,12 +154,18 @@ type Client struct {
 	sessionID int64
 	onEvent   EventHandler
 
-	xid     atomic.Int32
-	mu      sync.Mutex
-	pending map[int32]call
-	watches map[watchKey]map[*Watch]struct{}
-	closed  bool
-	readErr error
+	xid atomic.Int32
+	// lastZxid is the highest zxid observed in any reply header —
+	// written only by the receive loop, read by LastZxid. It is the
+	// session's commit frontier: a client that reconnects elsewhere can
+	// hand it to Sync-style barriers or compare it against another
+	// member's committed zxid to detect stale reads.
+	lastZxid atomic.Int64
+	mu       sync.Mutex
+	pending  map[int32]call
+	watches  map[watchKey]map[*Watch]struct{}
+	closed   bool
+	readErr  error
 
 	recvDone chan struct{}
 }
@@ -207,6 +213,10 @@ func NewSession(conn transport.Conn, opts Options) (*Client, error) {
 // SessionID returns the server-assigned session identifier.
 func (c *Client) SessionID() int64 { return c.sessionID }
 
+// LastZxid returns the highest zxid seen in any reply on this session
+// — the commit frontier this client has provably observed.
+func (c *Client) LastZxid() int64 { return c.lastZxid.Load() }
+
 // Close terminates the session and the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -248,6 +258,9 @@ func (c *Client) recvLoop() {
 		}
 		if hdr.Xid == wire.PingXid {
 			continue
+		}
+		if hdr.Zxid > c.lastZxid.Load() {
+			c.lastZxid.Store(hdr.Zxid)
 		}
 		c.mu.Lock()
 		ca, ok := c.pending[hdr.Xid]
@@ -488,17 +501,37 @@ func (c *Client) MultiAsync(ops []wire.MultiOp) *Future {
 }
 
 // --- synchronous API ---
+//
+// The plain methods return the operation-specific values; their R
+// twins (CreateR, SetR, DeleteR, SyncR, MultiR) return the full Result
+// so callers that care about the commit coordinate get the per-op Zxid
+// instead of dropping it — the async API always carried it, and the
+// fenced-lock recipe turns a CreateR zxid directly into its fencing
+// token (the created node's Czxid IS the create op's zxid).
 
 // Create creates a znode and returns its actual path (with the
 // sequence suffix for sequential nodes).
 func (c *Client) Create(ctx context.Context, path string, data []byte, flags wire.CreateFlags) (string, error) {
-	res := c.do(ctx, wire.OpCreate, &wire.CreateRequest{Path: path, Data: data, Flags: flags})
+	res := c.CreateR(ctx, path, data, flags)
 	return res.Path, res.Err
+}
+
+// CreateR is Create returning the full Result: Path carries the actual
+// (sequence-suffixed) node path and Zxid the creating transaction —
+// the node's Czxid, usable as a fencing token without a second read.
+func (c *Client) CreateR(ctx context.Context, path string, data []byte, flags wire.CreateFlags) Result {
+	return c.do(ctx, wire.OpCreate, &wire.CreateRequest{Path: path, Data: data, Flags: flags})
 }
 
 // Delete removes a znode; version -1 matches any version.
 func (c *Client) Delete(ctx context.Context, path string, version int32) error {
-	return c.do(ctx, wire.OpDelete, &wire.DeleteRequest{Path: path, Version: version}).Err
+	return c.DeleteR(ctx, path, version).Err
+}
+
+// DeleteR is Delete returning the full Result (Zxid of the deleting
+// transaction).
+func (c *Client) DeleteR(ctx context.Context, path string, version int32) Result {
+	return c.do(ctx, wire.OpDelete, &wire.DeleteRequest{Path: path, Version: version})
 }
 
 // Get reads a znode's payload and Stat.
@@ -523,8 +556,14 @@ func (c *Client) GetW(ctx context.Context, path string) ([]byte, wire.Stat, *Wat
 
 // Set replaces a znode's payload; version -1 matches any version.
 func (c *Client) Set(ctx context.Context, path string, data []byte, version int32) (wire.Stat, error) {
-	res := c.do(ctx, wire.OpSetData, &wire.SetDataRequest{Path: path, Data: data, Version: version})
+	res := c.SetR(ctx, path, data, version)
 	return res.Stat, res.Err
+}
+
+// SetR is Set returning the full Result (Stat plus the writing
+// transaction's Zxid).
+func (c *Client) SetR(ctx context.Context, path string, data []byte, version int32) Result {
+	return c.do(ctx, wire.OpSetData, &wire.SetDataRequest{Path: path, Data: data, Version: version})
 }
 
 // Exists returns the znode's Stat or a NoNode error.
@@ -564,15 +603,29 @@ func (c *Client) ChildrenW(ctx context.Context, path string) ([]string, *Watch, 
 
 // Sync flushes the leader-replica channel for a path.
 func (c *Client) Sync(ctx context.Context, path string) error {
-	return c.do(ctx, wire.OpSync, &wire.SyncRequest{Path: path}).Err
+	return c.SyncR(ctx, path).Err
+}
+
+// SyncR is Sync returning the full Result: Zxid is the committed
+// frontier the serving replica had caught up to when the barrier
+// completed.
+func (c *Client) SyncR(ctx context.Context, path string) Result {
+	return c.do(ctx, wire.OpSync, &wire.SyncRequest{Path: path})
 }
 
 // Multi atomically applies the given sub-operations: either every op
 // commits under one zxid, or none does and the per-op results report
 // which op failed. Most callers should use the Txn builder instead.
 func (c *Client) Multi(ctx context.Context, ops []wire.MultiOp) ([]wire.MultiOpResult, error) {
-	res := c.do(ctx, wire.OpMulti, &wire.MultiRequest{Ops: ops})
+	res := c.MultiR(ctx, ops)
 	return res.Multi, res.Err
+}
+
+// MultiR is Multi returning the full Result: Zxid is the single
+// transaction the whole multi committed under (the atomic claim in the
+// work-queue recipe records it as the claim's commit coordinate).
+func (c *Client) MultiR(ctx context.Context, ops []wire.MultiOp) Result {
+	return c.do(ctx, wire.OpMulti, &wire.MultiRequest{Ops: ops})
 }
 
 // ServerStats reports the serving replica's identity and load: its

@@ -76,6 +76,17 @@ type Config struct {
 	ApplySGXLatency bool
 	// SGXCost overrides the default cost model (ablation studies).
 	SGXCost *sgx.CostModel
+	// DataDir, when set, makes every replica durable: replica i keeps
+	// its WAL and snapshots under DataDir/r<i+1>. A restarted replica
+	// then recovers from disk instead of snapshot-syncing from scratch.
+	DataDir       string
+	SnapshotEvery int
+	// WrapTransport, when set, wraps each replica's peer transport —
+	// the seam the chaos injector hooks to impose drops, delays and
+	// partitions on the in-process ensemble. reg is the host's metrics
+	// registry, so the wrapper's fault counters land on that replica's
+	// scrape. Applied again on RestartReplica.
+	WrapTransport func(id zab.PeerID, inner zab.Transport, reg *obs.Registry) zab.Transport
 }
 
 // Cluster errors.
@@ -271,15 +282,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.Variant = Vanilla
 	}
 	c := &Cluster{cfg: cfg, net: zab.NewNetwork()}
-
-	peers := make([]zab.PeerID, cfg.Replicas)
-	for i := range peers {
-		peers[i] = zab.PeerID(i + 1)
-	}
-	observers := make([]zab.PeerID, cfg.Observers)
-	for i := range observers {
-		observers[i] = zab.PeerID(cfg.Replicas + i + 1)
-	}
+	peers, observers := c.memberIDs()
 
 	// SecureKeeper: one storage key shared by all enclaves, released
 	// only after attestation.
@@ -313,14 +316,24 @@ func NewCluster(cfg Config) (*Cluster, error) {
 }
 
 func (c *Cluster) newHost(peers, observers []zab.PeerID, id zab.PeerID) (*replicaHost, error) {
-	return buildHost(c.cfg.Variant, c.keyServer, c.cfg.SGXCost, c.cfg.ApplySGXLatency, obs.NewRegistry(), server.Config{
+	reg := obs.NewRegistry()
+	var tr zab.Transport = c.net.Endpoint(id)
+	if c.cfg.WrapTransport != nil {
+		tr = c.cfg.WrapTransport(id, tr, reg)
+	}
+	scfg := server.Config{
 		ID:              id,
 		Peers:           peers,
 		Observers:       observers,
-		Transport:       c.net.Endpoint(id),
+		Transport:       tr,
 		TickInterval:    c.cfg.TickInterval,
 		ElectionTimeout: c.cfg.ElectionTimeout,
-	})
+	}
+	if c.cfg.DataDir != "" {
+		scfg.DataDir = fmt.Sprintf("%s/r%d", c.cfg.DataDir, id)
+		scfg.SnapshotEvery = c.cfg.SnapshotEvery
+	}
+	return buildHost(c.cfg.Variant, c.keyServer, c.cfg.SGXCost, c.cfg.ApplySGXLatency, reg, scfg)
 }
 
 // Variant returns the cluster's configuration variant.
@@ -383,6 +396,61 @@ func (c *Cluster) StopReplica(i int) {
 
 	c.net.SetDown(zab.PeerID(i+1), true)
 	host.replica.Close()
+}
+
+// memberIDs lists the ensemble's voter and observer identities (ids
+// are 1-based; observers follow the voters).
+func (c *Cluster) memberIDs() (peers, observers []zab.PeerID) {
+	peers = make([]zab.PeerID, c.cfg.Replicas)
+	for i := range peers {
+		peers[i] = zab.PeerID(i + 1)
+	}
+	observers = make([]zab.PeerID, c.cfg.Observers)
+	for i := range observers {
+		observers[i] = zab.PeerID(c.cfg.Replicas + i + 1)
+	}
+	return peers, observers
+}
+
+// RestartReplica brings a stopped replica back under the same ensemble
+// identity: a fresh host rejoins over the shared network, resyncing its
+// state from the leader (or recovering from its DataDir slice when the
+// cluster is durable). This is the in-process counterpart of the
+// multi-process harness's kill-and-re-exec, and the primitive behind
+// chaos leader-churn schedules.
+func (c *Cluster) RestartReplica(i int) error {
+	c.mu.Lock()
+	if i < 0 || i >= len(c.hosts) {
+		c.mu.Unlock()
+		return fmt.Errorf("core: restart replica %d of %d", i, len(c.hosts))
+	}
+	if !c.hosts[i].stopped {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+
+	peers, observers := c.memberIDs()
+	// Drop everything addressed to the previous incarnation BEFORE the
+	// new peer starts consuming: stale election votes in the mailbox
+	// could hand the fresh, empty-logged peer a ghost quorum and wipe
+	// committed state when the survivors resync from it.
+	c.net.Flush(zab.PeerID(i + 1))
+	host, err := c.newHost(peers, observers, zab.PeerID(i+1))
+	if err != nil {
+		return err
+	}
+	c.net.SetDown(zab.PeerID(i+1), false)
+	c.mu.Lock()
+	old := c.hosts[i]
+	c.hosts[i] = host
+	c.mu.Unlock()
+	// The crashed host's replica is already closed (StopReplica); only
+	// its enclave resources remain to reclaim.
+	if old.counter != nil {
+		old.counter.Close()
+	}
+	return nil
 }
 
 // Stopped reports whether replica i has been stopped.

@@ -365,6 +365,11 @@ func (r *Replica) PersistStats() storage.PersistStats {
 	return r.persister.Stats()
 }
 
+// Persister exposes the durability engine, nil when the replica is
+// in-memory. Chaos harnesses use it to inject storage faults (fsync
+// stalls, sticky failures that flip the replica into degraded mode).
+func (r *Replica) Persister() *storage.Persister { return r.persister }
+
 // WaitForRole blocks until the replica assumes a settled ensemble role
 // (leading, following, or observing with a known leader) or the timeout
 // expires.

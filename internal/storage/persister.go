@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"securekeeper/internal/obs"
 	"securekeeper/internal/ztree"
@@ -97,6 +98,12 @@ type Persister struct {
 	fsyncHist  *obs.Histogram // storage_fsync_seconds
 	txnsHist   *obs.Histogram // storage_txns_per_fsync
 	commitWait *obs.Histogram // storage_commit_wait_seconds
+
+	// syncStallNs is a fault-injection knob: when positive, every fsync
+	// is preceded by that many nanoseconds of sleep on the commit-log
+	// goroutine, modelling a degraded disk whose flushes crawl without
+	// failing (group commit keeps acknowledging, just slowly).
+	syncStallNs atomic.Int64
 }
 
 // Recover restores state from dir — latest valid snapshot, then every
@@ -346,6 +353,9 @@ func (p *Persister) commitBatch(batch []commitReq) {
 			}
 		}
 		if err == nil {
+			if stall := p.syncStallNs.Load(); stall > 0 {
+				time.Sleep(time.Duration(stall))
+			}
 			syncStart := obs.Now()
 			err = p.log.Sync()
 			p.fsyncHist.Observe(obs.Now() - syncStart)
@@ -428,6 +438,13 @@ func (p *Persister) writeSnapshotAndPurge(snap *ztree.Snapshot, zxid int64) erro
 // tests and operators): every subsequent Record, Flush and Snapshot
 // fails fast with err, as if the disk had died.
 func (p *Persister) Fail(err error) { p.fail(err) }
+
+// StallFsync injects (or, with d <= 0, clears) an fsync stall: every
+// subsequent group-commit flush sleeps d first. Unlike Fail this is
+// non-sticky and harmless to correctness — commits still land, the
+// batch window just stretches — which makes it the right probe for
+// "slow disk" chaos scenarios where degraded mode must NOT trigger.
+func (p *Persister) StallFsync(d time.Duration) { p.syncStallNs.Store(int64(d)) }
 
 func (p *Persister) fail(err error) {
 	p.mu.Lock()

@@ -542,15 +542,19 @@ func (p *Peer) startElection() {
 	p.finalizeDue = time.Time{}
 	p.round++
 	p.votes = make(map[PeerID]vote, len(p.cfg.Peers))
-	// Votes advertise the COMMITTED frontier, the same rule PR'd into
-	// FOLLOWERINFO: lastZxid also counts buffered-but-uncommitted
-	// proposals (discarded on every role change) and the bare epoch
-	// marker a leader stamps at activation. Voting with those lets a
-	// peer with *stale committed state* outbid peers holding real
-	// history — each failed reign inflates its marker further, so it
-	// keeps winning elections it cannot serve, and its snapshot syncs
-	// would roll synced followers backward over committed transactions.
-	p.myVote = vote{round: p.round, for_: p.cfg.ID, zxid: p.lastCommitted()}
+	// Votes advertise the ACKed frontier (electionZxid): the committed
+	// bound extended by the gapless in-flight prefix this peer still
+	// buffers. Committed-only is not enough — a leader that reaches
+	// quorum on a proposal commits and acks the client immediately, so
+	// if it dies before any COMMIT message lands, the acked write
+	// survives only in some follower's in-flight buffer; that follower
+	// must outbid peers with equal committed state or the write is
+	// rolled back. Raw lastZxid overshoots the other way: it counts
+	// shed proposals and the bare epoch marker a leader stamps at
+	// activation, letting a peer with *stale committed state* outbid
+	// peers holding real history. The cumulative-ACK frontier is
+	// exactly the set of transactions this peer vouched for.
+	p.myVote = vote{round: p.round, for_: p.cfg.ID, zxid: p.electionZxid()}
 	p.votes[p.cfg.ID] = p.myVote
 	p.synced = make(map[PeerID]struct{})
 	p.electionDue = time.Now().Add(p.cfg.ElectionTimeout)
@@ -655,7 +659,7 @@ func (p *Peer) handleVote(msg Message) {
 	case v.round > p.myVote.round:
 		// Join the newer round, adopting the better of the two votes.
 		p.round = v.round
-		mine := vote{round: v.round, for_: p.cfg.ID, zxid: p.lastCommitted()}
+		mine := vote{round: v.round, for_: p.cfg.ID, zxid: p.electionZxid()}
 		if betterVote(v, mine) {
 			p.myVote = v
 		} else {
@@ -732,6 +736,16 @@ func (p *Peer) finalizeElection(candidate PeerID) {
 }
 
 func (p *Peer) becomeLeader() {
+	// Leader completion: commit the gapless ACKed prefix buffered while
+	// following the previous leader. The vote advertised this frontier,
+	// so winning the election promises these transactions. Any write
+	// the old leader committed (and acked to its client) was ACKed by
+	// a quorum; that quorum intersects the quorum that elected us, and
+	// the intersecting voter only voted for a frontier at least as
+	// high as its own — so ours covers the write, and committing the
+	// prefix here is what turns that argument into a preserved write.
+	p.commitUpTo(p.electionZxid())
+	p.inflight = make(map[int64]ProposalRecord)
 	// The new epoch must exceed every epoch reflected in the votes.
 	maxEpoch := EpochOf(p.lastZxid)
 	for _, v := range p.votes {
@@ -761,7 +775,11 @@ func (p *Peer) becomeFollower(leader PeerID) {
 	p.followTarget = leader
 	p.leaderSynced = false
 	p.nextSyncAsk = time.Now().Add(p.syncAskInterval())
-	p.inflight = make(map[int64]ProposalRecord)
+	// Keep the ACKed in-flight prefix across the transition: if the new
+	// leader dies before syncing us, the next election vote must still
+	// cover every transaction this peer's ACKs vouched for. The sync
+	// answer supersedes (and trims) the buffer when it lands.
+	p.trimInflight(p.ackFrontier())
 	p.lastHeard[leader] = time.Now()
 	p.setRole(RoleFollowing, leader)
 	// FOLLOWERINFO advertises the COMMITTED frontier, never lastZxid:
@@ -857,6 +875,10 @@ func (p *Peer) handleSync(msg Message) {
 	p.stats.Resyncs++
 	p.statsMu.Unlock()
 
+	// Captured before the install moves the commit bound: the ACKed
+	// prefix as of now is what this peer's cumulative ACKs vouched for
+	// and must outlive the sync (see trimInflight).
+	keep := p.ackFrontier()
 	switch msg.Kind {
 	case KindSyncSnap:
 		p.commitLog = nil
@@ -879,7 +901,7 @@ func (p *Peer) handleSync(msg Message) {
 	}
 	p.epoch = msg.Epoch
 	p.leaderSynced = true
-	p.inflight = make(map[int64]ProposalRecord)
+	p.trimInflight(keep)
 	p.lastHeard[msg.From] = time.Now()
 	_ = p.cfg.Transport.Send(msg.From, Message{Kind: KindNewLeaderAck, Zxid: p.lastZxid})
 }
@@ -1130,6 +1152,28 @@ func (p *Peer) ackFrontier() int64 {
 	}
 }
 
+// electionZxid is the frontier a vote advertises: the committed bound
+// plus the contiguous ACKed in-flight prefix (ackFrontier). For a
+// peer with nothing buffered — a leader, or a fully caught-up
+// follower — it degenerates to the committed frontier.
+func (p *Peer) electionZxid() int64 { return p.ackFrontier() }
+
+// trimInflight drops buffered proposals outside (lastCommitted, keep]:
+// entries at or below the commit bound are applied history, entries
+// past keep were never ACKed (a gap separates them) so no quorum ever
+// counted this peer as holding them. What remains is the prefix this
+// peer's cumulative ACKs vouched for — it must survive role changes
+// and resyncs, because a leader may have committed against those ACKs
+// and died before any COMMIT message escaped.
+func (p *Peer) trimInflight(keep int64) {
+	committed := p.lastCommitted()
+	for z := range p.inflight {
+		if z <= committed || z > keep {
+			delete(p.inflight, z)
+		}
+	}
+}
+
 func (p *Peer) resync() {
 	role := p.Role()
 	if role != RoleFollowing && role != RoleObserving {
@@ -1140,7 +1184,11 @@ func (p *Peer) resync() {
 	// OBSERVERINFO so the leader never mistakes them for voters.
 	p.leaderSynced = false
 	p.nextSyncAsk = time.Now().Add(p.syncAskInterval())
-	p.inflight = make(map[int64]ProposalRecord)
+	// Shed the un-ACKed tail past the gap, but KEEP the ACKed prefix:
+	// the leader may have already committed against those ACKs, and if
+	// it dies before the sync answer arrives this buffer is the only
+	// surviving copy a truthful election vote can offer.
+	p.trimInflight(p.ackFrontier())
 	kind := KindFollowerInfo
 	if role == RoleObserving {
 		kind = KindObserverInfo

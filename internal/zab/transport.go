@@ -105,6 +105,28 @@ func (n *Network) Cut(a, b PeerID, cut bool) {
 	n.cuts[linkKey(a, b)] = cut
 }
 
+// Flush discards everything queued in a peer's mailbox. A restarted
+// peer MUST be flushed before it starts consuming: the mailbox still
+// holds messages addressed to its previous incarnation, and stale
+// election votes in particular can let a fresh, empty-logged peer
+// tally a ghost quorum and lead — wiping committed state when the
+// survivors are forced to resync from it.
+func (n *Network) Flush(id PeerID) {
+	n.mu.RLock()
+	box := n.boxes[id]
+	n.mu.RUnlock()
+	if box == nil {
+		return
+	}
+	for {
+		select {
+		case <-box:
+		default:
+			return
+		}
+	}
+}
+
 func linkKey(a, b PeerID) [2]PeerID {
 	if a > b {
 		a, b = b, a

@@ -1,0 +1,120 @@
+package recipes
+
+import (
+	"context"
+	"sync"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/wire"
+)
+
+// ConfigCache is a hot-reload configuration cache: it serves the last
+// known value of one znode from memory and keeps it fresh with a data
+// watch (watch fires → re-read → re-arm), the watch-invalidated cache
+// idiom rule engines and feature-flag stores use. Staleness is
+// bounded, not zero: between the write and the watch delivery the
+// cache serves the previous version — but it can never serve a value
+// that was never published, and it never goes backwards, because the
+// initial read is sync-then-read (bounding replica lag at attach time)
+// and every refresh re-reads through the same session, whose views are
+// ordered by zxid.
+type ConfigCache struct {
+	cl   *client.Client
+	path string
+	// onUpdate, when set, observes every version the cache serves, in
+	// the order the cache adopted them (the chaos history hook).
+	onUpdate func(data []byte, stat wire.Stat)
+
+	mu   sync.RWMutex
+	data []byte
+	stat wire.Stat
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewConfigCache attaches a cache to the znode at path. The initial
+// value is read (sync-then-read) before returning, so Value is never
+// empty while the node exists; the refresh loop then runs until Close
+// or the client session dies. onUpdate may be nil.
+func NewConfigCache(ctx context.Context, cl *client.Client, path string, onUpdate func(data []byte, stat wire.Stat)) (*ConfigCache, error) {
+	c := &ConfigCache{
+		cl:       cl,
+		path:     path,
+		onUpdate: onUpdate,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if err := cl.Sync(ctx, path); err != nil {
+		return nil, err
+	}
+	data, stat, w, err := cl.GetW(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	c.adopt(data, stat)
+	go c.run(w)
+	return c, nil
+}
+
+// Value returns the cached data and stat. The version only moves
+// forward over the cache's lifetime.
+func (c *ConfigCache) Value() ([]byte, wire.Stat) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.data, c.stat
+}
+
+// Close stops the refresh loop and waits for it to exit.
+func (c *ConfigCache) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// Done is closed when the refresh loop has exited — on Close, or when
+// the client session died and the cache went cold. Owners watch it to
+// rebuild the cache on a fresh connection.
+func (c *ConfigCache) Done() <-chan struct{} { return c.done }
+
+// adopt installs a freshly read value, refusing to go backwards (a
+// re-read racing a watch refresh could deliver out of order).
+func (c *ConfigCache) adopt(data []byte, stat wire.Stat) {
+	c.mu.Lock()
+	if stat.Mzxid < c.stat.Mzxid {
+		c.mu.Unlock()
+		return
+	}
+	changed := stat.Mzxid > c.stat.Mzxid
+	c.data, c.stat = data, stat
+	c.mu.Unlock()
+	if changed && c.onUpdate != nil {
+		c.onUpdate(data, stat)
+	}
+}
+
+// run is the refresh loop: wait for the watch, re-read, re-arm. Any
+// read error ends the loop — the session is gone and the owner is
+// expected to build a fresh cache on a fresh connection.
+func (c *ConfigCache) run(w *client.Watch) {
+	defer close(c.done)
+	ctx := context.Background()
+	for {
+		select {
+		case <-c.stop:
+			w.Cancel()
+			return
+		case _, ok := <-w.Events():
+			w.Cancel()
+			if !ok {
+				return // session over
+			}
+		}
+		data, stat, nw, err := c.cl.GetW(ctx, c.path)
+		if err != nil {
+			return
+		}
+		c.adopt(data, stat)
+		w = nw
+	}
+}

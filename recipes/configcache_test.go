@@ -1,0 +1,52 @@
+package recipes
+
+import (
+	"testing"
+	"time"
+
+	"securekeeper/internal/wire"
+)
+
+func TestConfigCache(t *testing.T) {
+	c := newCluster(t)
+	writer := connect(t, c, 0)
+	if err := EnsurePath(bg, writer, "/cfg"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Create(bg, "/cfg/current", []byte("v1"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	reader := connect(t, c, 1)
+	updates := make(chan string, 8)
+	cache, err := NewConfigCache(bg, reader, "/cfg/current", func(data []byte, _ wire.Stat) {
+		updates <- string(data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+
+	if data, _ := cache.Value(); string(data) != "v1" {
+		t.Fatalf("initial value = %q, want v1", data)
+	}
+	// NewConfigCache delivers the adopted snapshot through onUpdate too.
+	if got := <-updates; got != "v1" {
+		t.Fatalf("initial update = %q, want v1", got)
+	}
+
+	if _, err := writer.Set(bg, "/cfg/current", []byte("v2"), -1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-updates:
+		if got != "v2" {
+			t.Fatalf("update = %q, want v2", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cache never observed the published update")
+	}
+	if data, stat := cache.Value(); string(data) != "v2" || stat.Version != 1 {
+		t.Fatalf("value after update = (%q, ver %d), want (v2, ver 1)", data, stat.Version)
+	}
+}

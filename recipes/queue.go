@@ -1,0 +1,110 @@
+package recipes
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/wire"
+)
+
+// ErrQueueEmpty is returned by Take when no job is pending.
+var ErrQueueEmpty = errors.New("recipes: queue is empty")
+
+// WorkQueue is a distributed job queue with exactly-once claims:
+// producers append jobs as sequential znodes under pending/, and
+// consumers move a job to done/ with one atomic multi-op transaction
+// {check version, delete pending/job, create done/job}. Two consumers
+// racing for the same job serialize on the job node's version — the
+// loser's transaction aborts wholesale and it moves on to the next
+// job, so a job can never be claimed twice (no-double-claim) and a
+// claimed job always lands in done/ in the same commit (no-lost-job).
+type WorkQueue struct {
+	cl   *client.Client
+	root string
+}
+
+// NewWorkQueue creates (or attaches to) a queue rooted at root, with
+// pending/ and done/ beneath it.
+func NewWorkQueue(ctx context.Context, cl *client.Client, root string) (*WorkQueue, error) {
+	for _, p := range []string{root + "/pending", root + "/done"} {
+		if err := EnsurePath(ctx, cl, p); err != nil {
+			return nil, err
+		}
+	}
+	return &WorkQueue{cl: cl, root: root}, nil
+}
+
+// Put appends a job and returns its queue-assigned name. When the
+// returned error is a connection loss the job's fate is UNKNOWN — it
+// may or may not have committed — and the producer must treat it as
+// "maybe enqueued", not as a failure.
+func (q *WorkQueue) Put(ctx context.Context, data []byte) (string, error) {
+	res := q.cl.CreateR(ctx, q.root+"/pending/job-", data, wire.FlagSequential)
+	if res.Err != nil {
+		return "", fmt.Errorf("recipes: put job: %w", res.Err)
+	}
+	return strings.TrimPrefix(res.Path, q.root+"/pending/"), nil
+}
+
+// Take claims the oldest pending job: it reads the job, then commits
+// {check unchanged, delete from pending/, record in done/} as one
+// atomic transaction. A raced job (someone else claimed it first)
+// aborts the transaction and Take moves to the next candidate.
+// Returns ErrQueueEmpty when nothing is pending.
+func (q *WorkQueue) Take(ctx context.Context) (name string, data []byte, err error) {
+	kids, err := q.cl.Children(ctx, q.root+"/pending")
+	if err != nil {
+		return "", nil, err
+	}
+	sort.Strings(kids)
+	for _, kid := range kids {
+		pendingPath := q.root + "/pending/" + kid
+		jobData, stat, err := q.cl.Get(ctx, pendingPath)
+		if err != nil {
+			if isCode(err, wire.ErrNoNode) {
+				continue // claimed while we listed
+			}
+			return "", nil, err
+		}
+		_, err = q.cl.Txn().
+			Check(pendingPath, stat.Version).
+			Delete(pendingPath, stat.Version).
+			Create(q.root+"/done/"+kid, jobData, 0).
+			Commit(ctx)
+		if err != nil {
+			if isCode(err, wire.ErrBadVersion) || isCode(err, wire.ErrNoNode) || isCode(err, wire.ErrNodeExists) {
+				continue // lost the race for this job
+			}
+			return "", nil, err
+		}
+		return kid, jobData, nil
+	}
+	return "", nil, ErrQueueEmpty
+}
+
+// Pending lists unclaimed job names, sync-then-read so the view
+// includes every put agreed before the call.
+func (q *WorkQueue) Pending(ctx context.Context) ([]string, error) {
+	return q.listSynced(ctx, q.root+"/pending")
+}
+
+// Done lists processed job names, sync-then-read.
+func (q *WorkQueue) Done(ctx context.Context) ([]string, error) {
+	return q.listSynced(ctx, q.root+"/done")
+}
+
+func (q *WorkQueue) listSynced(ctx context.Context, path string) ([]string, error) {
+	if err := q.cl.Sync(ctx, path); err != nil {
+		return nil, err
+	}
+	kids, err := q.cl.Children(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(kids)
+	return kids, nil
+}

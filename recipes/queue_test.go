@@ -1,0 +1,108 @@
+package recipes
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestWorkQueuePutTake(t *testing.T) {
+	c := newCluster(t)
+	cl := connect(t, c, 0)
+	q, err := NewWorkQueue(bg, cl, "/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for i := 0; i < 3; i++ {
+		name, err := q.Put(bg, []byte(fmt.Sprintf("job-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	for i := 0; i < 3; i++ {
+		name, data, err := q.Take(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != names[i] {
+			t.Fatalf("take %d = %q, want FIFO order %q", i, name, names[i])
+		}
+		if want := fmt.Sprintf("job-%d", i); string(data) != want {
+			t.Fatalf("take %d data = %q, want %q", i, data, want)
+		}
+	}
+	if _, _, err := q.Take(bg); !errors.Is(err, ErrQueueEmpty) {
+		t.Fatalf("take on empty queue = %v, want ErrQueueEmpty", err)
+	}
+	done, err := q.Done(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, err := q.Pending(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 3 || len(pending) != 0 {
+		t.Fatalf("done=%v pending=%v, want 3 done and none pending", done, pending)
+	}
+}
+
+// TestWorkQueueNoDoubleClaim races two consumers on different replicas:
+// the Check+Delete+Create transaction must hand every job to exactly
+// one of them.
+func TestWorkQueueNoDoubleClaim(t *testing.T) {
+	c := newCluster(t)
+	const jobs = 12
+	setup := connect(t, c, 0)
+	q, err := NewWorkQueue(bg, setup, "/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < jobs; i++ {
+		if _, err := q.Put(bg, []byte(fmt.Sprintf("job-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var (
+		mu    sync.Mutex
+		taken = make(map[string]int)
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := connect(t, c, w+1)
+			wq, err := NewWorkQueue(bg, cl, "/q")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				name, _, err := wq.Take(bg)
+				if errors.Is(err, ErrQueueEmpty) {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				taken[name]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(taken) != jobs {
+		t.Fatalf("took %d distinct jobs, want %d", len(taken), jobs)
+	}
+	for name, n := range taken {
+		if n != 1 {
+			t.Fatalf("job %s claimed %d times", name, n)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package recipes
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"securekeeper/internal/client"
+	"securekeeper/internal/wire"
+)
+
+// TokenBucket is a distributed rate limiter: one znode holds
+// "epoch:tokens:capacity", admits decrement tokens with a versioned
+// CAS, and a refiller bumps the epoch and resets tokens. The znode
+// version serializes every decrement, so the bucket can never admit
+// more than capacity requests per epoch — the hard bound the chaos
+// checker asserts — no matter how many clients race, retry after
+// connection loss, or talk to lagging replicas. A client whose CAS ack
+// is lost does NOT retry the decrement (the token may already be
+// spent); it reports "not admitted", trading availability for the
+// bound, which is the correct direction for admission control.
+type TokenBucket struct {
+	cl   *client.Client
+	path string
+}
+
+// NewTokenBucket creates (or attaches to) a bucket at path holding
+// capacity tokens per epoch.
+func NewTokenBucket(ctx context.Context, cl *client.Client, path string, capacity int64) (*TokenBucket, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("recipes: bucket capacity %d", capacity)
+	}
+	parent, _ := splitPath(path)
+	if err := EnsurePath(ctx, cl, parent); err != nil {
+		return nil, err
+	}
+	seed := encodeBucket(1, capacity, capacity)
+	if _, err := cl.Create(ctx, path, seed, 0); err != nil && !isCode(err, wire.ErrNodeExists) {
+		return nil, err
+	}
+	return &TokenBucket{cl: cl, path: path}, nil
+}
+
+// Acquire requests admission. It returns the epoch the verdict applies
+// to; admitted=false with a nil error is an orderly rejection (bucket
+// empty). An error means the outcome is unknown — callers MUST treat
+// that as not admitted.
+func (b *TokenBucket) Acquire(ctx context.Context) (admitted bool, epoch int64, err error) {
+	for {
+		data, stat, err := b.cl.Get(ctx, b.path)
+		if err != nil {
+			return false, 0, err
+		}
+		ep, tokens, capacity, err := decodeBucket(data)
+		if err != nil {
+			return false, 0, err
+		}
+		if tokens <= 0 {
+			return false, ep, nil
+		}
+		next := encodeBucket(ep, tokens-1, capacity)
+		if _, err := b.cl.Set(ctx, b.path, next, stat.Version); err != nil {
+			if isCode(err, wire.ErrBadVersion) {
+				continue // raced another admit or a refill
+			}
+			return false, ep, err
+		}
+		return true, ep, nil
+	}
+}
+
+// Refill starts the next epoch with a full bucket and returns the new
+// epoch number. Concurrent refills collapse: the loser's CAS fails and
+// it retries against the new state, so epochs only move forward.
+func (b *TokenBucket) Refill(ctx context.Context) (int64, error) {
+	for {
+		data, stat, err := b.cl.Get(ctx, b.path)
+		if err != nil {
+			return 0, err
+		}
+		ep, _, capacity, err := decodeBucket(data)
+		if err != nil {
+			return 0, err
+		}
+		next := encodeBucket(ep+1, capacity, capacity)
+		if _, err := b.cl.Set(ctx, b.path, next, stat.Version); err != nil {
+			if isCode(err, wire.ErrBadVersion) {
+				continue
+			}
+			return 0, err
+		}
+		return ep + 1, nil
+	}
+}
+
+// State reads the bucket's current epoch, remaining tokens and
+// capacity (sync-then-read, so the view is current, not replica-lag).
+func (b *TokenBucket) State(ctx context.Context) (epoch, tokens, capacity int64, err error) {
+	if err := b.cl.Sync(ctx, b.path); err != nil {
+		return 0, 0, 0, err
+	}
+	data, _, err := b.cl.Get(ctx, b.path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return decodeBucket(data)
+}
+
+func encodeBucket(epoch, tokens, capacity int64) []byte {
+	return []byte(fmt.Sprintf("%d:%d:%d", epoch, tokens, capacity))
+}
+
+func decodeBucket(data []byte) (epoch, tokens, capacity int64, err error) {
+	parts := strings.Split(string(data), ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("recipes: malformed bucket state %q", data)
+	}
+	vals := make([]int64, 3)
+	for i, p := range parts {
+		if vals[i], err = strconv.ParseInt(p, 10, 64); err != nil {
+			return 0, 0, 0, fmt.Errorf("recipes: malformed bucket state %q: %w", data, err)
+		}
+	}
+	return vals[0], vals[1], vals[2], nil
+}

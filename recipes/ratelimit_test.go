@@ -1,0 +1,79 @@
+package recipes
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTokenBucket(t *testing.T) {
+	c := newCluster(t)
+	cl := connect(t, c, 0)
+	b, err := NewTokenBucket(bg, cl, "/rl/bucket", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		admitted, epoch, err := b.Acquire(bg)
+		if err != nil || !admitted || epoch != 1 {
+			t.Fatalf("acquire %d = (%v, %d, %v), want admitted in epoch 1", i, admitted, epoch, err)
+		}
+	}
+	if admitted, epoch, err := b.Acquire(bg); err != nil || admitted || epoch != 1 {
+		t.Fatalf("acquire on empty bucket = (%v, %d, %v), want orderly rejection in epoch 1", admitted, epoch, err)
+	}
+	epoch, err := b.Refill(bg)
+	if err != nil || epoch != 2 {
+		t.Fatalf("refill = (%d, %v), want epoch 2", epoch, err)
+	}
+	if admitted, epoch, err := b.Acquire(bg); err != nil || !admitted || epoch != 2 {
+		t.Fatalf("acquire after refill = (%v, %d, %v), want admitted in epoch 2", admitted, epoch, err)
+	}
+	ep, tokens, capacity, err := b.State(bg)
+	if err != nil || ep != 2 || tokens != 2 || capacity != 3 {
+		t.Fatalf("state = (%d, %d, %d, %v), want epoch 2 with 2/3 tokens", ep, tokens, capacity, err)
+	}
+}
+
+// TestTokenBucketConcurrent hammers one bucket from several clients on
+// different replicas: the versioned CAS must admit exactly capacity
+// requests, no matter how the decrements race.
+func TestTokenBucketConcurrent(t *testing.T) {
+	c := newCluster(t)
+	const capacity = 5
+	setup := connect(t, c, 0)
+	if _, err := NewTokenBucket(bg, setup, "/rl/bucket", capacity); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		admitted atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := connect(t, c, w)
+			b, err := NewTokenBucket(bg, cl, "/rl/bucket", capacity)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				ok, _, err := b.Acquire(bg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					return
+				}
+				admitted.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := admitted.Load(); n != capacity {
+		t.Fatalf("admitted %d, want exactly %d", n, capacity)
+	}
+}

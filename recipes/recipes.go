@@ -130,9 +130,10 @@ func awaitFirst(ctx context.Context, cl *client.Client, root, node string, missi
 // immediate predecessor (no thundering herd). This is the recipe that
 // exercises SecureKeeper's counter enclave on every acquisition.
 type Lock struct {
-	cl   *client.Client
-	root string
-	node string // our candidate node while contending/holding
+	cl    *client.Client
+	root  string
+	node  string // our candidate node while contending/holding
+	token int64  // czxid of node: the fencing token while holding
 }
 
 // NewLock creates a lock rooted at root (created if missing).
@@ -176,6 +177,24 @@ func (l *Lock) Lock(ctx context.Context) error {
 	return nil
 }
 
+// Acquire is Lock returning the fencing token: the zxid under which
+// this holder's candidate node was created. Tokens are globally unique
+// and strictly increasing across successive holders (zxids are the
+// commit order), so a downstream resource can reject writes fenced
+// with a stale token after the holder was partitioned away — holding
+// the lock alone cannot protect against that, only fencing can.
+func (l *Lock) Acquire(ctx context.Context) (int64, error) {
+	if err := l.Lock(ctx); err != nil {
+		return 0, err
+	}
+	return l.token, nil
+}
+
+// Token returns the fencing token while contending or holding, else 0.
+// Valid only between a successful acquisition and the release: pass it
+// to every downstream write the lock guards.
+func (l *Lock) Token() int64 { return l.token }
+
 // abandon withdraws the candidacy on a failed acquisition. The delete
 // deliberately uses a background context: the candidate must not leak
 // even when the caller's ctx is already cancelled.
@@ -183,6 +202,7 @@ func (l *Lock) abandon(cause error) error {
 	if l.node != "" {
 		_ = l.cl.Delete(context.Background(), l.node, -1)
 		l.node = ""
+		l.token = 0
 	}
 	return cause
 }
@@ -194,6 +214,7 @@ func (l *Lock) Unlock(ctx context.Context) error {
 	}
 	err := l.cl.Delete(ctx, l.node, -1)
 	l.node = ""
+	l.token = 0
 	return err
 }
 
@@ -221,11 +242,14 @@ func (l *Lock) enqueue(ctx context.Context) error {
 	if l.node != "" {
 		return nil // already contending or holding
 	}
-	node, err := l.cl.Create(ctx, l.root+"/lock-", nil, wire.FlagSequential|wire.FlagEphemeral)
-	if err != nil {
-		return fmt.Errorf("recipes: enqueue lock candidate: %w", err)
+	// CreateR: the candidate's create zxid IS its czxid, so the fencing
+	// token costs no extra read.
+	res := l.cl.CreateR(ctx, l.root+"/lock-", nil, wire.FlagSequential|wire.FlagEphemeral)
+	if res.Err != nil {
+		return fmt.Errorf("recipes: enqueue lock candidate: %w", res.Err)
 	}
-	l.node = node
+	l.node = res.Path
+	l.token = res.Zxid
 	return nil
 }
 

@@ -430,3 +430,39 @@ func TestGroupMembershipSurvivesCrash(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestLockFencingToken: every acquisition carries the create zxid of
+// its lock node as a fencing token, so successive holders observe
+// strictly increasing tokens — the property a downstream resource uses
+// to reject a stale (paused or partitioned-away) holder.
+func TestLockFencingToken(t *testing.T) {
+	c := newCluster(t)
+	var last int64
+	for i := 0; i < 3; i++ {
+		cl := connect(t, c, i)
+		l, err := NewLock(bg, cl, "/locks/fenced")
+		if err != nil {
+			t.Fatal(err)
+		}
+		token, err := l.Acquire(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token <= 0 {
+			t.Fatalf("acquire %d: token %d, want > 0", i, token)
+		}
+		if token <= last {
+			t.Fatalf("acquire %d: token %d not above previous holder's %d", i, token, last)
+		}
+		if l.Token() != token {
+			t.Fatalf("Token() = %d, want %d", l.Token(), token)
+		}
+		last = token
+		if err := l.Unlock(bg); err != nil {
+			t.Fatal(err)
+		}
+		if l.Token() != 0 {
+			t.Fatalf("Token() after unlock = %d, want 0", l.Token())
+		}
+	}
+}
