@@ -69,7 +69,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		return fmt.Errorf("usage: skclient [-addr host:port[,host:port...]] [-variant v] [-prefer p] [-timeout d] <create|get|set|cas|delete|ls|stat|info|mntr|sync|watch|digest|verify|burst> [path] [args...]")
+		return fmt.Errorf("usage: skclient [-addr host:port[,host:port...]] [-variant v] [-prefer p] [-timeout d] <create|get|set|cas|delete|ls|stat|info|mntr|reconfig|sync|watch|digest|verify|burst> [path] [args...]")
 	}
 
 	opts, err := dialOptions(*variant, *prefer)
@@ -208,9 +208,9 @@ func execute(ctx context.Context, cl *client.Client, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("role=%s leader=%d zxid=%d sessions=%d watches=%d outstanding=%d uptime=%ds lag=%d\n",
+		fmt.Printf("role=%s leader=%d zxid=%d sessions=%d watches=%d outstanding=%d uptime=%ds lag=%d ensemble=%q\n",
 			st.Role, st.Leader, st.Zxid, st.Sessions, st.Watches, st.Outstanding,
-			st.UptimeSeconds, st.CommitLag)
+			st.UptimeSeconds, st.CommitLag, st.Ensemble)
 	case "mntr":
 		// ZooKeeper-style four-letter-word dump: one key<TAB>value line
 		// per metric, rendered from the replica's own registry snapshot
@@ -228,6 +228,27 @@ func execute(ctx context.Context, cl *client.Client, args []string) error {
 		for _, kv := range st.Metrics {
 			fmt.Printf("%s\t%d\n", kv.Key, kv.Value)
 		}
+	case "reconfig":
+		// Incremental membership change: add <id> <addr> joins a new
+		// observer, promote <id> makes a synced observer a voter,
+		// remove <id> drops a member. Routed through the leader and the
+		// agreed log like any write.
+		if len(args) < 3 {
+			return fmt.Errorf("reconfig needs <add|remove|promote> <id> [addr]")
+		}
+		id, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("parse id: %w", err)
+		}
+		addr := ""
+		if len(args) > 3 {
+			addr = args[3]
+		}
+		resp, err := cl.Reconfig(ctx, args[1], id, addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("reconfig ok zxid=%d ensemble=%q\n", resp.Zxid, resp.Ensemble)
 	case "sync":
 		if err := cl.Sync(ctx, path); err != nil {
 			return err

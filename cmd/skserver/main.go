@@ -143,6 +143,12 @@ func runNode(v core.Variant, id int64, topo core.Topology, listen, keyHex, dataD
 		DataDir:         dataDir,
 		SnapshotEvery:   snapshotEvery,
 		LogSegmentBytes: logSegmentBytes,
+		// Mesh and membership lifecycle lines (reconfig applications,
+		// link attestation failures, removal notices) go to stderr where
+		// the smoke harnesses collect per-node logs.
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
 	})
 	if err != nil {
 		return err

@@ -114,6 +114,7 @@ type Result struct {
 	Children    []string
 	Multi       []wire.MultiOpResult
 	ServerStats wire.ServerStatsResponse
+	Reconfig    wire.ReconfigResponse
 }
 
 // Future resolves to a Result when the response arrives.
@@ -337,6 +338,8 @@ func decodeResult(op wire.OpCode, hdr wire.ReplyHeader, body []byte) Result {
 		res.Multi = resp.Results
 	case *wire.ServerStatsResponse:
 		res.ServerStats = *resp
+	case *wire.ReconfigResponse:
+		res.Reconfig = *resp
 	}
 	return res
 }
@@ -637,6 +640,18 @@ func (c *Client) MultiR(ctx context.Context, ops []wire.MultiOp) Result {
 func (c *Client) ServerStats(ctx context.Context) (wire.ServerStatsResponse, error) {
 	res := c.do(ctx, wire.OpServerStats, nil)
 	return res.ServerStats, res.Err
+}
+
+// Reconfig submits an incremental membership change — "add" (id, addr)
+// joins as an observer, "promote" turns a synced observer into a voter,
+// "remove" drops a member. It is a write: it routes through the leader
+// and the agreed log, and the response reports the post-change ensemble
+// as of the reconfig transaction's zxid. Unsafe changes (unknown peer,
+// unsynced joiner, the leader itself, the last voter) are refused with
+// BADARGUMENTS.
+func (c *Client) Reconfig(ctx context.Context, action string, id int64, addr string) (wire.ReconfigResponse, error) {
+	res := c.do(ctx, wire.OpReconfig, &wire.ReconfigRequest{Action: action, ID: id, Addr: addr})
+	return res.Reconfig, res.Err
 }
 
 // isProtocolErr reports whether err is a server-side protocol error

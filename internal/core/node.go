@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/rand"
+	"crypto/sha256"
 	"fmt"
 	"net"
 	"sync"
@@ -102,6 +104,14 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	// server layers all register into it, so a single scrape covers the
 	// whole replica.
 	reg := obs.NewRegistry()
+	var secure *zabnet.SecureConfig
+	if cfg.Variant == SecureKeeper {
+		sc, err := meshSecureConfig(cfg.StorageKey)
+		if err != nil {
+			return nil, err
+		}
+		secure = sc
+	}
 	mesh, err := zabnet.NewMesh(zabnet.Config{
 		ID:        cfg.ID,
 		Peers:     cfg.Topology.Addrs(),
@@ -109,6 +119,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Listener:  cfg.MeshListener,
 		Logf:      cfg.Logf,
 		Obs:       reg,
+		Secure:    secure,
 	})
 	if err != nil {
 		return nil, err
@@ -133,6 +144,40 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	n.host = host
 	return n, nil
+}
+
+// meshCodeIdentity is the simulated measurement of the replica binary:
+// the code every mesh peer must prove it is running before a link comes
+// up.
+const meshCodeIdentity = "securekeeper-replica-mesh"
+
+// meshSecureConfig derives the SecureKeeper mesh's attestation material.
+// The deployment attestation root is seeded from the administrator's
+// storage key — the secret §4.5 already distributes to exactly the
+// attested enclaves — via a domain-separated hash, so the key itself
+// never signs anything. The channel identity is fresh per boot: session
+// keys come from the per-connection X25519 exchange, never from the
+// storage key.
+func meshSecureConfig(storageKey []byte) (*zabnet.SecureConfig, error) {
+	seed := storageKey
+	if seed == nil {
+		// Single-replica ensemble with a generated storage key: the mesh
+		// has no peers to attest, but the config must still be complete.
+		var buf [32]byte
+		if _, err := rand.Read(buf[:]); err != nil {
+			return nil, fmt.Errorf("core: mesh attestation seed: %w", err)
+		}
+		seed = buf[:]
+	}
+	h := sha256.Sum256(append([]byte("securekeeper-mesh-attest-v1:"), seed...))
+	id, err := transport.NewIdentity()
+	if err != nil {
+		return nil, err
+	}
+	return &zabnet.SecureConfig{
+		Signer:   sgx.NewSeededQuoteSigner(h[:], meshCodeIdentity),
+		Identity: id,
+	}, nil
 }
 
 // Variant returns the node's configuration variant.

@@ -342,10 +342,12 @@ func (en *Entry) ecRequest(buf []byte, msgLen int) (int, error) {
 		}
 		body = req
 
-	case wire.OpPing, wire.OpCloseSession, wire.OpServerStats:
-		// No sensitive fields; forward verbatim. Close and stats use
-		// regular xids, so their replies pop ecResponse's FIFO and
-		// must be queued here; pings use the reserved xid and skip it.
+	case wire.OpPing, wire.OpCloseSession, wire.OpServerStats, wire.OpReconfig:
+		// No sensitive fields (membership ids and mesh addresses are
+		// deployment topology, not client data); forward verbatim. Close,
+		// stats and reconfig use regular xids, so their replies pop
+		// ecResponse's FIFO and must be queued here; pings use the
+		// reserved xid and skip it.
 		if hdr.Op != wire.OpPing {
 			en.mu.Lock()
 			en.queue = append(en.queue, pend)

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -145,6 +147,12 @@ type Replica struct {
 	// stops accepting writes (reads keep serving from the tree).
 	degraded atomic.Bool
 
+	// removed latches when a committed reconfig dropped this replica
+	// from the ensemble: it refuses writes (it can neither propose nor
+	// forward them anywhere that counts it) instead of campaigning
+	// forever, while reads keep serving the frozen tree.
+	removed atomic.Bool
+
 	// Commit-pipeline instruments (nil-safe no-ops when cfg.Obs is
 	// nil): per-stage latencies plus the degraded-mode flag gauge.
 	obsReg          *obs.Registry
@@ -249,6 +257,7 @@ func NewReplica(cfg Config) *Replica {
 		TickInterval:    cfg.TickInterval,
 		ElectionTimeout: cfg.ElectionTimeout,
 		LastZxid:        recoveredZxid,
+		Logf:            cfg.Logf,
 		Obs:             cfg.Obs,
 	})
 	r.registerMetrics(cfg.Obs)
@@ -511,7 +520,7 @@ func (r *Replica) dropSession(s *session) {
 // goroutines.
 func (r *Replica) handleWrite(s *session, entry *inflightReq) {
 	r.writeOps.Add(1)
-	if r.degraded.Load() {
+	if r.degraded.Load() || r.removed.Load() {
 		// Refuse up front: the reply still flows through writeDone so
 		// the session FIFO (and reads parked behind it) stay ordered.
 		s.writeDone(entry, errorReply(entry.xid, 0, wire.ErrConnectionLoss), true)
@@ -647,6 +656,27 @@ func (r *Replica) prep(op wire.OpCode, body []byte, sessionID int64) (ztree.Txn,
 	case wire.OpCloseSession:
 		return ztree.Txn{Type: ztree.TxnCloseSession, Session: sessionID}, wire.ErrOK
 
+	case wire.OpReconfig:
+		var req wire.ReconfigRequest
+		if err := wire.Unmarshal(body, &req); err != nil {
+			return ztree.Txn{}, wire.ErrMarshallingError
+		}
+		action, err := zab.ParseReconfigAction(req.Action)
+		if err != nil {
+			return ztree.Txn{}, wire.ErrBadArguments
+		}
+		ch := zab.ReconfigChange{Action: action, ID: zab.PeerID(req.ID), Addr: req.Addr}
+		// Leader-side admission: stale or unsafe changes (unknown peer,
+		// unsynced joiner, last voter) are refused before they reach the
+		// log. A change that races another reconfig past this check
+		// degrades to an idempotent no-op at delivery.
+		if err := r.peer.ValidateReconfig(ch); err != nil {
+			r.logf("server: replica %d: reconfig %s %d rejected: %v", r.cfg.ID, req.Action, req.ID, err)
+			return ztree.Txn{}, wire.ErrBadArguments
+		}
+		r.logf("server: replica %d: proposing reconfig %s %d %s", r.cfg.ID, req.Action, req.ID, req.Addr)
+		return ztree.Txn{Type: ztree.TxnReconfig, Data: ch.Encode(), Session: sessionID}, wire.ErrOK
+
 	default:
 		return ztree.Txn{}, wire.ErrUnimplemented
 	}
@@ -745,7 +775,7 @@ func (r *Replica) deliver(c zab.Committed) {
 	}
 	if r.persister == nil {
 		if sess != nil {
-			sess.writeDone(entry, buildWriteResponse(&c.Txn, entry.op, c.Origin.Xid, res), false)
+			sess.writeDone(entry, r.buildWriteResponse(&c.Txn, entry.op, c.Origin.Xid, res), false)
 		}
 		return
 	}
@@ -753,7 +783,7 @@ func (r *Replica) deliver(c zab.Committed) {
 	// this goroutine); the fsync callback only releases it.
 	var resp []byte
 	if sess != nil {
-		resp = buildWriteResponse(&c.Txn, entry.op, c.Origin.Xid, res)
+		resp = r.buildWriteResponse(&c.Txn, entry.op, c.Origin.Xid, res)
 	}
 	r.persister.Record(&c.Txn, func(err error) {
 		if err != nil {
@@ -861,9 +891,18 @@ func (r *Replica) nextSeq(parent string) int32 {
 // fate is unknown (the new leader may or may not have committed them),
 // so clients get ConnectionLoss, matching ZooKeeper semantics.
 func (r *Replica) onRoleChange(role zab.Role, leader zab.PeerID) {
+	if role == zab.RoleRemoved && !r.removed.Swap(true) {
+		// A committed reconfig dropped this replica. Latch write refusal
+		// and say so loudly: an operator who removed the wrong node
+		// should find out from the log, not from a silent hang.
+		r.logf("server: replica %d: REMOVED FROM ENSEMBLE by reconfig; "+
+			"refusing writes, serving reads from the frozen tree — decommission this process",
+			r.cfg.ID)
+	}
 	// An observer that loses its leader is in the same boat as a looking
-	// voter: forwarded writes in flight have an unknown fate.
-	if role == zab.RoleLooking || (role == zab.RoleObserving && leader < 0) {
+	// voter: forwarded writes in flight have an unknown fate. A removed
+	// replica's in-flight writes are equally unknowable.
+	if role == zab.RoleLooking || role == zab.RoleRemoved || (role == zab.RoleObserving && leader < 0) {
 		// Drop the sequence hints: a future leadership term re-derives
 		// them from the applied tree.
 		r.seqMu.Lock()
@@ -893,7 +932,7 @@ func (r *Replica) onRoleChange(role zab.Role, leader zab.PeerID) {
 // The committed transaction is consulted for multi responses, whose
 // per-op results must echo each sub-op's code even when the whole
 // transaction aborted.
-func buildWriteResponse(txn *ztree.Txn, op wire.OpCode, xid int32, res *ztree.TxnResult) []byte {
+func (r *Replica) buildWriteResponse(txn *ztree.Txn, op wire.OpCode, xid int32, res *ztree.TxnResult) []byte {
 	hdr := wire.ReplyHeader{Xid: xid, Zxid: res.Zxid, Err: res.Err}
 	if op == wire.OpMulti {
 		// Multi replies carry their per-op result body even on abort:
@@ -915,9 +954,35 @@ func buildWriteResponse(txn *ztree.Txn, op wire.OpCode, xid int32, res *ztree.Tx
 		return wire.MarshalPair(&hdr, resp)
 	case wire.OpSync:
 		return wire.MarshalPair(&hdr, &wire.SyncResponse{Path: res.Path})
+	case wire.OpReconfig:
+		// The zab layer applied the membership change before handing the
+		// commit down, so this reads the post-change ensemble.
+		return wire.MarshalPair(&hdr, &wire.ReconfigResponse{Zxid: res.Zxid, Ensemble: r.ensembleString()})
 	default: // DELETE, CLOSE
 		return wire.MarshalPair(&hdr, nil)
 	}
+}
+
+// ensembleString renders the live membership for admin responses, e.g.
+// "voters=1,2,3 observers=4".
+func (r *Replica) ensembleString() string {
+	voters, observers := r.peer.Membership()
+	var b strings.Builder
+	b.WriteString("voters=")
+	for i, id := range voters {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(int64(id), 10))
+	}
+	b.WriteString(" observers=")
+	for i, id := range observers {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(int64(id), 10))
+	}
+	return b.String()
 }
 
 // buildMultiResponse renders per-op results from a TxnMulti outcome.
@@ -1061,6 +1126,7 @@ func (r *Replica) handleRead(s *session, entry *inflightReq) []byte {
 			Outstanding:   int32(r.peer.OutstandingDepth()),
 			UptimeSeconds: obs.Uptime(),
 			CommitLag:     lag,
+			Ensemble:      r.ensembleString(),
 			Metrics:       kvs,
 		})
 

@@ -3,6 +3,7 @@ package sgx
 import (
 	"crypto/ed25519"
 	"crypto/rand"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 )
@@ -31,6 +32,57 @@ func newQuoteKey() *quoteKey {
 		panic(fmt.Sprintf("sgx: quote key generation: %v", err))
 	}
 	return &quoteKey{priv: priv, pub: pub}
+}
+
+// QuoteSigner is a deterministic attestation identity shared by every
+// replica of one deployment: the analogue of all platforms chaining to
+// the same Intel attestation root. The signing key is derived from a
+// deployment secret (the administrator's storage key, which §4.5 already
+// distributes to exactly the attested enclaves), so possession of a
+// valid quote proves the prover holds the deployment secret INSIDE code
+// with the expected measurement — without ever putting the secret
+// itself on the wire.
+type QuoteSigner struct {
+	key         quoteKey
+	measurement Measurement
+}
+
+// NewSeededQuoteSigner derives the deployment attestation identity from
+// a secret seed. The same (seed, codeIdentity) pair yields the same
+// verification key on every replica; seed must have at least 32 bytes
+// of entropy (it is hashed down to the Ed25519 seed).
+func NewSeededQuoteSigner(seed []byte, codeIdentity string) *QuoteSigner {
+	h := sha256.Sum256(append([]byte("sgx-seeded-qe-v1:"), seed...))
+	priv := ed25519.NewKeyFromSeed(h[:])
+	return &QuoteSigner{
+		key:         quoteKey{priv: priv, pub: priv.Public().(ed25519.PublicKey)},
+		measurement: MeasureCode(codeIdentity),
+	}
+}
+
+// Quote produces attestation evidence binding reportData to the
+// deployment's code measurement.
+func (s *QuoteSigner) Quote(reportData []byte) *Quote {
+	msg := quoteMessage(s.measurement, reportData)
+	return &Quote{
+		Measurement: s.measurement,
+		ReportData:  append([]byte(nil), reportData...),
+		Signature:   ed25519.Sign(s.key.priv, msg),
+	}
+}
+
+// VerificationKey returns the deployment attestation root every replica
+// derives for itself.
+func (s *QuoteSigner) VerificationKey() ed25519.PublicKey { return s.key.pub }
+
+// Measurement returns the code measurement quotes from this signer
+// claim (and the one its Verify expects).
+func (s *QuoteSigner) Measurement() Measurement { return s.measurement }
+
+// Verify checks a peer's evidence against the deployment root and this
+// deployment's expected measurement.
+func (s *QuoteSigner) Verify(q *Quote) error {
+	return VerifyQuote(s.key.pub, q, s.measurement)
 }
 
 // Quote is a remote-attestation evidence blob: it binds enclave-chosen

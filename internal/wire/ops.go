@@ -26,6 +26,7 @@ const (
 	OpCheck        OpCode = 13 // only valid as a sub-op inside a multi
 	OpMulti        OpCode = 14
 	OpServerStats  OpCode = 21 // admin: role, leader, zxid, load counters
+	OpReconfig     OpCode = 22 // admin: incremental ensemble membership change
 	OpCloseSession OpCode = -11
 	OpError        OpCode = -1
 )
@@ -57,6 +58,8 @@ func (op OpCode) String() string {
 		return "MULTI"
 	case OpServerStats:
 		return "STAT"
+	case OpReconfig:
+		return "RECONFIG"
 	case OpCloseSession:
 		return "CLOSE"
 	case OpError:
@@ -70,7 +73,7 @@ func (op OpCode) String() string {
 // therefore be agreed through the atomic broadcast protocol.
 func (op OpCode) IsWrite() bool {
 	switch op {
-	case OpCreate, OpDelete, OpSetData, OpMulti, OpCloseSession:
+	case OpCreate, OpDelete, OpSetData, OpMulti, OpCloseSession, OpReconfig:
 		return true
 	default:
 		return false

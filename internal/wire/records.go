@@ -463,6 +463,11 @@ type ServerStatsResponse struct {
 	UptimeSeconds int64  // seconds since the serving process started
 	CommitLag     int64  // leader committed zxid minus locally applied zxid
 	Metrics       []KV   // full mntr-style counter snapshot (may be empty)
+	// Ensemble is the replica's current membership view, e.g.
+	// "voters=1,2,3 observers=4" — dynamic under reconfig, so smoke
+	// scripts can watch quorum changes land. (Appended at the codec
+	// tail; empty on replicas predating reconfiguration.)
+	Ensemble string
 }
 
 // KV is one metrics line in a ServerStatsResponse: a flattened metric
@@ -492,6 +497,7 @@ func (r *ServerStatsResponse) Serialize(e *Encoder) {
 		e.WriteString(kv.Key)
 		e.WriteInt64(kv.Value)
 	}
+	e.WriteString(r.Ensemble)
 }
 
 // Deserialize implements Record.
@@ -543,7 +549,60 @@ func (r *ServerStatsResponse) Deserialize(d *Decoder) error {
 			}
 		}
 	}
-	return nil
+	r.Ensemble, err = d.ReadString()
+	return err
+}
+
+// ReconfigRequest asks the leader to commit one incremental membership
+// change: "add" a new replica as an observer, "promote" a synced
+// observer to voter, or "remove" a member. Addr is the peer-mesh
+// address of an added replica (ignored otherwise).
+type ReconfigRequest struct {
+	Action string
+	ID     int64
+	Addr   string
+}
+
+// Serialize implements Record.
+func (r *ReconfigRequest) Serialize(e *Encoder) {
+	e.WriteString(r.Action)
+	e.WriteInt64(r.ID)
+	e.WriteString(r.Addr)
+}
+
+// Deserialize implements Record.
+func (r *ReconfigRequest) Deserialize(d *Decoder) error {
+	var err error
+	if r.Action, err = d.ReadString(); err != nil {
+		return err
+	}
+	if r.ID, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	r.Addr, err = d.ReadString()
+	return err
+}
+
+// ReconfigResponse reports the membership after the change committed.
+type ReconfigResponse struct {
+	Zxid     int64  // zxid of the committed reconfig txn
+	Ensemble string // resulting membership view
+}
+
+// Serialize implements Record.
+func (r *ReconfigResponse) Serialize(e *Encoder) {
+	e.WriteInt64(r.Zxid)
+	e.WriteString(r.Ensemble)
+}
+
+// Deserialize implements Record.
+func (r *ReconfigResponse) Deserialize(d *Decoder) error {
+	var err error
+	if r.Zxid, err = d.ReadInt64(); err != nil {
+		return err
+	}
+	r.Ensemble, err = d.ReadString()
+	return err
 }
 
 // WatcherEvent notifies a client of a triggered watch. It is sent with
@@ -601,6 +660,8 @@ func RequestBody(op OpCode) Record {
 		return &SyncRequest{}
 	case OpMulti:
 		return &MultiRequest{}
+	case OpReconfig:
+		return &ReconfigRequest{}
 	default:
 		return nil
 	}
@@ -626,6 +687,8 @@ func ResponseBody(op OpCode) Record {
 		return &MultiResponse{}
 	case OpServerStats:
 		return &ServerStatsResponse{}
+	case OpReconfig:
+		return &ReconfigResponse{}
 	default:
 		return nil
 	}

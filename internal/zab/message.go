@@ -52,6 +52,12 @@ const (
 	// pre-observer kind.
 	KindObserverInfo
 	KindObserverCommit
+	// KindRemoved is the leader telling a peer it is no longer an
+	// ensemble member (its id appears in neither the voter nor the
+	// observer set). Sent in reply to election votes from non-members,
+	// so a removed replica restarted from stale state stops campaigning
+	// against a quorum that no longer counts it.
+	KindRemoved
 )
 
 // String returns the mnemonic for a message kind.
@@ -85,6 +91,8 @@ func (k Kind) String() string {
 		return "OBSERVERINFO"
 	case KindObserverCommit:
 		return "OBSERVERCOMMIT"
+	case KindRemoved:
+		return "REMOVED"
 	default:
 		return fmt.Sprintf("KIND(%d)", int32(k))
 	}
@@ -125,9 +133,14 @@ type Message struct {
 	Origin Origin
 	Batch  []ProposalRecord
 
-	// Sync fields.
+	// Sync fields. Config piggybacks the leader's encoded membership
+	// (see Membership.Encode) on every sync answer, so a joiner that
+	// recovered via snapshot — or a follower restarted from stale state
+	// — adopts the ensemble's current voter/observer sets along with
+	// the data it missed.
 	Snapshot *ztree.Snapshot
 	Diff     []ProposalRecord
+	Config   []byte
 
 	// App payload (opaque to zab).
 	App []byte

@@ -25,6 +25,13 @@ const (
 	// committed stream and serves reads, but never votes, never counts
 	// toward any quorum, and never leads.
 	RoleObserving
+	// RoleRemoved marks a replica that learned — by delivering a
+	// reconfig txn removing its id, or from the leader's REMOVED reply
+	// to one of its election votes — that it is no longer an ensemble
+	// member. A removed peer stops campaigning, ignores the protocol,
+	// and stays removed until the process is restarted under a
+	// membership that includes it again.
+	RoleRemoved
 )
 
 // String returns the mnemonic for a role.
@@ -38,6 +45,8 @@ func (r Role) String() string {
 		return "LEADING"
 	case RoleObserving:
 		return "OBSERVING"
+	case RoleRemoved:
+		return "REMOVED"
 	default:
 		return fmt.Sprintf("ROLE(%d)", int32(r))
 	}
@@ -52,15 +61,19 @@ var (
 // Config parameterizes a Peer.
 type Config struct {
 	// ID is this replica's identity; Peers lists the VOTING members of
-	// the ensemble (including ID when this peer votes). Quorum size and
-	// election fan-out derive from Peers alone.
+	// the ensemble (including ID when this peer votes) AT BOOT. Quorum
+	// size and election fan-out derive from the voter set, which
+	// committed reconfig transactions may grow or shrink at runtime.
 	ID    PeerID
 	Peers []PeerID
-	// Observers lists the non-voting members (including ID when this
-	// peer is an observer). Observers receive the leader's heartbeats
-	// and committed stream but are excluded from vote tallies, quorum
-	// counts, and outstanding-proposal replay.
+	// Observers lists the non-voting members at boot (including ID when
+	// this peer is an observer). Observers receive the leader's
+	// heartbeats and committed stream but are excluded from vote
+	// tallies, quorum counts, and outstanding-proposal replay.
 	Observers []PeerID
+	// Logf, when set, receives membership-lifecycle log lines (reconfig
+	// applications, removal notices). Optional; must not block.
+	Logf func(format string, args ...any)
 	// Transport connects this peer to the ensemble.
 	Transport Transport
 	// Deliver is invoked from the peer's loop goroutine for every
@@ -236,16 +249,43 @@ type Peer struct {
 	// activation gate, or replayOutstanding may ever see an observer.
 	obsSynced map[PeerID]struct{}
 	// isObserver marks this peer itself as a non-voting member; voters
-	// is the voting-member set used to classify message senders.
+	// and observers are the CURRENT membership (boot config plus every
+	// applied reconfig txn) used to classify message senders and size
+	// quorums; addrs maps members added at runtime to their transport
+	// addresses (boot members' addresses live in the transport itself).
 	isObserver bool
 	voters     map[PeerID]struct{}
+	observers  map[PeerID]struct{}
+	addrs      map[PeerID]string
+	// updater is the transport's optional runtime-membership hook.
+	updater MembershipUpdater
+	// memberMu guards the mirrors below: copies of the loop-owned
+	// membership and leader sync state published for off-loop readers
+	// (stats, reconfig validation at the server layer).
+	memberMu   sync.RWMutex
+	mVoters    map[PeerID]bool
+	mObservers map[PeerID]bool
+	mObsSynced map[PeerID]bool
 	// obsRun accumulates the records committed in one advanceCommits
-	// run for the observer stream (loop-owned, reset per run).
-	obsRun       []ProposalRecord
-	lastHeard    map[PeerID]time.Time
-	electionDue  time.Time
-	finalizeDue  time.Time // grace deadline for a quorum-but-not-unanimous tally
-	followTarget PeerID
+	// run for the observer stream (loop-owned, reset per run);
+	// obsTargets is the observer set snapshotted at the start of the run
+	// so a mid-run reconfig cannot hide its own txn from the observer it
+	// promotes or removes.
+	obsRun     []ProposalRecord
+	obsTargets []PeerID
+	// commitTargets is the synced-follower set snapshotted at the start
+	// of an advanceCommits run, for the same reason as obsTargets: the
+	// follower a remove txn drops must still get the commit that parks it.
+	commitTargets []PeerID
+	// transportRemovals defers the leader's updater.RemovePeer calls: the
+	// commit covering a removal must flush to the removed peer before its
+	// link is torn down, so the teardown runs from tick after a grace
+	// period instead of inline with the reconfig's delivery.
+	transportRemovals map[PeerID]time.Time
+	lastHeard         map[PeerID]time.Time
+	electionDue       time.Time
+	finalizeDue       time.Time // grace deadline for a quorum-but-not-unanimous tally
+	followTarget      PeerID
 	// peerScratch is the reusable fan-out target list handed to
 	// SendToMany (loop-owned, rebuilt before every use).
 	peerScratch []PeerID
@@ -310,16 +350,24 @@ func NewPeer(cfg Config) *Peer {
 		synced:    make(map[PeerID]struct{}),
 		obsSynced: make(map[PeerID]struct{}),
 		voters:    make(map[PeerID]struct{}, len(c.Peers)),
+		observers: make(map[PeerID]struct{}, len(c.Observers)),
+		addrs:     make(map[PeerID]string),
 		lastHeard: make(map[PeerID]time.Time),
+
+		transportRemovals: make(map[PeerID]time.Time),
 	}
 	for _, id := range c.Peers {
 		p.voters[id] = struct{}{}
 	}
 	for _, id := range c.Observers {
+		p.observers[id] = struct{}{}
 		if id == c.ID {
 			p.isObserver = true
 		}
 	}
+	p.updater, _ = c.Transport.(MembershipUpdater)
+	p.publishMembership()
+	p.publishObsSynced()
 	p.role.Store(int32(RoleLooking))
 	p.leader.Store(int64(-1))
 	p.lastZxid = c.LastZxid
@@ -450,8 +498,10 @@ func (p *Peer) SendApp(to PeerID, payload []byte) error {
 	return p.cfg.Transport.Send(to, Message{Kind: KindApp, App: payload})
 }
 
-// quorum returns the minimum ensemble majority size.
-func (p *Peer) quorum() int { return len(p.cfg.Peers)/2 + 1 }
+// quorum returns the minimum ensemble majority size over the CURRENT
+// voter set — the set reconfig transactions mutate, so the required
+// majority switches at exactly the reconfig txn's zxid.
+func (p *Peer) quorum() int { return len(p.voters)/2 + 1 }
 
 func (p *Peer) setRole(role Role, leader PeerID) {
 	prevRole := Role(p.role.Swap(int32(role)))
@@ -493,6 +543,17 @@ func (p *Peer) run() {
 func (p *Peer) isVoter(id PeerID) bool {
 	_, ok := p.voters[id]
 	return ok
+}
+
+// isObserverMember reports whether id is a non-voting member.
+func (p *Peer) isObserverMember(id PeerID) bool {
+	_, ok := p.observers[id]
+	return ok
+}
+
+// isMember reports whether id is any kind of ensemble member.
+func (p *Peer) isMember(id PeerID) bool {
+	return p.isVoter(id) || p.isObserverMember(id)
 }
 
 // --- observer lifecycle ---
@@ -541,7 +602,7 @@ func (p *Peer) startElection() {
 	p.outDepth.Store(0)
 	p.finalizeDue = time.Time{}
 	p.round++
-	p.votes = make(map[PeerID]vote, len(p.cfg.Peers))
+	p.votes = make(map[PeerID]vote, len(p.voters))
 	// Votes advertise the ACKed frontier (electionZxid): the committed
 	// bound extended by the gapless in-flight prefix this peer still
 	// buffers. Committed-only is not enough — a leader that reaches
@@ -568,7 +629,7 @@ func (p *Peer) startElection() {
 // this one (election fan-out: observers receive no votes).
 func (p *Peer) otherPeers() []PeerID {
 	p.peerScratch = p.peerScratch[:0]
-	for _, id := range p.cfg.Peers {
+	for id := range p.voters {
 		if id != p.cfg.ID {
 			p.peerScratch = append(p.peerScratch, id)
 		}
@@ -581,12 +642,12 @@ func (p *Peer) otherPeers() []PeerID {
 // which is how observers discover the leader).
 func (p *Peer) allOtherPeers() []PeerID {
 	p.peerScratch = p.peerScratch[:0]
-	for _, id := range p.cfg.Peers {
+	for id := range p.voters {
 		if id != p.cfg.ID {
 			p.peerScratch = append(p.peerScratch, id)
 		}
 	}
-	for _, id := range p.cfg.Observers {
+	for id := range p.observers {
 		if id != p.cfg.ID {
 			p.peerScratch = append(p.peerScratch, id)
 		}
@@ -628,6 +689,14 @@ func (p *Peer) handleVote(msg Message) {
 	// never tallies or answers votes, and a vote claimed by a non-voting
 	// peer (buggy or malicious) must never enter a voter's tally.
 	if p.isObserver || !p.isVoter(msg.From) {
+		// A campaigner that is no member AT ALL was removed by a
+		// committed reconfig it never saw (it was down, or restarted
+		// from stale state). Left alone it campaigns forever against a
+		// quorum that no longer counts it; the leader — whose membership
+		// reflects every committed reconfig — tells it so.
+		if !p.isObserver && p.Role() == RoleLeading && !p.isMember(msg.From) {
+			_ = p.cfg.Transport.Send(msg.From, Message{Kind: KindRemoved})
+		}
 		return
 	}
 	v := vote{round: msg.Epoch, for_: msg.VoteFor, zxid: msg.VoteZxid}
@@ -696,7 +765,7 @@ func (p *Peer) checkElection() {
 	if !ok {
 		return
 	}
-	if n == len(p.cfg.Peers) {
+	if n == len(p.voters) {
 		// Unanimous: no tallied peer can still adopt a better vote
 		// (every vote names the same best candidate), so finalize now.
 		p.finalizeElection(candidate)
@@ -764,8 +833,9 @@ func (p *Peer) becomeLeader() {
 	// Observers re-handshake with every new leader (their OBSERVERINFO
 	// answers our first ping); until then they get no stream.
 	p.obsSynced = make(map[PeerID]struct{})
+	p.publishObsSynced()
 	now := time.Now()
-	for _, id := range p.cfg.Peers {
+	for id := range p.voters {
 		p.lastHeard[id] = now
 	}
 	p.setRole(RoleLeading, p.cfg.ID)
@@ -814,9 +884,12 @@ func (p *Peer) handleFollowerInfo(msg Message) {
 // handleObserverInfo syncs a joining (or resyncing) observer from its
 // committed frontier, exactly like a lagging follower. The observer's
 // NEWLEADERACK after the transfer lands in obsSynced (see
-// handleNewLeaderAck), switching it onto the committed stream.
+// handleNewLeaderAck), switching it onto the committed stream. A peer
+// that is no member at all is ignored: it is either removed (its next
+// election vote gets the REMOVED reply) or a joiner racing its own
+// reconfig-add commit, which retries until the add lands.
 func (p *Peer) handleObserverInfo(msg Message) {
-	if p.Role() != RoleLeading || p.isVoter(msg.From) {
+	if p.Role() != RoleLeading || p.isVoter(msg.From) || !p.isObserverMember(msg.From) {
 		return
 	}
 	p.lastHeard[msg.From] = time.Now()
@@ -825,13 +898,19 @@ func (p *Peer) handleObserverInfo(msg Message) {
 
 // sendSync transfers committed history to a peer whose frontier is
 // zxid: a diff when the log still covers it, a full snapshot otherwise.
+// Every sync answer piggybacks the leader's current membership, so a
+// snapshot-synced joiner (whose diff never replays the reconfig txns)
+// and a follower restarted from stale state adopt the ensemble's
+// current voter/observer sets along with the data.
 func (p *Peer) sendSync(to PeerID, zxid int64) {
+	cfgBytes := encodeMembership(p.voters, p.observers, p.addrs)
 	if diff, ok := p.diffSince(zxid); ok {
 		_ = p.cfg.Transport.Send(to, Message{
-			Kind:  KindSyncDiff,
-			Epoch: p.epoch,
-			Zxid:  p.lastCommitted(),
-			Diff:  diff,
+			Kind:   KindSyncDiff,
+			Epoch:  p.epoch,
+			Zxid:   p.lastCommitted(),
+			Diff:   diff,
+			Config: cfgBytes,
 		})
 		return
 	}
@@ -841,6 +920,7 @@ func (p *Peer) sendSync(to PeerID, zxid int64) {
 		Epoch:    p.epoch,
 		Zxid:     p.lastCommitted(),
 		Snapshot: snap,
+		Config:   cfgBytes,
 	})
 }
 
@@ -899,6 +979,17 @@ func (p *Peer) handleSync(msg Message) {
 		}
 		p.lastZxid = msg.Zxid
 	}
+	// The sync carries the leader's membership as of the transferred
+	// frontier: adopt it (snapshot transfers never replay the reconfig
+	// txns the snapshot already reflects). A diff may have delivered a
+	// removal of this very peer above — then it is out of the ensemble
+	// and must not complete the handshake.
+	if len(msg.Config) > 0 {
+		p.adoptMembership(msg.Config)
+	}
+	if p.Role() == RoleRemoved {
+		return
+	}
 	p.epoch = msg.Epoch
 	p.leaderSynced = true
 	p.trimInflight(keep)
@@ -915,8 +1006,15 @@ func (p *Peer) handleNewLeaderAck(msg Message) {
 		// An observer completing its sync joins the committed stream and
 		// NOTHING else: not the synced set (quorum, activation gate, the
 		// propose fan-out) and not replayOutstanding — uncommitted
-		// proposals are a voter concern only.
+		// proposals are a voter concern only. obsSynced is also the
+		// promotion gate: ValidateReconfig accepts a promote only for
+		// observers in this set, which is what keeps an unsynced joiner
+		// from ever counting toward a quorum.
+		if !p.isObserverMember(msg.From) {
+			return
+		}
 		p.obsSynced[msg.From] = struct{}{}
+		p.publishObsSynced()
 		return
 	}
 	p.synced[msg.From] = struct{}{}
@@ -1228,6 +1326,26 @@ func (p *Peer) handleAck(msg Message) {
 func (p *Peer) advanceCommits() {
 	committed := false
 	p.obsRun = p.obsRun[:0]
+	// Snapshot the observer targets BEFORE delivering: a reconfig txn in
+	// this very run may promote or remove an observer (applyReconfig
+	// drops it from obsSynced mid-loop), and that observer must still
+	// receive the run containing its own membership change — it is how a
+	// promoted joiner learns to start following and a removed observer
+	// learns to park.
+	p.obsTargets = p.obsTargets[:0]
+	for id := range p.obsSynced {
+		p.obsTargets = append(p.obsTargets, id)
+	}
+	// Same pre-delivery snapshot for the voter commit fan-out: a remove
+	// txn in this run prunes its target from p.synced mid-loop, yet that
+	// follower must still receive the commit bound covering its own
+	// removal — delivering it is how the follower parks itself.
+	p.commitTargets = p.commitTargets[:0]
+	for id := range p.synced {
+		if id != p.cfg.ID {
+			p.commitTargets = append(p.commitTargets, id)
+		}
+	}
 	for len(p.outstanding) > 0 {
 		zxid := p.outstanding[0]
 		prop, ok := p.proposals[zxid]
@@ -1242,7 +1360,7 @@ func (p *Peer) advanceCommits() {
 		}
 		p.deliver(Committed{Txn: rec.Txn, Origin: rec.Origin})
 		p.putPendingProposal(prop)
-		if len(p.obsSynced) > 0 {
+		if len(p.obsTargets) > 0 {
 			p.obsRun = append(p.obsRun, rec)
 		}
 		committed = true
@@ -1252,17 +1370,18 @@ func (p *Peer) advanceCommits() {
 	}
 	p.outDepth.Store(int32(len(p.outstanding)))
 	bound := p.lastCommitted()
-	SendToMany(p.cfg.Transport, p.syncedFollowers(), Message{Kind: KindCommit, Zxid: bound})
+	SendToMany(p.cfg.Transport, p.commitTargets, Message{Kind: KindCommit, Zxid: bound})
 	if len(p.obsRun) > 0 {
 		p.streamToObservers(bound)
 	}
 }
 
-// streamToObservers ships one run's committed records to every synced
-// observer: encode-once fan-out, chunked at the frame cap, no ACK ever
-// expected — the write path never waits on an observer.
+// streamToObservers ships one run's committed records to every observer
+// synced at the start of the run: encode-once fan-out, chunked at the
+// frame cap, no ACK ever expected — the write path never waits on an
+// observer.
 func (p *Peer) streamToObservers(bound int64) {
-	targets := p.syncedObservers()
+	targets := p.obsTargets
 	if len(targets) == 0 {
 		return
 	}
@@ -1373,6 +1492,9 @@ func (p *Peer) nextInflightCommit() (ProposalRecord, bool) {
 }
 
 // deliver applies a committed transaction and records it in the log.
+// Reconfig transactions additionally mutate the membership HERE — in
+// commit order, on every member — which is what makes the quorum-size
+// switch atomic at the reconfig txn's zxid.
 func (p *Peer) deliver(c Committed) {
 	atomic.StoreInt64(&p.lastCommit, c.Txn.Zxid)
 	if c.Txn.Zxid > p.lastZxid {
@@ -1390,13 +1512,27 @@ func (p *Peer) deliver(c Committed) {
 	p.statsMu.Lock()
 	p.stats.Commits++
 	p.statsMu.Unlock()
+	if c.Txn.Type == ztree.TxnReconfig {
+		p.applyReconfig(c.Txn.Zxid, c.Txn.Data)
+	}
 	p.cfg.Deliver(c)
 }
 
 // --- heartbeats & timeouts ---
 
 func (p *Peer) tick(now time.Time) {
+	for id, due := range p.transportRemovals {
+		if now.After(due) {
+			delete(p.transportRemovals, id)
+			if p.updater != nil && !p.isMember(id) {
+				p.updater.RemovePeer(id)
+			}
+		}
+	}
 	switch p.Role() {
+	case RoleRemoved:
+		// Out of the ensemble: no heartbeats, no elections, nothing.
+		return
 	case RoleLeading:
 		p.flushProposals() // defensive: no batch should survive a loop iteration
 		SendToMany(p.cfg.Transport, p.allOtherPeers(), Message{Kind: KindPing, Epoch: p.epoch, Zxid: p.lastCommitted()})
@@ -1468,8 +1604,12 @@ func (p *Peer) handlePing(msg Message) {
 			_ = p.cfg.Transport.Send(msg.From, Message{Kind: KindPong, Zxid: p.lastCommitted()})
 		}
 	case RoleLooking:
-		// A leader exists; join it.
-		p.becomeFollower(msg.From)
+		// A leader exists; join it — unless the sender is not a voter we
+		// recognize (a removed replica restarted from stale state could
+		// otherwise drag us into following a ghost).
+		if p.isVoter(msg.From) {
+			p.becomeFollower(msg.From)
+		}
 	case RoleObserving:
 		if !p.isVoter(msg.From) {
 			return // only voters can lead
@@ -1526,5 +1666,298 @@ func (p *Peer) handle(msg Message) {
 		p.handleObserverInfo(msg)
 	case KindObserverCommit:
 		p.handleObserverCommit(msg)
+	case KindRemoved:
+		p.handleRemoved(msg)
 	}
+}
+
+// --- dynamic membership ---
+
+// logf forwards to the configured logger, if any.
+func (p *Peer) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// Membership returns sorted copies of the current voter and observer
+// sets. Safe from any goroutine.
+func (p *Peer) Membership() (voters, observers []PeerID) {
+	p.memberMu.RLock()
+	defer p.memberMu.RUnlock()
+	voters = make([]PeerID, 0, len(p.mVoters))
+	for id := range p.mVoters {
+		voters = append(voters, id)
+	}
+	observers = make([]PeerID, 0, len(p.mObservers))
+	for id := range p.mObservers {
+		observers = append(observers, id)
+	}
+	sort.Slice(voters, func(i, j int) bool { return voters[i] < voters[j] })
+	sort.Slice(observers, func(i, j int) bool { return observers[i] < observers[j] })
+	return voters, observers
+}
+
+// ValidateReconfig checks a membership change against the current
+// membership and sync state. Called on the LEADER before it submits the
+// reconfig txn; the checks mirror applyReconfig's no-op guards, so a
+// change that validates here but races a conflicting commit degrades to
+// a harmless no-op at delivery rather than a divergent membership.
+func (p *Peer) ValidateReconfig(ch ReconfigChange) error {
+	if ch.ID <= 0 {
+		return fmt.Errorf("zab: bad reconfig peer id %d", ch.ID)
+	}
+	p.memberMu.RLock()
+	defer p.memberMu.RUnlock()
+	switch ch.Action {
+	case ReconfigAdd:
+		if p.mVoters[ch.ID] || p.mObservers[ch.ID] {
+			return fmt.Errorf("zab: peer %d is already an ensemble member", ch.ID)
+		}
+	case ReconfigPromote:
+		if p.mVoters[ch.ID] {
+			return fmt.Errorf("zab: peer %d is already a voter", ch.ID)
+		}
+		if !p.mObservers[ch.ID] {
+			return fmt.Errorf("zab: peer %d is not an ensemble member; reconfig add it first", ch.ID)
+		}
+		if !p.mObsSynced[ch.ID] {
+			return fmt.Errorf("zab: observer %d has not completed its snapshot sync; an unsynced joiner may not count toward quorum", ch.ID)
+		}
+	case ReconfigRemove:
+		if !p.mVoters[ch.ID] && !p.mObservers[ch.ID] {
+			return fmt.Errorf("zab: peer %d is not an ensemble member", ch.ID)
+		}
+		if ch.ID == p.cfg.ID {
+			return fmt.Errorf("zab: cannot remove the current leader (peer %d); move leadership first by stopping it", ch.ID)
+		}
+		if p.mVoters[ch.ID] && len(p.mVoters) <= 1 {
+			return fmt.Errorf("zab: cannot remove the last voter")
+		}
+	default:
+		return fmt.Errorf("zab: unknown reconfig action %d", ch.Action)
+	}
+	return nil
+}
+
+// publishMembership mirrors the loop-owned membership for off-loop
+// readers.
+func (p *Peer) publishMembership() {
+	voters := make(map[PeerID]bool, len(p.voters))
+	for id := range p.voters {
+		voters[id] = true
+	}
+	observers := make(map[PeerID]bool, len(p.observers))
+	for id := range p.observers {
+		observers[id] = true
+	}
+	p.memberMu.Lock()
+	p.mVoters = voters
+	p.mObservers = observers
+	p.memberMu.Unlock()
+}
+
+// publishObsSynced mirrors the leader's synced-observer set (the
+// promotion gate) for off-loop readers.
+func (p *Peer) publishObsSynced() {
+	synced := make(map[PeerID]bool, len(p.obsSynced))
+	for id := range p.obsSynced {
+		synced[id] = true
+	}
+	p.memberMu.Lock()
+	p.mObsSynced = synced
+	p.memberMu.Unlock()
+}
+
+// applyReconfig mutates the membership at a reconfig txn's delivery.
+// Every guard is an idempotent no-op check: replicas replaying history
+// (restart recovery, diff sync) re-apply the same changes harmlessly.
+func (p *Peer) applyReconfig(zxid int64, data []byte) {
+	ch, err := DecodeReconfigChange(data)
+	if err != nil {
+		p.logf("zab: peer %d: ignoring malformed reconfig txn at zxid %#x: %v", p.cfg.ID, zxid, err)
+		return
+	}
+	switch ch.Action {
+	case ReconfigAdd:
+		if p.isMember(ch.ID) {
+			return
+		}
+		p.observers[ch.ID] = struct{}{}
+		if ch.Addr != "" {
+			p.addrs[ch.ID] = ch.Addr
+		}
+		if p.updater != nil {
+			// Self included: the transport must learn our own role so
+			// future handshakes advertise it correctly.
+			p.updater.AddPeer(ch.ID, ch.Addr, true)
+		}
+		p.logf("zab: peer %d: reconfig@%#x added %d (%s) as observer; voters=%d observers=%d",
+			p.cfg.ID, zxid, ch.ID, ch.Addr, len(p.voters), len(p.observers))
+	case ReconfigPromote:
+		if !p.isObserverMember(ch.ID) {
+			return
+		}
+		delete(p.observers, ch.ID)
+		p.voters[ch.ID] = struct{}{}
+		if p.Role() == RoleLeading {
+			delete(p.obsSynced, ch.ID)
+			p.publishObsSynced()
+			// The promoted voter re-handshakes via FOLLOWERINFO; seed
+			// its liveness so the abdication check gives it time to.
+			p.lastHeard[ch.ID] = time.Now()
+		}
+		if p.updater != nil {
+			p.updater.AddPeer(ch.ID, ch.Addr, false)
+		}
+		p.logf("zab: peer %d: reconfig@%#x promoted %d to voter; quorum is now %d of %d",
+			p.cfg.ID, zxid, ch.ID, p.quorum(), len(p.voters))
+		if ch.ID == p.cfg.ID && p.isObserver {
+			p.isObserver = false
+			// Enter the voter handshake with the leader that promoted
+			// us; with no known leader, campaign like any voter.
+			if p.followTarget >= 0 {
+				p.becomeFollower(p.followTarget)
+			} else {
+				p.startElection()
+			}
+		}
+	case ReconfigRemove:
+		if !p.isMember(ch.ID) {
+			return
+		}
+		delete(p.voters, ch.ID)
+		delete(p.observers, ch.ID)
+		delete(p.addrs, ch.ID)
+		delete(p.synced, ch.ID)
+		delete(p.lastHeard, ch.ID)
+		delete(p.votes, ch.ID)
+		if _, ok := p.obsSynced[ch.ID]; ok {
+			delete(p.obsSynced, ch.ID)
+			p.publishObsSynced()
+		}
+		if p.updater != nil && ch.ID != p.cfg.ID {
+			if p.Role() == RoleLeading {
+				// Defer the link teardown: the commit covering this very
+				// removal still has to flush to the removed peer so it can
+				// park itself (tick performs the teardown after the grace).
+				p.transportRemovals[ch.ID] = time.Now().Add(p.cfg.ElectionTimeout)
+			} else {
+				p.updater.RemovePeer(ch.ID)
+			}
+		}
+		p.logf("zab: peer %d: reconfig@%#x removed %d; quorum is now %d of %d",
+			p.cfg.ID, zxid, ch.ID, p.quorum(), len(p.voters))
+		if ch.ID == p.cfg.ID {
+			p.becomeRemoved(fmt.Sprintf("reconfig txn %#x removed this id", zxid))
+		}
+	}
+	p.publishMembership()
+}
+
+// adoptMembership replaces the membership with a leader-sent snapshot
+// (piggybacked on sync answers), reconciling the transport's peer map
+// with the delta.
+func (p *Peer) adoptMembership(data []byte) {
+	members, err := decodeMembership(data)
+	if err != nil {
+		p.logf("zab: peer %d: ignoring malformed membership snapshot: %v", p.cfg.ID, err)
+		return
+	}
+	voters := make(map[PeerID]struct{}, len(members))
+	observers := make(map[PeerID]struct{})
+	addrs := make(map[PeerID]string)
+	selfVoter, selfObserver := false, false
+	for _, m := range members {
+		if m.Observer {
+			observers[m.ID] = struct{}{}
+		} else {
+			voters[m.ID] = struct{}{}
+		}
+		if m.Addr != "" {
+			addrs[m.ID] = m.Addr
+		}
+		if m.ID == p.cfg.ID {
+			selfVoter, selfObserver = !m.Observer, m.Observer
+		}
+	}
+	if p.updater != nil {
+		for _, m := range members {
+			_, wasVoter := p.voters[m.ID]
+			_, wasObs := p.observers[m.ID]
+			// Self included on role changes: the transport must learn our
+			// own role so future handshakes advertise it correctly.
+			if !wasVoter && !wasObs || wasObs != m.Observer {
+				p.updater.AddPeer(m.ID, m.Addr, m.Observer)
+			}
+		}
+		for id := range p.voters {
+			if id == p.cfg.ID {
+				continue
+			}
+			if _, ok := voters[id]; !ok {
+				if _, ok := observers[id]; !ok {
+					p.updater.RemovePeer(id)
+				}
+			}
+		}
+		for id := range p.observers {
+			if id == p.cfg.ID {
+				continue
+			}
+			if _, ok := voters[id]; !ok {
+				if _, ok := observers[id]; !ok {
+					p.updater.RemovePeer(id)
+				}
+			}
+		}
+	}
+	p.voters = voters
+	p.observers = observers
+	p.addrs = addrs
+	p.publishMembership()
+	switch {
+	case selfVoter && p.isObserver:
+		// Promoted while we were syncing; the caller (handleSync) is
+		// about to complete a FOLLOWERINFO-equivalent handshake anyway.
+		p.isObserver = false
+	case selfObserver:
+		p.isObserver = true
+	case !selfVoter && !selfObserver:
+		p.becomeRemoved("leader's membership snapshot no longer lists this id")
+	}
+}
+
+// becomeRemoved parks the peer permanently: a removed replica must not
+// campaign, vote, ack, or heartbeat — its former peers no longer count
+// it, so any participation is at best noise and at worst a ghost quorum.
+func (p *Peer) becomeRemoved(why string) {
+	if p.Role() == RoleRemoved {
+		return
+	}
+	p.logf("zab: peer %d REMOVED FROM ENSEMBLE (%s): parking — no elections, no votes; writes will be refused until restarted under a membership that includes this id",
+		p.cfg.ID, why)
+	p.batch = nil
+	p.outstanding = nil
+	p.outDepth.Store(0)
+	p.proposals = make(map[int64]*pendingProposal)
+	p.inflight = make(map[int64]ProposalRecord)
+	p.leaderSynced = false
+	p.followTarget = -1
+	p.finalizeDue = time.Time{}
+	p.setRole(RoleRemoved, -1)
+}
+
+// handleRemoved processes the leader's you-were-removed notice.
+func (p *Peer) handleRemoved(msg Message) {
+	if p.Role() == RoleLeading || p.Role() == RoleRemoved {
+		return
+	}
+	// Only trust the notice from a peer we still believe is a voter: our
+	// own membership may be stale, but a sender we never heard of could
+	// be the stale one.
+	if !p.isVoter(msg.From) {
+		return
+	}
+	p.becomeRemoved(fmt.Sprintf("peer %d reports this id is no longer a member", msg.From))
 }

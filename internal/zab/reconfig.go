@@ -1,0 +1,181 @@
+package zab
+
+import (
+	"fmt"
+
+	"securekeeper/internal/wire"
+)
+
+// Incremental reconfiguration, ZooKeeper-style: a membership change is
+// an ordinary transaction (ztree.TxnReconfig with a ReconfigChange
+// encoded in Data) committed through the broadcast pipeline itself.
+// Every replica applies the change when it delivers the txn, so the
+// voter set — and with it the quorum size — switches at exactly the
+// reconfig txn's zxid on every member, with no side channel to race.
+//
+// The protocol is deliberately incremental (one member per change) and
+// staged: a joining replica is always added as an OBSERVER first, which
+// snapshot-syncs it off the write path's quorum accounting; only once
+// the leader has seen its sync complete may it be promoted to voter.
+// That staging is the joiner-not-counted-before-sync guarantee — an
+// empty replica can never widen a quorum it cannot yet help form.
+
+// ReconfigAction discriminates membership changes.
+type ReconfigAction int32
+
+// Membership change kinds.
+const (
+	// ReconfigAdd introduces a new member as a non-voting observer;
+	// Addr is its peer-mesh address (may be empty for in-process
+	// ensembles).
+	ReconfigAdd ReconfigAction = iota + 1
+	// ReconfigRemove drops a member (voter or observer). The replica
+	// itself learns it was removed when it delivers the txn (or, if it
+	// was down, from the leader's REMOVED reply to its next election
+	// vote) and stops participating.
+	ReconfigRemove
+	// ReconfigPromote turns a synced observer into a voter.
+	ReconfigPromote
+)
+
+// String returns the operator-facing name of the action.
+func (a ReconfigAction) String() string {
+	switch a {
+	case ReconfigAdd:
+		return "add"
+	case ReconfigRemove:
+		return "remove"
+	case ReconfigPromote:
+		return "promote"
+	default:
+		return fmt.Sprintf("reconfig(%d)", int32(a))
+	}
+}
+
+// ParseReconfigAction maps the operator-facing name back to the action.
+func ParseReconfigAction(s string) (ReconfigAction, error) {
+	switch s {
+	case "add":
+		return ReconfigAdd, nil
+	case "remove":
+		return ReconfigRemove, nil
+	case "promote":
+		return ReconfigPromote, nil
+	default:
+		return 0, fmt.Errorf("zab: unknown reconfig action %q (want add, remove or promote)", s)
+	}
+}
+
+// ReconfigChange is one incremental membership change.
+type ReconfigChange struct {
+	Action ReconfigAction
+	ID     PeerID
+	Addr   string
+}
+
+// Encode serializes the change for a TxnReconfig payload.
+func (c *ReconfigChange) Encode() []byte {
+	e := wire.NewEncoder(16 + len(c.Addr))
+	e.WriteInt32(int32(c.Action))
+	e.WriteInt64(int64(c.ID))
+	e.WriteString(c.Addr)
+	return e.Bytes()
+}
+
+// DecodeReconfigChange parses a TxnReconfig payload.
+func DecodeReconfigChange(data []byte) (ReconfigChange, error) {
+	var c ReconfigChange
+	d := wire.NewDecoder(data)
+	action, err := d.ReadInt32()
+	if err != nil {
+		return c, err
+	}
+	c.Action = ReconfigAction(action)
+	id, err := d.ReadInt64()
+	if err != nil {
+		return c, err
+	}
+	c.ID = PeerID(id)
+	if c.Addr, err = d.ReadString(); err != nil {
+		return c, err
+	}
+	switch c.Action {
+	case ReconfigAdd, ReconfigRemove, ReconfigPromote:
+	default:
+		return c, fmt.Errorf("zab: bad reconfig action %d", action)
+	}
+	if c.ID <= 0 {
+		return c, fmt.Errorf("zab: bad reconfig peer id %d", c.ID)
+	}
+	return c, nil
+}
+
+// maxMembers bounds the member count accepted when decoding a
+// membership snapshot — far above any real ensemble, low enough that a
+// hostile length prefix cannot drive allocation.
+const maxMembers = 1024
+
+// member is one entry of an encoded membership snapshot.
+type member struct {
+	ID       PeerID
+	Addr     string
+	Observer bool
+}
+
+// encodeMembership serializes a (voters, observers, addrs) view, sorted
+// by id so identical memberships encode identically.
+func encodeMembership(voters, observers map[PeerID]struct{}, addrs map[PeerID]string) []byte {
+	members := make([]member, 0, len(voters)+len(observers))
+	for id := range voters {
+		members = append(members, member{ID: id, Addr: addrs[id]})
+	}
+	for id := range observers {
+		members = append(members, member{ID: id, Addr: addrs[id], Observer: true})
+	}
+	sortMembers(members)
+	e := wire.NewEncoder(4 + 32*len(members))
+	e.WriteInt32(int32(len(members)))
+	for _, m := range members {
+		e.WriteInt64(int64(m.ID))
+		e.WriteString(m.Addr)
+		e.WriteBool(m.Observer)
+	}
+	return e.Bytes()
+}
+
+// decodeMembership parses an encoded membership snapshot.
+func decodeMembership(data []byte) ([]member, error) {
+	d := wire.NewDecoder(data)
+	n, err := d.ReadInt32()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > maxMembers {
+		return nil, fmt.Errorf("zab: bad membership count %d", n)
+	}
+	members := make([]member, 0, n)
+	for i := int32(0); i < n; i++ {
+		var m member
+		id, err := d.ReadInt64()
+		if err != nil {
+			return nil, err
+		}
+		m.ID = PeerID(id)
+		if m.Addr, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if m.Observer, err = d.ReadBool(); err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+	}
+	return members, nil
+}
+
+func sortMembers(members []member) {
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0 && members[j].ID < members[j-1].ID; j-- {
+			members[j], members[j-1] = members[j-1], members[j]
+		}
+	}
+}

@@ -34,6 +34,22 @@ type MultiSender interface {
 	SendMany(to []PeerID, msg Message) error
 }
 
+// MembershipUpdater is an optional Transport capability: grow or shrink
+// the transport's peer map at runtime as reconfiguration transactions
+// commit. The TCP mesh implements it (new peers get dial loops and
+// accept-side validation entries, removed peers get their links closed);
+// the in-process Network needs no updates — its hub routes by id alone.
+// Both methods are invoked from the peer's loop goroutine and must not
+// block.
+type MembershipUpdater interface {
+	// AddPeer introduces (or reclassifies) a member. An empty addr
+	// keeps whatever address the transport already knows — the promote
+	// case, where only the role flips.
+	AddPeer(id PeerID, addr string, observer bool)
+	// RemovePeer drops a member and tears down its links.
+	RemovePeer(id PeerID)
+}
+
 // SendToMany fans one message out: through the transport's MultiSender
 // fast path when available (encode once), per-peer Send otherwise.
 func SendToMany(t Transport, to []PeerID, msg Message) {

@@ -38,7 +38,7 @@ func (m *Message) Serialize(e *wire.Encoder) {
 		e.WriteInt64(int64(m.VoteFor))
 		e.WriteInt64(m.VoteZxid)
 		e.WriteBool(m.VoteReply)
-	case KindFollowerInfo, KindNewLeaderAck, KindAck, KindCommit, KindPing, KindPong, KindObserverInfo:
+	case KindFollowerInfo, KindNewLeaderAck, KindAck, KindCommit, KindPing, KindPong, KindObserverInfo, KindRemoved:
 		// Header only: the zxid field carries the payload.
 	case KindPropose:
 		e.WriteBool(m.Txn != nil)
@@ -56,11 +56,13 @@ func (m *Message) Serialize(e *wire.Encoder) {
 		for i := range m.Diff {
 			m.Diff[i].Serialize(e)
 		}
+		e.WriteBuffer(m.Config)
 	case KindSyncSnap:
 		e.WriteBool(m.Snapshot != nil)
 		if m.Snapshot != nil {
 			m.Snapshot.Serialize(e)
 		}
+		e.WriteBuffer(m.Config)
 	case KindApp:
 		e.WriteBuffer(m.App)
 	}
@@ -92,7 +94,7 @@ func (m *Message) Deserialize(d *wire.Decoder) error {
 		if m.VoteReply, err = d.ReadBool(); err != nil {
 			return err
 		}
-	case KindFollowerInfo, KindNewLeaderAck, KindAck, KindCommit, KindPing, KindPong, KindObserverInfo:
+	case KindFollowerInfo, KindNewLeaderAck, KindAck, KindCommit, KindPing, KindPong, KindObserverInfo, KindRemoved:
 		// Header only.
 	case KindPropose:
 		present, err := d.ReadBool()
@@ -117,6 +119,9 @@ func (m *Message) Deserialize(d *wire.Decoder) error {
 		if m.Diff, err = deserializeRecords(d, maxDiffRecords, "diff"); err != nil {
 			return err
 		}
+		if m.Config, err = d.ReadBuffer(); err != nil {
+			return err
+		}
 	case KindSyncSnap:
 		present, err := d.ReadBool()
 		if err != nil {
@@ -128,6 +133,9 @@ func (m *Message) Deserialize(d *wire.Decoder) error {
 				return err
 			}
 			m.Snapshot = snap
+		}
+		if m.Config, err = d.ReadBuffer(); err != nil {
+			return err
 		}
 	case KindApp:
 		if m.App, err = d.ReadBuffer(); err != nil {

@@ -23,15 +23,30 @@
 // are identified by the handshaken peer id and Message.From is stamped
 // from the link identity, never trusted from the wire.
 //
-// Trust model: the hello exchange is a PLAINTEXT id claim — the mesh
-// assumes replicas run on a trusted cluster network (the deployment
-// shape the paper evaluates), where reaching a mesh port implies
-// ensemble membership. Cryptographically authenticated peer links
-// (reusing transport.Handshake + attestation) are a ROADMAP item;
-// until then, do not expose mesh ports beyond the cluster boundary.
+// Trust model: with Config.Secure unset the hello exchange is a
+// PLAINTEXT id claim — the Vanilla baseline's deployment shape, where
+// the cluster network itself is trusted. With Config.Secure set
+// (SecureKeeper), every link is mutually attested and encrypted: each
+// side's hello carries an sgx quote binding its id, role and a fresh
+// channel public key into the attestation transcript, and the link then
+// runs transport.Handshake to an ephemeral-keyed SecureConn. Session
+// keys come from the per-connection X25519 exchange — never from the
+// storage key, which stays inside the enclaves. A peer that cannot
+// produce a quote under the deployment's attestation root and expected
+// measurement, or whose claimed id/role disagrees with the quoted
+// transcript, is rejected before any protocol frame flows.
+//
+// Membership is dynamic: the mesh implements zab.MembershipUpdater, so
+// committed reconfiguration transactions grow and shrink the peer map
+// at runtime — added peers get dial loops (or accept-side validation
+// entries), removed peers get their links closed and dialers stopped.
 package zabnet
 
 import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -39,6 +54,7 @@ import (
 	"time"
 
 	"securekeeper/internal/obs"
+	"securekeeper/internal/sgx"
 	"securekeeper/internal/transport"
 	"securekeeper/internal/wire"
 	"securekeeper/internal/zab"
@@ -46,11 +62,12 @@ import (
 
 // Frame types carried in the first payload byte of every mesh frame.
 const (
-	frameHello     byte = 0x01 // handshake: magic, version, peer id
+	frameHello     byte = 0x01 // plaintext handshake: magic, version, peer id, role
 	frameMsg       byte = 0x02 // one complete encoded zab.Message
 	frameFragBegin byte = 0x03 // fragment start: total length + first chunk
 	frameFragCont  byte = 0x04 // fragment continuation chunk
 	frameFragEnd   byte = 0x05 // final fragment chunk
+	frameHelloSec  byte = 0x06 // attested handshake: hello fields + channel key + sgx quote
 )
 
 // helloMagic identifies the mesh protocol in the handshake frame.
@@ -118,6 +135,23 @@ type Config struct {
 	// Obs, when set, receives the mesh's metrics: per-peer outbox
 	// depth gauges and shed/drop counters.
 	Obs *obs.Registry
+	// Secure, when set, upgrades every peer link to mutual attestation
+	// plus channel encryption (the SecureKeeper mesh). Nil keeps the
+	// plaintext hello — the Vanilla baseline.
+	Secure *SecureConfig
+}
+
+// SecureConfig holds the material for attested, encrypted peer links.
+type SecureConfig struct {
+	// Signer is the deployment attestation identity (seeded from the
+	// administrator's storage key): it quotes our hello transcript and
+	// verifies the peers'.
+	Signer *sgx.QuoteSigner
+	// Identity is this replica's per-process channel identity. It is
+	// FRESH per boot, never derived from the storage key: the quote
+	// binds it to the attested hello, and the X25519 exchange it
+	// authenticates yields per-connection session keys.
+	Identity *transport.Identity
 }
 
 func (c *Config) withDefaults() Config {
@@ -159,6 +193,16 @@ type Mesh struct {
 
 	mu    sync.Mutex
 	links map[zab.PeerID]*link
+	// peers/observers are the LIVE membership — seeded from Config,
+	// mutated by Add/RemovePeer as reconfig txns commit. Presence in
+	// peers marks membership even when the address is unknown (the
+	// accept side needs no address). dialStops cancels the per-peer
+	// dial loop on removal; gauged dedups metric registration across
+	// remove/re-add cycles.
+	peers     map[zab.PeerID]string
+	observers map[zab.PeerID]bool
+	dialStops map[zab.PeerID]chan struct{}
+	gauged    map[zab.PeerID]bool
 
 	// Shed accounting (nil instruments no-op without a registry).
 	// outboxShed counts messages dropped because a peer's outbox was
@@ -176,14 +220,17 @@ type Mesh struct {
 }
 
 var (
-	_ zab.Transport   = (*Mesh)(nil)
-	_ zab.MultiSender = (*Mesh)(nil)
+	_ zab.Transport         = (*Mesh)(nil)
+	_ zab.MultiSender       = (*Mesh)(nil)
+	_ zab.MembershipUpdater = (*Mesh)(nil)
 )
 
-// link is one live TCP connection to a peer.
+// link is one live TCP connection to a peer. fc is the framed TCP
+// stream on a plaintext mesh and a transport.SecureConn on an attested
+// one — the pump loops are identical either way.
 type link struct {
 	peer   zab.PeerID
-	fc     *transport.FramedConn
+	fc     transport.Conn
 	outbox chan []byte
 	// sendMu serializes enqueues so a fragmented message's frames are
 	// contiguous in the outbox (the receiver's reassembly depends on
@@ -216,40 +263,148 @@ func NewMesh(cfg Config) (*Mesh, error) {
 			return nil, fmt.Errorf("zabnet: listen %s: %w", addr, err)
 		}
 	}
+	if c.Secure != nil && (c.Secure.Signer == nil || c.Secure.Identity == nil) {
+		if c.Listener == nil {
+			_ = ln.Close()
+		}
+		return nil, errors.New("zabnet: Secure requires both Signer and Identity")
+	}
 	m := &Mesh{
-		cfg:    c,
-		ln:     ln,
-		inbox:  make(chan zab.Message, c.InboxFrames),
-		links:  make(map[zab.PeerID]*link),
-		closed: make(chan struct{}),
+		cfg:       c,
+		ln:        ln,
+		inbox:     make(chan zab.Message, c.InboxFrames),
+		links:     make(map[zab.PeerID]*link),
+		peers:     make(map[zab.PeerID]string, len(c.Peers)),
+		observers: make(map[zab.PeerID]bool, len(c.Observers)),
+		dialStops: make(map[zab.PeerID]chan struct{}),
+		gauged:    make(map[zab.PeerID]bool),
+		closed:    make(chan struct{}),
+	}
+	for id, addr := range c.Peers {
+		m.peers[id] = addr
+	}
+	for id, obs := range c.Observers {
+		m.observers[id] = obs
 	}
 	if c.Obs != nil {
 		m.outboxShed = c.Obs.Counter("zabnet_outbox_shed_total", "", "messages dropped on a full peer outbox (zero in a healthy run)")
 		m.unreachable = c.Obs.Counter("zabnet_unreachable_total", "", "sends to peers with no live link")
 		m.inboxShed = c.Obs.Counter("zabnet_inbox_shed_total", "", "received messages dropped on a full inbox")
-		for id := range c.Peers {
-			if id == c.ID {
-				continue
-			}
-			peer := id
-			c.Obs.GaugeFunc("zabnet_outbox_depth", fmt.Sprintf(`peer="%d"`, peer), "frames queued toward this peer", func() int64 {
-				if l := m.link(peer); l != nil {
-					return int64(len(l.outbox))
-				}
-				return 0
-			})
+	}
+	for id := range m.peers {
+		if id != c.ID {
+			m.gaugePeer(id)
 		}
 	}
 	m.wg.Add(1)
 	go m.acceptLoop()
-	for id, addr := range c.Peers {
+	for id, addr := range m.peers {
 		if id >= c.ID {
 			continue // higher ids dial us; we dial lower ids
 		}
-		m.wg.Add(1)
-		go m.dialLoop(id, addr)
+		m.startDial(id, addr)
 	}
 	return m, nil
+}
+
+// gaugePeer registers the per-peer outbox-depth gauge exactly once per
+// peer id for the mesh's lifetime.
+func (m *Mesh) gaugePeer(peer zab.PeerID) {
+	if m.cfg.Obs == nil {
+		return
+	}
+	m.mu.Lock()
+	seen := m.gauged[peer]
+	m.gauged[peer] = true
+	m.mu.Unlock()
+	if seen {
+		return
+	}
+	m.cfg.Obs.GaugeFunc("zabnet_outbox_depth", fmt.Sprintf(`peer="%d"`, peer), "frames queued toward this peer", func() int64 {
+		if l := m.link(peer); l != nil {
+			return int64(len(l.outbox))
+		}
+		return 0
+	})
+}
+
+// startDial launches (idempotently) the dial loop toward a lower-id
+// peer. Caller must not hold m.mu.
+func (m *Mesh) startDial(peer zab.PeerID, addr string) {
+	if addr == "" {
+		return // no address yet; the peer will dial us or AddPeer retries
+	}
+	m.mu.Lock()
+	if m.dialStops[peer] != nil {
+		m.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	m.dialStops[peer] = stop
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go m.dialLoop(peer, addr, stop)
+}
+
+// AddPeer implements zab.MembershipUpdater: a committed reconfig added
+// (or re-classified) a member. An empty addr keeps the known address —
+// the promote case, where only the role flips. Must not block: it is
+// called from the zab loop goroutine.
+func (m *Mesh) AddPeer(id zab.PeerID, addr string, observer bool) {
+	select {
+	case <-m.closed:
+		return
+	default:
+	}
+	m.mu.Lock()
+	if addr == "" {
+		addr = m.peers[id]
+	}
+	m.peers[id] = addr
+	m.observers[id] = observer
+	m.mu.Unlock()
+	if id == m.cfg.ID {
+		m.logf("zabnet %d: own role is now observer=%v", m.cfg.ID, observer)
+		return
+	}
+	m.gaugePeer(id)
+	m.logf("zabnet %d: membership adds peer %d (%s, observer=%v)", m.cfg.ID, id, addr, observer)
+	if id < m.cfg.ID {
+		m.startDial(id, addr)
+	}
+}
+
+// RemovePeer implements zab.MembershipUpdater: a committed reconfig
+// dropped a member. Its dial loop stops, its link closes, and future
+// hellos claiming its id are rejected as unknown.
+func (m *Mesh) RemovePeer(id zab.PeerID) {
+	m.mu.Lock()
+	delete(m.peers, id)
+	delete(m.observers, id)
+	if stop := m.dialStops[id]; stop != nil {
+		close(stop)
+		delete(m.dialStops, id)
+	}
+	l := m.links[id]
+	m.mu.Unlock()
+	if l != nil {
+		l.close()
+	}
+	m.logf("zabnet %d: membership removes peer %d; link torn down", m.cfg.ID, id)
+}
+
+// memberRole looks the peer up in the live membership.
+func (m *Mesh) memberRole(id zab.PeerID) (known, observer bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, known = m.peers[id]
+	return known, m.observers[id]
+}
+
+func (m *Mesh) selfObserver() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.observers[m.cfg.ID]
 }
 
 // Addr returns the mesh listener's bound address.
@@ -413,36 +568,62 @@ func (m *Mesh) acceptLoop() {
 }
 
 // acceptPeer validates an inbound handshake. Only higher-id peers may
-// dial us (the dial-direction rule); anything else is rejected.
+// dial us (the dial-direction rule); anything else is rejected. On a
+// secured mesh the hello is attested and the link is wrapped in a
+// SecureConn before any protocol frame flows.
 func (m *Mesh) acceptPeer(conn net.Conn) (*link, error) {
 	fc := transport.NewFramedConn(conn)
 	_ = fc.SetDeadline(time.Now().Add(m.cfg.HandshakeTimeout))
-	peer, obs, err := recvHello(fc)
+	var (
+		peer    zab.PeerID
+		obs     bool
+		chanPub ed25519.PublicKey
+		err     error
+	)
+	if m.cfg.Secure != nil {
+		peer, obs, chanPub, err = recvHelloSec(fc, m.cfg.Secure.Signer)
+	} else {
+		peer, obs, err = recvHello(fc)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if peer <= m.cfg.ID {
 		return nil, fmt.Errorf("%w: peer %d must not dial %d (higher id dials lower)", errBadHello, peer, m.cfg.ID)
 	}
-	if _, ok := m.cfg.Peers[peer]; !ok {
+	known, wantObs := m.memberRole(peer)
+	if !known {
 		return nil, fmt.Errorf("%w: unknown peer %d", errBadHello, peer)
 	}
-	if obs != m.cfg.Observers[peer] {
-		return nil, fmt.Errorf("%w: peer %d claims observer=%v, topology says %v", errBadHello, peer, obs, m.cfg.Observers[peer])
+	if obs != wantObs {
+		return nil, fmt.Errorf("%w: peer %d claims observer=%v, topology says %v", errBadHello, peer, obs, wantObs)
 	}
-	if err := sendHello(fc, m.cfg.ID, m.cfg.Observers[m.cfg.ID]); err != nil {
+	if m.cfg.Secure != nil {
+		if err := sendHelloSec(fc, m.cfg.ID, m.selfObserver(), m.cfg.Secure); err != nil {
+			return nil, err
+		}
+		sc, err := transport.Handshake(fc, m.cfg.Secure.Identity, false, transport.VerifyExact(chanPub))
+		if err != nil {
+			return nil, fmt.Errorf("zabnet: secure channel with peer %d: %w", peer, err)
+		}
+		_ = fc.SetDeadline(time.Time{})
+		return m.newLink(peer, sc), nil
+	}
+	if err := sendHello(fc, m.cfg.ID, m.selfObserver()); err != nil {
 		return nil, err
 	}
 	_ = fc.SetDeadline(time.Time{})
 	return m.newLink(peer, fc), nil
 }
 
-func (m *Mesh) dialLoop(peer zab.PeerID, addr string) {
+func (m *Mesh) dialLoop(peer zab.PeerID, addr string, stop chan struct{}) {
 	defer m.wg.Done()
 	backoff := m.cfg.ReconnectMin
 	for {
 		select {
 		case <-m.closed:
+			return
+		case <-stop:
 			return
 		default:
 		}
@@ -451,6 +632,8 @@ func (m *Mesh) dialLoop(peer zab.PeerID, addr string) {
 			m.logf("zabnet %d: dial peer %d (%s): %v (retry in %v)", m.cfg.ID, peer, addr, err, backoff)
 			select {
 			case <-m.closed:
+				return
+			case <-stop:
 				return
 			case <-time.After(backoff):
 			}
@@ -466,6 +649,9 @@ func (m *Mesh) dialLoop(peer zab.PeerID, addr string) {
 		select {
 		case <-l.done:
 			// Link died; loop to redial.
+		case <-stop:
+			l.close()
+			return
 		case <-m.closed:
 			l.close()
 			return
@@ -480,11 +666,24 @@ func (m *Mesh) dialPeer(peer zab.PeerID, addr string) (*link, error) {
 	}
 	fc := transport.NewFramedConn(conn)
 	_ = fc.SetDeadline(time.Now().Add(m.cfg.HandshakeTimeout))
-	if err := sendHello(fc, m.cfg.ID, m.cfg.Observers[m.cfg.ID]); err != nil {
-		_ = fc.Close()
-		return nil, err
+	var (
+		got     zab.PeerID
+		obs     bool
+		chanPub ed25519.PublicKey
+	)
+	if m.cfg.Secure != nil {
+		if err := sendHelloSec(fc, m.cfg.ID, m.selfObserver(), m.cfg.Secure); err != nil {
+			_ = fc.Close()
+			return nil, err
+		}
+		got, obs, chanPub, err = recvHelloSec(fc, m.cfg.Secure.Signer)
+	} else {
+		if err := sendHello(fc, m.cfg.ID, m.selfObserver()); err != nil {
+			_ = fc.Close()
+			return nil, err
+		}
+		got, obs, err = recvHello(fc)
 	}
-	got, obs, err := recvHello(fc)
 	if err != nil {
 		_ = fc.Close()
 		return nil, err
@@ -493,15 +692,25 @@ func (m *Mesh) dialPeer(peer zab.PeerID, addr string) (*link, error) {
 		_ = fc.Close()
 		return nil, fmt.Errorf("%w: dialed peer %d but %d answered", errBadHello, peer, got)
 	}
-	if obs != m.cfg.Observers[peer] {
+	_, wantObs := m.memberRole(peer)
+	if obs != wantObs {
 		_ = fc.Close()
-		return nil, fmt.Errorf("%w: peer %d claims observer=%v, topology says %v", errBadHello, peer, obs, m.cfg.Observers[peer])
+		return nil, fmt.Errorf("%w: peer %d claims observer=%v, topology says %v", errBadHello, peer, obs, wantObs)
+	}
+	if m.cfg.Secure != nil {
+		sc, err := transport.Handshake(fc, m.cfg.Secure.Identity, true, transport.VerifyExact(chanPub))
+		if err != nil {
+			_ = fc.Close()
+			return nil, fmt.Errorf("zabnet: secure channel with peer %d: %w", peer, err)
+		}
+		_ = fc.SetDeadline(time.Time{})
+		return m.newLink(peer, sc), nil
 	}
 	_ = fc.SetDeadline(time.Time{})
 	return m.newLink(peer, fc), nil
 }
 
-func (m *Mesh) newLink(peer zab.PeerID, fc *transport.FramedConn) *link {
+func (m *Mesh) newLink(peer zab.PeerID, fc transport.Conn) *link {
 	return &link{
 		peer:   peer,
 		fc:     fc,
@@ -688,6 +897,114 @@ func recvHello(fc *transport.FramedConn) (zab.PeerID, bool, error) {
 		return 0, false, errBadHello
 	}
 	return zab.PeerID(id), role == roleObserver, nil
+}
+
+// helloTranscript hashes the identity claims of one attested hello —
+// peer id, role, channel public key — into the quote's report data.
+// Because the quote signs this digest, none of the three can be altered
+// (an observer claiming voter, a replica claiming another's id, a
+// swapped channel key) without breaking attestation verification.
+func helloTranscript(id zab.PeerID, observer bool, channelPub ed25519.PublicKey) []byte {
+	h := sha256.New()
+	h.Write([]byte("zabnet-hello-v1"))
+	var fixed [9]byte
+	binary.BigEndian.PutUint64(fixed[:8], uint64(id))
+	fixed[8] = roleVoter
+	if observer {
+		fixed[8] = roleObserver
+	}
+	h.Write(fixed[:])
+	h.Write(channelPub)
+	return h.Sum(nil)
+}
+
+// sendHelloSec sends the attested hello: the plaintext hello fields
+// plus this replica's channel public key and an sgx quote over the
+// transcript binding all of them together.
+func sendHelloSec(fc transport.Conn, id zab.PeerID, observer bool, sec *SecureConfig) error {
+	e := wire.GetEncoder()
+	_ = e.WriteByte(frameHelloSec)
+	e.WriteInt32(helloMagic)
+	e.WriteInt32(protoVersion)
+	e.WriteInt64(int64(id))
+	role := roleVoter
+	if observer {
+		role = roleObserver
+	}
+	_ = e.WriteByte(role)
+	e.WriteBuffer(sec.Identity.Public)
+	q := sec.Signer.Quote(helloTranscript(id, observer, sec.Identity.Public))
+	e.WriteRaw(q.Measurement[:])
+	e.WriteBuffer(q.ReportData)
+	e.WriteBuffer(q.Signature)
+	err := fc.SendFrame(e.Bytes())
+	wire.PutEncoder(e)
+	return err
+}
+
+// recvHelloSec reads and verifies an attested hello: the quote must
+// verify under the deployment attestation root with the expected
+// measurement, and its report data must equal the transcript recomputed
+// from the claimed id, role and channel key.
+func recvHelloSec(fc transport.Conn, signer *sgx.QuoteSigner) (zab.PeerID, bool, ed25519.PublicKey, error) {
+	payload, err := fc.RecvFrame()
+	if err != nil {
+		return 0, false, nil, fmt.Errorf("%w: %v", errBadHello, err)
+	}
+	var d wire.Decoder
+	d.Reset(payload)
+	t, err := d.ReadByte()
+	if err != nil {
+		return 0, false, nil, errBadHello
+	}
+	if t != frameHelloSec {
+		if t == frameHello {
+			return 0, false, nil, fmt.Errorf("%w: peer sent a plaintext hello to a secured mesh", errBadHello)
+		}
+		return 0, false, nil, errBadHello
+	}
+	magic, err := d.ReadInt32()
+	if err != nil || magic != helloMagic {
+		return 0, false, nil, errBadHello
+	}
+	version, err := d.ReadInt32()
+	if err != nil || version != protoVersion {
+		return 0, false, nil, fmt.Errorf("%w: protocol version %d (want %d)", errBadHello, version, protoVersion)
+	}
+	id, err := d.ReadInt64()
+	if err != nil || id <= 0 {
+		return 0, false, nil, errBadHello
+	}
+	role, err := d.ReadByte()
+	if err != nil || (role != roleVoter && role != roleObserver) {
+		return 0, false, nil, errBadHello
+	}
+	chanPub, err := d.ReadBuffer()
+	if err != nil || len(chanPub) != ed25519.PublicKeySize {
+		return 0, false, nil, errBadHello
+	}
+	meas, err := d.ReadRaw(sha256.Size)
+	if err != nil {
+		return 0, false, nil, errBadHello
+	}
+	var q sgx.Quote
+	copy(q.Measurement[:], meas)
+	if q.ReportData, err = d.ReadBuffer(); err != nil {
+		return 0, false, nil, errBadHello
+	}
+	if q.Signature, err = d.ReadBuffer(); err != nil || d.Remaining() != 0 {
+		return 0, false, nil, errBadHello
+	}
+	if err := signer.Verify(&q); err != nil {
+		// Surface the sgx error itself (measurement rejected, signature
+		// invalid) — it is the actionable part of the rejection.
+		return 0, false, nil, fmt.Errorf("zabnet: peer attestation: %w", err)
+	}
+	want := helloTranscript(zab.PeerID(id), role == roleObserver, ed25519.PublicKey(chanPub))
+	if !hmac.Equal(q.ReportData, want) {
+		return 0, false, nil, fmt.Errorf("%w: quote transcript does not match claimed identity", errBadHello)
+	}
+	return zab.PeerID(id), role == roleObserver, ed25519.PublicKey(chanPub), nil
 }
 
 // encodeFrames serializes a message into one frameMsg frame, or a

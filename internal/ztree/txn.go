@@ -19,6 +19,12 @@ const (
 	TxnError // a write that failed validation; committed so FIFO order holds
 	TxnCheck // version assertion; only meaningful as a sub-op of TxnMulti
 	TxnMulti // atomic multi-op transaction: Subs applied all-or-nothing
+	// TxnReconfig carries an ensemble-membership change (zab.
+	// ReconfigChange, encoded in Data). The tree never changes: the
+	// broadcast layer intercepts the commit and applies the membership
+	// switch at this txn's zxid, which is what makes quorum changes
+	// atomic across the ensemble.
+	TxnReconfig
 )
 
 // MaxMultiSubs bounds the sub-transactions of one TxnMulti on the
@@ -188,6 +194,9 @@ func (t *Tree) Apply(txn *Txn) *TxnResult {
 		res.Deleted = t.KillSession(txn.Session, txn.Zxid)
 	case TxnSync:
 		// No state change; the commit itself is the synchronization.
+	case TxnReconfig:
+		// No tree change; the broadcast layer consumes the membership
+		// payload at delivery.
 	case TxnError:
 		res.Err = txn.Err
 	case TxnCheck:

@@ -29,6 +29,10 @@ SEED="${SMOKE_CHAOS_SEED:-1}"
 DURATION="${SMOKE_CHAOS_DURATION:-4s}"
 BIN="$(mktemp -d)"
 DATA="$(mktemp -d)"
+# SMOKE_LOG_DIR, when set, receives a transcript per leg (CI uploads
+# it on failure so the replay command survives the job).
+LOGS="${SMOKE_LOG_DIR:-$(mktemp -d)}"
+mkdir -p "$LOGS"
 
 echo "== build"
 go build -o "$BIN/skchaos" ./cmd/skchaos
@@ -42,12 +46,12 @@ for sc in $("$BIN/skchaos" -list | awk '{print $1}'); do
 done
 
 echo "== all scenarios (memory-only, vanilla)"
-"$BIN/skchaos" -scenario all -seed "$SEED" -duration "$DURATION"
+"$BIN/skchaos" -scenario all -seed "$SEED" -duration "$DURATION" 2>&1 | tee "$LOGS/all.log"
 
 echo "== lock scenario with durable replicas (adds fsync-stall faults)"
-"$BIN/skchaos" -scenario lock -seed "$SEED" -duration "$DURATION" -datadir "$DATA/chaos"
+"$BIN/skchaos" -scenario lock -seed "$SEED" -duration "$DURATION" -datadir "$DATA/chaos" 2>&1 | tee "$LOGS/lock-durable.log"
 
 echo "== lock scenario through the SecureKeeper enclave stack"
-"$BIN/skchaos" -scenario lock -seed "$SEED" -duration "$DURATION" -variant securekeeper
+"$BIN/skchaos" -scenario lock -seed "$SEED" -duration "$DURATION" -variant securekeeper 2>&1 | tee "$LOGS/lock-securekeeper.log"
 
 echo "PASS: chaos smoke green (4 recipes, seeded fault schedules, checkers clean)"

@@ -27,101 +27,23 @@ cd "$(dirname "$0")/.."
 
 VARIANT="${SMOKE_VARIANT:-vanilla}"
 BASE="${SMOKE_PORT_BASE:-28480}"
-BIN="$(mktemp -d)"
-LOGS="$(mktemp -d)"
 # Durable nodes: the group-commit fsync stage only exists with a WAL,
 # and this smoke asserts its histogram fills during the burst.
-DATA="$(mktemp -d)"
+DURABLE=1
 
-KEYFLAGS=()
-if [ "$VARIANT" = securekeeper ]; then
-  KEYFLAGS=(-storage-key "00112233445566778899aabbccddeeff")
-fi
+# shellcheck source=scripts/smoke_lib.sh
+source scripts/smoke_lib.sh
 
-MESH=()
-CADDR=()
-MADDR=()
+smoke_addrs 4
 TOPO=""
 for i in 1 2 3 4; do
-  MESH[$i]="127.0.0.1:$((BASE + i))"
-  CADDR[$i]="127.0.0.1:$((BASE + 10 + i))"
-  MADDR[$i]="127.0.0.1:$((BASE + 20 + i))"
   TOPO="${TOPO:+$TOPO;}$i@${MESH[$i]}"
 done
 TOPO="$TOPO:observer"
 
-declare -A PIDS=()
-cleanup() {
-  for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
-  echo "--- node logs ---"
-  tail -n 20 "$LOGS"/node*.log 2>/dev/null || true
-}
-trap cleanup EXIT
-
-echo "== build"
-go build -o "$BIN/skserver" ./cmd/skserver
-go build -o "$BIN/skclient" ./cmd/skclient
-
-skc() { "$BIN/skclient" -variant "$VARIANT" "$@"; }
-
-start_node() {
-  local i="$1"
-  "$BIN/skserver" -variant "$VARIANT" -id "$i" -topology "$TOPO" \
-    ${KEYFLAGS[@]+"${KEYFLAGS[@]}"} \
-    -data-dir "$DATA/node$i" \
-    -metrics-addr "${MADDR[$i]}" \
-    -listen "${CADDR[$i]}" >>"$LOGS/node$i.log" 2>&1 &
-  PIDS[$i]=$!
-  echo "== node $i started (pid ${PIDS[$i]}, clients ${CADDR[$i]}, metrics ${MADDR[$i]})"
-}
-
-node_role() {
-  skc -timeout 2s -addr "${CADDR[$1]}" info 2>/dev/null
-}
-
-leader_id() {
-  for i in 1 2 3; do
-    local out
-    out=$(node_role "$i") || continue
-    if [[ "$out" == role=LEADING* ]]; then
-      echo "$i"
-      return 0
-    fi
-  done
-  return 1
-}
-
-wait_leader() {
-  for _ in $(seq 1 300); do
-    if leader_id >/dev/null; then return 0; fi
-    sleep 0.1
-  done
-  echo "FAIL: no leader elected" >&2
-  return 1
-}
-
-retry() {
-  for _ in $(seq 1 100); do
-    if "$@" >/dev/null 2>&1; then return 0; fi
-    sleep 0.2
-  done
-  echo "FAIL: retries exhausted: $*" >&2
-  return 1
-}
+smoke_build
 
 scrape() { curl -sf --max-time 5 "http://$1/metrics"; }
-
-# metric_value HOST:PORT NAME — sum of the family's samples across
-# label sets from a live scrape; FAILS when the family is absent (every
-# family this script reads is registered at boot, so absence means the
-# registry wiring broke, not "nothing happened yet"). %.0f, not %d:
-# mawk's %d clamps at 2^31-1 and a zxid carries the epoch in its high
-# bits.
-metric_value() {
-  scrape "$1" | awk -v name="$2" '
-    index($1, name) == 1 { s += $NF; found = 1 }
-    END { if (!found) exit 1; printf "%.0f\n", s }'
-}
 
 for i in 1 2 3 4; do start_node "$i"; done
 wait_leader

@@ -5,9 +5,13 @@
 # process as a non-voting observer (it must snapshot-sync, digest-
 # converge with the leader, forward writes, and keep serving reads
 # while the leader is down), SIGKILL the leader process, and assert
-# the survivors re-elect and converge on post-failover writes. This
-# exercises the same binaries and flags an operator uses, end to end,
-# on top of what the in-test harness already covers. Every node also
+# the survivors re-elect and converge on post-failover writes. Two
+# churn legs follow: a rolling restart (every voter is bounced in turn
+# under traffic and must catch up) and a partition (a follower is
+# SIGSTOPped, writes commit without it, and after SIGCONT it must
+# re-sync and digest-converge without a restart). This exercises the
+# same binaries and flags an operator uses, end to end, on top of what
+# the in-test harness already covers. Every node also
 # serves the admin metrics endpoint (-metrics-addr); after the clean
 # legs the script scrapes /metrics on all four processes and asserts
 # zero outbox sheds and zero corrupt storage records.
@@ -39,136 +43,22 @@ CRASH_ITERS="${SMOKE_CRASH_ITERS:-10}"
 if [ "$CRASH" = 1 ]; then
   DURABLE=1
 fi
-BIN="$(mktemp -d)"
-LOGS="$(mktemp -d)"
-DATA="$(mktemp -d)"
 
-# SecureKeeper replicas must share one storage key (the key server's
-# released key) or they would replicate mutually undecryptable state.
-KEYFLAGS=()
-if [ "$VARIANT" = securekeeper ]; then
-  KEYFLAGS=(-storage-key "00112233445566778899aabbccddeeff")
-fi
+# shellcheck source=scripts/smoke_lib.sh
+source scripts/smoke_lib.sh
 
 # Node 4 is a non-voting observer. Every process gets the full
 # topology (voters validate an observer's claimed role against it at
 # mesh handshake); the observer process itself only runs in the
 # normal flow — the crash harness drives voters alone.
-MESH=()
-CADDR=()
-MADDR=()
+smoke_addrs 4
 TOPO=""
 for i in 1 2 3 4; do
-  MESH[$i]="127.0.0.1:$((BASE + i))"
-  CADDR[$i]="127.0.0.1:$((BASE + 10 + i))"
-  MADDR[$i]="127.0.0.1:$((BASE + 20 + i))"
   TOPO="${TOPO:+$TOPO;}$i@${MESH[$i]}"
 done
 TOPO="$TOPO:observer"
 
-declare -A PIDS=()
-cleanup() {
-  for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
-  echo "--- node logs ---"
-  tail -n 20 "$LOGS"/node*.log 2>/dev/null || true
-}
-trap cleanup EXIT
-
-echo "== build"
-go build -o "$BIN/skserver" ./cmd/skserver
-go build -o "$BIN/skclient" ./cmd/skclient
-
-skc() { "$BIN/skclient" -variant "$VARIANT" "$@"; }
-
-start_node() {
-  local i="$1"
-  local extra=()
-  if [ "$DURABLE" = 1 ]; then
-    extra=(-data-dir "$DATA/node$i")
-  fi
-  "$BIN/skserver" -variant "$VARIANT" -id "$i" -topology "$TOPO" \
-    ${KEYFLAGS[@]+"${KEYFLAGS[@]}"} \
-    ${extra[@]+"${extra[@]}"} \
-    -metrics-addr "${MADDR[$i]}" \
-    -listen "${CADDR[$i]}" >>"$LOGS/node$i.log" 2>&1 &
-  PIDS[$i]=$!
-  echo "== node $i started (pid ${PIDS[$i]}, clients ${CADDR[$i]}, durable=$DURABLE)"
-}
-
-# node_role prints "role=... leader=... zxid=..." from node $1's
-# machine-readable stat op (skclient info) instead of grepping logs.
-node_role() {
-  skc -timeout 2s -addr "${CADDR[$1]}" info 2>/dev/null
-}
-
-# leader_id prints the id of the voter currently reporting LEADING
-# through the stat op, among the still-running nodes.
-leader_id() {
-  for i in 1 2 3; do
-    [ -n "${PIDS[$i]:-}" ] || continue
-    local out
-    out=$(node_role "$i") || continue
-    if [[ "$out" == role=LEADING* ]]; then
-      echo "$i"
-      return 0
-    fi
-  done
-  return 1
-}
-
-wait_leader() {
-  for _ in $(seq 1 300); do
-    if leader_id >/dev/null; then return 0; fi
-    sleep 0.1
-  done
-  echo "FAIL: no leader elected" >&2
-  return 1
-}
-
-# retry CMD... until success (ensemble may be mid-election).
-retry() {
-  for _ in $(seq 1 100); do
-    if "$@" >/dev/null 2>&1; then return 0; fi
-    sleep 0.2
-  done
-  echo "FAIL: retries exhausted: $*" >&2
-  return 1
-}
-
-# wait_dead PID... — bounded wait on the actual condition (process
-# gone) instead of a fixed settle sleep: SIGKILL delivery is async and
-# a fixed delay is either too slow or a flake under CI load.
-wait_dead() {
-  for _ in $(seq 1 100); do
-    local alive=0 pid
-    for pid in "$@"; do
-      if kill -0 "$pid" 2>/dev/null; then alive=1; break; fi
-    done
-    [ "$alive" = 0 ] && return 0
-    sleep 0.1
-  done
-  echo "FAIL: processes still alive after SIGKILL: $*" >&2
-  return 1
-}
-
-# wait_port_free HOST:PORT... — bounded wait until nothing accepts on
-# the addresses (a killed node's listener can linger briefly; a restart
-# on the same port must not race it).
-wait_port_free() {
-  for _ in $(seq 1 100); do
-    local busy=0 addr
-    for addr in "$@"; do
-      if (exec 3<>"/dev/tcp/${addr%%:*}/${addr##*:}") 2>/dev/null; then
-        busy=1
-        break
-      fi
-    done
-    [ "$busy" = 0 ] && return 0
-    sleep 0.1
-  done
-  echo "FAIL: ports still busy: $*" >&2
-  return 1
-}
+smoke_build
 
 for i in 1 2 3; do start_node "$i"; done
 wait_leader
@@ -176,28 +66,6 @@ LEADER=$(leader_id)
 echo "== leader is node $LEADER"
 
 ALL_ADDRS="${CADDR[1]},${CADDR[2]},${CADDR[3]}"
-
-# tree_digest ADDR — the replica's deterministic recursive tree digest.
-tree_digest() {
-  skc -addr "$1" digest / | awk '/^digest /{print $2, $3}'
-}
-
-# acked_paths LEDGER — the paths of acknowledged writes (may be empty).
-acked_paths() {
-  (grep '^ACK ' "$1" || true) | awk '{print $2}'
-}
-
-# metric_sum HOST:PORT NAME — scrape the node's /metrics endpoint and
-# sum the family's samples across label sets. An absent family prints
-# 0: counters only appear once incremented... except that every node
-# here registers these families at boot, so absence would itself be a
-# wiring bug — which the metrics smoke (scripts/metrics_smoke.sh)
-# catches; this helper only needs "never fired" and "not yet scraped"
-# to both read as zero.
-metric_sum() {
-  curl -sf --max-time 5 "http://$1/metrics" \
-    | awk -v name="$2" 'index($1, name) == 1 { s += $NF } END { printf "%.0f\n", s }'
-}
 
 if [ "$CRASH" = 1 ]; then
   echo "== crash-consistency harness: $CRASH_ITERS iterations per leg"
@@ -386,6 +254,51 @@ retry skc -addr "${CADDR[$LEADER]}" sync /smoke
 got=$(skc -addr "${CADDR[$LEADER]}" get /smoke)
 [[ "$got" == v3* ]] || { echo "FAIL: restarted node read '$got', want v3" >&2; exit 1; }
 
+echo "== rolling restart: bounce every voter in turn under traffic"
+for i in 1 2 3; do
+  OLD="${PIDS[$i]}"
+  kill -9 "$OLD"
+  unset "PIDS[$i]"
+  wait_dead "$OLD"
+  # The two remaining voters keep a quorum: the write must land while
+  # node $i is down, and the restarted node must catch up to it.
+  retry skc -addr "$ALL_ADDRS" set /smoke "roll$i"
+  wait_port_free "${MESH[$i]}" "${CADDR[$i]}" "${MADDR[$i]}"
+  start_node "$i"
+  wait_leader
+  retry skc -addr "${CADDR[$i]}" sync /smoke
+  got=$(skc -addr "${CADDR[$i]}" get /smoke)
+  [[ "$got" == roll$i* ]] || { echo "FAIL: node $i read '$got' after rolling restart, want roll$i" >&2; exit 1; }
+done
+echo "== rolling restart OK: every voter rejoined and caught up"
+
+echo "== partition: SIGSTOP a follower, commit around it, SIGCONT, verify rejoin"
+wait_leader
+PART_LEADER=$(leader_id)
+FOLLOWER=""
+for i in 1 2 3; do
+  [ "$i" != "$PART_LEADER" ] && { FOLLOWER="$i"; break; }
+done
+kill -STOP "${PIDS[$FOLLOWER]}"
+echo "== node $FOLLOWER frozen (SIGSTOP); committing writes without it"
+PART_ADDRS=""
+for i in 1 2 3; do
+  [ "$i" = "$FOLLOWER" ] && continue
+  PART_ADDRS="${PART_ADDRS:+$PART_ADDRS,}${CADDR[$i]}"
+done
+retry skc -addr "$PART_ADDRS" create /part p1
+retry skc -addr "$PART_ADDRS" set /smoke part1
+kill -CONT "${PIDS[$FOLLOWER]}"
+echo "== node $FOLLOWER thawed (SIGCONT); must catch up without a restart"
+retry skc -addr "${CADDR[$FOLLOWER]}" sync /
+got=$(skc -addr "${CADDR[$FOLLOWER]}" get /part)
+[[ "$got" == p1* ]] || { echo "FAIL: rejoined node $FOLLOWER read '$got', want p1" >&2; exit 1; }
+DP=$(tree_digest "${CADDR[$FOLLOWER]}")
+wait_leader
+DL2=$(tree_digest "${CADDR[$(leader_id)]}")
+[ "$DP" = "$DL2" ] || { echo "FAIL: rejoined digest $DP != leader digest $DL2" >&2; exit 1; }
+echo "== partitioned follower rejoined and digest-converged ($DP)"
+
 if [ "$DURABLE" = 1 ]; then
   echo "== restart-from-disk: SIGKILL the WHOLE voting ensemble, restart, verify recovery"
   # Voters only: the observer (node 4) stays up and must ride out the
@@ -404,7 +317,7 @@ if [ "$DURABLE" = 1 ]; then
   wait_leader
   retry skc -addr "${CADDR[1]},${CADDR[2]},${CADDR[3]}" sync /smoke
   got=$(skc -addr "${CADDR[1]},${CADDR[2]},${CADDR[3]}" get /smoke)
-  [[ "$got" == v3* ]] || { echo "FAIL: disk recovery read '$got', want v3" >&2; exit 1; }
+  [[ "$got" == part1* ]] || { echo "FAIL: disk recovery read '$got', want part1" >&2; exit 1; }
   got=$(skc -addr "${CADDR[1]},${CADDR[2]},${CADDR[3]}" get /multi)
   [[ "$got" == m2* ]] || { echo "FAIL: disk recovery read '$got', want m2" >&2; exit 1; }
   # Recovered state accepts new writes.

@@ -1,0 +1,181 @@
+# shellcheck shell=bash
+# Shared helpers for the multi-process smoke scripts. Source this after
+# setting VARIANT and BASE (and optionally DURABLE=1); it owns the
+# scratch directories, the PID table with its kill-all EXIT trap, the
+# skserver/skclient build, and the wait/retry/digest primitives every
+# smoke flow repeats.
+#
+# SMOKE_LOG_DIR, when set, receives the per-node logs (CI points it at
+# a workspace path and uploads it as an artifact on failure); unset, a
+# throwaway tempdir is used.
+
+BIN="$(mktemp -d)"
+LOGS="${SMOKE_LOG_DIR:-$(mktemp -d)}"
+mkdir -p "$LOGS"
+DATA="$(mktemp -d)"
+
+# SecureKeeper replicas must share one storage key (the key server's
+# released key) or they would replicate mutually undecryptable state.
+KEYFLAGS=()
+if [ "${VARIANT:?smoke_lib: set VARIANT before sourcing}" = securekeeper ]; then
+  KEYFLAGS=(-storage-key "00112233445566778899aabbccddeeff")
+fi
+
+MESH=()
+CADDR=()
+MADDR=()
+declare -A PIDS=()
+
+# smoke_addrs N — derive mesh/client/metrics addresses for ids 1..N
+# from BASE (mesh at BASE+i, clients at BASE+10+i, metrics at
+# BASE+20+i, the layout every smoke job's port plan assumes).
+smoke_addrs() {
+  local n="$1" i
+  for ((i = 1; i <= n; i++)); do
+    MESH[$i]="127.0.0.1:$((${BASE:?smoke_lib: set BASE before sourcing} + i))"
+    CADDR[$i]="127.0.0.1:$((BASE + 10 + i))"
+    MADDR[$i]="127.0.0.1:$((BASE + 20 + i))"
+  done
+}
+
+cleanup() {
+  local pid
+  for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+  echo "--- node logs ---"
+  tail -n 20 "$LOGS"/node*.log 2>/dev/null || true
+}
+trap cleanup EXIT
+
+smoke_build() {
+  echo "== build"
+  go build -o "$BIN/skserver" ./cmd/skserver
+  go build -o "$BIN/skclient" ./cmd/skclient
+}
+
+skc() { "$BIN/skclient" -variant "$VARIANT" "$@"; }
+
+# start_node ID [TOPO] — launch one skserver process. TOPO defaults to
+# the caller's $TOPO; pass an explicit spec for members whose view of
+# the ensemble differs (a reconfig joiner). DURABLE=1 adds -data-dir.
+start_node() {
+  local i="$1"
+  local topo="${2:-$TOPO}"
+  local extra=()
+  if [ "${DURABLE:-0}" = 1 ]; then
+    extra=(-data-dir "$DATA/node$i")
+  fi
+  "$BIN/skserver" -variant "$VARIANT" -id "$i" -topology "$topo" \
+    ${KEYFLAGS[@]+"${KEYFLAGS[@]}"} \
+    ${extra[@]+"${extra[@]}"} \
+    -metrics-addr "${MADDR[$i]}" \
+    -listen "${CADDR[$i]}" >>"$LOGS/node$i.log" 2>&1 &
+  PIDS[$i]=$!
+  echo "== node $i started (pid ${PIDS[$i]}, clients ${CADDR[$i]}, durable=${DURABLE:-0})"
+}
+
+# node_role prints "role=... leader=... ... ensemble=..." from node
+# $1's machine-readable stat op (skclient info) instead of log greps.
+node_role() {
+  skc -timeout 2s -addr "${CADDR[$1]}" info 2>/dev/null
+}
+
+# VOTERS — the ids leader_id probes. Default seed ensemble; the
+# reconfig smoke rewrites it as membership grows and shrinks.
+VOTERS="${VOTERS:-1 2 3}"
+
+# leader_id prints the id of the running voter currently reporting
+# LEADING through the stat op.
+leader_id() {
+  local i out
+  for i in $VOTERS; do
+    [ -n "${PIDS[$i]:-}" ] || continue
+    out=$(node_role "$i") || continue
+    if [[ "$out" == role=LEADING* ]]; then
+      echo "$i"
+      return 0
+    fi
+  done
+  return 1
+}
+
+wait_leader() {
+  for _ in $(seq 1 300); do
+    if leader_id >/dev/null; then return 0; fi
+    sleep 0.1
+  done
+  echo "FAIL: no leader elected" >&2
+  return 1
+}
+
+# retry CMD... until success (ensemble may be mid-election).
+retry() {
+  for _ in $(seq 1 100); do
+    if "$@" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "FAIL: retries exhausted: $*" >&2
+  return 1
+}
+
+# wait_dead PID... — bounded wait on the actual condition (process
+# gone) instead of a fixed settle sleep: SIGKILL delivery is async and
+# a fixed delay is either too slow or a flake under CI load.
+wait_dead() {
+  for _ in $(seq 1 100); do
+    local alive=0 pid
+    for pid in "$@"; do
+      if kill -0 "$pid" 2>/dev/null; then alive=1; break; fi
+    done
+    [ "$alive" = 0 ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: processes still alive after SIGKILL: $*" >&2
+  return 1
+}
+
+# wait_port_free HOST:PORT... — bounded wait until nothing accepts on
+# the addresses (a killed node's listener can linger briefly; a restart
+# on the same port must not race it).
+wait_port_free() {
+  for _ in $(seq 1 100); do
+    local busy=0 addr
+    for addr in "$@"; do
+      if (exec 3<>"/dev/tcp/${addr%%:*}/${addr##*:}") 2>/dev/null; then
+        busy=1
+        break
+      fi
+    done
+    [ "$busy" = 0 ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: ports still busy: $*" >&2
+  return 1
+}
+
+# tree_digest ADDR — the replica's deterministic recursive tree digest.
+tree_digest() {
+  skc -addr "$1" digest / | awk '/^digest /{print $2, $3}'
+}
+
+# acked_paths LEDGER — the paths of acknowledged writes (may be empty).
+acked_paths() {
+  (grep '^ACK ' "$1" || true) | awk '{print $2}'
+}
+
+# metric_sum HOST:PORT NAME — scrape the node's /metrics endpoint and
+# sum the family's samples across label sets. An absent family prints
+# 0: "never fired" and "not yet scraped" both read as zero (the metrics
+# smoke separately asserts registration). %.0f, not %d: mawk's %d
+# clamps at 2^31-1 and a zxid carries the epoch in its high bits.
+metric_sum() {
+  curl -sf --max-time 5 "http://$1/metrics" \
+    | awk -v name="$2" 'index($1, name) == 1 { s += $NF } END { printf "%.0f\n", s }'
+}
+
+# metric_value HOST:PORT NAME — like metric_sum but FAILS when the
+# family is absent, for scripts that assert the registry wiring itself.
+metric_value() {
+  curl -sf --max-time 5 "http://$1/metrics" | awk -v name="$2" '
+    index($1, name) == 1 { s += $NF; found = 1 }
+    END { if (!found) exit 1; printf "%.0f\n", s }'
+}
